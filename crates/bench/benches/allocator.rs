@@ -1,0 +1,33 @@
+//! Criterion bench for the first-touch allocator (paper §3.3 / Fig. 1):
+//! sequential initialization vs parallel touch + parallel init.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::bench_threads;
+use pstl_alloc::{alloc_init, alloc_init_seq};
+use pstl_executor::{build_pool, Discipline};
+
+fn bench_allocator(c: &mut Criterion) {
+    let exec = build_pool(Discipline::ForkJoin, bench_threads());
+    let mut group = c.benchmark_group("allocator");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(300));
+    for n in [1usize << 14, 1 << 18, 1 << 21] {
+        group.throughput(criterion::Throughput::Bytes((n * 8) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("default_seq_init", format!("2^{}", n.trailing_zeros())),
+            &n,
+            |b, &n| b.iter(|| alloc_init_seq(n, |i| (i + 1) as f64)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_first_touch", format!("2^{}", n.trailing_zeros())),
+            &n,
+            |b, &n| b.iter(|| alloc_init(&exec, n, |i| (i + 1) as f64)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

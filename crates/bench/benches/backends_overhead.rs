@@ -1,0 +1,45 @@
+//! Criterion bench isolating the *dispatch overhead* of each scheduling
+//! discipline: a near-empty parallel region over small index spaces.
+//!
+//! This is the real-machine counterpart of the backend model's
+//! `dispatch_us`/`per_task_ns` constants: the task pool (HPX analog)
+//! must be the most expensive dispatch, the fork-join pool (OpenMP
+//! analog) the cheapest parallel one, and inline sequential execution
+//! nearly free — the ordering behind the paper's Figure 2 small-size
+//! behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bench::bench_threads;
+use pstl_executor::{build_pool, Discipline};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let threads = bench_threads();
+    let pools = [
+        ("seq", build_pool(Discipline::Sequential, 1)),
+        ("fork_join", build_pool(Discipline::ForkJoin, threads)),
+        ("work_stealing", build_pool(Discipline::WorkStealing, threads)),
+        ("task_pool", build_pool(Discipline::TaskPool, threads)),
+    ];
+    let mut group = c.benchmark_group("dispatch_overhead");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(300));
+    for tasks in [1usize, 16, 256] {
+        for (label, pool) in &pools {
+            let sink = AtomicU64::new(0);
+            group.bench_with_input(BenchmarkId::new(*label, tasks), &tasks, |b, &tasks| {
+                b.iter(|| {
+                    pool.run(tasks, &|i| {
+                        sink.fetch_add(i as u64, Ordering::Relaxed);
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

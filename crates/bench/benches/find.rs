@@ -1,0 +1,37 @@
+//! Criterion bench for `X::find` (paper §5.3): linear search for a
+//! random element per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{bench_policies, bench_threads, BENCH_SIZES};
+use pstl_suite::{kernels, workload, BackendHost};
+
+fn bench_find(c: &mut Criterion) {
+    let host = BackendHost::new(bench_threads());
+    let policies = bench_policies(&host);
+    let mut group = c.benchmark_group("find");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(300));
+    for &n in &BENCH_SIZES {
+        for (label, _, policy) in &policies {
+            let data = workload::generate_increment(n);
+            let mut rng = workload::seeded_rng(7);
+            group.throughput(criterion::Throughput::Bytes((n * 8) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(*label, format!("2^{}", n.trailing_zeros())),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let target = workload::random_target(n, &mut rng);
+                        kernels::run_find(policy, &data, target)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_find);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for `X::for_each` (paper §5.2): backends × sizes ×
+//! k_it ∈ {1, 1000}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{bench_policies, bench_threads, BENCH_SIZES};
+use pstl_suite::{kernels, workload, BackendHost};
+
+fn bench_foreach(c: &mut Criterion) {
+    let host = BackendHost::new(bench_threads());
+    let policies = bench_policies(&host);
+    for k_it in [1usize, 1000] {
+        let mut group = c.benchmark_group(format!("for_each_k{k_it}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(100));
+        group.measurement_time(std::time::Duration::from_millis(300));
+        for &n in &BENCH_SIZES {
+            for (label, _, policy) in &policies {
+                let mut data = workload::generate_increment(n);
+                group.throughput(criterion::Throughput::Bytes((n * 8) as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(*label, format!("2^{}", n.trailing_zeros())),
+                    &n,
+                    |b, _| b.iter(|| kernels::run_for_each(policy, &mut data, k_it)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_foreach);
+criterion_main!(benches);

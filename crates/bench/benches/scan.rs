@@ -1,0 +1,31 @@
+//! Criterion bench for `X::inclusive_scan` (paper §5.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{bench_policies, bench_threads, BENCH_SIZES};
+use pstl_suite::{kernels, workload, BackendHost};
+
+fn bench_scan(c: &mut Criterion) {
+    let host = BackendHost::new(bench_threads());
+    let policies = bench_policies(&host);
+    let mut group = c.benchmark_group("inclusive_scan");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(300));
+    for &n in &BENCH_SIZES {
+        for (label, _, policy) in &policies {
+            let src = workload::generate_increment(n);
+            let mut out = vec![0.0f64; n];
+            group.throughput(criterion::Throughput::Bytes((n * 8) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(*label, format!("2^{}", n.trailing_zeros())),
+                &n,
+                |b, _| b.iter(|| kernels::run_inclusive_scan(policy, &src, &mut out)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for `X::sort` (paper §5.6), with the paper's
+//! protocol: re-shuffle untimed before every measured sort (criterion's
+//! `iter_batched` keeps the clone/shuffle out of the measurement, like
+//! Listing 3's untimed `std::shuffle`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use bench::{bench_policies, bench_threads};
+use pstl_suite::{kernels, workload, BackendHost};
+
+fn bench_sort(c: &mut Criterion) {
+    let host = BackendHost::new(bench_threads());
+    let policies = bench_policies(&host);
+    let mut group = c.benchmark_group("sort");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(400));
+    for n in [1usize << 10, 1 << 14, 1 << 16] {
+        for (label, backend, policy) in &policies {
+            let base = workload::shuffled_permutation(n, 42);
+            group.throughput(criterion::Throughput::Bytes((n * 8) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(*label, format!("2^{}", n.trailing_zeros())),
+                &n,
+                |b, _| {
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut data| kernels::run_sort(policy, *backend, &mut data),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

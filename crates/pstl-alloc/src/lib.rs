@@ -1,0 +1,105 @@
+//! First-touch parallel allocation, modeled on pSTL-Bench's custom
+//! allocator (paper §3.3, itself adapted from HPX's NUMA allocator).
+//!
+//! On NUMA machines, Linux's default first-touch page placement puts every
+//! page of a sequentially-initialized buffer on the allocating thread's
+//! node, capping memory-bound kernels at one node's bandwidth. pSTL-Bench
+//! counters this by touching the first byte of every page *with the same
+//! parallel policy that will later process the data*, so pages land on the
+//! nodes of the threads that use them.
+//!
+//! This crate reproduces those mechanics faithfully — uninitialized
+//! reservation, parallel page touch, parallel initialization — on top of
+//! any [`Executor`]. The *performance* consequence on a NUMA machine is
+//! modeled separately in `pstl-sim` (its `memory` module); here the
+//! observable contract is correctness of the initialization and of the
+//! touch pattern.
+
+use std::sync::Arc;
+
+use pstl_executor::Executor;
+
+pub mod first_touch;
+pub mod touch_map;
+
+pub use first_touch::{alloc_init, alloc_init_seq, FirstTouchAllocator};
+pub use touch_map::TouchMap;
+
+/// Page granularity assumed by the touch pass (Linux default).
+pub const PAGE_SIZE: usize = 4096;
+
+/// How a buffer's pages are placed relative to the threads that use it.
+///
+/// `Default` models `malloc` + sequential initialization (all pages
+/// first-touched by thread 0); `FirstTouch` models the paper's parallel
+/// allocator (each page first-touched by the thread that will process it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Sequential initialization: every page lands on the allocating
+    /// thread's NUMA node.
+    Default,
+    /// Parallel first touch with the processing policy: pages spread
+    /// across the nodes of the participating threads.
+    FirstTouch,
+}
+
+impl Placement {
+    /// Stable lowercase name for labels and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::Default => "default",
+            Placement::FirstTouch => "first_touch",
+        }
+    }
+}
+
+/// Number of pages spanned by `n` elements of size `elem_size`.
+pub fn pages_for(n: usize, elem_size: usize) -> usize {
+    (n * elem_size).div_ceil(PAGE_SIZE)
+}
+
+/// Convenience: allocate `[1, 2, .., n]` as `f64` with the given placement
+/// policy — the paper's standard workload (`pstl::generate_increment`).
+pub fn generate_increment_f64(
+    exec: &Arc<dyn Executor>,
+    placement: Placement,
+    n: usize,
+) -> Vec<f64> {
+    match placement {
+        Placement::Default => alloc_init_seq(n, |i| (i + 1) as f64),
+        Placement::FirstTouch => alloc_init(exec, n, |i| (i + 1) as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0, 8), 0);
+        assert_eq!(pages_for(1, 8), 1);
+        assert_eq!(pages_for(512, 8), 1); // exactly one page of f64
+        assert_eq!(pages_for(513, 8), 2);
+        assert_eq!(pages_for(1024, 8), 2);
+    }
+
+    #[test]
+    fn generate_increment_matches_paper_workload() {
+        let exec = build_pool(Discipline::ForkJoin, 2);
+        for placement in [Placement::Default, Placement::FirstTouch] {
+            let v = generate_increment_f64(&exec, placement, 1000);
+            assert_eq!(v.len(), 1000);
+            assert_eq!(v[0], 1.0);
+            assert_eq!(v[999], 1000.0);
+            assert!(v.windows(2).all(|w| w[1] - w[0] == 1.0));
+        }
+    }
+
+    #[test]
+    fn placement_names_are_stable() {
+        assert_eq!(Placement::Default.name(), "default");
+        assert_eq!(Placement::FirstTouch.name(), "first_touch");
+    }
+}

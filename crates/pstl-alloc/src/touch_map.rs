@@ -1,0 +1,111 @@
+//! Recording which logical worker touches which page.
+//!
+//! On real NUMA hardware the kernel records first touch implicitly in the
+//! page tables. To make the allocator's *placement pattern* observable
+//! (for tests, and as the bridge to the `pstl-sim` memory model), this
+//! module computes the page→toucher map implied by a placement policy,
+//! using the same contiguous static partition as
+//! [`alloc_init`](crate::alloc_init).
+
+use crate::{pages_for, Placement};
+
+/// The page→toucher assignment of one buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TouchMap {
+    /// `toucher[p]` is the index of the thread that first touches page `p`.
+    pub toucher: Vec<usize>,
+    /// Threads participating in the touch pass.
+    pub threads: usize,
+}
+
+impl TouchMap {
+    /// The map produced by allocating `n` elements of `elem_size` bytes
+    /// under `placement` with `threads` threads.
+    pub fn compute(placement: Placement, n: usize, elem_size: usize, threads: usize) -> Self {
+        let pages = pages_for(n, elem_size);
+        let threads = threads.max(1);
+        let toucher = match placement {
+            Placement::Default => vec![0; pages],
+            Placement::FirstTouch => {
+                let mut t = vec![0; pages];
+                for w in 0..threads {
+                    let lo = pages * w / threads;
+                    let hi = pages * (w + 1) / threads;
+                    for item in t.iter_mut().take(hi).skip(lo) {
+                        *item = w;
+                    }
+                }
+                t
+            }
+        };
+        TouchMap { toucher, threads }
+    }
+
+    /// Number of pages.
+    pub fn pages(&self) -> usize {
+        self.toucher.len()
+    }
+
+    /// Count of pages touched by each thread.
+    pub fn pages_per_thread(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.threads];
+        for &t in &self.toucher {
+            counts[t] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of pages on the thread-0 side — 1.0 under `Default`
+    /// placement, ≈ `1/threads` under `FirstTouch`.
+    pub fn thread0_fraction(&self) -> f64 {
+        if self.toucher.is_empty() {
+            return 0.0;
+        }
+        let zero = self.toucher.iter().filter(|&&t| t == 0).count();
+        zero as f64 / self.toucher.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_placement_is_all_thread0() {
+        let m = TouchMap::compute(Placement::Default, 1 << 20, 8, 16);
+        assert!(m.toucher.iter().all(|&t| t == 0));
+        assert_eq!(m.thread0_fraction(), 1.0);
+    }
+
+    #[test]
+    fn first_touch_spreads_evenly() {
+        let m = TouchMap::compute(Placement::FirstTouch, 1 << 20, 8, 16);
+        let counts = m.pages_per_thread();
+        assert_eq!(counts.len(), 16);
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max - min <= 1, "uneven touch distribution: {counts:?}");
+        let f = m.thread0_fraction();
+        assert!((f - 1.0 / 16.0).abs() < 0.01, "thread0 fraction {f}");
+    }
+
+    #[test]
+    fn page_count_matches_pages_for() {
+        let m = TouchMap::compute(Placement::FirstTouch, 1000, 8, 4);
+        assert_eq!(m.pages(), pages_for(1000, 8));
+    }
+
+    #[test]
+    fn single_thread_first_touch_equals_default() {
+        let a = TouchMap::compute(Placement::Default, 5000, 8, 1);
+        let b = TouchMap::compute(Placement::FirstTouch, 5000, 8, 1);
+        assert_eq!(a.toucher, b.toucher);
+    }
+
+    #[test]
+    fn empty_buffer_has_no_pages() {
+        let m = TouchMap::compute(Placement::FirstTouch, 0, 8, 4);
+        assert_eq!(m.pages(), 0);
+        assert_eq!(m.thread0_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,431 @@
+//! A Chase–Lev work-stealing deque.
+//!
+//! This is the data structure at the heart of TBB-style scheduling, here
+//! implemented from scratch following the C11 formulation of Lê, Pop,
+//! Cohen and Zappa Nardelli, *"Correct and Efficient Work-Stealing for
+//! Weak Memory Models"* (PPoPP'13):
+//!
+//! * the **owner** pushes and pops at the *bottom* (LIFO),
+//! * any number of **thieves** steal from the *top* (FIFO),
+//! * the buffer is a growable power-of-two ring; positions are unbounded
+//!   indices masked into slots,
+//! * retired buffers are kept alive until the deque is dropped, so a
+//!   thief racing a grow can always safely read the value it is about to
+//!   CAS for (grown buffers preserve all in-range positions).
+//!
+//! The owner handle [`Worker`] is `Send` but not `Sync` / not `Clone`
+//! (single-owner discipline); [`Stealer`] handles are freely cloned and
+//! shared.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+const INITIAL_CAPACITY: usize = 64;
+
+struct Buffer<T> {
+    /// Power-of-two capacity.
+    cap: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Buffer { cap, slots }))
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> *mut MaybeUninit<T> {
+        self.slots[(index as usize) & (self.cap - 1)].get()
+    }
+
+    /// Bitwise-read the value at `index`. Ownership transfer is decided by
+    /// the caller (CAS winner takes it; losers must `mem::forget`).
+    #[inline]
+    unsafe fn read(&self, index: isize) -> T {
+        self.slot(index).read().assume_init()
+    }
+
+    #[inline]
+    unsafe fn write(&self, index: isize, value: T) {
+        self.slot(index).write(MaybeUninit::new(value));
+    }
+}
+
+struct Inner<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by `grow`; freed (but their elements never
+    /// dropped) when the deque itself drops.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: coordination between owner and thieves is done entirely through
+// the atomics per the Chase–Lev protocol; `T: Send` values move across
+// threads.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drop any remaining elements, then free
+        // the live buffer and all retired buffers (slots only, no element
+        // drops in retired buffers — their elements were moved on grow).
+        let top = *self.top.get_mut();
+        let bottom = *self.bottom.get_mut();
+        let buf = *self.buffer.get_mut();
+        unsafe {
+            for i in top..bottom {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            for retired in self.retired.get_mut().drain(..) {
+                drop(Box::from_raw(retired));
+            }
+        }
+    }
+}
+
+/// Owner handle: LIFO push/pop at the bottom. Single-owner: not `Clone`,
+/// not `Sync`.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+}
+
+// SAFETY: the handle may migrate to another thread (e.g. into a pool
+// worker) as long as only one thread uses it at a time, which the lack of
+// `Clone`/`Sync` enforces.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// Thief handle: FIFO steals from the top. Freely cloneable and shareable.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Successfully stole a value.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Extract the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Create a new deque, returning the owner and one thief handle.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Buffer::<T>::alloc(INITIAL_CAPACITY)),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Push a value at the bottom (owner only).
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if b - t >= (*buf).cap as isize {
+                buf = self.grow(t, b, buf);
+            }
+            (*buf).write(b, value);
+        }
+        // Publish the write before making the slot visible to thieves.
+        fence(Ordering::Release);
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pop a value from the bottom (owner only), LIFO order.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty.
+            let value = unsafe { (*buf).read(b) };
+            if t == b {
+                // Single element left: race against thieves via CAS on top.
+                if inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // A thief won; it owns the value now.
+                    std::mem::forget(value);
+                    inner.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            Some(value)
+        } else {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Approximate number of queued items (owner's view).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Approximate emptiness (owner's view).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A thief handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Replace the buffer with one of twice the capacity, copying the live
+    /// positions `t..b`. Owner only.
+    unsafe fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let new = Buffer::<T>::alloc((*old).cap * 2);
+        for i in t..b {
+            // Bitwise move: positions keep their index, ownership is now
+            // logically in the new buffer. The old buffer is retired and
+            // never drops elements.
+            let v = (*old).slot(i).read();
+            (*new).slot(i).write(v);
+        }
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner.retired.lock().push(old);
+        new
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempt to steal from the top, FIFO order.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Non-empty: speculatively read, then claim via CAS.
+        let buf = inner.buffer.load(Ordering::Acquire);
+        let value = unsafe { (*buf).read(t) };
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Lost the race; the copy we read belongs to the winner.
+            std::mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Approximate emptiness (thief's view; may be stale).
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        t >= b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn owner_pop_is_lifo() {
+        let (w, _s) = deque();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stealer_is_fifo() {
+        let (w, s) = deque();
+        w.push("a");
+        w.push("b");
+        w.push("c");
+        assert_eq!(s.steal().success(), Some("a"));
+        assert_eq!(s.steal().success(), Some("b"));
+        assert_eq!(s.steal().success(), Some("c"));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let (w, s) = deque();
+        let n = INITIAL_CAPACITY * 4 + 7;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        // Mixed consumption.
+        assert_eq!(s.steal().success(), Some(0));
+        assert_eq!(w.pop(), Some(n - 1));
+        let mut remaining: HashSet<usize> = (1..n - 1).collect();
+        while let Some(v) = w.pop() {
+            assert!(remaining.remove(&v));
+        }
+        assert!(remaining.is_empty());
+    }
+
+    #[test]
+    fn no_leaks_or_double_drops() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        {
+            let (w, s) = deque();
+            for _ in 0..200 {
+                w.push(Tracked::new()); // forces growth past 64
+            }
+            for _ in 0..50 {
+                drop(s.steal().success());
+            }
+            for _ in 0..50 {
+                drop(w.pop());
+            }
+            // 100 left inside; dropped with the deque.
+        }
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_stealers_conserve_items() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 3;
+
+        let (w, s) = deque();
+        // Each thief steals until it consumes exactly one sentinel (value
+        // N); the producer pushes THIEVES sentinels after all payload, so
+        // FIFO stealing guarantees the payload drains first.
+        let stolen: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                if v == N {
+                                    break;
+                                }
+                            }
+                            Steal::Retry => continue,
+                            Steal::Empty => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let mut popped = Vec::new();
+        for i in 0..N {
+            w.push(i);
+            // Interleave pops to stress owner/thief racing.
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    popped.push(v);
+                }
+            }
+        }
+        // One termination sentinel per thief.
+        for _ in 0..THIEVES {
+            w.push(N);
+        }
+        // Drain what the thieves leave behind.
+        let mut leftovers = Vec::new();
+        let handles: Vec<Vec<usize>> = stolen.into_iter().map(|h| h.join().unwrap()).collect();
+        while let Some(v) = w.pop() {
+            leftovers.push(v);
+        }
+
+        let mut all: Vec<usize> = Vec::new();
+        all.extend(popped);
+        all.extend(leftovers);
+        for h in handles {
+            all.extend(h);
+        }
+        let sentinels = all.iter().filter(|&&v| v == N).count();
+        assert_eq!(sentinels, THIEVES, "each sentinel seen exactly once");
+        let mut payload: Vec<usize> = all.into_iter().filter(|&v| v != N).collect();
+        payload.sort_unstable();
+        assert_eq!(payload.len(), N, "every item seen exactly once");
+        for (i, v) in payload.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! A blocking one-shot future/promise pair.
+//!
+//! HPX exposes its parallel algorithms on top of futures; our
+//! [`TaskPool`](crate::TaskPool) does the same through
+//! [`TaskPool::spawn`](crate::TaskPool::spawn), which returns a [`Future`].
+//! This is a deliberately simple synchronous future (no `async`): `wait`
+//! blocks the calling thread until the promise is fulfilled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Oneshot<T> {
+    ready: AtomicBool,
+    slot: Mutex<Option<T>>,
+    cond: Condvar,
+}
+
+/// The producing half: fulfil it exactly once with [`Promise::set`].
+pub struct Promise<T> {
+    shared: Arc<Oneshot<T>>,
+}
+
+/// The consuming half: block on [`Future::wait`] or poll with
+/// [`Future::try_take`].
+pub struct Future<T> {
+    shared: Arc<Oneshot<T>>,
+}
+
+/// Create a connected future/promise pair.
+pub fn future_promise<T>() -> (Future<T>, Promise<T>) {
+    let shared = Arc::new(Oneshot {
+        ready: AtomicBool::new(false),
+        slot: Mutex::new(None),
+        cond: Condvar::new(),
+    });
+    (
+        Future {
+            shared: Arc::clone(&shared),
+        },
+        Promise { shared },
+    )
+}
+
+impl<T> Promise<T> {
+    /// Fulfil the promise, waking any waiter.
+    ///
+    /// # Panics
+    /// Panics if the promise was already fulfilled.
+    pub fn set(self, value: T) {
+        let mut slot = self.shared.slot.lock();
+        assert!(slot.is_none(), "promise fulfilled twice");
+        *slot = Some(value);
+        self.shared.ready.store(true, Ordering::Release);
+        self.shared.cond.notify_all();
+    }
+}
+
+impl<T> Future<T> {
+    /// Whether the value has been produced.
+    pub fn is_ready(&self) -> bool {
+        self.shared.ready.load(Ordering::Acquire)
+    }
+
+    /// Take the value if it is already available.
+    pub fn try_take(&self) -> Option<T> {
+        if !self.is_ready() {
+            return None;
+        }
+        self.shared.slot.lock().take()
+    }
+
+    /// Block until the value is available and take it.
+    ///
+    /// # Panics
+    /// Panics if the value was already taken by a previous `wait`/`try_take`
+    /// (one-shot semantics) or if the promise was dropped unfulfilled.
+    pub fn wait(self) -> T {
+        // Bounded spin first — pool tasks are typically short.
+        for _ in 0..128 {
+            if self.is_ready() {
+                return self
+                    .shared
+                    .slot
+                    .lock()
+                    .take()
+                    .expect("one-shot future value already taken");
+            }
+            std::hint::spin_loop();
+        }
+        let mut slot = self.shared.slot.lock();
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            if self.is_ready() {
+                panic!("one-shot future value already taken");
+            }
+            if Arc::strong_count(&self.shared) == 1 {
+                panic!("promise dropped without fulfilling the future");
+            }
+            self.shared.cond.wait_for(&mut slot, std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_wait() {
+        let (f, p) = future_promise();
+        p.set(42);
+        assert!(f.is_ready());
+        assert_eq!(f.wait(), 42);
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let (f, p) = future_promise();
+        let t = std::thread::spawn(move || f.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        p.set("done");
+        assert_eq!(t.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn try_take_before_ready_is_none() {
+        let (f, p) = future_promise::<u32>();
+        assert!(f.try_take().is_none());
+        p.set(7);
+        assert_eq!(f.try_take(), Some(7));
+        assert!(f.try_take().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "promise dropped")]
+    fn dropped_promise_panics_waiter() {
+        let (f, p) = future_promise::<u32>();
+        drop(p);
+        f.wait();
+    }
+}

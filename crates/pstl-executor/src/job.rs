@@ -1,0 +1,137 @@
+//! Lifetime-erased job pointers shared by the pool implementations.
+//!
+//! Pools receive the user body as `&(dyn Fn(usize) + Sync)` borrowed for
+//! the duration of [`Executor::run`](crate::Executor::run). To hand it to
+//! worker threads we erase the lifetime into a raw fat pointer. Soundness
+//! rests on the run protocol: the caller blocks on a [`CountLatch`] that
+//! only completes after every task index has executed, so the borrow is
+//! live whenever a worker dereferences the pointer.
+
+use std::sync::Arc;
+
+use crate::latch::CountLatch;
+
+/// A lifetime-erased `&(dyn Fn(usize) + Sync)`.
+///
+/// Cheap to copy; see the module docs for the validity argument.
+#[derive(Clone, Copy)]
+pub struct BodyPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared invocation from any thread is
+// allowed) and the run protocol guarantees it outlives all uses.
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+impl BodyPtr {
+    /// Erase the lifetime of `body`.
+    pub fn new(body: &(dyn Fn(usize) + Sync)) -> Self {
+        // SAFETY: only extends the *lifetime* in the pointer type; every
+        // dereference happens while the originating `run` call still
+        // borrows `body` (see module docs).
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+        BodyPtr(erased as *const _)
+    }
+
+    /// Invoke the body for task index `i`.
+    ///
+    /// # Safety
+    /// The originating `run` call must still be blocked on its completion
+    /// latch (i.e. the borrow behind the pointer must be live).
+    pub unsafe fn call(&self, i: usize) {
+        (*self.0)(i)
+    }
+}
+
+/// A body pointer paired with the latch that tracks its completion; one
+/// per `run` call, shared by all task fragments of that run.
+///
+/// Panics in the user body are caught on the executing thread (so the
+/// latch still counts down and the run cannot deadlock), recorded, and
+/// re-thrown on the *calling* thread by
+/// [`resume_if_panicked`](Job::resume_if_panicked) — the same
+/// propagation contract rayon provides.
+pub struct Job {
+    body: BodyPtr,
+    latch: Arc<CountLatch>,
+    panic: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Job {
+    /// Create a job covering `tasks` indices.
+    pub fn new(body: &(dyn Fn(usize) + Sync), tasks: usize) -> Arc<Self> {
+        Arc::new(Job {
+            body: BodyPtr::new(body),
+            latch: Arc::new(CountLatch::new(tasks)),
+            panic: parking_lot::Mutex::new(None),
+        })
+    }
+
+    /// The completion latch of this job.
+    pub fn latch(&self) -> &CountLatch {
+        &self.latch
+    }
+
+    /// Run one task index and mark it complete. A panicking body is
+    /// caught and stored (first panic wins).
+    ///
+    /// # Safety
+    /// See [`BodyPtr::call`]; additionally each index must be executed at
+    /// most once across all threads.
+    pub unsafe fn execute_index(&self, i: usize) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.body.call(i)
+        }));
+        if let Err(payload) = result {
+            let mut slot = self.panic.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.latch.count_down(1);
+    }
+
+    /// Re-throw a stored worker panic on the calling thread. Call after
+    /// waiting on the latch.
+    pub fn resume_if_panicked(&self) {
+        if let Some(payload) = self.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn job_executes_and_counts_down() {
+        let hits = AtomicUsize::new(0);
+        let body = |i: usize| {
+            hits.fetch_add(i + 1, Ordering::Relaxed);
+        };
+        let job = Job::new(&body, 3);
+        assert!(!job.latch().is_done());
+        unsafe {
+            job.execute_index(0);
+            job.execute_index(1);
+            job.execute_index(2);
+        }
+        assert!(job.latch().is_done());
+        assert_eq!(hits.load(Ordering::Relaxed), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn body_ptr_round_trips() {
+        let hits = AtomicUsize::new(0);
+        let body = |i: usize| {
+            hits.fetch_add(i, Ordering::Relaxed);
+        };
+        let ptr = BodyPtr::new(&body);
+        unsafe {
+            ptr.call(41);
+            ptr.call(1);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 42);
+    }
+}

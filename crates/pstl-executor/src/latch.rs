@@ -1,0 +1,280 @@
+//! Count-down completion latches.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+
+/// Shared helping-wait loop: poll `try_work` until `done()` holds,
+/// spinning briefly between failed polls and yielding thereafter (so
+/// single-core hosts make progress on worker threads).
+fn help_until(done: impl Fn() -> bool, mut try_work: impl FnMut() -> bool) {
+    let mut idle_rounds = 0u32;
+    while !done() {
+        if try_work() {
+            idle_rounds = 0;
+        } else {
+            idle_rounds += 1;
+            if idle_rounds < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A latch that becomes signalled after `count` calls to
+/// [`count_down`](CountLatch::count_down) (weighted) have been observed.
+///
+/// Waiters first spin briefly (task batches usually finish within
+/// microseconds) and then block on a condition variable. The implementation
+/// avoids the classic missed-wakeup race by having the signalling side take
+/// the mutex before notifying.
+pub struct CountLatch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    /// A latch expecting `count` units of completion. `count == 0` is
+    /// created already signalled.
+    pub fn new(count: usize) -> Self {
+        CountLatch {
+            remaining: AtomicUsize::new(count),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Record `n` units of completion. Panics (in debug builds) on
+    /// underflow, which would indicate a task executed twice.
+    pub fn count_down(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let prev = self.remaining.fetch_sub(n, Ordering::Release);
+        debug_assert!(prev >= n, "CountLatch underflow: {prev} - {n}");
+        if prev == n {
+            // Last unit: wake waiters. Taking the lock orders this notify
+            // after any concurrent waiter's predicate check.
+            let _guard = self.mutex.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Whether all units have completed.
+    pub fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Remaining units (for diagnostics and tests).
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Block until all units have completed.
+    pub fn wait(&self) {
+        // Fast path + bounded spin: most runs complete without sleeping.
+        for _ in 0..256 {
+            if self.is_done() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.mutex.lock();
+        while !self.is_done() {
+            self.cond.wait(&mut guard);
+        }
+    }
+
+    /// Like [`wait`](Self::wait), but the caller's closure is polled for
+    /// work between checks, letting the waiting thread help drain a queue.
+    /// `try_work` returns `true` if it found and executed some work.
+    pub fn wait_while_helping(&self, try_work: impl FnMut() -> bool) {
+        help_until(|| self.is_done(), try_work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_count_is_immediately_done() {
+        let latch = CountLatch::new(0);
+        assert!(latch.is_done());
+        latch.wait(); // must not block
+    }
+
+    #[test]
+    fn counts_down_to_done() {
+        let latch = CountLatch::new(3);
+        assert!(!latch.is_done());
+        latch.count_down(1);
+        assert_eq!(latch.remaining(), 2);
+        latch.count_down(2);
+        assert!(latch.is_done());
+        latch.wait();
+    }
+
+    #[test]
+    fn count_down_zero_is_noop() {
+        let latch = CountLatch::new(1);
+        latch.count_down(0);
+        assert!(!latch.is_done());
+        latch.count_down(1);
+        assert!(latch.is_done());
+    }
+
+    #[test]
+    fn wakes_blocked_waiter() {
+        let latch = Arc::new(CountLatch::new(1));
+        let l2 = Arc::clone(&latch);
+        let t = std::thread::spawn(move || {
+            l2.wait();
+        });
+        // Give the waiter time to block past its spin phase.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        latch.count_down(1);
+        t.join().unwrap();
+        assert!(latch.is_done());
+    }
+
+    #[test]
+    fn helping_wait_drains_work() {
+        let latch = CountLatch::new(4);
+        let mut pending = 4;
+        latch.wait_while_helping(|| {
+            if pending > 0 {
+                pending -= 1;
+                latch.count_down(1);
+                true
+            } else {
+                false
+            }
+        });
+        assert!(latch.is_done());
+        assert_eq!(pending, 0);
+    }
+}
+
+/// A dynamic up/down counter latch (Go-style wait group): the owner
+/// `add`s before handing work out, workers `done` when finished, and the
+/// owner waits for zero. Unlike [`CountLatch`], the total is not known up
+/// front — the primitive behind [`TaskPool::scope`](crate::TaskPool::scope),
+/// where tasks may spawn further tasks.
+pub struct WaitGroup {
+    count: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    /// A wait group at zero.
+    pub fn new() -> Self {
+        WaitGroup {
+            count: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Register `n` outstanding units. Must happen-before the matching
+    /// [`done`](Self::done) calls (callers add before publishing work).
+    pub fn add(&self, n: usize) {
+        self.count.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Complete one unit.
+    pub fn done(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev >= 1, "WaitGroup underflow");
+        if prev == 1 {
+            let _guard = self.mutex.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Whether the count is currently zero.
+    pub fn is_zero(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+
+    /// Poll `try_work` for useful work until the count reaches zero
+    /// (same helping discipline as
+    /// [`CountLatch::wait_while_helping`]).
+    pub fn wait_while_helping(&self, try_work: impl FnMut() -> bool) {
+        help_until(|| self.is_zero(), try_work);
+    }
+}
+
+#[cfg(test)]
+mod wait_group_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_zero() {
+        let wg = WaitGroup::new();
+        assert!(wg.is_zero());
+        wg.wait_while_helping(|| false); // must not block
+    }
+
+    #[test]
+    fn add_and_done_balance() {
+        let wg = WaitGroup::new();
+        wg.add(3);
+        assert!(!wg.is_zero());
+        wg.done();
+        wg.done();
+        assert!(!wg.is_zero());
+        wg.done();
+        assert!(wg.is_zero());
+    }
+
+    #[test]
+    fn helping_wait_drains() {
+        let wg = WaitGroup::new();
+        wg.add(5);
+        let mut remaining = 5;
+        wg.wait_while_helping(|| {
+            if remaining > 0 {
+                remaining -= 1;
+                wg.done();
+                true
+            } else {
+                false
+            }
+        });
+        assert!(wg.is_zero());
+    }
+
+    #[test]
+    fn cross_thread_completion() {
+        let wg = Arc::new(WaitGroup::new());
+        wg.add(4);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let wg = Arc::clone(&wg);
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    wg.done();
+                })
+            })
+            .collect();
+        wg.wait_while_helping(|| false);
+        assert!(wg.is_zero());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

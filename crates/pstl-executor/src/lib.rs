@@ -1,0 +1,223 @@
+//! Thread-pool substrate for the pSTL-Bench reproduction.
+//!
+//! The paper compares C++ parallel-STL backends that differ primarily in
+//! their *scheduling discipline*:
+//!
+//! * GNU's OpenMP-based backend (MCSTL) uses **static fork-join** chunking,
+//! * Intel TBB uses **work stealing** with dynamic splitting,
+//! * HPX uses **fine-grained tasks with futures** through a central
+//!   scheduler.
+//!
+//! This crate implements all three disciplines from scratch over a common
+//! [`Executor`] abstraction so the algorithm layer (`pstl`) can be run on
+//! any of them. The work-stealing deque ([`deque`]) is a faithful
+//! Chase–Lev implementation; the task pool intentionally pays a per-task
+//! allocation, mirroring the instruction overhead the paper measures for
+//! HPX (its Tables 3 and 4).
+//!
+//! All pools follow OpenMP "master participates" semantics: a pool
+//! configured for `T` threads spawns `T - 1` workers and the calling
+//! thread acts as worker 0, so `threads == 1` means strictly inline
+//! execution with no cross-thread traffic.
+
+pub mod deque;
+pub mod fork_join;
+pub mod futures;
+pub mod injector;
+pub mod job;
+pub mod latch;
+pub mod metrics;
+pub mod seq;
+pub mod sync;
+pub mod task_pool;
+pub mod work_stealing;
+
+use std::sync::Arc;
+
+pub use fork_join::ForkJoinPool;
+pub use futures::{future_promise, Future, Promise};
+pub use latch::CountLatch;
+pub use metrics::{MetricsSnapshot, PoolMetrics};
+pub use seq::SequentialExecutor;
+pub use task_pool::{Scope, TaskPool};
+pub use work_stealing::WorkStealingPool;
+
+/// A parallel index-space executor.
+///
+/// `run(tasks, body)` executes `body(i)` once for every `i in 0..tasks`,
+/// possibly in parallel, and returns only after every invocation has
+/// completed. The *chunking* of real work into task indices is the
+/// caller's responsibility (the `pstl` algorithm layer computes per-backend
+/// chunk counts); the executor's responsibility is the *scheduling
+/// discipline* used to map indices onto threads.
+///
+/// Implementations must tolerate `tasks == 0` (no-op) and concurrent `run`
+/// calls from multiple user threads (runs are serialized internally, like
+/// OpenMP parallel regions on a single team).
+pub trait Executor: Send + Sync {
+    /// Number of threads that participate in a `run`, including the caller.
+    fn num_threads(&self) -> usize;
+
+    /// Execute `body(i)` for all `i in 0..tasks`; blocks until done.
+    fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync));
+
+    /// Short human-readable name of the scheduling discipline.
+    fn discipline(&self) -> Discipline;
+
+    /// Scheduling counters accumulated since pool creation, if the
+    /// implementation tracks them (the real pools do; the sequential
+    /// executor has nothing to schedule).
+    fn metrics(&self) -> Option<metrics::MetricsSnapshot> {
+        None
+    }
+}
+
+/// The scheduling disciplines implemented by this crate, named after the
+/// backend families of the paper they model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Discipline {
+    /// Inline sequential execution (the paper's `GCC SEQ` baseline).
+    Sequential,
+    /// Static contiguous partitioning with a barrier (GNU/NVC OpenMP).
+    ForkJoin,
+    /// Chase–Lev work stealing with dynamic splitting (TBB).
+    WorkStealing,
+    /// One heap-allocated task per index through a central queue (HPX).
+    TaskPool,
+}
+
+impl Discipline {
+    /// Stable lowercase name, used in bench labels and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Discipline::Sequential => "seq",
+            Discipline::ForkJoin => "fork_join",
+            Discipline::WorkStealing => "work_stealing",
+            Discipline::TaskPool => "task_pool",
+        }
+    }
+}
+
+/// Build a pool of the given discipline with `threads` participants.
+///
+/// `threads` is clamped to at least 1. For [`Discipline::Sequential`] the
+/// thread count is ignored.
+pub fn build_pool(discipline: Discipline, threads: usize) -> Arc<dyn Executor> {
+    let threads = threads.max(1);
+    match discipline {
+        Discipline::Sequential => Arc::new(SequentialExecutor::new()),
+        Discipline::ForkJoin => Arc::new(ForkJoinPool::new(threads)),
+        Discipline::WorkStealing => Arc::new(WorkStealingPool::new(threads)),
+        Discipline::TaskPool => Arc::new(TaskPool::new(threads)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn exercise(pool: &dyn Executor) {
+        for tasks in [0usize, 1, 2, 3, 7, 64, 1000] {
+            let hits = AtomicUsize::new(0);
+            let sum = AtomicUsize::new(0);
+            pool.run(tasks, &|i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), tasks);
+            let expect = if tasks == 0 { 0 } else { tasks * (tasks - 1) / 2 };
+            assert_eq!(sum.load(Ordering::Relaxed), expect);
+        }
+    }
+
+    #[test]
+    fn all_disciplines_cover_index_space() {
+        for d in [
+            Discipline::Sequential,
+            Discipline::ForkJoin,
+            Discipline::WorkStealing,
+            Discipline::TaskPool,
+        ] {
+            for threads in [1usize, 2, 4] {
+                let pool = build_pool(d, threads);
+                exercise(&*pool);
+            }
+        }
+    }
+
+    #[test]
+    fn discipline_names_are_stable() {
+        assert_eq!(Discipline::Sequential.name(), "seq");
+        assert_eq!(Discipline::ForkJoin.name(), "fork_join");
+        assert_eq!(Discipline::WorkStealing.name(), "work_stealing");
+        assert_eq!(Discipline::TaskPool.name(), "task_pool");
+    }
+
+    #[test]
+    fn num_threads_reports_configuration() {
+        assert_eq!(build_pool(Discipline::ForkJoin, 3).num_threads(), 3);
+        assert_eq!(build_pool(Discipline::WorkStealing, 2).num_threads(), 2);
+        assert_eq!(build_pool(Discipline::TaskPool, 2).num_threads(), 2);
+        assert_eq!(build_pool(Discipline::Sequential, 8).num_threads(), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = build_pool(Discipline::ForkJoin, 0);
+        assert_eq!(pool.num_threads(), 1);
+        exercise(&*pool);
+    }
+}
+
+#[cfg(test)]
+mod panic_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn panics_propagate(pool: &dyn Executor) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(64, &|i| {
+                if i == 33 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool must stay usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(100, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn fork_join_propagates_panics_and_survives() {
+        panics_propagate(&*build_pool(Discipline::ForkJoin, 3));
+    }
+
+    #[test]
+    fn work_stealing_propagates_panics_and_survives() {
+        panics_propagate(&*build_pool(Discipline::WorkStealing, 3));
+    }
+
+    #[test]
+    fn task_pool_propagates_panics_and_survives() {
+        panics_propagate(&*build_pool(Discipline::TaskPool, 3));
+    }
+
+    #[test]
+    fn panic_payload_is_preserved() {
+        let pool = build_pool(Discipline::WorkStealing, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    std::panic::panic_any("custom payload");
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "custom payload");
+    }
+}

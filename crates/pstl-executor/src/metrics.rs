@@ -1,0 +1,200 @@
+//! Scheduling metrics: the pool-side counterpart of the paper's
+//! hardware-counter analysis (Tables 3–4), where HPX's instruction
+//! blow-up is attributed to "managing and scheduling the individual work
+//! chunks". These counters make that management directly observable on
+//! the real pools: how many tasks were created, how often work was
+//! stolen, how often workers went to sleep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters, embedded in each pool.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    runs: AtomicU64,
+    tasks_executed: AtomicU64,
+    steals: AtomicU64,
+    steal_attempts: AtomicU64,
+    parks: AtomicU64,
+}
+
+/// A point-in-time copy of a pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Parallel regions executed (`run` calls that dispatched).
+    pub runs: u64,
+    /// Task fragments executed across all threads (per-index for the
+    /// task pool, per-chunk-split for work stealing, per-partition for
+    /// fork-join).
+    pub tasks_executed: u64,
+    /// Successful steals from another participant's deque.
+    pub steals: u64,
+    /// Steal attempts, including empty and contended ones.
+    pub steal_attempts: u64,
+    /// Times a worker gave up finding work and went to sleep.
+    pub parks: u64,
+}
+
+impl MetricsSnapshot {
+    /// Task fragments per parallel region — the granularity of the
+    /// discipline (HPX-style pools create orders of magnitude more).
+    pub fn tasks_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.tasks_executed as f64 / self.runs as f64
+        }
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            runs: self.runs - earlier.runs,
+            tasks_executed: self.tasks_executed - earlier.tasks_executed,
+            steals: self.steals - earlier.steals,
+            steal_attempts: self.steal_attempts - earlier.steal_attempts,
+            parks: self.parks - earlier.parks,
+        }
+    }
+}
+
+impl PoolMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a dispatched parallel region.
+    pub fn record_run(&self) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` executed task fragments.
+    pub fn record_tasks(&self, n: u64) {
+        self.tasks_executed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a successful steal.
+    pub fn record_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a steal attempt (successful or not).
+    pub fn record_steal_attempt(&self) {
+        self.steal_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a worker parking.
+    pub fn record_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            runs: self.runs.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = PoolMetrics::new();
+        m.record_run();
+        m.record_tasks(10);
+        m.record_tasks(5);
+        m.record_steal();
+        m.record_steal_attempt();
+        m.record_steal_attempt();
+        m.record_park();
+        let s = m.snapshot();
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.tasks_executed, 15);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.steal_attempts, 2);
+        assert_eq!(s.parks, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let m = PoolMetrics::new();
+        m.record_run();
+        m.record_tasks(4);
+        let a = m.snapshot();
+        m.record_run();
+        m.record_tasks(6);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.runs, 1);
+        assert_eq!(d.tasks_executed, 6);
+    }
+
+    #[test]
+    fn tasks_per_run_handles_zero() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(s.tasks_per_run(), 0.0);
+        let s = MetricsSnapshot {
+            runs: 2,
+            tasks_executed: 10,
+            ..Default::default()
+        };
+        assert_eq!(s.tasks_per_run(), 5.0);
+    }
+}
+
+#[cfg(test)]
+mod pool_integration_tests {
+    use crate::{build_pool, Discipline};
+
+    #[test]
+    fn task_pool_creates_one_task_per_index() {
+        let pool = build_pool(Discipline::TaskPool, 2);
+        pool.run(500, &|_| {});
+        let m = pool.metrics().unwrap();
+        assert_eq!(m.runs, 1);
+        assert_eq!(m.tasks_executed, 500);
+    }
+
+    #[test]
+    fn fork_join_creates_one_task_per_thread() {
+        let pool = build_pool(Discipline::ForkJoin, 3);
+        pool.run(500, &|_| {});
+        let m = pool.metrics().unwrap();
+        assert_eq!(m.runs, 1);
+        assert_eq!(m.tasks_executed, 3, "one partition per team member");
+    }
+
+    #[test]
+    fn disciplines_rank_by_task_granularity() {
+        // The observable core of the paper's Table 3 story: per run, the
+        // HPX-style pool creates the most task fragments, fork-join the
+        // fewest.
+        let n = 4096;
+        let fj = build_pool(Discipline::ForkJoin, 2);
+        let ws = build_pool(Discipline::WorkStealing, 2);
+        let tp = build_pool(Discipline::TaskPool, 2);
+        for pool in [&fj, &ws, &tp] {
+            pool.run(n, &|_| {});
+        }
+        let fj_tasks = fj.metrics().unwrap().tasks_executed;
+        let ws_tasks = ws.metrics().unwrap().tasks_executed;
+        let tp_tasks = tp.metrics().unwrap().tasks_executed;
+        assert!(fj_tasks < ws_tasks, "fork-join {fj_tasks} < stealing {ws_tasks}");
+        assert!(ws_tasks <= tp_tasks, "stealing {ws_tasks} <= task pool {tp_tasks}");
+        assert_eq!(tp_tasks, n as u64);
+    }
+
+    #[test]
+    fn sequential_executor_has_no_metrics() {
+        let pool = build_pool(Discipline::Sequential, 1);
+        pool.run(10, &|_| {});
+        assert!(pool.metrics().is_none());
+    }
+}

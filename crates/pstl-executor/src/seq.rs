@@ -1,0 +1,66 @@
+//! The sequential baseline executor.
+
+use crate::{Discipline, Executor};
+
+/// Executes every task index inline on the calling thread.
+///
+/// This is the analog of the paper's `GCC SEQ` configuration: the same
+/// algorithm code, zero scheduling machinery. Comparing against it exposes
+/// the dispatch overhead of the parallel pools at small problem sizes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SequentialExecutor;
+
+impl SequentialExecutor {
+    /// Create the (stateless) sequential executor.
+    pub fn new() -> Self {
+        SequentialExecutor
+    }
+}
+
+impl Executor for SequentialExecutor {
+    fn num_threads(&self) -> usize {
+        1
+    }
+
+    fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
+        for i in 0..tasks {
+            body(i);
+        }
+    }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::Sequential
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_in_order_on_calling_thread() {
+        let seen = AtomicUsize::new(0);
+        let order_ok = AtomicBool::new(true);
+        let caller = std::thread::current().id();
+        let exec = SequentialExecutor::new();
+        exec.run(100, &|i| {
+            if seen.load(Ordering::Relaxed) != i || std::thread::current().id() != caller {
+                order_ok.store(false, Ordering::Relaxed);
+            }
+            seen.store(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        assert!(
+            order_ok.load(Ordering::Relaxed),
+            "sequential executor must run in order on the calling thread"
+        );
+    }
+
+    #[test]
+    fn reports_discipline() {
+        let exec = SequentialExecutor::new();
+        assert_eq!(exec.discipline(), Discipline::Sequential);
+        assert_eq!(exec.num_threads(), 1);
+    }
+}

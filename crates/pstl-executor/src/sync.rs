@@ -1,0 +1,176 @@
+//! Low-level wakeup primitives shared by the pools.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// An epoch-based work signal.
+///
+/// Workers read the current epoch, look for work, and if none is found go
+/// to sleep *until the epoch changes*. Producers bump the epoch whenever
+/// new work becomes available. Because the sleeper re-checks the epoch
+/// under the mutex, a bump between "no work found" and "sleep" cannot be
+/// missed.
+pub struct WorkSignal {
+    epoch: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Default for WorkSignal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkSignal {
+    /// A fresh signal at epoch 0.
+    pub fn new() -> Self {
+        WorkSignal {
+            epoch: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Current epoch; pass the value to
+    /// [`sleep_unless_changed`](Self::sleep_unless_changed) after failing
+    /// to find work.
+    pub fn epoch(&self) -> usize {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Announce new work: bump the epoch and wake all sleepers.
+    pub fn notify_all(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        let _guard = self.mutex.lock();
+        self.cond.notify_all();
+    }
+
+    /// Sleep until the epoch differs from `seen`. Returns immediately if it
+    /// already has.
+    pub fn sleep_unless_changed(&self, seen: usize) {
+        let mut guard = self.mutex.lock();
+        while self.epoch.load(Ordering::Acquire) == seen {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+/// A cooperative shutdown flag for worker threads.
+#[derive(Default)]
+pub struct ShutdownFlag {
+    stop: AtomicBool,
+}
+
+impl ShutdownFlag {
+    /// A flag in the running state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request shutdown.
+    pub fn trigger(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// A tiny xorshift RNG for victim selection in work stealing.
+///
+/// Deterministic per seed, no allocation, not cryptographic — exactly what
+/// a stealer needs.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded generator; a zero seed is mapped to a fixed odd constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform-ish value in `0..bound` (`bound > 0`).
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn signal_wakes_sleeper() {
+        let sig = Arc::new(WorkSignal::new());
+        let s2 = Arc::clone(&sig);
+        let seen = sig.epoch();
+        let t = std::thread::spawn(move || {
+            s2.sleep_unless_changed(seen);
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        sig.notify_all();
+        t.join().unwrap();
+        assert_ne!(sig.epoch(), seen);
+    }
+
+    #[test]
+    fn sleep_returns_immediately_on_stale_epoch() {
+        let sig = WorkSignal::new();
+        let seen = sig.epoch();
+        sig.notify_all();
+        sig.sleep_unless_changed(seen); // must not block
+    }
+
+    #[test]
+    fn shutdown_flag_latches() {
+        let f = ShutdownFlag::new();
+        assert!(!f.is_triggered());
+        f.trigger();
+        assert!(f.is_triggered());
+        f.trigger();
+        assert!(f.is_triggered());
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_bounded() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            let v = r.next_below(13);
+            assert!(v < 13);
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        // Must not get stuck at zero.
+        assert_ne!(r.next_u64(), 0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+}

@@ -1,0 +1,167 @@
+//! Text and JSON reporters for benchmark measurements.
+
+use std::io::Write;
+
+use serde::Serialize;
+
+use crate::Measurement;
+
+/// A collection of measurements plus free-form context (machine,
+/// backend, experiment id) for the JSON sidecar files the experiment
+/// binaries write under `results/`.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Report {
+    /// Experiment identifier (e.g. `fig2_foreach_problem`).
+    pub experiment: String,
+    /// Free-form context entries.
+    pub context: Vec<(String, String)>,
+    /// The measurements.
+    pub benchmarks: Vec<Measurement>,
+}
+
+impl Report {
+    /// A report for one experiment.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Report {
+            experiment: experiment.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Attach a context entry.
+    pub fn context(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.context.push((key.into(), value.into()));
+        self
+    }
+
+    /// Append a measurement.
+    pub fn push(&mut self, m: Measurement) {
+        self.benchmarks.push(m);
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Write the JSON to `path`, creating parent directories.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.json().as_bytes())?;
+        f.write_all(b"\n")
+    }
+}
+
+/// Serialize a report (or any serializable value) to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("serialization cannot fail")
+}
+
+/// Render measurements as an aligned Google-Benchmark-style table.
+pub fn print_table(measurements: &[Measurement]) -> String {
+    let name_width = measurements
+        .iter()
+        .map(|m| m.name.len())
+        .max()
+        .unwrap_or(9)
+        .max(9);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_width$} {:>12} {:>12} {:>8} {:>10} {:>12}\n",
+        "benchmark", "time/iter", "median", "cv", "iters", "throughput"
+    ));
+    out.push_str(&"-".repeat(name_width + 60));
+    out.push('\n');
+    for m in measurements {
+        let throughput = match m.gib_per_sec() {
+            Some(g) => format!("{g:.2} GiB/s"),
+            None => match m.items_per_sec() {
+                Some(i) => format!("{:.2e} it/s", i),
+                None => "-".to_string(),
+            },
+        };
+        out.push_str(&format!(
+            "{:<name_width$} {:>12} {:>12} {:>7.1}% {:>10} {:>12}\n",
+            m.name,
+            format_time(m.stats.mean),
+            format_time(m.stats.median),
+            m.stats.cv * 100.0,
+            m.iterations,
+            throughput
+        ));
+    }
+    out
+}
+
+/// Human-friendly time formatting (s / ms / µs / ns).
+pub fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+
+    fn meas(name: &str, mean: f64) -> Measurement {
+        Measurement {
+            name: name.to_string(),
+            stats: Stats::from_samples(&[mean]),
+            iterations: 1,
+            bytes_per_iter: Some(1 << 30),
+            items_per_iter: None,
+        }
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(0.0025), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 us");
+        assert_eq!(format_time(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn table_contains_rows_and_throughput() {
+        let t = print_table(&[meas("alpha", 0.5), meas("beta_longer_name", 0.25)]);
+        assert!(t.contains("alpha"));
+        assert!(t.contains("beta_longer_name"));
+        assert!(t.contains("2.00 GiB/s"));
+        assert!(t.contains("4.00 GiB/s"));
+    }
+
+    #[test]
+    fn report_json_round_trip() {
+        let mut r = Report::new("fig_test").context("machine", "Mach A");
+        r.push(meas("m1", 0.1));
+        let json = r.json();
+        assert!(json.contains("fig_test"));
+        assert!(json.contains("Mach A"));
+        assert!(json.contains("m1"));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["benchmarks"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn report_writes_file() {
+        let dir = std::env::temp_dir().join("pstl_harness_test");
+        let path = dir.join("nested").join("report.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = Report::new("file_test");
+        r.write_json(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("file_test"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,157 @@
+//! Sample statistics for benchmark measurements.
+
+use serde::Serialize;
+
+/// Summary statistics of a set of per-iteration times (seconds).
+#[derive(Debug, Clone, Serialize)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Coefficient of variation (stddev / mean; 0 for zero mean).
+    pub cv: f64,
+    /// 5th percentile (nearest-rank).
+    pub p05: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+/// Nearest-rank percentile of a sorted sample set (`q` in 0..=1).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl Stats {
+    /// Compute statistics over `samples`. Empty input yields all-zero
+    /// stats with `count == 0`.
+    pub fn from_samples(samples: &[f64]) -> Stats {
+        let count = samples.len();
+        if count == 0 {
+            return Stats {
+                mean: 0.0,
+                median: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                cv: 0.0,
+                p05: 0.0,
+                p95: 0.0,
+                count: 0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        let stddev = if count < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / (count - 1) as f64;
+            var.sqrt()
+        };
+        Stats {
+            mean,
+            median,
+            stddev,
+            min: sorted[0],
+            max: sorted[count - 1],
+            cv: if mean != 0.0 { stddev / mean } else { 0.0 },
+            p05: percentile(&sorted, 0.05),
+            p95: percentile(&sorted, 0.95),
+            count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples() {
+        let s = Stats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Stats::from_samples(&[3.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Stats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        // Sample stddev of this classic set is sqrt(32/7).
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let s = Stats::from_samples(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn cv_is_relative_spread() {
+        let tight = Stats::from_samples(&[1.0, 1.001, 0.999]);
+        let wide = Stats::from_samples(&[1.0, 2.0, 0.5]);
+        assert!(tight.cv < 0.01);
+        assert!(wide.cv > 0.3);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Stats::from_samples(&samples);
+        assert_eq!(s.p05, 5.0);
+        assert_eq!(s.p95, 95.0);
+        let one = Stats::from_samples(&[7.0]);
+        assert_eq!(one.p05, 7.0);
+        assert_eq!(one.p95, 7.0);
+    }
+
+    #[test]
+    fn percentiles_bound_min_max() {
+        let s = Stats::from_samples(&[3.0, 1.0, 4.0, 1.5, 9.0, 2.6]);
+        assert!(s.min <= s.p05 && s.p05 <= s.median);
+        assert!(s.median <= s.p95 && s.p95 <= s.max);
+    }
+
+    #[test]
+    fn order_invariance() {
+        let a = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let b = Stats::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.median, b.median);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+    }
+}

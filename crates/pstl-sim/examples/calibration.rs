@@ -1,0 +1,153 @@
+//! Print the model's Table 5 (speedup vs GCC-SEQ at 2^30 elements, all
+//! cores) next to the paper's measured values, with per-cell ratios —
+//! the calibration dashboard used while fitting the backend constants.
+
+use pstl_sim::kernels::Kernel;
+use pstl_sim::machine::{all_machines, MachineId};
+use pstl_sim::{Backend, CpuSim, RunParams};
+
+/// Paper Table 5, rows (backend) × columns (kernel) × machines (A|B|C).
+/// `None` = N/A in the paper.
+fn paper_table5(backend: Backend, kernel: &Kernel, machine: MachineId) -> Option<f64> {
+    use Backend::*;
+    use MachineId::*;
+    let col = match kernel {
+        Kernel::Find => 0,
+        Kernel::ForEach { k_it: 1 } => 1,
+        Kernel::ForEach { k_it: 1000 } => 2,
+        Kernel::InclusiveScan => 3,
+        Kernel::Reduce => 4,
+        Kernel::Sort => 5,
+        _ => return None,
+    };
+    let m = match machine {
+        A => 0,
+        B => 1,
+        C => 2,
+        F => return None, // extension machine: no paper data
+    };
+    let table: &[(Backend, [[Option<f64>; 3]; 6])] = &[
+        (
+            GccTbb,
+            [
+                [Some(8.9), Some(5.8), Some(4.7)],
+                [Some(14.2), Some(6.1), Some(8.5)],
+                [Some(32.5), Some(54.9), Some(102.0)],
+                [Some(4.5), Some(3.1), Some(4.7)],
+                [Some(10.0), Some(5.1), Some(6.9)],
+                [Some(9.7), Some(9.4), Some(10.6)],
+            ],
+        ),
+        (
+            GccGnu,
+            [
+                [Some(8.0), Some(3.2), Some(2.2)],
+                [Some(15.0), Some(7.8), Some(9.1)],
+                [Some(32.5), Some(54.9), Some(106.5)],
+                [None, None, None],
+                [Some(11.0), Some(4.7), Some(6.0)],
+                [Some(25.4), Some(26.9), Some(66.6)],
+            ],
+        ),
+        (
+            GccHpx,
+            [
+                [Some(6.4), Some(1.4), Some(1.1)],
+                [Some(7.2), Some(1.8), Some(1.4)],
+                [Some(32.4), Some(43.7), Some(84.8)],
+                [Some(3.0), Some(0.9), Some(1.0)],
+                [Some(7.3), Some(0.9), Some(1.2)],
+                [Some(10.1), Some(8.0), Some(8.1)],
+            ],
+        ),
+        (
+            IccTbb,
+            [
+                [Some(9.0), None, Some(4.8)],
+                [Some(13.9), None, Some(8.2)],
+                [Some(32.5), None, Some(106.7)],
+                [Some(4.5), None, Some(4.7)],
+                [Some(10.2), None, Some(6.8)],
+                [Some(10.1), None, Some(9.0)],
+            ],
+        ),
+        (
+            NvcOmp,
+            [
+                [Some(6.1), Some(1.4), Some(1.2)],
+                [Some(22.1), Some(15.0), Some(13.0)],
+                [Some(32.0), Some(54.8), Some(106.5)],
+                [Some(0.9), Some(0.8), Some(0.9)],
+                [Some(11.0), Some(4.8), Some(11.9)],
+                [Some(7.1), Some(6.3), Some(6.7)],
+            ],
+        ),
+    ];
+    table
+        .iter()
+        .find(|(b, _)| *b == backend)
+        .and_then(|(_, rows)| rows[col][m])
+}
+
+fn main() {
+    let n = 1usize << 30;
+    let mut ratios: Vec<f64> = Vec::new();
+    println!(
+        "{:<8} {:<16} {:>9} {:>9} {:>9} {:>7}",
+        "backend", "kernel", "machine", "model", "paper", "ratio"
+    );
+    for machine in all_machines() {
+        let baseline = CpuSim::new(machine.clone(), Backend::GccSeq);
+        for backend in Backend::paper_cpu_set() {
+            let sim = CpuSim::new(machine.clone(), backend);
+            for kernel in Kernel::paper_summary_set() {
+                let paper = paper_table5(backend, &kernel, machine.id);
+                let seq = baseline.time(&RunParams::new(kernel, n, 1));
+                let par = sim.time(&RunParams::new(kernel, n, machine.cores));
+                let model = seq / par;
+                match paper {
+                    Some(p) => {
+                        let ratio = model / p;
+                        ratios.push(ratio);
+                        println!(
+                            "{:<8} {:<16} {:>9} {:>9.1} {:>9.1} {:>7.2}",
+                            backend.name(),
+                            kernel.name(),
+                            format!("{:?}", machine.id),
+                            model,
+                            p,
+                            ratio
+                        );
+                    }
+                    None => println!(
+                        "{:<8} {:<16} {:>9} {:>9.1} {:>9} {:>7}",
+                        backend.name(),
+                        kernel.name(),
+                        format!("{:?}", machine.id),
+                        model,
+                        "N/A",
+                        "-"
+                    ),
+                }
+            }
+        }
+    }
+    ratios.sort_by(f64::total_cmp);
+    let med = ratios[ratios.len() / 2];
+    let worst = ratios
+        .iter()
+        .map(|r| if *r > 1.0 { *r } else { 1.0 / *r })
+        .fold(0.0f64, f64::max);
+    let within2 = ratios
+        .iter()
+        .filter(|r| (0.5..=2.0).contains(*r))
+        .count();
+    println!(
+        "\ncells: {}  median ratio: {:.2}  worst: {:.2}x  within 2x: {}/{}",
+        ratios.len(),
+        med,
+        worst,
+        within2,
+        ratios.len()
+    );
+}

@@ -1,0 +1,529 @@
+//! Calibrated per-backend cost models.
+//!
+//! Each constant here is fitted to a specific observation in the paper
+//! (cited inline). Everything *structural* — how the constants combine
+//! into run times — lives in [`crate::exec`]; this module is the single
+//! place where "TBB-ness" or "HPX-ness" is quantified.
+//!
+//! Instruction-per-element figures derive from the paper's Table 3
+//! (`for_each`, k_it = 1, 100 calls of 2³⁰ elements) and Table 4
+//! (`reduce`): e.g. HPX executes 3.83 T instructions for for_each where
+//! ICC-TBB executes 1.55 T, i.e. ≈ 35.7 vs ≈ 14.4 instructions per
+//! element; the difference is scheduling overhead.
+
+use serde::Serialize;
+
+use crate::kernels::Kernel;
+
+/// A compiler + backend combination from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Backend {
+    /// GCC, sequential STL — the baseline of Tables 5 and 6.
+    GccSeq,
+    /// GCC with Intel TBB.
+    GccTbb,
+    /// GCC with GNU's OpenMP-based parallel mode (MCSTL).
+    GccGnu,
+    /// GCC with HPX.
+    GccHpx,
+    /// Intel oneAPI compiler with TBB.
+    IccTbb,
+    /// NVIDIA HPC SDK with the OpenMP backend (multicore).
+    NvcOmp,
+    /// NVIDIA HPC SDK with the CUDA backend (GPU; modeled in
+    /// [`crate::gpu`]).
+    NvcCuda,
+}
+
+impl Backend {
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::GccSeq => "GCC-SEQ",
+            Backend::GccTbb => "GCC-TBB",
+            Backend::GccGnu => "GCC-GNU",
+            Backend::GccHpx => "GCC-HPX",
+            Backend::IccTbb => "ICC-TBB",
+            Backend::NvcOmp => "NVC-OMP",
+            Backend::NvcCuda => "NVC-CUDA",
+        }
+    }
+
+    /// The five parallel CPU backends of the paper's tables, in row
+    /// order.
+    pub fn paper_cpu_set() -> Vec<Backend> {
+        vec![
+            Backend::GccTbb,
+            Backend::GccGnu,
+            Backend::GccHpx,
+            Backend::IccTbb,
+            Backend::NvcOmp,
+        ]
+    }
+
+    /// The backends included in the allocator study (Fig. 1): HPX is
+    /// excluded because it uses its own allocator, CUDA because it uses
+    /// device memory (paper §5.1).
+    pub fn allocator_study_set() -> Vec<Backend> {
+        vec![
+            Backend::GccTbb,
+            Backend::GccGnu,
+            Backend::IccTbb,
+            Backend::NvcOmp,
+        ]
+    }
+
+    /// The cost model for this backend.
+    pub fn model(self) -> BackendModel {
+        BackendModel::of(self)
+    }
+}
+
+/// Which parallel sort algorithm the backend's `std::sort(par, …)` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SortFlavor {
+    /// Multiway mergesort (GNU/MCSTL): one k-way merge traversal —
+    /// the paper's best-scaling sort (Table 5: 25–67×).
+    Multiway,
+    /// Pairwise parallel mergesort (HPX).
+    BinaryMerge,
+    /// Parallel quicksort (TBB, NVC): serial-ish top-level partitions
+    /// bound scalability near 10× (Table 5).
+    Quicksort,
+}
+
+/// Calibrated constants of one backend.
+#[derive(Debug, Clone, Serialize)]
+pub struct BackendModel {
+    /// Which backend this models.
+    pub backend: Backend,
+    /// Fixed cost of opening a parallel region, microseconds. Ordering
+    /// follows the problem-scaling crossovers of Figs 2 and 4: NVC-OMP
+    /// cheapest, HPX costliest by far.
+    pub dispatch_us: f64,
+    /// Scheduling cost per task/chunk, nanoseconds (per-chunk stealing /
+    /// task allocation). HPX's fine-grained futures dominate here.
+    pub per_task_ns: f64,
+    /// Chunks created per participating thread.
+    pub tasks_per_thread: f64,
+    /// Extra compute cycles per element added by the backend's dispatch
+    /// abstraction for map-type kernels (from Table 3 instructions /
+    /// element at k_it = 1, at ≈ 1 instruction/cycle).
+    pub map_extra_cycles: f64,
+    /// Extra compute cycles per element for `reduce` (Table 4).
+    pub reduce_extra_cycles: f64,
+    /// Memory traffic inflation for map-type kernels (Table 3 data
+    /// volume / the 16 B/element ideal).
+    pub traffic_factor: f64,
+    /// Fraction of the machine's achievable DRAM bandwidth the backend
+    /// sustains (Table 3 bandwidth / STREAM all-core).
+    pub bw_efficiency: f64,
+    /// Whether `reduce` is vectorized (Table 4: ICC and HPX use 256-bit
+    /// packed FP; the others are scalar).
+    pub vectorizes_reduce: bool,
+    /// Relative quality of the *sequential* code this compiler generates
+    /// (paper §5.5: NVC/TBB sequential code trails plain GCC).
+    pub seq_quality: f64,
+    /// `inclusive_scan` support: `None` = no parallel implementation at
+    /// all (GNU, Table 5 "N/A"); `Some(false)` = falls back to sequential
+    /// (NVC-OMP, §5.4); `Some(true)` = parallel.
+    pub parallel_scan: Option<bool>,
+    /// Input size up to which the backend runs *sequentially* for this
+    /// kernel (paper §5.2: GNU below 2¹⁰ for for_each; §5.3: GNU below
+    /// 2⁹ for find; §5.6: TBB below 2⁹ for sort, HPX below 2¹⁵).
+    pub seq_thresholds: SeqThresholds,
+    /// Parallel sort algorithm.
+    pub sort_flavor: SortFlavor,
+    /// Expected fraction of the array scanned by the early-exit `find`
+    /// (0.5 is ideal cancellation; NVC-OMP's coarse cancellation scans
+    /// more, matching its low find speedup in Table 5).
+    pub find_scan_fraction: f64,
+    /// Multiplicative run-time penalty of first-touch placement for
+    /// `find` (calibrated to Fig. 1's negative bars, up to −24 % for
+    /// NVC-OMP; the paper reports the effect without a mechanism).
+    pub find_first_touch_penalty: f64,
+    /// NUMA placement-decay exponent: without pinning (paper §4.2), a
+    /// backend sustains `(2 / nodes)^gamma` of its bandwidth on machines
+    /// with more than two NUMA nodes (Mach B/C). Calibrated to the
+    /// Table 5 gap between Mach A and Mach B/C speedups; write traffic
+    /// decays 1.5× faster (cross-node RFO + writeback).
+    pub numa_gamma: f64,
+    /// Kernel-specific override of [`numa_gamma`](Self::numa_gamma) for
+    /// `find` (NVC-OMP: Table 5 find collapses to 1.4 | 1.2 on the Zen
+    /// machines while staying at 6.1 on Skylake).
+    pub find_numa_gamma: Option<f64>,
+    /// Placement-decay exponent for store-dominated streams (for_each
+    /// writes every element: cross-node RFO + writeback without pinning).
+    /// Calibrated to Table 5's for_each k_it = 1 column on Mach B/C.
+    pub store_numa_gamma: f64,
+    /// Instructions retired per element for map kernels at k_it = 1
+    /// (paper Table 3, instructions / (100 · 2^30)); used by the counter
+    /// emulation. Decoupled from `map_extra_cycles` because scheduling
+    /// instructions retire at high IPC.
+    pub map_instr_per_elem: f64,
+    /// Instructions retired per element for `reduce` (paper Table 4).
+    pub reduce_instr_per_elem: f64,
+    /// Binary size produced for the suite, MiB (paper Table 7).
+    pub binary_size_mib: f64,
+}
+
+/// Sequential-fallback thresholds (elements) per kernel family.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SeqThresholds {
+    /// for_each/map kernels.
+    pub for_each: usize,
+    /// find/search kernels.
+    pub find: usize,
+    /// sort.
+    pub sort: usize,
+}
+
+impl SeqThresholds {
+    /// No fallback at any size.
+    pub const NONE: SeqThresholds = SeqThresholds {
+        for_each: 0,
+        find: 0,
+        sort: 0,
+    };
+
+    /// Threshold for a kernel.
+    pub fn for_kernel(&self, kernel: &Kernel) -> usize {
+        match kernel {
+            Kernel::Find => self.find,
+            Kernel::Sort => self.sort,
+            _ => self.for_each,
+        }
+    }
+}
+
+impl BackendModel {
+    /// The calibrated model of `backend`.
+    pub fn of(backend: Backend) -> BackendModel {
+        match backend {
+            Backend::GccSeq => BackendModel {
+                backend,
+                dispatch_us: 0.0,
+                per_task_ns: 0.0,
+                tasks_per_thread: 1.0,
+                map_extra_cycles: 0.0,
+                reduce_extra_cycles: 0.0,
+                traffic_factor: 1.0,
+                bw_efficiency: 1.0,
+                vectorizes_reduce: false,
+                seq_quality: 1.0,
+                parallel_scan: Some(true), // trivially: seq is its par path
+                seq_thresholds: SeqThresholds::NONE,
+                sort_flavor: SortFlavor::Quicksort,
+                find_scan_fraction: 0.5,
+                find_first_touch_penalty: 1.0,
+                numa_gamma: 0.0,
+                store_numa_gamma: 0.0,
+                find_numa_gamma: None,
+                map_instr_per_elem: 5.5,
+                reduce_instr_per_elem: 0.6,
+                binary_size_mib: 2.52,
+            },
+            Backend::GccTbb => BackendModel {
+                backend,
+                // Fig. 2: parallel beats seq from ≈ 2^16 elements.
+                dispatch_us: 8.0,
+                per_task_ns: 250.0,
+                tasks_per_thread: 8.0,
+                // Table 3: 1.72 T instr = 16.0/elem vs 5.5 kernel cycles.
+                map_extra_cycles: 8.0,
+                // Table 4: 188 G instr ≈ 1.75/elem.
+                reduce_extra_cycles: 1.3,
+                // Table 3: 2128 GiB / (100 · 16 B · 2^30) ≈ 1.24.
+                traffic_factor: 1.24,
+                // Table 3: 107.6 GiB/s of 135 GB/s STREAM ≈ 0.83.
+                bw_efficiency: 0.83,
+                vectorizes_reduce: false,
+                seq_quality: 0.95,
+                parallel_scan: Some(true),
+                seq_thresholds: SeqThresholds {
+                    for_each: 0,
+                    find: 0,
+                    sort: 1 << 9, // §5.6
+                },
+                sort_flavor: SortFlavor::Quicksort,
+                find_scan_fraction: 0.5,
+                find_first_touch_penalty: 1.20,
+                numa_gamma: 0.55,
+                store_numa_gamma: 0.90,
+                find_numa_gamma: None,
+                map_instr_per_elem: 16.0,
+                reduce_instr_per_elem: 1.75,
+                binary_size_mib: 17.21,
+            },
+            Backend::GccGnu => BackendModel {
+                backend,
+                dispatch_us: 4.0,
+                per_task_ns: 100.0,
+                tasks_per_thread: 1.0, // static schedule
+                // Table 3: 2.41 T ≈ 22.4 instr/elem, retiring at ≈ 2 IPC
+                // (static OpenMP loop code); calibrated against Table 5's
+                // for_each 15.0 on Mach A and Fig. 1's GNU allocator gain.
+                map_extra_cycles: 5.5,
+                // Table 4: 227 G ≈ 2.1/elem.
+                reduce_extra_cycles: 1.6,
+                // Table 3: 1925 GiB ≈ 1.12.
+                traffic_factor: 1.12,
+                // Table 3: 116.6 GiB/s ≈ 0.90.
+                bw_efficiency: 0.90,
+                vectorizes_reduce: false,
+                seq_quality: 1.0,
+                parallel_scan: None, // Table 5: N/A — no parallel scan
+                seq_thresholds: SeqThresholds {
+                    for_each: 1 << 10, // §5.2
+                    find: 1 << 9,      // §5.3
+                    sort: 1 << 10,
+                },
+                sort_flavor: SortFlavor::Multiway,
+                find_scan_fraction: 0.55,
+                find_first_touch_penalty: 1.15,
+                numa_gamma: 0.55,
+                store_numa_gamma: 0.95,
+                // Table 5: GNU find drops to 3.2 | 2.2 on the Zen machines.
+                find_numa_gamma: Some(1.1),
+                map_instr_per_elem: 22.4,
+                reduce_instr_per_elem: 2.11,
+                binary_size_mib: 5.31,
+            },
+            Backend::GccHpx => BackendModel {
+                backend,
+                // Fig. 2: HPX slowest at every small size; Fig. 4a shows
+                // its dispatch orders of magnitude above seq.
+                dispatch_us: 60.0,
+                per_task_ns: 1800.0,
+                tasks_per_thread: 16.0, // fine-grained futures
+                // Table 3: 3.83 T ≈ 35.7 instr/elem, retiring at ≈ 2.7
+                // IPC (scheduling code) — calibrated against the Table 5
+                // for_each speedup of 7.2 on Mach A.
+                map_extra_cycles: 13.0,
+                // Table 4: 1.74 T ≈ 16.2 instructions/elem, but the task
+                // machinery retires at high IPC; calibrated against the
+                // Table 5 reduce speedup of 7.3 on Mach A.
+                reduce_extra_cycles: 4.0,
+                traffic_factor: 1.08, // Table 3: 1850 GiB
+                // Table 3: 75.6 GiB/s ≈ 0.58 — poor thread/data placement.
+                bw_efficiency: 0.58,
+                vectorizes_reduce: true, // Table 4: 26 G 256-bit packed
+                seq_quality: 0.95,
+                parallel_scan: Some(true),
+                seq_thresholds: SeqThresholds {
+                    for_each: 0,
+                    find: 0,
+                    sort: 1 << 15, // §5.6: single-threaded below 2^15
+                },
+                sort_flavor: SortFlavor::BinaryMerge,
+                find_scan_fraction: 0.5,
+                find_first_touch_penalty: 1.0, // excluded from Fig. 1 anyway
+                numa_gamma: 1.2,
+                store_numa_gamma: 1.80,
+                find_numa_gamma: None,
+                map_instr_per_elem: 35.7,
+                reduce_instr_per_elem: 16.2,
+                binary_size_mib: 61.98,
+            },
+            Backend::IccTbb => BackendModel {
+                backend,
+                dispatch_us: 8.0,
+                per_task_ns: 250.0,
+                tasks_per_thread: 8.0,
+                // Table 3: 1.55 T ≈ 14.4 instr/elem (the baseline).
+                map_extra_cycles: 7.0,
+                // Table 4: 107 G ≈ 1.0/elem, vectorized.
+                reduce_extra_cycles: 0.4,
+                traffic_factor: 1.25, // Table 3: 2151 GiB
+                bw_efficiency: 0.80,  // Table 3: 104.5 GiB/s
+                vectorizes_reduce: true, // Table 4: 26 G 256-bit packed
+                seq_quality: 0.95,
+                parallel_scan: Some(true),
+                seq_thresholds: SeqThresholds {
+                    for_each: 0,
+                    find: 0,
+                    sort: 1 << 9,
+                },
+                sort_flavor: SortFlavor::Quicksort,
+                find_scan_fraction: 0.5,
+                find_first_touch_penalty: 1.20,
+                numa_gamma: 0.55,
+                store_numa_gamma: 0.90,
+                find_numa_gamma: None,
+                map_instr_per_elem: 14.4,
+                reduce_instr_per_elem: 1.0,
+                binary_size_mib: 16.64,
+            },
+            Backend::NvcOmp => BackendModel {
+                backend,
+                // §5.2: fastest in almost every scenario — cheapest
+                // dispatch of all parallel backends.
+                dispatch_us: 2.0,
+                per_task_ns: 60.0,
+                tasks_per_thread: 1.0, // static OpenMP schedule
+                // Table 3: 2.24 T ≈ 20.9 instr/elem, but highest achieved
+                // bandwidth — overhead overlaps memory well; calibrated
+                // low so NVC-OMP wins k_it = 1 as in Fig. 3.
+                map_extra_cycles: 4.5,
+                // Table 4: 295 G ≈ 2.75/elem, scalar.
+                reduce_extra_cycles: 1.9,
+                traffic_factor: 1.03, // Table 3: 1762 GiB — leanest
+                bw_efficiency: 0.92,  // Table 3: 119.1 GiB/s — best
+                vectorizes_reduce: false,
+                // §5.5: "the produced code is not as efficient as the
+                // purely sequential implementation of GCC".
+                seq_quality: 0.90,
+                parallel_scan: Some(false), // §5.4: sequential fallback
+                seq_thresholds: SeqThresholds::NONE,
+                sort_flavor: SortFlavor::Quicksort,
+                find_scan_fraction: 0.5,
+                find_first_touch_penalty: 2.00, // Fig. 1: net −24 %
+                numa_gamma: 0.25,
+                store_numa_gamma: 0.80,
+                // Table 5: NVC find collapses on the Zen machines
+                // (6.1 | 1.4 | 1.2) despite the best streaming bandwidth.
+                find_numa_gamma: Some(1.1),
+                map_instr_per_elem: 20.9,
+                reduce_instr_per_elem: 2.75,
+                binary_size_mib: 1.81,
+            },
+            Backend::NvcCuda => BackendModel {
+                backend,
+                dispatch_us: 0.0,
+                per_task_ns: 0.0,
+                tasks_per_thread: 1.0,
+                map_extra_cycles: 0.0,
+                reduce_extra_cycles: 0.0,
+                traffic_factor: 1.0,
+                bw_efficiency: 0.85,
+                vectorizes_reduce: true,
+                seq_quality: 0.90,
+                parallel_scan: Some(true),
+                seq_thresholds: SeqThresholds::NONE,
+                sort_flavor: SortFlavor::BinaryMerge,
+                find_scan_fraction: 0.5,
+                find_first_touch_penalty: 1.0,
+                numa_gamma: 0.0,
+                store_numa_gamma: 0.0,
+                find_numa_gamma: None,
+                map_instr_per_elem: 2.0,
+                reduce_instr_per_elem: 1.0,
+                binary_size_mib: 7.80,
+            },
+        }
+    }
+
+    /// Number of chunks a run over `n` elements with `threads` threads
+    /// creates.
+    pub fn tasks_for(&self, n: usize, threads: usize) -> usize {
+        let by_thread = (threads as f64 * self.tasks_per_thread).round() as usize;
+        by_thread.clamp(1, n.max(1))
+    }
+
+    /// Whether this backend executes `kernel` at size `n` sequentially.
+    pub fn falls_back_to_seq(&self, kernel: &Kernel, n: usize) -> bool {
+        match kernel {
+            Kernel::InclusiveScan => match self.parallel_scan {
+                None | Some(false) => true,
+                Some(true) => n <= self.seq_thresholds.for_kernel(kernel),
+            },
+            _ => n <= self.seq_thresholds.for_kernel(kernel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_backend_names() {
+        assert_eq!(Backend::GccTbb.name(), "GCC-TBB");
+        assert_eq!(Backend::NvcOmp.name(), "NVC-OMP");
+        assert_eq!(Backend::paper_cpu_set().len(), 5);
+        assert_eq!(Backend::allocator_study_set().len(), 4);
+    }
+
+    #[test]
+    fn hpx_has_highest_overheads() {
+        // Table 3 / §5.2: HPX executes the most instructions and has the
+        // worst small-size behaviour.
+        let hpx = Backend::GccHpx.model();
+        for b in [Backend::GccTbb, Backend::GccGnu, Backend::IccTbb, Backend::NvcOmp] {
+            let m = b.model();
+            assert!(hpx.dispatch_us > m.dispatch_us, "{:?}", b);
+            assert!(hpx.per_task_ns > m.per_task_ns, "{:?}", b);
+            assert!(hpx.map_extra_cycles > m.map_extra_cycles, "{:?}", b);
+        }
+    }
+
+    #[test]
+    fn nvc_omp_has_lowest_dispatch() {
+        let nvc = Backend::NvcOmp.model();
+        for b in [Backend::GccTbb, Backend::GccGnu, Backend::GccHpx, Backend::IccTbb] {
+            assert!(nvc.dispatch_us < b.model().dispatch_us, "{:?}", b);
+        }
+    }
+
+    #[test]
+    fn scan_support_matches_table5() {
+        assert!(Backend::GccGnu.model().parallel_scan.is_none(), "GNU N/A");
+        assert_eq!(Backend::NvcOmp.model().parallel_scan, Some(false));
+        assert_eq!(Backend::GccTbb.model().parallel_scan, Some(true));
+    }
+
+    #[test]
+    fn fallback_thresholds() {
+        let gnu = Backend::GccGnu.model();
+        assert!(gnu.falls_back_to_seq(&Kernel::ForEach { k_it: 1 }, 1 << 10));
+        assert!(!gnu.falls_back_to_seq(&Kernel::ForEach { k_it: 1 }, (1 << 10) + 1));
+        assert!(gnu.falls_back_to_seq(&Kernel::Find, 1 << 9));
+        assert!(gnu.falls_back_to_seq(&Kernel::InclusiveScan, 1 << 30), "GNU never parallel");
+
+        let tbb = Backend::GccTbb.model();
+        assert!(tbb.falls_back_to_seq(&Kernel::Sort, 1 << 9));
+        assert!(!tbb.falls_back_to_seq(&Kernel::Sort, 1 << 12));
+        assert!(!tbb.falls_back_to_seq(&Kernel::ForEach { k_it: 1 }, 8));
+
+        let hpx = Backend::GccHpx.model();
+        assert!(hpx.falls_back_to_seq(&Kernel::Sort, 1 << 15));
+
+        let nvc = Backend::NvcOmp.model();
+        assert!(nvc.falls_back_to_seq(&Kernel::InclusiveScan, 1 << 30));
+    }
+
+    #[test]
+    fn binary_sizes_match_table7() {
+        // Table 7, Mach A + Mach D rows.
+        assert_eq!(Backend::GccSeq.model().binary_size_mib, 2.52);
+        assert_eq!(Backend::GccTbb.model().binary_size_mib, 17.21);
+        assert_eq!(Backend::GccGnu.model().binary_size_mib, 5.31);
+        assert_eq!(Backend::GccHpx.model().binary_size_mib, 61.98);
+        assert_eq!(Backend::IccTbb.model().binary_size_mib, 16.64);
+        assert_eq!(Backend::NvcOmp.model().binary_size_mib, 1.81);
+        assert_eq!(Backend::NvcCuda.model().binary_size_mib, 7.80);
+    }
+
+    #[test]
+    fn vectorization_matches_table4() {
+        assert!(Backend::IccTbb.model().vectorizes_reduce);
+        assert!(Backend::GccHpx.model().vectorizes_reduce);
+        assert!(!Backend::GccTbb.model().vectorizes_reduce);
+        assert!(!Backend::NvcOmp.model().vectorizes_reduce);
+    }
+
+    #[test]
+    fn gnu_uses_multiway_sort() {
+        assert_eq!(Backend::GccGnu.model().sort_flavor, SortFlavor::Multiway);
+        assert_eq!(Backend::GccTbb.model().sort_flavor, SortFlavor::Quicksort);
+    }
+
+    #[test]
+    fn tasks_for_bounds() {
+        let m = Backend::GccTbb.model();
+        assert_eq!(m.tasks_for(1, 32), 1);
+        assert_eq!(m.tasks_for(1 << 30, 32), 256);
+        let gnu = Backend::GccGnu.model();
+        assert_eq!(gnu.tasks_for(1 << 30, 64), 64); // static: one per thread
+    }
+}

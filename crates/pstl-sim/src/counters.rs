@@ -1,0 +1,225 @@
+//! Hardware-performance-counter emulation (the paper's LIKWID reports,
+//! Tables 3 and 4).
+//!
+//! The paper reads instruction counts, scalar/packed FP operation counts,
+//! bandwidth, and data volume from the PMU via LIKWID's Marker API. Here
+//! the same quantities are *derived* from the backend and kernel models,
+//! so the counter tables are exactly consistent with the timing model —
+//! what a PMU would report if the model were the machine.
+
+use serde::Serialize;
+
+use crate::backend_model::Backend;
+use crate::exec::{CpuSim, RunParams};
+use crate::kernels::{DType, Kernel};
+use crate::machine::Machine;
+use crate::memory::PagePlacement;
+
+/// A LIKWID-style report over `calls` invocations.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterReport {
+    /// Backend name (paper column header).
+    pub backend: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Elements per call.
+    pub n: usize,
+    /// Number of calls measured.
+    pub calls: usize,
+    /// Total instructions retired.
+    pub instructions: f64,
+    /// Scalar double-precision FP operations.
+    pub fp_scalar: f64,
+    /// 128-bit packed FP operations.
+    pub fp_packed_128: f64,
+    /// 256-bit packed FP operations.
+    pub fp_packed_256: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// Achieved memory bandwidth, GiB/s.
+    pub mem_bandwidth_gibs: f64,
+    /// Total memory data volume, GiB.
+    pub mem_volume_gib: f64,
+    /// Modeled wall time of all calls, seconds.
+    pub time_s: f64,
+}
+
+/// Produce the counter report for `calls` invocations of `kernel` on
+/// `machine`/`backend` with `threads` threads (first-touch placement, as
+/// in the paper's counter runs).
+pub fn report(
+    machine: &Machine,
+    backend: Backend,
+    kernel: Kernel,
+    n: usize,
+    threads: usize,
+    calls: usize,
+) -> CounterReport {
+    let sim = CpuSim::new(machine.clone(), backend);
+    let model = backend.model();
+    let prof = kernel.profile(DType::F64);
+    let params = RunParams {
+        kernel,
+        dtype: DType::F64,
+        n,
+        threads,
+        placement: PagePlacement::Spread,
+    };
+    let time_s = sim.time(&params) * calls as f64;
+    let elems = (n * calls) as f64;
+
+    // Instructions: the backend's per-element retirement rate (Tables
+    // 3 and 4), independent of the cycle model (scheduling code retires
+    // at high IPC).
+    let instr_per_elem = match kernel {
+        Kernel::Reduce => model.reduce_instr_per_elem,
+        _ => model.map_instr_per_elem,
+    };
+    let instructions = elems * instr_per_elem;
+
+    // FP operation mix (Table 4: ICC and HPX vectorize reduce with
+    // 256-bit packed ops; everyone else is scalar).
+    let total_flops = elems * prof.flops;
+    let (fp_scalar, fp_packed_128, fp_packed_256) =
+        if matches!(kernel, Kernel::Reduce) && model.vectorizes_reduce {
+            // A trickle of scalar/128-bit ops for the remainders.
+            (total_flops * 5e-6, total_flops * 1e-4, total_flops / 4.0)
+        } else {
+            (total_flops, 0.0, 0.0)
+        };
+
+    let traffic = match kernel {
+        Kernel::Reduce => 1.0,
+        _ => model.traffic_factor,
+    };
+    let volume_bytes = elems * (prof.read_bytes + prof.write_bytes) * traffic;
+    let gib = 1024.0 * 1024.0 * 1024.0;
+
+    let flops_effective = fp_scalar + 2.0 * fp_packed_128 + 4.0 * fp_packed_256;
+    CounterReport {
+        backend: backend.name().to_string(),
+        kernel: kernel.name(),
+        n,
+        calls,
+        instructions,
+        fp_scalar,
+        fp_packed_128,
+        fp_packed_256,
+        gflops: flops_effective / time_s / 1e9,
+        mem_bandwidth_gibs: volume_bytes / gib / time_s,
+        mem_volume_gib: volume_bytes / gib,
+        time_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::mach_a;
+
+    fn table3_report(backend: Backend) -> CounterReport {
+        // Paper Table 3 setup: 100 calls of for_each (k_it = 1), 2^30
+        // f64 elements, Mach A with 32 threads.
+        report(&mach_a(), backend, Kernel::ForEach { k_it: 1 }, 1 << 30, 32, 100)
+    }
+
+    #[test]
+    fn table3_fp_scalar_is_107g_for_everyone() {
+        // One flop per element: 100 × 2^30 ≈ 1.07e11 for all backends.
+        for b in Backend::paper_cpu_set() {
+            let r = table3_report(b);
+            assert!(
+                (r.fp_scalar / 1.07e11 - 1.0).abs() < 0.01,
+                "{}: fp_scalar {}",
+                r.backend,
+                r.fp_scalar
+            );
+            assert_eq!(r.fp_packed_256, 0.0, "for_each is never vectorized");
+        }
+    }
+
+    #[test]
+    fn table3_instruction_ordering() {
+        // Table 3: ICC 1.55T < GCC-TBB 1.72T < NVC 2.24T < GNU 2.41T <
+        // HPX 3.83T... our NVC is calibrated laxer (see backend_model);
+        // assert the robust ordering: ICC < TBB < GNU < HPX and HPX ≈
+        // 2–3× ICC.
+        let icc = table3_report(Backend::IccTbb).instructions;
+        let tbb = table3_report(Backend::GccTbb).instructions;
+        let gnu = table3_report(Backend::GccGnu).instructions;
+        let hpx = table3_report(Backend::GccHpx).instructions;
+        assert!(icc < tbb && tbb < gnu && gnu < hpx);
+        let ratio = hpx / icc;
+        assert!((1.8..3.2).contains(&ratio), "HPX/ICC instruction ratio {ratio}");
+    }
+
+    #[test]
+    fn table3_bandwidth_in_measured_range() {
+        // Table 3 bandwidths: 75.6–119.1 GiB/s on Mach A.
+        for b in Backend::paper_cpu_set() {
+            let r = table3_report(b);
+            assert!(
+                (35.0..140.0).contains(&r.mem_bandwidth_gibs),
+                "{}: bw {}",
+                r.backend,
+                r.mem_bandwidth_gibs
+            );
+        }
+        // NVC-OMP achieves the highest bandwidth (119.1 in the paper).
+        let nvc = table3_report(Backend::NvcOmp).mem_bandwidth_gibs;
+        let hpx = table3_report(Backend::GccHpx).mem_bandwidth_gibs;
+        assert!(nvc > hpx, "NVC {nvc} must beat HPX {hpx}");
+    }
+
+    #[test]
+    fn table3_volume_near_16_bytes_per_element() {
+        // Table 3 volumes: 1762–2151 GiB over 100 × 2^30 × 16 B = 1600 GiB
+        // ideal.
+        for b in Backend::paper_cpu_set() {
+            let r = table3_report(b);
+            assert!(
+                (1600.0..2300.0).contains(&r.mem_volume_gib),
+                "{}: volume {}",
+                r.backend,
+                r.mem_volume_gib
+            );
+        }
+    }
+
+    #[test]
+    fn table4_reduce_vectorization_split() {
+        for b in Backend::paper_cpu_set() {
+            let r = report(&mach_a(), b, Kernel::Reduce, 1 << 30, 32, 100);
+            let vectorized = b.model().vectorizes_reduce;
+            if vectorized {
+                assert!(r.fp_packed_256 > 0.0, "{}: packed", r.backend);
+                assert!(
+                    r.fp_packed_256 * 4.0 > r.fp_scalar * 100.0,
+                    "{}: packed dominates",
+                    r.backend
+                );
+            } else {
+                assert_eq!(r.fp_packed_256, 0.0, "{}", r.backend);
+                assert!((r.fp_scalar / 1.07e11 - 1.0).abs() < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn table4_hpx_instruction_blowup() {
+        // Table 4: HPX 1.74T vs ICC 107G — task management dwarfs the sum.
+        let hpx = report(&mach_a(), Backend::GccHpx, Kernel::Reduce, 1 << 30, 32, 100);
+        let icc = report(&mach_a(), Backend::IccTbb, Kernel::Reduce, 1 << 30, 32, 100);
+        let ratio = hpx.instructions / icc.instructions;
+        assert!((8.0..25.0).contains(&ratio), "HPX/ICC reduce ratio {ratio}");
+    }
+
+    #[test]
+    fn gflops_consistent_with_time() {
+        let r = table3_report(Backend::GccTbb);
+        let expect = r.fp_scalar / r.time_s / 1e9;
+        assert!((r.gflops / expect - 1.0).abs() < 1e-9);
+        // Table 3 GFLOP/s range: 4.06–7.26.
+        assert!((2.0..12.0).contains(&r.gflops), "gflops {}", r.gflops);
+    }
+}

@@ -1,0 +1,471 @@
+//! GPU offload model (paper §5.8, Figures 8 and 9).
+//!
+//! The paper's GPU findings are transfer-economics findings: NVIDIA's
+//! CUDA backend manages data with Unified Memory, so the cost of a
+//! parallel-STL call on the GPU is
+//!
+//! ```text
+//! launch + (pages not resident → migrate over PCIe)
+//!        + max(SM compute, device bandwidth)
+//!        + (host touches results → migrate back)
+//! ```
+//!
+//! Low-intensity kernels are dominated by the PCIe terms and lose even to
+//! sequential CPU code; high-intensity kernels win by an order of
+//! magnitude; and chaining calls without host access amortizes the
+//! migration away. This module implements exactly that accounting, plus
+//! the paper's `volatile` quirk (§5.8): the NVIDIA compiler silently
+//! deletes the benchmark's timing loop for `int` always and for `double`
+//! whenever `k_it < 65001`, but never for `float`.
+
+use serde::Serialize;
+
+use crate::kernels::{DType, Kernel};
+
+/// GPU cycles per iteration of the for_each accumulation loop: the
+/// loop-carried dependency is only partially hidden by occupancy, so a
+/// CUDA core sustains less than one iteration per clock. Calibrated to
+/// the paper's 23.5× (T4) / 13.3× (A2) wins over the parallel CPU at
+/// high intensity (§5.8).
+pub const GPU_CYCLES_PER_KIT_ITER: f64 = 2.5;
+
+/// Iterations threshold of the paper's "magic number": below it the
+/// volatile-guarded `double` loop is optimized away on the GPU (§5.8).
+pub const VOLATILE_MAGIC_KIT: u32 = 65_001;
+
+/// A GPU descriptor (paper Table 2, Mach D and E).
+#[derive(Debug, Clone, Serialize)]
+pub struct Gpu {
+    /// Paper name.
+    pub name: &'static str,
+    /// CUDA cores.
+    pub cuda_cores: usize,
+    /// Core frequency, GHz.
+    pub freq_ghz: f64,
+    /// Device memory bandwidth, GB/s (paper Table 2 STREAM row).
+    pub dev_bw_gbs: f64,
+    /// Host↔device PCIe bandwidth, GB/s.
+    pub pcie_gbs: f64,
+    /// Kernel launch latency, microseconds.
+    pub launch_us: f64,
+    /// Device memory, GiB.
+    pub mem_gib: usize,
+    /// FP64 throughput as a fraction of FP32 (1/32 on both parts).
+    pub fp64_ratio: f64,
+}
+
+/// Mach D: NVIDIA Tesla T4 (Turing).
+pub fn mach_d_tesla_t4() -> Gpu {
+    Gpu {
+        name: "Mach D (Tesla)",
+        cuda_cores: 2560,
+        freq_ghz: 1.11,
+        dev_bw_gbs: 264.0,
+        pcie_gbs: 12.0,
+        launch_us: 10.0,
+        mem_gib: 16,
+        fp64_ratio: 1.0 / 32.0,
+    }
+}
+
+/// Mach E: NVIDIA Ampere A2.
+pub fn mach_e_ampere_a2() -> Gpu {
+    Gpu {
+        name: "Mach E (Ampere)",
+        cuda_cores: 1280,
+        freq_ghz: 1.77,
+        dev_bw_gbs: 172.0,
+        pcie_gbs: 12.0,
+        launch_us: 10.0,
+        mem_gib: 8,
+        fp64_ratio: 1.0 / 32.0,
+    }
+}
+
+/// One GPU benchmark invocation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GpuRun {
+    /// Kernel to execute.
+    pub kernel: Kernel,
+    /// Element type.
+    pub dtype: DType,
+    /// Problem size in elements.
+    pub n: usize,
+    /// Whether the pages are already resident on the device.
+    pub data_on_device: bool,
+    /// Whether the host reads the data afterwards (forces migration
+    /// back — the paper's Fig. 8 setup, and Fig. 9a).
+    pub transfer_back: bool,
+}
+
+/// GPU simulator for one device.
+#[derive(Debug, Clone)]
+pub struct GpuSim {
+    gpu: Gpu,
+}
+
+impl GpuSim {
+    /// Wrap a device descriptor.
+    pub fn new(gpu: Gpu) -> Self {
+        GpuSim { gpu }
+    }
+
+    /// The device.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Whether the benchmark's volatile-guarded loop is deleted by the
+    /// device compiler (paper §5.8).
+    pub fn volatile_elided(dtype: DType, k_it: u32) -> bool {
+        match dtype {
+            DType::I32 => true,
+            DType::F64 => k_it < VOLATILE_MAGIC_KIT,
+            DType::F32 => false,
+        }
+    }
+
+    /// Estimated wall time of one call, seconds.
+    pub fn time(&self, run: &GpuRun) -> f64 {
+        let g = &self.gpu;
+        let n = run.n as f64;
+        let prof = run.kernel.profile(run.dtype);
+        let bytes = run.n as f64 * run.dtype.bytes() as f64;
+
+        let launch = g.launch_us * 1e-6;
+        let h2d = if run.data_on_device {
+            0.0
+        } else {
+            bytes / (g.pcie_gbs * 1e9)
+        };
+        let d2h = if run.transfer_back {
+            bytes / (g.pcie_gbs * 1e9)
+        } else {
+            0.0
+        };
+
+        // Compute throughput: ~1 kernel cycle per CUDA core per clock for
+        // FP32; FP64 runs at the part's FP64 ratio.
+        let cycles = match run.kernel {
+            Kernel::ForEach { k_it } if Self::volatile_elided(run.dtype, k_it) => 2.0,
+            Kernel::ForEach { k_it } => 4.0 + GPU_CYCLES_PER_KIT_ITER * k_it as f64,
+            _ => prof.cycles,
+        };
+        let dtype_penalty = match run.dtype {
+            DType::F64 => 1.0 / self.gpu.fp64_ratio,
+            _ => 1.0,
+        };
+        let compute =
+            n * cycles * dtype_penalty / (g.cuda_cores as f64 * g.freq_ghz * 1e9);
+        // Device-memory traversal(s).
+        let mem = n * (prof.read_bytes + prof.write_bytes) / (g.dev_bw_gbs * 1e9);
+
+        launch + h2d + compute.max(mem) + d2h
+    }
+
+    /// Total time of `calls` consecutive calls on the same buffer.
+    ///
+    /// With `transfer_back_each`, the host touches the data between calls
+    /// so every call re-migrates (paper Fig. 9a); otherwise only the first
+    /// call pays the host→device migration (Fig. 9b).
+    pub fn chain_time(&self, run: &GpuRun, calls: usize, transfer_back_each: bool) -> f64 {
+        if calls == 0 {
+            return 0.0;
+        }
+        let first = GpuRun {
+            data_on_device: false,
+            transfer_back: transfer_back_each,
+            ..*run
+        };
+        let rest = GpuRun {
+            // After a transfer back, the pages are host-resident again.
+            data_on_device: !transfer_back_each,
+            transfer_back: transfer_back_each,
+            ..*run
+        };
+        self.time(&first) + (calls - 1) as f64 * self.time(&rest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn foreach(k_it: u32, n: usize) -> GpuRun {
+        GpuRun {
+            kernel: Kernel::ForEach { k_it },
+            dtype: DType::F32,
+            n,
+            data_on_device: false,
+            transfer_back: true,
+        }
+    }
+
+    #[test]
+    fn volatile_quirk_matches_paper() {
+        assert!(GpuSim::volatile_elided(DType::I32, 1));
+        assert!(GpuSim::volatile_elided(DType::I32, 1_000_000));
+        assert!(GpuSim::volatile_elided(DType::F64, 65_000));
+        assert!(!GpuSim::volatile_elided(DType::F64, 65_001));
+        assert!(!GpuSim::volatile_elided(DType::F32, 1));
+        assert!(!GpuSim::volatile_elided(DType::F32, 1_000_000));
+    }
+
+    #[test]
+    fn low_intensity_is_transfer_bound() {
+        let sim = GpuSim::new(mach_d_tesla_t4());
+        let run = foreach(1, 1 << 28);
+        let t = sim.time(&run);
+        let bytes = (1usize << 28) as f64 * 4.0;
+        let transfers = 2.0 * bytes / (12.0 * 1e9);
+        // Transfers must dominate: > 80 % of total.
+        assert!(transfers / t > 0.8, "transfer share {}", transfers / t);
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound_and_fast() {
+        let sim = GpuSim::new(mach_d_tesla_t4());
+        let cheap = sim.time(&foreach(1, 1 << 28));
+        let heavy = sim.time(&foreach(100_000, 1 << 28));
+        assert!(heavy > cheap * 10.0, "compute must dominate at high k_it");
+        // GPU compute rate sanity: 2^28 elements × modeled GPU cycles
+        // over 2842 Gcycle/s.
+        let cycles = 4.0 + GPU_CYCLES_PER_KIT_ITER * 100_000.0;
+        let expect = (1u64 << 28) as f64 * cycles / (2560.0 * 1.11e9);
+        assert!((heavy / expect - 1.0).abs() < 0.2, "heavy {heavy} expect {expect}");
+    }
+
+    #[test]
+    fn chaining_amortizes_migration() {
+        // Fig. 9: without per-call transfer back, later calls are cheap.
+        let sim = GpuSim::new(mach_e_ampere_a2());
+        let run = GpuRun {
+            kernel: Kernel::Reduce,
+            dtype: DType::F32,
+            n: 1 << 28,
+            data_on_device: false,
+            transfer_back: false,
+        };
+        let with_back = sim.chain_time(&run, 10, true);
+        let without = sim.chain_time(&run, 10, false);
+        assert!(
+            with_back > 3.0 * without,
+            "per-call transfers must dominate: {with_back} vs {without}"
+        );
+        // Steady-state per-call cost without transfers ≈ device-bandwidth
+        // bound.
+        let steady = (without
+            - sim.time(&GpuRun {
+                data_on_device: false,
+                ..run
+            }))
+            / 9.0;
+        let dev_bound = (1u64 << 28) as f64 * 4.0 / (172.0 * 1e9);
+        assert!(steady < 3.0 * dev_bound, "steady {steady} vs {dev_bound}");
+    }
+
+    #[test]
+    fn fp64_pays_throughput_penalty() {
+        let sim = GpuSim::new(mach_d_tesla_t4());
+        let f32_run = GpuRun {
+            kernel: Kernel::ForEach { k_it: 100_000 },
+            dtype: DType::F32,
+            n: 1 << 24,
+            data_on_device: true,
+            transfer_back: false,
+        };
+        let f64_run = GpuRun {
+            kernel: Kernel::ForEach { k_it: 100_000 },
+            dtype: DType::F64,
+            ..f32_run
+        };
+        let t32 = sim.time(&f32_run);
+        let t64 = sim.time(&f64_run);
+        assert!(t64 > 10.0 * t32, "fp64 {t64} vs fp32 {t32}");
+    }
+
+    #[test]
+    fn elided_loop_is_bandwidth_bound_even_at_high_kit() {
+        // double + k_it below the magic number → loop deleted → time is
+        // pure streaming.
+        let sim = GpuSim::new(mach_d_tesla_t4());
+        let run = GpuRun {
+            kernel: Kernel::ForEach { k_it: 60_000 },
+            dtype: DType::F64,
+            n: 1 << 26,
+            data_on_device: true,
+            transfer_back: false,
+        };
+        let t = sim.time(&run);
+        let mem_bound = (1u64 << 26) as f64 * 16.0 / (264.0 * 1e9);
+        assert!(t < 3.0 * mem_bound + 1e-4, "elided loop must not compute");
+    }
+
+    #[test]
+    fn launch_latency_floors_small_problems() {
+        let sim = GpuSim::new(mach_d_tesla_t4());
+        let run = GpuRun {
+            kernel: Kernel::ForEach { k_it: 1 },
+            dtype: DType::F32,
+            n: 8,
+            data_on_device: true,
+            transfer_back: false,
+        };
+        let t = sim.time(&run);
+        assert!(t >= 10e-6, "launch latency must dominate tiny problems");
+    }
+}
+
+/// A chained sequence of GPU operations over one buffer, with Unified
+/// Memory residency tracked across steps — the "chain as many operations
+/// as possible on the GPU" strategy the paper's conclusions recommend,
+/// as an explicit planning API.
+///
+/// Each step is a kernel plus an optional host access after it; a host
+/// access migrates the pages back, so the *next* kernel pays the
+/// host→device transfer again. `total_time` folds the whole schedule.
+#[derive(Debug, Clone)]
+pub struct GpuPipeline {
+    gpu: Gpu,
+    dtype: DType,
+    n: usize,
+    steps: Vec<(Kernel, bool)>,
+}
+
+impl GpuPipeline {
+    /// Start a pipeline over `n` elements of `dtype` (host-resident).
+    pub fn new(gpu: Gpu, dtype: DType, n: usize) -> Self {
+        GpuPipeline {
+            gpu,
+            dtype,
+            n,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a kernel; `host_reads_after` forces the result back to the
+    /// host before the next step.
+    pub fn then(mut self, kernel: Kernel, host_reads_after: bool) -> Self {
+        self.steps.push((kernel, host_reads_after));
+        self
+    }
+
+    /// Steps in the pipeline.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the pipeline has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total modeled time of the schedule, seconds.
+    pub fn total_time(&self) -> f64 {
+        let sim = GpuSim::new(self.gpu.clone());
+        let mut resident = false;
+        let mut total = 0.0;
+        for &(kernel, host_reads) in &self.steps {
+            total += sim.time(&GpuRun {
+                kernel,
+                dtype: self.dtype,
+                n: self.n,
+                data_on_device: resident,
+                transfer_back: host_reads,
+            });
+            resident = !host_reads;
+        }
+        total
+    }
+
+    /// Fraction of the total spent moving data over PCIe — the paper's
+    /// bottleneck diagnosis, quantified per schedule.
+    pub fn transfer_share(&self) -> f64 {
+        let mut resident = false;
+        let mut transfers = 0.0;
+        let bytes = self.n as f64 * self.dtype.bytes() as f64;
+        for &(_, host_reads) in &self.steps {
+            if !resident {
+                transfers += bytes / (self.gpu.pcie_gbs * 1e9);
+            }
+            if host_reads {
+                transfers += bytes / (self.gpu.pcie_gbs * 1e9);
+            }
+            resident = !host_reads;
+        }
+        let total = self.total_time();
+        if total == 0.0 {
+            0.0
+        } else {
+            transfers / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+
+    fn steps(n: usize, host_reads: bool) -> GpuPipeline {
+        let mut p = GpuPipeline::new(mach_d_tesla_t4(), DType::F32, 1 << 26);
+        for _ in 0..n {
+            p = p.then(Kernel::ForEach { k_it: 1 }, host_reads);
+        }
+        p
+    }
+
+    #[test]
+    fn chaining_beats_round_tripping() {
+        // The paper's conclusion: 10 chained kernels with one final read
+        // beat 10 round-tripping kernels by a wide margin.
+        let chained = GpuPipeline::new(mach_d_tesla_t4(), DType::F32, 1 << 26)
+            .then(Kernel::ForEach { k_it: 1 }, false)
+            .then(Kernel::ForEach { k_it: 1 }, false)
+            .then(Kernel::ForEach { k_it: 1 }, false)
+            .then(Kernel::Reduce, true);
+        let round_trip = steps(4, true);
+        assert!(
+            chained.total_time() < round_trip.total_time() / 2.0,
+            "chained {} vs round-trip {}",
+            chained.total_time(),
+            round_trip.total_time()
+        );
+    }
+
+    #[test]
+    fn transfer_share_diagnoses_the_bottleneck() {
+        let round_trip = steps(5, true);
+        assert!(
+            round_trip.transfer_share() > 0.7,
+            "round-tripping must be transfer-dominated: {}",
+            round_trip.transfer_share()
+        );
+        let mut chained = GpuPipeline::new(mach_d_tesla_t4(), DType::F32, 1 << 26);
+        for _ in 0..20 {
+            chained = chained.then(Kernel::ForEach { k_it: 1 }, false);
+        }
+        assert!(
+            chained.transfer_share() < 0.4,
+            "long chains amortize transfers: {}",
+            chained.transfer_share()
+        );
+    }
+
+    #[test]
+    fn empty_pipeline_is_free() {
+        let p = GpuPipeline::new(mach_e_ampere_a2(), DType::F32, 1 << 20);
+        assert!(p.is_empty());
+        assert_eq!(p.total_time(), 0.0);
+        assert_eq!(p.transfer_share(), 0.0);
+    }
+
+    #[test]
+    fn time_is_additive_over_steps() {
+        let one = steps(1, false).total_time();
+        let five = steps(5, false).total_time();
+        // First step pays migration, the rest are resident → five steps
+        // cost less than 5× the first.
+        assert!(five < 5.0 * one);
+        assert!(five > one);
+    }
+}

@@ -1,0 +1,216 @@
+//! Work profiles of the five studied benchmark kernels (paper §3.1).
+
+use serde::Serialize;
+
+/// Element data type used by a benchmark run. The paper's CPU study uses
+/// `f64`; the GPU study adds `f32` (and discusses an `i32` compiler
+/// quirk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum DType {
+    /// 64-bit float (CPU experiments).
+    F64,
+    /// 32-bit float (GPU experiments).
+    F32,
+    /// 32-bit integer (GPU `volatile` quirk discussion, §5.8).
+    I32,
+}
+
+impl DType {
+    /// Element size in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            DType::F64 => 8,
+            DType::F32 | DType::I32 => 4,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F64 => "double",
+            DType::F32 => "float",
+            DType::I32 => "int",
+        }
+    }
+}
+
+/// One of the five benchmark kernels the paper analyzes in depth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Kernel {
+    /// Linear search for a random element; early exit (§5.3).
+    Find,
+    /// Map with a tunable compute loop of `k_it` iterations (§5.2,
+    /// Listing 1).
+    ForEach {
+        /// Iterations of the volatile-guarded inner loop per element.
+        k_it: u32,
+    },
+    /// Two-pass parallel prefix sum (§5.4).
+    InclusiveScan,
+    /// Tree reduction (§5.5).
+    Reduce,
+    /// Comparison sort (§5.6).
+    Sort,
+}
+
+/// Per-element cost profile of a kernel (`Sort` is handled structurally
+/// in [`crate::exec`]; its profile covers one comparison-merge pass).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WorkProfile {
+    /// Bytes read per element across all passes.
+    pub read_bytes: f64,
+    /// Bytes written per element across all passes.
+    pub write_bytes: f64,
+    /// Compute cycles per element (scalar code).
+    pub cycles: f64,
+    /// Scalar floating-point operations per element.
+    pub flops: f64,
+    /// Expected fraction of the data actually touched (1.0 except for the
+    /// early-exit `find`, which stops after the match — expected 0.5 for
+    /// a uniformly random target).
+    pub early_exit_fraction: f64,
+}
+
+/// Compute cycles per `k_it` loop iteration: a volatile-guarded
+/// increment — about one fused add plus loop control on the studied CPUs.
+pub const CYCLES_PER_KIT_ITER: f64 = 1.5;
+
+impl Kernel {
+    /// Stable label used in reports, matching the paper's `X::` notation.
+    pub fn name(&self) -> String {
+        match self {
+            Kernel::Find => "find".into(),
+            Kernel::ForEach { k_it } => format!("for_each_k{k_it}"),
+            Kernel::InclusiveScan => "inclusive_scan".into(),
+            Kernel::Reduce => "reduce".into(),
+            Kernel::Sort => "sort".into(),
+        }
+    }
+
+    /// The per-element work profile for elements of `dtype`.
+    pub fn profile(&self, dtype: DType) -> WorkProfile {
+        let b = dtype.bytes() as f64;
+        match *self {
+            Kernel::Find => WorkProfile {
+                read_bytes: b,
+                write_bytes: 0.0,
+                cycles: 1.0,
+                flops: 1.0, // one FP compare per element
+                early_exit_fraction: 0.5,
+            },
+            Kernel::ForEach { k_it } => WorkProfile {
+                // The kernel stores its accumulator back into the element:
+                // one read (RFO) + one write of the element's cache line
+                // share.
+                read_bytes: b,
+                write_bytes: b,
+                // The volatile-guarded loop bound forces a load/store per
+                // iteration setup: ~4 cycles of fixed work plus the loop.
+                cycles: 4.0 + CYCLES_PER_KIT_ITER * k_it as f64,
+                flops: k_it as f64,
+                early_exit_fraction: 1.0,
+            },
+            Kernel::InclusiveScan => WorkProfile {
+                // Two traversals: chunk reduction (read) + rescan
+                // (read + write).
+                read_bytes: 2.0 * b,
+                write_bytes: b,
+                cycles: 2.0,
+                flops: 2.0,
+                early_exit_fraction: 1.0,
+            },
+            Kernel::Reduce => WorkProfile {
+                read_bytes: b,
+                write_bytes: 0.0,
+                cycles: 1.0,
+                flops: 1.0,
+                early_exit_fraction: 1.0,
+            },
+            Kernel::Sort => WorkProfile {
+                // One merge/partition pass: stream in + out.
+                read_bytes: 2.0 * b,
+                write_bytes: 2.0 * b,
+                cycles: 3.0, // comparison + branch + move
+                flops: 0.0,
+                early_exit_fraction: 1.0,
+            },
+        }
+    }
+
+    /// Whether the kernel's run time depends on a random search target.
+    pub fn is_early_exit(&self) -> bool {
+        matches!(self, Kernel::Find)
+    }
+
+    /// The kernel list of the paper's summary tables (Tables 5 and 6).
+    pub fn paper_summary_set() -> Vec<Kernel> {
+        vec![
+            Kernel::Find,
+            Kernel::ForEach { k_it: 1 },
+            Kernel::ForEach { k_it: 1000 },
+            Kernel::InclusiveScan,
+            Kernel::Reduce,
+            Kernel::Sort,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(Kernel::Find.name(), "find");
+        assert_eq!(Kernel::ForEach { k_it: 1 }.name(), "for_each_k1");
+        assert_eq!(Kernel::ForEach { k_it: 1000 }.name(), "for_each_k1000");
+        assert_eq!(Kernel::InclusiveScan.name(), "inclusive_scan");
+    }
+
+    #[test]
+    fn foreach_cycles_scale_with_kit() {
+        let lo = Kernel::ForEach { k_it: 1 }.profile(DType::F64);
+        let hi = Kernel::ForEach { k_it: 1000 }.profile(DType::F64);
+        assert!(hi.cycles > 100.0 * lo.cycles);
+        assert_eq!(lo.read_bytes + lo.write_bytes, hi.read_bytes + hi.write_bytes);
+    }
+
+    #[test]
+    fn foreach_k1_is_one_flop_per_elem() {
+        // Table 3: 107 GFLOP over 100 calls of 2^30 elements ⇒ 1 flop/elem.
+        let p = Kernel::ForEach { k_it: 1 }.profile(DType::F64);
+        assert_eq!(p.flops, 1.0);
+    }
+
+    #[test]
+    fn scan_traverses_twice() {
+        let scan = Kernel::InclusiveScan.profile(DType::F64);
+        let reduce = Kernel::Reduce.profile(DType::F64);
+        let scan_traffic = scan.read_bytes + scan.write_bytes;
+        let reduce_traffic = reduce.read_bytes + reduce.write_bytes;
+        assert!(scan_traffic >= 2.5 * reduce_traffic);
+    }
+
+    #[test]
+    fn find_expects_half_scan() {
+        let p = Kernel::Find.profile(DType::F64);
+        assert_eq!(p.early_exit_fraction, 0.5);
+        assert!(Kernel::Find.is_early_exit());
+        assert!(!Kernel::Reduce.is_early_exit());
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F64.bytes(), 8);
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::I32.bytes(), 4);
+    }
+
+    #[test]
+    fn summary_set_matches_table5_columns() {
+        let set = Kernel::paper_summary_set();
+        assert_eq!(set.len(), 6);
+        assert_eq!(set[0].name(), "find");
+        assert_eq!(set[5].name(), "sort");
+    }
+}

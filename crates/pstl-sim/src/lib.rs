@@ -1,0 +1,44 @@
+//! Deterministic performance models reproducing the pSTL-Bench evaluation.
+//!
+//! The paper's figures and tables were measured on 32–128-core NUMA
+//! machines and two NVIDIA GPUs. Reproducing their *shape* does not
+//! require that hardware: the effects the paper reports are consequences
+//! of a small set of mechanisms —
+//!
+//! * roofline behaviour (compute vs. DRAM bandwidth) with STREAM numbers
+//!   taken from the paper's Table 2,
+//! * NUMA page placement (default first-touch-by-thread-0 vs. the
+//!   parallel first-touch allocator) deciding how much aggregate
+//!   bandwidth a thread team can reach,
+//! * per-backend scheduling costs (dispatch, per-task overhead,
+//!   instruction inflation) and policy quirks (sequential fallbacks,
+//!   unsupported algorithms, vectorization),
+//! * algorithm structure (single pass, two-pass scan, `log p` merge
+//!   passes vs. one multiway merge),
+//! * and, on GPUs, kernel-launch latency plus unified-memory migration
+//!   over PCIe.
+//!
+//! Each module implements one mechanism; [`exec::CpuSim`] and
+//! [`gpu::GpuSim`] combine them into end-to-end run-time estimates. Every
+//! calibrated constant lives in [`backend_model`] or [`machine`] with a
+//! comment citing the paper observation it is fitted to; everything else
+//! is derived. The suite's experiment binaries then sweep these models to
+//! regenerate each figure/table (see DESIGN.md §4).
+
+pub mod backend_model;
+pub mod binsize;
+pub mod counters;
+pub mod exec;
+pub mod gpu;
+pub mod kernels;
+pub mod machine;
+pub mod memory;
+pub mod sched_sim;
+
+pub use backend_model::{Backend, BackendModel, SortFlavor};
+pub use exec::{CpuSim, RunParams};
+pub use gpu::{GpuRun, GpuSim};
+pub use kernels::{DType, Kernel};
+pub use machine::{Machine, MachineId};
+pub use memory::{MemorySystem, PagePlacement};
+pub use sched_sim::{SchedSim, SimDiscipline};

@@ -1,0 +1,226 @@
+//! The five evaluation machines of the paper (its Table 2).
+
+use serde::Serialize;
+
+/// Identifier of a paper machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum MachineId {
+    /// Mach A — 2×16-core Intel Xeon 6130F (Skylake), 2 NUMA nodes.
+    A,
+    /// Mach B — 2×32-core AMD EPYC 7551 (Zen 1), 8 NUMA nodes.
+    B,
+    /// Mach C — 2×64-core AMD EPYC 7713 (Zen 3), 8 NUMA nodes.
+    C,
+    /// Mach F — hypothetical single-node ARM server (extension, not in
+    /// the paper).
+    F,
+}
+
+/// A multi-core shared-memory machine descriptor.
+///
+/// All headline numbers come straight from the paper's Table 2; cache
+/// sizes are the published specifications of the respective CPUs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Machine {
+    /// Paper name, e.g. `"Mach A (Skylake)"`.
+    pub name: &'static str,
+    /// Short id.
+    pub id: MachineId,
+    /// Physical cores (also the maximum thread count used).
+    pub cores: usize,
+    /// Sockets.
+    pub sockets: usize,
+    /// NUMA nodes.
+    pub numa_nodes: usize,
+    /// Nominal core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Per-core private L2 in KiB.
+    pub l2_kib_per_core: usize,
+    /// Shared last-level cache per socket in MiB.
+    pub llc_mib_per_socket: usize,
+    /// STREAM bandwidth with one core, GB/s (paper Table 2, "BW 1").
+    pub bw_1core_gbs: f64,
+    /// STREAM bandwidth with all cores, GB/s (paper Table 2, "BW all").
+    pub bw_all_gbs: f64,
+    /// Memory per node in GiB.
+    pub mem_gib: usize,
+}
+
+impl Machine {
+    /// Cores per NUMA node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores / self.numa_nodes
+    }
+
+    /// Peak DRAM bandwidth of a single NUMA node, GB/s. A node always
+    /// serves at least one core's full streaming rate (on Zen 1 the
+    /// per-node share of the aggregate is below single-core STREAM).
+    pub fn node_bw_gbs(&self) -> f64 {
+        (self.bw_all_gbs / self.numa_nodes as f64).max(self.bw_1core_gbs)
+    }
+
+    /// NUMA nodes occupied by `threads` threads under fill-first placement
+    /// (threads fill node 0's cores, then node 1's, …) — the default OS
+    /// behaviour the paper relies on by *not* pinning.
+    pub fn nodes_used(&self, threads: usize) -> usize {
+        threads.clamp(1, self.cores).div_ceil(self.cores_per_node())
+    }
+
+    /// Aggregate private-cache capacity of `threads` cores, bytes.
+    pub fn l2_total_bytes(&self, threads: usize) -> usize {
+        self.l2_kib_per_core * 1024 * threads.clamp(1, self.cores)
+    }
+
+    /// Aggregate last-level cache reachable by `threads` threads, bytes
+    /// (the sockets they occupy).
+    pub fn llc_total_bytes(&self, threads: usize) -> usize {
+        let cores_per_socket = self.cores / self.sockets;
+        let sockets_used = threads.clamp(1, self.cores).div_ceil(cores_per_socket);
+        self.llc_mib_per_socket * 1024 * 1024 * sockets_used
+    }
+
+    /// The thread counts the paper sweeps: 1, 2, 4, …, `cores`.
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut t = 1;
+        while t <= self.cores {
+            v.push(t);
+            t *= 2;
+        }
+        if *v.last().unwrap() != self.cores {
+            v.push(self.cores);
+        }
+        v
+    }
+}
+
+/// Mach A (Skylake): 2× Intel Xeon 6130F, 32 cores, 2 NUMA nodes.
+pub fn mach_a() -> Machine {
+    Machine {
+        name: "Mach A (Skylake)",
+        id: MachineId::A,
+        cores: 32,
+        sockets: 2,
+        numa_nodes: 2,
+        freq_ghz: 2.10,
+        l2_kib_per_core: 1024,
+        llc_mib_per_socket: 22,
+        bw_1core_gbs: 11.7,
+        bw_all_gbs: 135.0,
+        mem_gib: 48,
+    }
+}
+
+/// Mach B (Zen 1): 2× AMD EPYC 7551, 64 cores, 8 NUMA nodes.
+pub fn mach_b() -> Machine {
+    Machine {
+        name: "Mach B (Zen 1)",
+        id: MachineId::B,
+        cores: 64,
+        sockets: 2,
+        numa_nodes: 8,
+        freq_ghz: 2.00,
+        l2_kib_per_core: 512,
+        llc_mib_per_socket: 64,
+        bw_1core_gbs: 26.0,
+        bw_all_gbs: 204.0,
+        mem_gib: 32,
+    }
+}
+
+/// Mach C (Zen 3): 2× AMD EPYC 7713, 128 cores, 8 NUMA nodes.
+pub fn mach_c() -> Machine {
+    Machine {
+        name: "Mach C (Zen 3)",
+        id: MachineId::C,
+        cores: 128,
+        sockets: 2,
+        numa_nodes: 8,
+        freq_ghz: 2.00,
+        l2_kib_per_core: 512,
+        llc_mib_per_socket: 256,
+        bw_1core_gbs: 42.6,
+        bw_all_gbs: 249.0,
+        mem_gib: 512,
+    }
+}
+
+/// All three CPU machines, in paper order.
+pub fn all_machines() -> Vec<Machine> {
+    vec![mach_a(), mach_b(), mach_c()]
+}
+
+/// **Extension (paper §6 future work):** a hypothetical ARM server in the
+/// Graviton3 class — 64 cores on a *single* NUMA node with a uniform,
+/// high-bandwidth memory system. Not part of the paper's study; used by
+/// the `ablation_arm` experiment to predict how the backend ranking would
+/// change on such a machine (no page-placement effects, higher
+/// bandwidth-per-core).
+pub fn mach_arm_hypothetical() -> Machine {
+    Machine {
+        name: "Mach F (ARM, hypothetical)",
+        id: MachineId::F,
+        cores: 64,
+        sockets: 1,
+        numa_nodes: 1,
+        freq_ghz: 2.60,
+        l2_kib_per_core: 1024,
+        llc_mib_per_socket: 32,
+        bw_1core_gbs: 28.0,
+        bw_all_gbs: 300.0,
+        mem_gib: 256,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_headline_numbers() {
+        let a = mach_a();
+        assert_eq!(a.cores, 32);
+        assert_eq!(a.numa_nodes, 2);
+        assert_eq!(a.cores_per_node(), 16);
+        assert!((a.bw_all_gbs / a.bw_1core_gbs - 11.5).abs() < 0.1);
+
+        let b = mach_b();
+        assert_eq!(b.cores, 64);
+        assert_eq!(b.cores_per_node(), 8);
+        // STREAM ratio ≈ 7.8 — the paper's explanation for find's max
+        // speedup of ≈ 6–7 on this machine (§5.3).
+        let ratio = b.bw_all_gbs / b.bw_1core_gbs;
+        assert!((7.0..9.0).contains(&ratio), "ratio {ratio}");
+
+        let c = mach_c();
+        assert_eq!(c.cores, 128);
+        assert_eq!(c.cores_per_node(), 16);
+    }
+
+    #[test]
+    fn nodes_used_fill_first() {
+        let a = mach_a();
+        assert_eq!(a.nodes_used(1), 1);
+        assert_eq!(a.nodes_used(16), 1);
+        assert_eq!(a.nodes_used(17), 2);
+        assert_eq!(a.nodes_used(32), 2);
+        let c = mach_c();
+        assert_eq!(c.nodes_used(16), 1);
+        assert_eq!(c.nodes_used(128), 8);
+    }
+
+    #[test]
+    fn cache_aggregation() {
+        let c = mach_c();
+        // Paper §5.4: 2^22 doubles (32 MiB) ≈ aggregate L2 of the cores
+        // used; 2^26 doubles (512 MiB) ≈ total LLC of both sockets.
+        assert_eq!(c.l2_total_bytes(64), 64 * 512 * 1024);
+        assert_eq!(c.llc_total_bytes(128), 2 * 256 * 1024 * 1024);
+    }
+
+    #[test]
+    fn thread_sweep_is_doubling() {
+        assert_eq!(mach_a().thread_sweep(), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(mach_c().thread_sweep().last(), Some(&128));
+    }
+}

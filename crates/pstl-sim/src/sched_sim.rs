@@ -1,0 +1,346 @@
+//! Task-level discrete-event scheduler simulation.
+//!
+//! The analytical CPU model in [`crate::exec`] assumes uniform
+//! per-element cost, which is true of every kernel the paper studies —
+//! and is exactly why the paper finds static OpenMP scheduling (NVC-OMP,
+//! GNU) competitive with or better than dynamic disciplines. This module
+//! simulates the scheduling *event by event* so the reproduction can
+//! also answer the question the paper leaves open: what happens when the
+//! work is **not** uniform?
+//!
+//! The simulation executes a list of task durations on `workers` virtual
+//! threads under three disciplines:
+//!
+//! * [`SimDiscipline::Static`] — OpenMP `schedule(static)`: contiguous
+//!   pre-partitioning, no runtime traffic, makespan = heaviest partition;
+//! * [`SimDiscipline::Dynamic`] — central-queue chunk self-scheduling
+//!   (OpenMP `dynamic` / the HPX task pool): each grab pays an overhead;
+//! * [`SimDiscipline::WorkStealing`] — TBB-style: initial static
+//!   distribution, idle workers steal the *remaining half* of the most
+//!   loaded worker's queue for a steal cost.
+
+use serde::Serialize;
+
+/// Scheduling discipline of the simulated pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum SimDiscipline {
+    /// Contiguous static partitioning (no runtime scheduling traffic).
+    Static,
+    /// Central queue of fixed-size chunks; every grab costs
+    /// `overhead` time units.
+    Dynamic {
+        /// Tasks per grab.
+        chunk: usize,
+        /// Cost of one grab (queue lock + dispatch), time units.
+        overhead: f64,
+    },
+    /// Static start + steal-half-of-victim rebalancing; each steal costs
+    /// `steal_cost` time units.
+    WorkStealing {
+        /// Cost of one successful steal, time units.
+        steal_cost: f64,
+    },
+}
+
+/// A simulated pool.
+#[derive(Debug, Clone)]
+pub struct SchedSim {
+    workers: usize,
+}
+
+impl SchedSim {
+    /// A pool of `workers` virtual threads (≥ 1).
+    pub fn new(workers: usize) -> Self {
+        SchedSim {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Makespan (time until the last task finishes) of executing
+    /// `durations` under `discipline`.
+    pub fn makespan(&self, durations: &[f64], discipline: SimDiscipline) -> f64 {
+        debug_assert!(durations.iter().all(|d| *d >= 0.0));
+        if durations.is_empty() {
+            return 0.0;
+        }
+        match discipline {
+            SimDiscipline::Static => self.makespan_static(durations),
+            SimDiscipline::Dynamic { chunk, overhead } => {
+                self.makespan_dynamic(durations, chunk.max(1), overhead)
+            }
+            SimDiscipline::WorkStealing { steal_cost } => {
+                self.makespan_stealing(durations, steal_cost)
+            }
+        }
+    }
+
+    /// Lower bound on any schedule: max(total/workers, longest task).
+    pub fn lower_bound(&self, durations: &[f64]) -> f64 {
+        let total: f64 = durations.iter().sum();
+        let longest = durations.iter().cloned().fold(0.0, f64::max);
+        (total / self.workers as f64).max(longest)
+    }
+
+    fn makespan_static(&self, durations: &[f64]) -> f64 {
+        let n = durations.len();
+        (0..self.workers)
+            .map(|w| {
+                let lo = n * w / self.workers;
+                let hi = n * (w + 1) / self.workers;
+                durations[lo..hi].iter().sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn makespan_dynamic(&self, durations: &[f64], chunk: usize, overhead: f64) -> f64 {
+        // Greedy list scheduling over chunks: always hand the next chunk
+        // to the earliest-free worker (a binary heap of free times).
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut free: BinaryHeap<Reverse<Time>> =
+            (0..self.workers).map(|_| Reverse(Time(0.0))).collect();
+        let mut makespan = 0.0f64;
+        for chunk_durations in durations.chunks(chunk) {
+            let work: f64 = chunk_durations.iter().sum();
+            let Reverse(Time(t)) = free.pop().expect("worker heap never empty");
+            let done = t + overhead + work;
+            makespan = makespan.max(done);
+            free.push(Reverse(Time(done)));
+        }
+        makespan
+    }
+
+    fn makespan_stealing(&self, durations: &[f64], steal_cost: f64) -> f64 {
+        // Event simulation at task granularity: workers start with the
+        // static partition as double-ended queues; an idle worker steals
+        // the back half of the most-loaded victim's queue.
+        let n = durations.len();
+        let mut queues: Vec<std::collections::VecDeque<f64>> = (0..self.workers)
+            .map(|w| {
+                let lo = n * w / self.workers;
+                let hi = n * (w + 1) / self.workers;
+                durations[lo..hi].iter().cloned().collect()
+            })
+            .collect();
+        let mut clock = vec![0.0f64; self.workers];
+        loop {
+            // Advance: each worker runs its queue front at its own clock;
+            // process the globally earliest idle event.
+            let (idle, _) = clock
+                .iter()
+                .enumerate()
+                .filter(|(w, _)| queues[*w].is_empty())
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(w, t)| (Some(w), *t))
+                .unwrap_or((None, 0.0));
+            match idle {
+                None => {
+                    // Everyone has work: run one task on the earliest
+                    // worker.
+                    let w = (0..self.workers)
+                        .filter(|w| !queues[*w].is_empty())
+                        .min_by(|a, b| clock[*a].total_cmp(&clock[*b]))
+                        .expect("some queue non-empty or loop ended");
+                    let d = queues[w].pop_front().expect("non-empty");
+                    clock[w] += d;
+                }
+                Some(w) => {
+                    // Steal half from the victim with the most queued work.
+                    let victim = (0..self.workers)
+                        .filter(|v| *v != w && queues[*v].len() > 1)
+                        .max_by(|a, b| {
+                            let wa: f64 = queues[*a].iter().sum();
+                            let wb: f64 = queues[*b].iter().sum();
+                            wa.total_cmp(&wb)
+                        });
+                    match victim {
+                        Some(v) => {
+                            // The steal cannot complete before the victim
+                            // has published the work.
+                            let at = clock[w].max(clock[v]) + steal_cost;
+                            clock[w] = at;
+                            let keep = queues[v].len().div_ceil(2);
+                            let stolen: Vec<f64> = queues[v].drain(keep..).collect();
+                            queues[w].extend(stolen);
+                        }
+                        None => {
+                            // Nothing left to steal anywhere: this worker
+                            // is done; park it at infinity.
+                            if queues.iter().all(|q| q.len() <= 1) {
+                                // Run out the stragglers.
+                                for (v, q) in queues.iter_mut().enumerate() {
+                                    while let Some(d) = q.pop_front() {
+                                        clock[v] += d;
+                                    }
+                                }
+                                return clock.iter().cloned().fold(0.0, f64::max);
+                            }
+                            clock[w] = f64::INFINITY;
+                        }
+                    }
+                }
+            }
+            if queues.iter().all(|q| q.is_empty()) {
+                return clock
+                    .iter()
+                    .cloned()
+                    .filter(|t| t.is_finite())
+                    .fold(0.0, f64::max);
+            }
+        }
+    }
+}
+
+/// Total-ordered f64 wrapper for the scheduling heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Generate a skewed task-duration list: uniform cost 1 with a fraction
+/// of "heavy" tasks of cost `heavy_factor`, deterministically placed.
+pub fn skewed_durations(n: usize, heavy_every: usize, heavy_factor: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if heavy_every > 0 && i % heavy_every == 0 {
+                heavy_factor
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DISCIPLINES: [SimDiscipline; 3] = [
+        SimDiscipline::Static,
+        SimDiscipline::Dynamic {
+            chunk: 4,
+            overhead: 0.01,
+        },
+        SimDiscipline::WorkStealing { steal_cost: 0.05 },
+    ];
+
+    #[test]
+    fn empty_and_single_task() {
+        let sim = SchedSim::new(4);
+        for d in DISCIPLINES {
+            assert_eq!(sim.makespan(&[], d), 0.0);
+            let m = sim.makespan(&[3.0], d);
+            assert!((3.0..3.2).contains(&m), "{d:?}: {m}");
+        }
+    }
+
+    #[test]
+    fn makespan_respects_lower_bound() {
+        let sim = SchedSim::new(4);
+        let work = skewed_durations(1000, 37, 25.0);
+        let lb = sim.lower_bound(&work);
+        for d in DISCIPLINES {
+            let m = sim.makespan(&work, d);
+            assert!(m >= lb * 0.999, "{d:?}: makespan {m} below bound {lb}");
+        }
+    }
+
+    #[test]
+    fn uniform_work_static_is_optimal() {
+        let sim = SchedSim::new(8);
+        let work = vec![1.0; 4096];
+        let stat = sim.makespan(&work, SimDiscipline::Static);
+        assert!((stat - 512.0).abs() < 1e-9);
+        // Dynamic pays grab overheads on top.
+        let dyn_ = sim.makespan(
+            &work,
+            SimDiscipline::Dynamic {
+                chunk: 16,
+                overhead: 0.1,
+            },
+        );
+        assert!(dyn_ > stat, "dynamic {dyn_} must pay overhead over {stat}");
+    }
+
+    #[test]
+    fn skewed_work_favors_dynamic_disciplines() {
+        // A run of heavy tasks clustered at the front of the index space
+        // overloads the first static partition; dynamic and stealing
+        // rebalance.
+        let sim = SchedSim::new(8);
+        let mut work = vec![1.0; 4096];
+        for d in work.iter_mut().take(512) {
+            *d = 20.0;
+        }
+        let stat = sim.makespan(&work, SimDiscipline::Static);
+        let dyn_ = sim.makespan(
+            &work,
+            SimDiscipline::Dynamic {
+                chunk: 16,
+                overhead: 0.1,
+            },
+        );
+        let steal = sim.makespan(&work, SimDiscipline::WorkStealing { steal_cost: 0.5 });
+        assert!(
+            dyn_ < stat / 2.0,
+            "dynamic {dyn_} must crush static {stat} on skew"
+        );
+        assert!(
+            steal < stat / 2.0,
+            "stealing {steal} must crush static {stat} on skew"
+        );
+    }
+
+    #[test]
+    fn single_worker_is_serial_sum() {
+        let sim = SchedSim::new(1);
+        let work = skewed_durations(100, 10, 5.0);
+        let total: f64 = work.iter().sum();
+        let m = sim.makespan(&work, SimDiscipline::Static);
+        assert!((m - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_workers_never_hurt_static_or_dynamic() {
+        let work = skewed_durations(2000, 13, 8.0);
+        for d in [
+            SimDiscipline::Static,
+            SimDiscipline::Dynamic {
+                chunk: 8,
+                overhead: 0.01,
+            },
+        ] {
+            let mut prev = f64::INFINITY;
+            for workers in [1usize, 2, 4, 8, 16] {
+                let m = SchedSim::new(workers).makespan(&work, d);
+                assert!(m <= prev * 1.001, "{d:?} at {workers} workers: {m} > {prev}");
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
+    fn steal_cost_matters() {
+        let sim = SchedSim::new(8);
+        let mut work = vec![1.0; 1024];
+        for d in work.iter_mut().take(128) {
+            *d = 20.0;
+        }
+        let cheap = sim.makespan(&work, SimDiscipline::WorkStealing { steal_cost: 0.01 });
+        let pricey = sim.makespan(&work, SimDiscipline::WorkStealing { steal_cost: 50.0 });
+        assert!(cheap < pricey, "cheap steals {cheap} vs pricey {pricey}");
+    }
+}

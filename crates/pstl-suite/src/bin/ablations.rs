@@ -1,0 +1,20 @@
+//! Run the four ablation studies (see `experiments::ablations`): sort
+//! algorithm, HPX deficit decomposition, allocator placement, and the
+//! future-work ARM prediction.
+
+use pstl_suite::experiments::ablations;
+
+fn main() {
+    for table in [
+        ablations::build_sort_flavor(),
+        ablations::build_hpx_decomposition(),
+        ablations::build_placement(),
+        ablations::build_arm_prediction(),
+    ] {
+        println!("{}", table.render());
+        match table.save() {
+            Ok(path) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", table.id),
+        }
+    }
+}

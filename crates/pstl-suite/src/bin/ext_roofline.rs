@@ -1,0 +1,11 @@
+//! Extension experiment: the memory roofline of the reduce kernel (see
+//! `experiments::roofline`).
+
+fn main() {
+    let doc = pstl_suite::experiments::roofline::build();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

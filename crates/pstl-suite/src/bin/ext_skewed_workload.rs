@@ -1,0 +1,11 @@
+//! Extension experiment: scheduling disciplines under skewed per-element
+//! work (see `experiments::skew`).
+
+fn main() {
+    let doc = pstl_suite::experiments::skew::build();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

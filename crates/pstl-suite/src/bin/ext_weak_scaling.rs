@@ -1,0 +1,11 @@
+//! Extension experiment: weak scaling on Mach C (see
+//! `experiments::weak_scaling`).
+
+fn main() {
+    let doc = pstl_suite::experiments::weak_scaling::build();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! The paper's research question 1: the sequential/parallel sweet-spot
+//! size per machine × backend × kernel (see `experiments::crossover`).
+
+fn main() {
+    let doc = pstl_suite::experiments::crossover::build();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Run every figure/table experiment in DESIGN.md §4 order, printing
+//! each rendering and writing all JSON documents under `results/`.
+
+use pstl_suite::experiments as exp;
+
+fn main() {
+    let figures = [
+        exp::fig2::build(),
+        exp::fig3::build(),
+        exp::fig4::build(),
+        exp::fig5::build(),
+        exp::fig6::build(),
+        exp::fig7::build(),
+        exp::fig8::build(),
+        exp::fig9::build(),
+        exp::weak_scaling::build(),
+        exp::skew::build(),
+        exp::roofline::build(),
+    ];
+    let tables = [
+        exp::table1::build(),
+        exp::table2::build(),
+        exp::fig1::build(), // Fig. 1 renders as a ratio table
+        exp::table3::build(),
+        exp::table4::build(),
+        exp::table5::build(),
+        exp::table5::build_ratio(),
+        exp::table6::build(),
+        exp::table7::build(),
+        exp::ablations::build_sort_flavor(),
+        exp::ablations::build_hpx_decomposition(),
+        exp::ablations::build_placement(),
+        exp::ablations::build_arm_prediction(),
+        exp::crossover::build(),
+    ];
+    for t in &tables {
+        println!("{}", t.render());
+        if let Err(e) = t.save() {
+            eprintln!("could not write {}: {e}", t.id);
+        }
+    }
+    for f in &figures {
+        println!("{}", f.render());
+        if let Err(e) = f.save() {
+            eprintln!("could not write {}: {e}", f.id);
+        }
+    }
+    println!(
+        "wrote {} documents to {}",
+        figures.len() + tables.len(),
+        pstl_suite::results_dir().display()
+    );
+}

@@ -1,0 +1,11 @@
+//! The paper's Table 1 with this reproduction's algorithm coverage (see
+//! `experiments::table1`).
+
+fn main() {
+    let doc = pstl_suite::experiments::table1::build();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's Table 3: LIKWID-style counters for 100 calls
+//! of `X::for_each` (k_it = 1) on Mach A.
+
+fn main() {
+    let doc = pstl_suite::experiments::table3::build();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's Table 4: LIKWID-style counters for 100 calls
+//! of `X::reduce` on Mach A.
+
+fn main() {
+    let doc = pstl_suite::experiments::table4::build();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

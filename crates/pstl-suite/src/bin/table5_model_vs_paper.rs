@@ -1,0 +1,11 @@
+//! Companion of `table5_speedups`: the per-cell model/paper ratio table
+//! (1.0 = exact reproduction of the paper's measured speedup).
+
+fn main() {
+    let doc = pstl_suite::experiments::table5::build_ratio();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's table6 (see DESIGN.md §4). Prints the text
+//! rendering and writes JSON under `results/`.
+
+fn main() {
+    let doc = pstl_suite::experiments::table6::build();
+    print!("{}", doc.render());
+    match doc.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

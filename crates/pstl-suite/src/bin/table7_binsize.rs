@@ -1,0 +1,28 @@
+//! Regenerate the paper's Table 7: binary sizes per compiler/backend —
+//! paper values, size-model decomposition, and (when a release build
+//! exists) the measured sizes of this reproduction's own binaries.
+
+fn main() {
+    let doc = pstl_suite::experiments::table7::build();
+    print!("{}", doc.render());
+    if let Err(e) = doc.save() {
+        eprintln!("could not write results JSON: {e}");
+    }
+
+    // Locate the workspace target dir relative to our own executable.
+    let target = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .and_then(|d| d.parent().map(|d| d.to_path_buf()));
+    if let Some(target) = target {
+        let measured = pstl_suite::experiments::table7::build_measured(&target);
+        if measured.rows.is_empty() {
+            println!("\n(no release binaries found to measure — run with --release)");
+        } else {
+            print!("\n{}", measured.render());
+            if let Err(e) = measured.save() {
+                eprintln!("could not write measured-size JSON: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Research question 1 of the paper (§3): *"What is the sweet spot in
+//! terms of problem size for each parallel STL algorithm — how large a
+//! problem has to be such that utilizing the parallel version is
+//! advantageous?"*
+//!
+//! The paper answers it qualitatively from its problem-scaling figures
+//! ("around 2^16 elements" for for_each, "approximately 2^16…2^18" for
+//! find, 2^22 for scan on Zen 3). This table answers it exhaustively:
+//! for every machine × backend × kernel, the smallest power-of-two size
+//! at which the parallel run (all cores) beats GCC-SEQ.
+
+use pstl_sim::kernels::Kernel;
+use pstl_sim::machine::{all_machines, Machine};
+use pstl_sim::{Backend, CpuSim, RunParams};
+
+use crate::output::{TableDoc, TableRow};
+
+/// Smallest exponent `e` in `3..=30` such that the parallel backend at
+/// full core count beats sequential at `n = 2^e`; `None` if it never
+/// does (within 2^30).
+pub fn crossover_exp(machine: &Machine, backend: Backend, kernel: Kernel) -> Option<u32> {
+    let sim = CpuSim::new(machine.clone(), backend);
+    let seq = CpuSim::new(machine.clone(), Backend::GccSeq);
+    (3..=30).find(|&e| {
+        let n = 1usize << e;
+        sim.time(&RunParams::new(kernel, n, machine.cores))
+            < seq.time(&RunParams::new(kernel, n, 1))
+    })
+}
+
+/// Build the crossover table (cells are exponents: 16 ⇒ 2^16).
+pub fn build() -> TableDoc {
+    let kernels = Kernel::paper_summary_set();
+    let mut rows = Vec::new();
+    for backend in Backend::paper_cpu_set() {
+        for machine in all_machines() {
+            rows.push(TableRow {
+                label: format!("{} {:?}", backend.name(), machine.id),
+                values: kernels
+                    .iter()
+                    .map(|&k| {
+                        crate::experiments::table5::model_value(backend, &k, &machine)?;
+                        crossover_exp(&machine, backend, k).map(|e| e as f64)
+                    })
+                    .collect(),
+            });
+        }
+    }
+    TableDoc {
+        id: "rq1_crossover".into(),
+        title: "Smallest 2^e where parallel (all cores) beats GCC-SEQ — the paper's RQ1".into(),
+        columns: kernels.iter().map(|k| k.name()).collect(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_sim::machine::{mach_a, mach_c};
+
+    #[test]
+    fn foreach_crossover_matches_paper_range() {
+        // §5.2: parallel compensates "for problem sizes of around 2^16
+        // elements"; GNU's threshold makes it match sequential earlier.
+        for machine in all_machines() {
+            for backend in [Backend::GccTbb, Backend::NvcOmp] {
+                let e = crossover_exp(&machine, backend, Kernel::ForEach { k_it: 1 })
+                    .expect("must cross");
+                assert!(
+                    (9..=19).contains(&e),
+                    "{:?} on {}: crossover 2^{e}",
+                    backend,
+                    machine.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gnu_threshold_gives_earliest_safe_crossover() {
+        // GNU runs sequentially below 2^10, so it never *loses* to seq —
+        // its first parallel win lands right at/after the threshold.
+        let m = mach_a();
+        let gnu = crossover_exp(&m, Backend::GccGnu, Kernel::ForEach { k_it: 1 }).unwrap();
+        let tbb = crossover_exp(&m, Backend::GccTbb, Kernel::ForEach { k_it: 1 }).unwrap();
+        assert!(gnu <= tbb, "GNU 2^{gnu} must cross no later than TBB 2^{tbb}");
+    }
+
+    #[test]
+    fn high_intensity_crosses_much_earlier() {
+        let m = mach_a();
+        let k1 = crossover_exp(&m, Backend::GccTbb, Kernel::ForEach { k_it: 1 }).unwrap();
+        let k1000 = crossover_exp(&m, Backend::GccTbb, Kernel::ForEach { k_it: 1000 }).unwrap();
+        assert!(
+            k1000 + 3 <= k1,
+            "k1000 crossover 2^{k1000} must be ≫ earlier than k1 2^{k1}"
+        );
+    }
+
+    #[test]
+    fn hpx_crosses_latest() {
+        // HPX's dispatch costs push its break-even size out furthest
+        // (Fig. 2: slowest at every small size).
+        let m = mach_c();
+        let hpx = crossover_exp(&m, Backend::GccHpx, Kernel::ForEach { k_it: 1 }).unwrap();
+        for b in [Backend::GccTbb, Backend::GccGnu, Backend::NvcOmp] {
+            let other = crossover_exp(&m, b, Kernel::ForEach { k_it: 1 }).unwrap();
+            assert!(hpx >= other, "HPX 2^{hpx} vs {:?} 2^{other}", b);
+        }
+    }
+
+    #[test]
+    fn nvc_scan_never_crosses() {
+        // NVC's scan is sequential with worse codegen: never beats GCC-SEQ.
+        for machine in all_machines() {
+            assert_eq!(
+                crossover_exp(&machine, Backend::NvcOmp, Kernel::InclusiveScan),
+                None,
+                "{}",
+                machine.name
+            );
+        }
+    }
+
+    #[test]
+    fn table_is_complete() {
+        let t = build();
+        assert_eq!(t.rows.len(), 15);
+        // Crossovers, where present, are within the swept range.
+        for row in &t.rows {
+            for v in row.values.iter().flatten() {
+                assert!((3.0..=30.0).contains(v));
+            }
+        }
+    }
+}

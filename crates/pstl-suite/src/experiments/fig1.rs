@@ -1,0 +1,104 @@
+//! Figure 1: speedup from the custom parallel (first-touch) allocator
+//! vs. the default allocator — Mach A, 32 threads, 2^30 elements, per
+//! backend × kernel. Higher is better; 1.0 = no effect.
+
+use pstl_sim::kernels::Kernel;
+use pstl_sim::machine::mach_a;
+use pstl_sim::memory::PagePlacement;
+use pstl_sim::{Backend, CpuSim, RunParams};
+
+use crate::output::{TableDoc, TableRow};
+
+/// Build the Figure 1 table (rendered as a table of ratios rather than a
+/// bar chart).
+pub fn build() -> TableDoc {
+    let machine = mach_a();
+    let kernels = Kernel::paper_summary_set();
+    let mut rows = Vec::new();
+    for backend in Backend::allocator_study_set() {
+        let sim = CpuSim::new(machine.clone(), backend);
+        let values = kernels
+            .iter()
+            .map(|&kernel| {
+                let spread = sim.time(
+                    &RunParams::new(kernel, 1 << 30, 32)
+                        .with_placement(PagePlacement::Spread),
+                );
+                let node0 = sim.time(
+                    &RunParams::new(kernel, 1 << 30, 32)
+                        .with_placement(PagePlacement::Node0),
+                );
+                Some(node0 / spread)
+            })
+            .collect();
+        rows.push(TableRow {
+            label: backend.name().to_string(),
+            values,
+        });
+    }
+    TableDoc {
+        id: "fig1_allocator".into(),
+        title: "Speedup of the parallel first-touch allocator vs the default \
+                allocator (Mach A, 32 threads, 2^30 elements)"
+            .into(),
+        columns: kernels.iter().map(|k| k.name()).collect(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(table: &TableDoc, backend: &str, kernel: &str) -> f64 {
+        let col = table.columns.iter().position(|c| c == kernel).unwrap();
+        table
+            .rows
+            .iter()
+            .find(|r| r.label == backend)
+            .unwrap()
+            .values[col]
+            .unwrap()
+    }
+
+    #[test]
+    fn bandwidth_bound_kernels_gain() {
+        // Paper: up to +63 % for for_each k1, +50 % for reduce.
+        let t = build();
+        for backend in ["GCC-TBB", "GCC-GNU", "NVC-OMP"] {
+            let g = cell(&t, backend, "for_each_k1");
+            assert!((1.25..1.85).contains(&g), "{backend} for_each gain {g}");
+            let r = cell(&t, backend, "reduce");
+            assert!((1.2..1.9).contains(&r), "{backend} reduce gain {r}");
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernels_are_flat() {
+        // Paper: no significant difference for k_it = 1000 and sort.
+        let t = build();
+        for backend in ["GCC-TBB", "GCC-GNU", "ICC-TBB", "NVC-OMP"] {
+            for kernel in ["for_each_k1000", "sort"] {
+                let g = cell(&t, backend, kernel);
+                assert!((0.9..1.15).contains(&g), "{backend} {kernel} gain {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn nvc_find_and_scan_lose() {
+        // Paper: find up to −24 %, inclusive_scan up to −19 %.
+        let t = build();
+        let find = cell(&t, "NVC-OMP", "find");
+        assert!((0.6..0.95).contains(&find), "NVC find gain {find}");
+        let scan = cell(&t, "NVC-OMP", "inclusive_scan");
+        assert!((0.7..0.98).contains(&scan), "NVC scan gain {scan}");
+    }
+
+    #[test]
+    fn hpx_is_excluded() {
+        let t = build();
+        assert!(t.rows.iter().all(|r| r.label != "GCC-HPX"));
+        assert_eq!(t.rows.len(), 4);
+    }
+}

@@ -1,0 +1,214 @@
+//! Figure 8: GPU `X::for_each` problem scaling with `float` elements and
+//! varying computational intensity, with forced transfer back to the host
+//! after every call (paper §5.8). Compared against the CPU references
+//! the paper plots: the parallel CPU backends and GCC-SEQ.
+//!
+//! The paper's headline: at low k_it the GPUs lose to the CPUs (transfer
+//! bound); at high k_it they win by 23.5× (T4) / 13.3× (A2) over the
+//! parallel CPU.
+
+use pstl_sim::gpu::{mach_d_tesla_t4, mach_e_ampere_a2, GpuRun, GpuSim};
+use pstl_sim::kernels::{DType, Kernel};
+use pstl_sim::machine::mach_a;
+use pstl_sim::{Backend, CpuSim, RunParams};
+
+use crate::output::{Figure, Panel, Series};
+
+/// Intensities swept (the paper shows low / medium / high k_it).
+pub const K_ITS: [u32; 3] = [1, 100, 131_072];
+
+/// Sizes swept (floats; up to 2^28 to fit the A2's 8 GiB).
+fn sizes() -> Vec<usize> {
+    (10..=28).map(|e| 1usize << e).collect()
+}
+
+fn cpu_time(backend: Backend, k_it: u32, n: usize, threads: usize) -> f64 {
+    let machine = mach_a();
+    let sim = CpuSim::new(machine, backend);
+    sim.time(&RunParams {
+        kernel: Kernel::ForEach { k_it },
+        dtype: DType::F32,
+        n,
+        threads,
+        placement: pstl_sim::memory::PagePlacement::Spread,
+    })
+}
+
+/// Build the figure: one panel per k_it; series = T4, A2, CPU parallel
+/// (NVC-OMP on Mach A, 32 threads), CPU sequential.
+pub fn build() -> Figure {
+    let t4 = GpuSim::new(mach_d_tesla_t4());
+    let a2 = GpuSim::new(mach_e_ampere_a2());
+    let ns = sizes();
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let mut panels = Vec::new();
+    for k_it in K_ITS {
+        let gpu_run = |n: usize| GpuRun {
+            kernel: Kernel::ForEach { k_it },
+            dtype: DType::F32,
+            n,
+            data_on_device: false,
+            transfer_back: true, // forced, as in the paper's Fig. 8 setup
+        };
+        let series = vec![
+            Series::new(
+                "NVC-CUDA (T4)",
+                xs.clone(),
+                ns.iter().map(|&n| t4.time(&gpu_run(n))).collect(),
+            ),
+            Series::new(
+                "NVC-CUDA (A2)",
+                xs.clone(),
+                ns.iter().map(|&n| a2.time(&gpu_run(n))).collect(),
+            ),
+            Series::new(
+                "CPU par (NVC-OMP)",
+                xs.clone(),
+                ns.iter().map(|&n| cpu_time(Backend::NvcOmp, k_it, n, 32)).collect(),
+            ),
+            Series::new(
+                "GCC-SEQ",
+                xs.clone(),
+                ns.iter().map(|&n| cpu_time(Backend::GccSeq, k_it, n, 1)).collect(),
+            ),
+        ];
+        panels.push(Panel {
+            title: format!("k_it={k_it}"),
+            series,
+        });
+    }
+    // Extra panel: the volatile quirk (§5.8) — the same k_it below the
+    // 65001 "magic number" as float (loop kept) vs double (loop deleted)
+    // vs int (always deleted).
+    {
+        let k_it = 60_000u32;
+        let quirk_run = |dtype: DType, n: usize| GpuRun {
+            kernel: Kernel::ForEach { k_it },
+            dtype,
+            n,
+            data_on_device: true,
+            transfer_back: false,
+        };
+        let series = [DType::F32, DType::F64, DType::I32]
+            .iter()
+            .map(|&dtype| {
+                Series::new(
+                    format!(
+                        "{} ({})",
+                        dtype.name(),
+                        if GpuSim::volatile_elided(dtype, k_it) {
+                            "loop elided"
+                        } else {
+                            "loop kept"
+                        }
+                    ),
+                    xs.clone(),
+                    ns.iter().map(|&n| t4.time(&quirk_run(dtype, n))).collect(),
+                )
+            })
+            .collect();
+        panels.push(Panel {
+            title: format!("volatile quirk on T4, k_it={k_it}, resident data"),
+            series,
+        });
+    }
+
+    Figure {
+        id: "fig8_gpu_foreach".into(),
+        title: "X::for_each on GPUs (float, transfer back each call)".into(),
+        x_label: "elements".into(),
+        y_label: "time [s]".into(),
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn last(fig: &Figure, panel: &str, label: &str) -> f64 {
+        *fig.panels
+            .iter()
+            .find(|p| p.title == panel)
+            .unwrap()
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap()
+            .y
+            .last()
+            .unwrap()
+    }
+
+    #[test]
+    fn low_intensity_gpu_loses_to_cpu() {
+        // §5.8: at low intensity the GPU is slower than the parallel CPU,
+        // sometimes even than sequential.
+        let fig = build();
+        let t4 = last(&fig, "k_it=1", "NVC-CUDA (T4)");
+        let cpu = last(&fig, "k_it=1", "CPU par (NVC-OMP)");
+        assert!(t4 > cpu, "T4 {t4} must lose to CPU {cpu} at k_it=1");
+    }
+
+    #[test]
+    fn high_intensity_gpu_wins_by_order_of_magnitude() {
+        // §5.8: 23.5× on the T4, 13.3× on the A2 over the parallel CPU.
+        let fig = build();
+        let panel = "k_it=131072";
+        let cpu = last(&fig, panel, "CPU par (NVC-OMP)");
+        let t4 = last(&fig, panel, "NVC-CUDA (T4)");
+        let a2 = last(&fig, panel, "NVC-CUDA (A2)");
+        let t4_speedup = cpu / t4;
+        let a2_speedup = cpu / a2;
+        assert!((10.0..40.0).contains(&t4_speedup), "T4 speedup {t4_speedup}");
+        assert!((6.0..32.0).contains(&a2_speedup), "A2 speedup {a2_speedup}");
+        assert!(t4_speedup > a2_speedup, "T4 must beat A2 (more cores)");
+    }
+
+    #[test]
+    fn gpu_time_flat_in_kit_when_transfer_bound() {
+        // Below the compute roof the GPU time is all PCIe: k_it=1 and
+        // k_it=1024 nearly identical.
+        let fig = build();
+        let lo = last(&fig, "k_it=1", "NVC-CUDA (T4)");
+        let mid = last(&fig, "k_it=100", "NVC-CUDA (T4)");
+        assert!(mid / lo < 1.5, "transfer-bound flatness {lo} vs {mid}");
+    }
+
+    #[test]
+    fn panels_and_series_complete() {
+        let fig = build();
+        assert_eq!(fig.panels.len(), 4);
+        assert!(fig.panels[..3].iter().all(|p| p.series.len() == 4));
+    }
+
+    #[test]
+    fn volatile_quirk_panel_shows_the_trap() {
+        // §5.8: below the magic k_it the double/int loops are deleted —
+        // their "benchmark" is orders of magnitude faster than the float
+        // one that actually computes.
+        let fig = build();
+        let panel = fig
+            .panels
+            .iter()
+            .find(|p| p.title.contains("volatile quirk"))
+            .unwrap();
+        let last = |label_substr: &str| {
+            *panel
+                .series
+                .iter()
+                .find(|s| s.label.contains(label_substr))
+                .unwrap()
+                .y
+                .last()
+                .unwrap()
+        };
+        let float = last("float");
+        let double = last("double");
+        let int = last("int");
+        assert!(float > 100.0 * double, "float {float} vs elided double {double}");
+        assert!(float > 100.0 * int);
+        assert!(panel.series.iter().any(|s| s.label.contains("loop elided")));
+        assert!(panel.series.iter().any(|s| s.label.contains("loop kept")));
+    }
+}

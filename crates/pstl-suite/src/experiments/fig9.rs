@@ -1,0 +1,143 @@
+//! Figure 9: GPU `X::reduce` problem scaling (`float`) — (a) with a
+//! GPU→host transfer after every call, (b) with data left resident on
+//! the device (calls chained). Paper §5.8: with per-call transfers the
+//! GPU is communication-limited and can lose even to sequential CPU
+//! code; with residency it outperforms the CPUs.
+
+use pstl_sim::gpu::{mach_d_tesla_t4, mach_e_ampere_a2, GpuRun, GpuSim};
+use pstl_sim::kernels::{DType, Kernel};
+use pstl_sim::machine::mach_a;
+use pstl_sim::{Backend, CpuSim, RunParams};
+
+use crate::output::{Figure, Panel, Series};
+
+/// Calls chained per measurement (steady-state behaviour).
+pub const CHAIN_CALLS: usize = 50;
+
+fn sizes() -> Vec<usize> {
+    (10..=28).map(|e| 1usize << e).collect()
+}
+
+fn cpu_time(backend: Backend, n: usize, threads: usize) -> f64 {
+    let sim = CpuSim::new(mach_a(), backend);
+    sim.time(&RunParams {
+        kernel: Kernel::Reduce,
+        dtype: DType::F32,
+        n,
+        threads,
+        placement: pstl_sim::memory::PagePlacement::Spread,
+    })
+}
+
+/// Average per-call time of a chain of reduce calls on `gpu`.
+fn gpu_chain_avg(gpu: &GpuSim, n: usize, transfer_each: bool) -> f64 {
+    let run = GpuRun {
+        kernel: Kernel::Reduce,
+        dtype: DType::F32,
+        n,
+        data_on_device: false,
+        transfer_back: false,
+    };
+    gpu.chain_time(&run, CHAIN_CALLS, transfer_each) / CHAIN_CALLS as f64
+}
+
+/// Build the two-panel figure.
+pub fn build() -> Figure {
+    let t4 = GpuSim::new(mach_d_tesla_t4());
+    let a2 = GpuSim::new(mach_e_ampere_a2());
+    let ns = sizes();
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+
+    let panel = |title: &str, transfer_each: bool| Panel {
+        title: title.to_string(),
+        series: vec![
+            Series::new(
+                "NVC-CUDA (T4)",
+                xs.clone(),
+                ns.iter().map(|&n| gpu_chain_avg(&t4, n, transfer_each)).collect(),
+            ),
+            Series::new(
+                "NVC-CUDA (A2)",
+                xs.clone(),
+                ns.iter().map(|&n| gpu_chain_avg(&a2, n, transfer_each)).collect(),
+            ),
+            Series::new(
+                "CPU par (NVC-OMP)",
+                xs.clone(),
+                ns.iter().map(|&n| cpu_time(Backend::NvcOmp, n, 32)).collect(),
+            ),
+            Series::new(
+                "GCC-SEQ",
+                xs.clone(),
+                ns.iter().map(|&n| cpu_time(Backend::GccSeq, n, 1)).collect(),
+            ),
+        ],
+    };
+
+    Figure {
+        id: "fig9_gpu_reduce".into(),
+        title: "X::reduce on GPUs (float), chained calls".into(),
+        x_label: "elements".into(),
+        y_label: "time per call [s]".into(),
+        panels: vec![
+            panel("(a) with GPU-to-host transfer each call", true),
+            panel("(b) without transfer (data resident)", false),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn last(fig: &Figure, panel_idx: usize, label: &str) -> f64 {
+        *fig.panels[panel_idx]
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap()
+            .y
+            .last()
+            .unwrap()
+    }
+
+    #[test]
+    fn with_transfers_gpu_loses_even_to_sequential() {
+        // §5.8: "up to a point where the GPUs are slower than the CPU
+        // with sequential implementation".
+        let fig = build();
+        let t4 = last(&fig, 0, "NVC-CUDA (T4)");
+        let seq = last(&fig, 0, "GCC-SEQ");
+        assert!(t4 > seq, "T4 with transfers {t4} must lose to seq {seq}");
+    }
+
+    #[test]
+    fn without_transfers_gpu_outperforms_cpus() {
+        let fig = build();
+        let t4 = last(&fig, 1, "NVC-CUDA (T4)");
+        let cpu = last(&fig, 1, "CPU par (NVC-OMP)");
+        let seq = last(&fig, 1, "GCC-SEQ");
+        assert!(t4 < cpu, "resident T4 {t4} must beat parallel CPU {cpu}");
+        assert!(t4 < seq);
+    }
+
+    #[test]
+    fn transfer_mode_dominates_gpu_time() {
+        let fig = build();
+        let with = last(&fig, 0, "NVC-CUDA (A2)");
+        let without = last(&fig, 1, "NVC-CUDA (A2)");
+        assert!(
+            with > 3.0 * without,
+            "per-call transfers must dominate: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn cpu_series_identical_across_panels() {
+        let fig = build();
+        assert_eq!(
+            last(&fig, 0, "CPU par (NVC-OMP)"),
+            last(&fig, 1, "CPU par (NVC-OMP)")
+        );
+    }
+}

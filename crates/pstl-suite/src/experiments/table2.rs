@@ -1,0 +1,79 @@
+//! Table 2: hardware summary of the five evaluation machines.
+
+use pstl_sim::gpu::{mach_d_tesla_t4, mach_e_ampere_a2};
+use pstl_sim::machine::all_machines;
+
+use crate::output::{TableDoc, TableRow};
+
+/// Build the machine-inventory table (numeric rows of the paper's
+/// Table 2; compiler/library versions live in DESIGN.md's substitution
+/// table since our "compilers" are backend models).
+pub fn build() -> TableDoc {
+    let cpus = all_machines();
+    let gpus = [mach_d_tesla_t4(), mach_e_ampere_a2()];
+    let columns: Vec<String> = cpus
+        .iter()
+        .map(|m| m.name.to_string())
+        .chain(gpus.iter().map(|g| g.name.to_string()))
+        .collect();
+
+    let row = |label: &str, cpu: &dyn Fn(&pstl_sim::Machine) -> f64, gpu: &dyn Fn(&pstl_sim::gpu::Gpu) -> Option<f64>| TableRow {
+        label: label.to_string(),
+        values: cpus
+            .iter()
+            .map(|m| Some(cpu(m)))
+            .chain(gpus.iter().map(gpu))
+            .collect(),
+    };
+
+    TableDoc {
+        id: "table2_machines".into(),
+        title: "Hardware summary (paper Table 2)".into(),
+        columns,
+        rows: vec![
+            row("cores", &|m| m.cores as f64, &|g| Some(g.cuda_cores as f64)),
+            row("sockets", &|m| m.sockets as f64, &|_| Some(1.0)),
+            row("numa_nodes", &|m| m.numa_nodes as f64, &|_| Some(1.0)),
+            row("freq_ghz", &|m| m.freq_ghz, &|g| Some(g.freq_ghz)),
+            row("mem_gib", &|m| m.mem_gib as f64, &|g| Some(g.mem_gib as f64)),
+            row("bw_1core_gbs", &|m| m.bw_1core_gbs, &|_| None),
+            row("bw_all_gbs", &|m| m.bw_all_gbs, &|g| Some(g.dev_bw_gbs)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_machines_in_paper_order() {
+        let t = build();
+        assert_eq!(t.columns.len(), 5);
+        assert!(t.columns[0].contains("Mach A"));
+        assert!(t.columns[3].contains("Mach D"));
+        assert!(t.columns[4].contains("Mach E"));
+    }
+
+    #[test]
+    fn core_counts_match_paper() {
+        let t = build();
+        let cores = &t.rows.iter().find(|r| r.label == "cores").unwrap().values;
+        assert_eq!(
+            cores.iter().map(|v| v.unwrap() as u64).collect::<Vec<_>>(),
+            vec![32, 64, 128, 2560, 1280]
+        );
+    }
+
+    #[test]
+    fn stream_row_matches_paper() {
+        let t = build();
+        let bw = &t.rows.iter().find(|r| r.label == "bw_all_gbs").unwrap().values;
+        assert_eq!(
+            bw.iter().map(|v| v.unwrap()).collect::<Vec<_>>(),
+            vec![135.0, 204.0, 249.0, 264.0, 172.0]
+        );
+        let bw1 = &t.rows.iter().find(|r| r.label == "bw_1core_gbs").unwrap().values;
+        assert!(bw1[3].is_none(), "GPUs have no 1-core STREAM entry");
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 3: hardware counters for 100 calls of `X::for_each`
+//! (k_it = 1, 2^30 elements) on Mach A — the LIKWID report emulation.
+
+use pstl_sim::counters::{report, CounterReport};
+use pstl_sim::kernels::Kernel;
+use pstl_sim::machine::mach_a;
+use pstl_sim::Backend;
+
+use crate::output::{TableDoc, TableRow};
+
+/// Calls measured, as in the paper.
+pub const CALLS: usize = 100;
+
+/// The backend column order of the paper's Table 3.
+pub fn backends() -> Vec<Backend> {
+    vec![
+        Backend::GccTbb,
+        Backend::GccGnu,
+        Backend::GccHpx,
+        Backend::IccTbb,
+        Backend::NvcOmp,
+    ]
+}
+
+/// The raw reports, one per backend column.
+pub fn reports() -> Vec<CounterReport> {
+    let machine = mach_a();
+    backends()
+        .into_iter()
+        .map(|b| report(&machine, b, Kernel::ForEach { k_it: 1 }, 1 << 30, 32, CALLS))
+        .collect()
+}
+
+/// Build the counter table (metrics as rows, backends as columns, like
+/// the paper).
+pub fn build() -> TableDoc {
+    build_from(reports(), "table3_counters_foreach", "Counters for 100 calls of X::for_each (k_it = 1) on Mach A")
+}
+
+pub(crate) fn build_from(reports: Vec<CounterReport>, id: &str, title: &str) -> TableDoc {
+    let columns: Vec<String> = reports.iter().map(|r| r.backend.clone()).collect();
+    let metric = |label: &str, get: &dyn Fn(&CounterReport) -> f64| TableRow {
+        label: label.to_string(),
+        values: reports.iter().map(|r| Some(get(r))).collect(),
+    };
+    TableDoc {
+        id: id.into(),
+        title: title.into(),
+        columns,
+        rows: vec![
+            metric("instructions", &|r| r.instructions),
+            metric("fp_scalar", &|r| r.fp_scalar),
+            metric("fp_128bit_packed", &|r| r.fp_packed_128),
+            metric("fp_256bit_packed", &|r| r.fp_packed_256),
+            metric("gflop_per_s", &|r| r.gflops),
+            metric("mem_bandwidth_gibs", &|r| r.mem_bandwidth_gibs),
+            metric("mem_volume_gib", &|r| r.mem_volume_gib),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_match_paper_order() {
+        let t = build();
+        assert_eq!(
+            t.columns,
+            vec!["GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP"]
+        );
+    }
+
+    #[test]
+    fn hpx_has_most_instructions() {
+        let t = build();
+        let instr = &t.rows.iter().find(|r| r.label == "instructions").unwrap().values;
+        let hpx = instr[2].unwrap();
+        for (i, v) in instr.iter().enumerate() {
+            if i != 2 {
+                assert!(hpx > v.unwrap(), "HPX must top instruction counts");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_scalar_uniform_107g() {
+        // Table 3: every backend retires 107 G scalar FP operations.
+        let t = build();
+        let fp = &t.rows.iter().find(|r| r.label == "fp_scalar").unwrap().values;
+        for v in fp {
+            let v = v.unwrap();
+            assert!((v / 1.073741824e11 - 1.0).abs() < 1e-9, "fp_scalar {v}");
+        }
+    }
+
+    #[test]
+    fn no_vector_fp_for_foreach() {
+        let t = build();
+        for label in ["fp_128bit_packed", "fp_256bit_packed"] {
+            let row = &t.rows.iter().find(|r| r.label == label).unwrap().values;
+            assert!(row.iter().all(|v| v.unwrap() == 0.0));
+        }
+    }
+}

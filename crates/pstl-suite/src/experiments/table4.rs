@@ -1,0 +1,90 @@
+//! Table 4: hardware counters for 100 calls of `X::reduce` on Mach A.
+
+use pstl_sim::counters::{report, CounterReport};
+use pstl_sim::kernels::Kernel;
+use pstl_sim::machine::mach_a;
+
+use crate::experiments::table3;
+use crate::output::TableDoc;
+
+/// The raw reports, one per backend column (same column order as
+/// Table 3).
+pub fn reports() -> Vec<CounterReport> {
+    let machine = mach_a();
+    table3::backends()
+        .into_iter()
+        .map(|b| report(&machine, b, Kernel::Reduce, 1 << 30, 32, table3::CALLS))
+        .collect()
+}
+
+/// Build the counter table.
+pub fn build() -> TableDoc {
+    table3::build_from(
+        reports(),
+        "table4_counters_reduce",
+        "Counters for 100 calls of X::reduce on Mach A",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(t: &TableDoc, label: &str) -> Vec<f64> {
+        t.rows
+            .iter()
+            .find(|r| r.label == label)
+            .unwrap()
+            .values
+            .iter()
+            .map(|v| v.unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn hpx_instruction_blowup() {
+        // Table 4: HPX 1.74 T vs ICC-TBB 107 G.
+        let t = build();
+        let instr = row(&t, "instructions");
+        let hpx = instr[2];
+        let icc = instr[3];
+        assert!(hpx / icc > 8.0, "HPX/ICC {}", hpx / icc);
+    }
+
+    #[test]
+    fn vectorization_split_matches_table4() {
+        // ICC and HPX use 256-bit packed ops; TBB/GNU/NVC are scalar.
+        let t = build();
+        let packed = row(&t, "fp_256bit_packed");
+        let scalar = row(&t, "fp_scalar");
+        // Column order: TBB, GNU, HPX, ICC, NVC.
+        assert_eq!(packed[0], 0.0);
+        assert_eq!(packed[1], 0.0);
+        assert!(packed[2] > 0.0, "HPX vectorizes");
+        assert!(packed[3] > 0.0, "ICC vectorizes");
+        assert_eq!(packed[4], 0.0);
+        assert!(scalar[2] < scalar[0] / 1000.0, "HPX scalar FP is a trickle");
+    }
+
+    #[test]
+    fn gflops_in_measured_range() {
+        // Table 4 reports 6.88–10.3 GFLOP/s; the model's values must land
+        // in the same regime. (The paper's ICC-tops-the-column detail is
+        // not reproduced — see EXPERIMENTS.md — because it conflicts with
+        // the Table 5 timing column under our roofline.)
+        let t = build();
+        for g in row(&t, "gflop_per_s") {
+            assert!((4.0..20.0).contains(&g), "gflops {g}");
+        }
+    }
+
+    #[test]
+    fn reduce_volume_is_read_only() {
+        // 8 B/element · 2^30 · 100 calls = 800 GiB.
+        let t = build();
+        let vol = row(&t, "mem_volume_gib");
+        for v in vol {
+            assert!((v - 800.0).abs() < 1.0, "volume {v}");
+        }
+    }
+}

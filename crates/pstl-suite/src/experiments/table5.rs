@@ -1,0 +1,209 @@
+//! Table 5: speedup against GCC's sequential implementation at 2^30
+//! elements with all cores, for every machine × backend × kernel — the
+//! paper's headline summary. The JSON includes both the modeled values
+//! and the paper's measured values for side-by-side comparison.
+
+use pstl_sim::kernels::Kernel;
+use pstl_sim::machine::{all_machines, MachineId};
+use pstl_sim::Backend;
+
+use crate::experiments::{speedup, N_LARGE};
+use crate::output::{TableDoc, TableRow};
+
+/// The paper's measured Table 5 value for one cell (`None` = N/A).
+pub fn paper_value(backend: Backend, kernel: &Kernel, machine: MachineId) -> Option<f64> {
+    use Backend::*;
+    let col = column_index(kernel)?;
+    let m = match machine {
+        MachineId::A => 0,
+        MachineId::B => 1,
+        MachineId::C => 2,
+        MachineId::F => return None, // extension machine: no paper data
+    };
+    let rows: [[[Option<f64>; 3]; 6]; 5] = [
+        // GCC-TBB
+        [
+            [Some(8.9), Some(5.8), Some(4.7)],
+            [Some(14.2), Some(6.1), Some(8.5)],
+            [Some(32.5), Some(54.9), Some(102.0)],
+            [Some(4.5), Some(3.1), Some(4.7)],
+            [Some(10.0), Some(5.1), Some(6.9)],
+            [Some(9.7), Some(9.4), Some(10.6)],
+        ],
+        // GCC-GNU
+        [
+            [Some(8.0), Some(3.2), Some(2.2)],
+            [Some(15.0), Some(7.8), Some(9.1)],
+            [Some(32.5), Some(54.9), Some(106.5)],
+            [None, None, None],
+            [Some(11.0), Some(4.7), Some(6.0)],
+            [Some(25.4), Some(26.9), Some(66.6)],
+        ],
+        // GCC-HPX
+        [
+            [Some(6.4), Some(1.4), Some(1.1)],
+            [Some(7.2), Some(1.8), Some(1.4)],
+            [Some(32.4), Some(43.7), Some(84.8)],
+            [Some(3.0), Some(0.9), Some(1.0)],
+            [Some(7.3), Some(0.9), Some(1.2)],
+            [Some(10.1), Some(8.0), Some(8.1)],
+        ],
+        // ICC-TBB
+        [
+            [Some(9.0), None, Some(4.8)],
+            [Some(13.9), None, Some(8.2)],
+            [Some(32.5), None, Some(106.7)],
+            [Some(4.5), None, Some(4.7)],
+            [Some(10.2), None, Some(6.8)],
+            [Some(10.1), None, Some(9.0)],
+        ],
+        // NVC-OMP
+        [
+            [Some(6.1), Some(1.4), Some(1.2)],
+            [Some(22.1), Some(15.0), Some(13.0)],
+            [Some(32.0), Some(54.8), Some(106.5)],
+            [Some(0.9), Some(0.8), Some(0.9)],
+            [Some(11.0), Some(4.8), Some(11.9)],
+            [Some(7.1), Some(6.3), Some(6.7)],
+        ],
+    ];
+    let row = match backend {
+        GccTbb => 0,
+        GccGnu => 1,
+        GccHpx => 2,
+        IccTbb => 3,
+        NvcOmp => 4,
+        _ => return None,
+    };
+    rows[row][col][m]
+}
+
+fn column_index(kernel: &Kernel) -> Option<usize> {
+    Some(match kernel {
+        Kernel::Find => 0,
+        Kernel::ForEach { k_it: 1 } => 1,
+        Kernel::ForEach { k_it: 1000 } => 2,
+        Kernel::InclusiveScan => 3,
+        Kernel::Reduce => 4,
+        Kernel::Sort => 5,
+        _ => return None,
+    })
+}
+
+/// Modeled Table 5 value for one cell; `None` where the paper reports
+/// N/A (GNU scan, ICC on Mach B).
+pub fn model_value(backend: Backend, kernel: &Kernel, machine: &pstl_sim::Machine) -> Option<f64> {
+    if backend == Backend::GccGnu && matches!(kernel, Kernel::InclusiveScan) {
+        return None; // paper prints N/A — GNU has no parallel scan at all
+    }
+    if backend == Backend::IccTbb && machine.id == MachineId::B {
+        return None; // ICC was not measured on Mach B
+    }
+    Some(speedup(machine, backend, *kernel, N_LARGE, machine.cores))
+}
+
+/// Build the modeled table: rows = backend × machine, columns = kernels.
+pub fn build() -> TableDoc {
+    let kernels = Kernel::paper_summary_set();
+    let mut rows = Vec::new();
+    for backend in Backend::paper_cpu_set() {
+        for machine in all_machines() {
+            rows.push(TableRow {
+                label: format!("{} {:?}", backend.name(), machine.id),
+                values: kernels
+                    .iter()
+                    .map(|k| model_value(backend, k, &machine))
+                    .collect(),
+            });
+        }
+    }
+    TableDoc {
+        id: "table5_speedups".into(),
+        title: "Speedup vs GCC-SEQ at 2^30 elements, all cores (model)".into(),
+        columns: kernels.iter().map(|k| k.name()).collect(),
+        rows,
+    }
+}
+
+/// Build the companion table of model/paper ratios (1.0 = exact match).
+pub fn build_ratio() -> TableDoc {
+    let kernels = Kernel::paper_summary_set();
+    let mut rows = Vec::new();
+    for backend in Backend::paper_cpu_set() {
+        for machine in all_machines() {
+            rows.push(TableRow {
+                label: format!("{} {:?}", backend.name(), machine.id),
+                values: kernels
+                    .iter()
+                    .map(|k| {
+                        let model = model_value(backend, k, &machine)?;
+                        let paper = paper_value(backend, k, machine.id)?;
+                        Some(model / paper)
+                    })
+                    .collect(),
+            });
+        }
+    }
+    TableDoc {
+        id: "table5_model_vs_paper".into(),
+        title: "Table 5 model/paper speedup ratios (1.0 = exact)".into(),
+        columns: kernels.iter().map(|k| k.name()).collect(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_measured_cells_within_2x_of_paper() {
+        // The headline calibration target (DESIGN.md §5): every Table 5
+        // cell within a factor of two.
+        let ratios = build_ratio();
+        let mut checked = 0;
+        for row in &ratios.rows {
+            for v in row.values.iter().flatten() {
+                assert!(
+                    (0.5..=2.0).contains(v),
+                    "{}: ratio {v} out of band",
+                    row.label
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 81, "all 81 measured cells checked");
+    }
+
+    #[test]
+    fn na_cells_match_paper() {
+        let t = build();
+        let gnu_a = t.rows.iter().find(|r| r.label == "GCC-GNU A").unwrap();
+        assert!(gnu_a.values[3].is_none(), "GNU scan is N/A");
+        let icc_b = t.rows.iter().find(|r| r.label == "ICC-TBB B").unwrap();
+        assert!(icc_b.values.iter().all(|v| v.is_none()), "ICC absent on B");
+    }
+
+    #[test]
+    fn median_ratio_near_one() {
+        let ratios = build_ratio();
+        let mut all: Vec<f64> = ratios
+            .rows
+            .iter()
+            .flat_map(|r| r.values.iter().flatten().cloned())
+            .collect();
+        all.sort_by(f64::total_cmp);
+        let median = all[all.len() / 2];
+        assert!(
+            (0.8..1.25).contains(&median),
+            "median model/paper ratio {median}"
+        );
+    }
+
+    #[test]
+    fn fifteen_rows_six_columns() {
+        let t = build();
+        assert_eq!(t.rows.len(), 15);
+        assert_eq!(t.columns.len(), 6);
+    }
+}

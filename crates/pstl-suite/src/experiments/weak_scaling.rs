@@ -1,0 +1,122 @@
+//! **Extension experiment** (not in the paper): weak scaling — the
+//! problem grows with the thread count (2^24 elements *per thread*), and
+//! we plot weak-scaling efficiency `time(1 thread, n₀) / time(t threads,
+//! t·n₀)`.
+//!
+//! The paper's strong-scaling story predicts the outcome: compute-bound
+//! kernels (for_each k_it = 1000) should hold efficiency near 1.0, while
+//! bandwidth-bound kernels (reduce, find) fall off as soon as the
+//! per-thread bandwidth share shrinks — the same NUMA wall from a
+//! different angle, and a useful sanity check that the model is not
+//! overfitted to the strong-scaling setup.
+
+use pstl_sim::kernels::Kernel;
+use pstl_sim::machine::mach_c;
+use pstl_sim::{Backend, CpuSim, RunParams};
+
+use crate::output::{Figure, Panel, Series};
+
+/// Elements per thread.
+pub const N_PER_THREAD: usize = 1 << 24;
+
+/// Build the weak-scaling figure on Mach C for TBB and NVC-OMP.
+pub fn build() -> Figure {
+    let machine = mach_c();
+    let threads = machine.thread_sweep();
+    let xs: Vec<f64> = threads.iter().map(|&t| t as f64).collect();
+    let kernels = [
+        Kernel::ForEach { k_it: 1 },
+        Kernel::ForEach { k_it: 1000 },
+        Kernel::Reduce,
+        Kernel::InclusiveScan,
+    ];
+    let mut panels = Vec::new();
+    for backend in [Backend::GccTbb, Backend::NvcOmp] {
+        let sim = CpuSim::new(machine.clone(), backend);
+        let series = kernels
+            .iter()
+            .map(|&kernel| {
+                let base = sim.time(&RunParams::new(kernel, N_PER_THREAD, 1));
+                Series::new(
+                    kernel.name(),
+                    xs.clone(),
+                    threads
+                        .iter()
+                        .map(|&t| {
+                            let scaled = sim.time(&RunParams::new(kernel, N_PER_THREAD * t, t));
+                            base / scaled
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        panels.push(Panel {
+            title: backend.name().to_string(),
+            series,
+        });
+    }
+    Figure {
+        id: "ext_weak_scaling".into(),
+        title: "Weak scaling on Mach C (2^24 elements per thread) — extension".into(),
+        x_label: "threads".into(),
+        y_label: "weak-scaling efficiency".into(),
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series<'f>(fig: &'f Figure, panel: &str, label: &str) -> &'f Series {
+        fig.panels
+            .iter()
+            .find(|p| p.title == panel)
+            .unwrap()
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap()
+    }
+
+    #[test]
+    fn compute_bound_holds_efficiency() {
+        let fig = build();
+        let s = series(&fig, "GCC-TBB", "for_each_k1000");
+        let last = *s.y.last().unwrap();
+        assert!((0.6..1.2).contains(&last), "k1000 weak efficiency {last}");
+    }
+
+    #[test]
+    fn bandwidth_bound_falls_off() {
+        let fig = build();
+        for kernel in ["reduce", "for_each_k1", "inclusive_scan"] {
+            let s = series(&fig, "GCC-TBB", kernel);
+            let last = *s.y.last().unwrap();
+            assert!(
+                last < 0.4,
+                "{kernel}: weak efficiency {last} must collapse at 128 threads"
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_is_monotone_nonincreasing_at_scale() {
+        let fig = build();
+        let s = series(&fig, "NVC-OMP", "reduce");
+        let from = s.x.iter().position(|&x| x == 8.0).unwrap();
+        for w in s.y[from..].windows(2) {
+            assert!(w[1] <= w[0] * 1.05, "weak efficiency must not recover");
+        }
+    }
+
+    #[test]
+    fn single_thread_efficiency_is_one() {
+        let fig = build();
+        for panel in &fig.panels {
+            for s in &panel.series {
+                assert!((s.y[0] - 1.0).abs() < 1e-9, "{}: y(1) = {}", s.label, s.y[0]);
+            }
+        }
+    }
+}

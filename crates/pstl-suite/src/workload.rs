@@ -1,0 +1,88 @@
+//! Workload generators (paper §3.1 and Listing 3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The paper's standard input: `v = [1, 2, …, n]` as `f64`
+/// (`pstl::generate_increment`).
+pub fn generate_increment(n: usize) -> Vec<f64> {
+    (1..=n).map(|i| i as f64).collect()
+}
+
+/// A shuffled permutation of `[1, …, n]` — the `sort` input (`v_i ∈
+/// [1, n]`, all distinct). Deterministic per seed.
+pub fn shuffled_permutation(n: usize, seed: u64) -> Vec<f64> {
+    let mut v = generate_increment(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    v.shuffle(&mut rng);
+    v
+}
+
+/// Re-shuffle in place between sort iterations (the untimed setup in the
+/// paper's Listing 3).
+pub fn reshuffle(data: &mut [f64], rng: &mut StdRng) {
+    data.shuffle(rng);
+}
+
+/// A uniformly random search target from `[1, n]` (the `find` kernel
+/// looks up a random element of the increment array).
+pub fn random_target(n: usize, rng: &mut StdRng) -> f64 {
+    rng.gen_range(1..=n) as f64
+}
+
+/// Deterministic RNG for benchmark drivers.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The paper's problem-size sweep: powers of two from 2^3 to 2^30,
+/// optionally capped (the real-mode runner caps at laptop-friendly
+/// sizes).
+pub fn size_sweep(max_exp: u32) -> Vec<usize> {
+    (3..=max_exp).map(|e| 1usize << e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_is_one_based() {
+        let v = generate_increment(5);
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(generate_increment(0).is_empty());
+    }
+
+    #[test]
+    fn permutation_contains_every_value_once() {
+        let v = shuffled_permutation(1000, 42);
+        let mut sorted = v.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, generate_increment(1000));
+        // Actually shuffled (astronomically unlikely to be identity).
+        assert_ne!(v, generate_increment(1000));
+    }
+
+    #[test]
+    fn permutation_is_deterministic_per_seed() {
+        assert_eq!(shuffled_permutation(100, 7), shuffled_permutation(100, 7));
+        assert_ne!(shuffled_permutation(100, 7), shuffled_permutation(100, 8));
+    }
+
+    #[test]
+    fn random_target_in_range() {
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            let t = random_target(50, &mut rng);
+            assert!((1.0..=50.0).contains(&t));
+            assert_eq!(t.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn size_sweep_is_powers_of_two() {
+        let s = size_sweep(10);
+        assert_eq!(s, vec![8, 16, 32, 64, 128, 256, 512, 1024]);
+    }
+}

@@ -1,0 +1,128 @@
+//! `adjacent_difference` and `adjacent_find`.
+
+use crate::algorithms::find_search::find_adjacent;
+use crate::algorithms::run_chunks;
+use crate::policy::ExecutionPolicy;
+use crate::ptr::SliceView;
+
+/// `out[0] = src[0]`, `out[i] = op(&src[i], &src[i-1])`
+/// (`std::adjacent_difference`; for numeric types `op = |a, b| a - b`).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn adjacent_difference<T, F>(policy: &ExecutionPolicy, src: &[T], out: &mut [T], op: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    assert_eq!(src.len(), out.len(), "adjacent_difference: length mismatch");
+    let n = src.len();
+    if n == 0 {
+        return;
+    }
+    let view = SliceView::new(out);
+    let view = &view;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: disjoint chunk ranges; reads of src[i-1] may cross chunk
+        // boundaries but src is never written.
+        let dst = unsafe { view.range_mut(r.clone()) };
+        for (off, slot) in dst.iter_mut().enumerate() {
+            let i = r.start + off;
+            *slot = if i == 0 {
+                src[0].clone()
+            } else {
+                op(&src[i], &src[i - 1])
+            };
+        }
+    });
+}
+
+/// Index of the first element equal to its successor
+/// (`std::adjacent_find`).
+pub fn adjacent_find<T>(policy: &ExecutionPolicy, data: &[T]) -> Option<usize>
+where
+    T: PartialEq + Sync,
+{
+    find_adjacent(policy, data, |a, b| a == b)
+}
+
+/// `std::adjacent_find` with an explicit pair predicate
+/// `pred(&data[i], &data[i+1])`.
+pub fn adjacent_find_by<T, F>(policy: &ExecutionPolicy, data: &[T], pred: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    find_adjacent(policy, data, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn differences_match_reference() {
+        for policy in policies() {
+            let src: Vec<i64> = (0..10_000).map(|i| i * i).collect();
+            let mut out = vec![0i64; 10_000];
+            adjacent_difference(&policy, &src, &mut out, |a, b| a - b);
+            assert_eq!(out[0], 0);
+            for i in 1..10_000 {
+                assert_eq!(out[i], src[i] - src[i - 1], "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn difference_of_single_and_empty() {
+        for policy in policies() {
+            let mut out = vec![0i64; 1];
+            adjacent_difference(&policy, &[42i64], &mut out, |a, b| a - b);
+            assert_eq!(out, [42]);
+            let mut empty_out: Vec<i64> = vec![];
+            adjacent_difference(&policy, &[] as &[i64], &mut empty_out, |a, b| a - b);
+        }
+    }
+
+    #[test]
+    fn adjacent_find_first_pair() {
+        for policy in policies() {
+            let mut data: Vec<u32> = (0..50_000).collect();
+            data[30_000] = data[29_999]; // first equal pair at 29_999
+            data[40_000] = data[39_999]; // later pair must not win
+            assert_eq!(adjacent_find(&policy, &data), Some(29_999));
+        }
+    }
+
+    #[test]
+    fn adjacent_find_none_and_tiny() {
+        for policy in policies() {
+            let data: Vec<u32> = (0..1000).collect();
+            assert_eq!(adjacent_find(&policy, &data), None);
+            assert_eq!(adjacent_find(&policy, &data[..1]), None);
+            assert_eq!(adjacent_find::<u32>(&policy, &[]), None);
+        }
+    }
+
+    #[test]
+    fn adjacent_find_by_predicate() {
+        for policy in policies() {
+            let data: Vec<i32> = vec![1, 2, 4, 8, 9, 16];
+            // First non-doubling step: 8 -> 9 at index 3.
+            assert_eq!(
+                adjacent_find_by(&policy, &data, |a, b| *b != a * 2),
+                Some(3)
+            );
+        }
+    }
+}

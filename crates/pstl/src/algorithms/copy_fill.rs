@@ -1,0 +1,245 @@
+//! `copy` / `fill` / `generate` family.
+
+use crate::algorithms::{map_chunks, run_chunks, run_chunks_indexed};
+use crate::policy::ExecutionPolicy;
+use crate::ptr::SliceView;
+
+/// Copy `src` into `dst` (`std::copy`).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn copy<T>(policy: &ExecutionPolicy, src: &[T], dst: &mut [T])
+where
+    T: Clone + Send + Sync,
+{
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    let view = SliceView::new(dst);
+    let view = &view;
+    run_chunks(policy, src.len(), &|r| {
+        // SAFETY: disjoint chunk ranges.
+        unsafe { view.range_mut(r.clone()) }.clone_from_slice(&src[r]);
+    });
+}
+
+/// Copy the first `n` elements of `src` into `dst` (`std::copy_n`).
+///
+/// # Panics
+/// Panics if `n` exceeds either slice.
+pub fn copy_n<T>(policy: &ExecutionPolicy, src: &[T], n: usize, dst: &mut [T])
+where
+    T: Clone + Send + Sync,
+{
+    assert!(n <= src.len() && n <= dst.len(), "copy_n: n out of range");
+    copy(policy, &src[..n], &mut dst[..n]);
+}
+
+/// Stable parallel `std::copy_if`: copies elements satisfying `pred` into
+/// the front of `dst`, preserving their relative order. Returns the number
+/// of elements written.
+///
+/// Parallelized as count-per-chunk → prefix offsets → scatter, the same
+/// three-phase scheme C++ backends use.
+///
+/// # Panics
+/// Panics if `dst` is shorter than the number of matching elements.
+pub fn copy_if<T, F>(policy: &ExecutionPolicy, src: &[T], dst: &mut [T], pred: F) -> usize
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = src.len();
+    // Phase 1: matches per chunk.
+    let counts = map_chunks(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
+    // Phase 2: exclusive prefix of chunk offsets (tiny, sequential).
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    for &c in &counts {
+        offsets.push(acc);
+        acc += c;
+    }
+    offsets.push(acc);
+    let total = acc;
+    assert!(total <= dst.len(), "copy_if: destination too short");
+    // Phase 3: scatter each chunk's matches at its offset.
+    let view = SliceView::new(dst);
+    let view = &view;
+    let offsets_ref = &offsets;
+    run_chunks_indexed(policy, n, &|i, r| {
+        let mut at = offsets_ref[i];
+        for x in src[r].iter().filter(|x| pred(x)) {
+            // SAFETY: chunks write disjoint output windows
+            // [offsets[i], offsets[i+1]).
+            unsafe { view.write(at, x.clone()) };
+            at += 1;
+        }
+        debug_assert_eq!(at, offsets_ref[i + 1]);
+    });
+    total
+}
+
+/// Fill `dst` with clones of `value` (`std::fill`).
+pub fn fill<T>(policy: &ExecutionPolicy, dst: &mut [T], value: T)
+where
+    T: Clone + Send + Sync,
+{
+    let n = dst.len();
+    let view = SliceView::new(dst);
+    let view = &view;
+    let value = &value;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: disjoint chunk ranges.
+        for slot in unsafe { view.range_mut(r) } {
+            *slot = value.clone();
+        }
+    });
+}
+
+/// Fill the first `n` elements (`std::fill_n`).
+///
+/// # Panics
+/// Panics if `n > dst.len()`.
+pub fn fill_n<T>(policy: &ExecutionPolicy, dst: &mut [T], n: usize, value: T)
+where
+    T: Clone + Send + Sync,
+{
+    assert!(n <= dst.len(), "fill_n: n exceeds slice length");
+    fill(policy, &mut dst[..n], value);
+}
+
+/// Assign `f()` to every element (`std::generate`). Like C++ with a
+/// parallel policy, `f` must be safely callable concurrently; no call
+/// order is guaranteed.
+pub fn generate<T, F>(policy: &ExecutionPolicy, dst: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn() -> T + Sync,
+{
+    generate_index(policy, dst, |_| f());
+}
+
+/// Assign `f(i)` to element `i` — the index-aware generator used by the
+/// suite's workload initialization (not in C++, but strictly more useful
+/// and deterministic under parallelism).
+pub fn generate_index<T, F>(policy: &ExecutionPolicy, dst: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = dst.len();
+    let view = SliceView::new(dst);
+    let view = &view;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: disjoint chunk ranges.
+        let chunk = unsafe { view.range_mut(r.clone()) };
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(r.start + off);
+        }
+    });
+}
+
+/// Generate the first `n` elements (`std::generate_n`).
+///
+/// # Panics
+/// Panics if `n > dst.len()`.
+pub fn generate_n<T, F>(policy: &ExecutionPolicy, dst: &mut [T], n: usize, f: F)
+where
+    T: Send,
+    F: Fn() -> T + Sync,
+{
+    assert!(n <= dst.len(), "generate_n: n exceeds slice length");
+    generate(policy, &mut dst[..n], f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn copy_round_trips() {
+        for policy in policies() {
+            let src: Vec<u64> = (0..9000).map(|i| i * 7).collect();
+            let mut dst = vec![0u64; 9000];
+            copy(&policy, &src, &mut dst);
+            assert_eq!(src, dst);
+        }
+    }
+
+    #[test]
+    fn copy_n_prefix_only() {
+        let policy = ExecutionPolicy::seq();
+        let src = [1, 2, 3, 4];
+        let mut dst = [0; 4];
+        copy_n(&policy, &src, 2, &mut dst);
+        assert_eq!(dst, [1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn copy_if_is_stable_and_counts() {
+        for policy in policies() {
+            let src: Vec<i64> = (0..10_000).collect();
+            let mut dst = vec![0i64; 10_000];
+            let wrote = copy_if(&policy, &src, &mut dst, |&x| x % 3 == 0);
+            let expect: Vec<i64> = src.iter().copied().filter(|&x| x % 3 == 0).collect();
+            assert_eq!(wrote, expect.len());
+            assert_eq!(&dst[..wrote], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn copy_if_no_matches() {
+        for policy in policies() {
+            let src: Vec<i64> = (0..1000).collect();
+            let mut dst = vec![0i64; 10];
+            let wrote = copy_if(&policy, &src, &mut dst, |&x| x > 100_000);
+            assert_eq!(wrote, 0);
+        }
+    }
+
+    #[test]
+    fn fill_and_fill_n() {
+        for policy in policies() {
+            let mut v = vec![0u8; 3000];
+            fill(&policy, &mut v, 7);
+            assert!(v.iter().all(|&x| x == 7));
+            fill_n(&policy, &mut v, 10, 9);
+            assert!(v[..10].iter().all(|&x| x == 9));
+            assert!(v[10..].iter().all(|&x| x == 7));
+        }
+    }
+
+    #[test]
+    fn generate_index_is_deterministic() {
+        for policy in policies() {
+            let mut v = vec![0usize; 5000];
+            generate_index(&policy, &mut v, |i| i * i);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * i));
+        }
+    }
+
+    #[test]
+    fn generate_constant() {
+        for policy in policies() {
+            let mut v = vec![0u32; 100];
+            generate(&policy, &mut v, || 5);
+            assert!(v.iter().all(|&x| x == 5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_length_mismatch_panics() {
+        let mut dst = vec![0u8; 2];
+        copy(&ExecutionPolicy::seq(), &[1u8, 2, 3], &mut dst);
+    }
+
+}

@@ -1,0 +1,292 @@
+//! `find` family — the paper's linear-search benchmark (§5.3).
+//!
+//! Parallel strategy: balanced chunks scan left-to-right in cancellation
+//! blocks; the smallest matching index is folded through a shared
+//! `AtomicUsize` with `fetch_min`, and chunks positioned after an already
+//! published match abort. This reproduces both C++ semantics (the *first*
+//! match is returned) and the synchronization pattern whose cost the paper
+//! measures.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::chunk::chunk_range;
+use crate::policy::{ExecutionPolicy, Plan};
+
+/// Elements scanned between cancellation checks.
+const CANCEL_BLOCK: usize = 4096;
+
+/// Smallest index `i in 0..n` with `pred_at(i)`, scanning chunks in
+/// parallel with early exit. The building block of every search in this
+/// module.
+pub(crate) fn find_first_index<F>(policy: &ExecutionPolicy, n: usize, pred_at: F) -> Option<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    match policy.plan(n) {
+        Plan::Sequential => (0..n).find(|&i| pred_at(i)),
+        Plan::Parallel { exec, tasks } => {
+            let best = AtomicUsize::new(usize::MAX);
+            let best = &best;
+            let pred_at = &pred_at;
+            exec.run(tasks, &|t| {
+                let r = chunk_range(n, tasks, t);
+                scan_chunk(r, best, pred_at);
+            });
+            let b = best.load(Ordering::Relaxed);
+            (b != usize::MAX).then_some(b)
+        }
+    }
+}
+
+fn scan_chunk<F>(r: Range<usize>, best: &AtomicUsize, pred_at: &F)
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let mut i = r.start;
+    while i < r.end {
+        // A match before our chunk makes everything here irrelevant.
+        if best.load(Ordering::Relaxed) < r.start {
+            return;
+        }
+        let block_end = (i + CANCEL_BLOCK).min(r.end);
+        for j in i..block_end {
+            if pred_at(j) {
+                best.fetch_min(j, Ordering::Relaxed);
+                return;
+            }
+        }
+        i = block_end;
+    }
+}
+
+/// Index of the first element equal to `value` (`std::find`).
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+///
+/// let policy = ExecutionPolicy::seq();
+/// let v = [10, 20, 30, 20];
+/// assert_eq!(pstl::find(&policy, &v, &20), Some(1)); // first match, like C++
+/// assert_eq!(pstl::find(&policy, &v, &99), None);
+/// ```
+pub fn find<T>(policy: &ExecutionPolicy, data: &[T], value: &T) -> Option<usize>
+where
+    T: PartialEq + Sync,
+{
+    find_first_index(policy, data.len(), |i| data[i] == *value)
+}
+
+/// Index of the first element satisfying `pred` (`std::find_if`).
+pub fn find_if<T, F>(policy: &ExecutionPolicy, data: &[T], pred: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    find_first_index(policy, data.len(), |i| pred(&data[i]))
+}
+
+/// Index of the first element *not* satisfying `pred`
+/// (`std::find_if_not`).
+pub fn find_if_not<T, F>(policy: &ExecutionPolicy, data: &[T], pred: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    find_first_index(policy, data.len(), |i| !pred(&data[i]))
+}
+
+/// Index of the first element that equals any element of `candidates`
+/// (`std::find_first_of`).
+pub fn find_first_of<T>(policy: &ExecutionPolicy, data: &[T], candidates: &[T]) -> Option<usize>
+where
+    T: PartialEq + Sync,
+{
+    find_first_index(policy, data.len(), |i| candidates.contains(&data[i]))
+}
+
+/// Index of the first pair of adjacent elements for which
+/// `pred(&data[i], &data[i+1])` holds (`std::adjacent_find` with
+/// predicate lives in [`crate::algorithms::adjacent`]; this is the
+/// index-space helper it shares).
+pub(crate) fn find_adjacent<T, F>(policy: &ExecutionPolicy, data: &[T], pred: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    if data.len() < 2 {
+        return None;
+    }
+    find_first_index(policy, data.len() - 1, |i| pred(&data[i], &data[i + 1]))
+}
+
+/// Index of the first occurrence of the subsequence `needle` in
+/// `haystack` (`std::search`). Empty needles match at index 0, like C++.
+pub fn search<T>(policy: &ExecutionPolicy, haystack: &[T], needle: &[T]) -> Option<usize>
+where
+    T: PartialEq + Sync,
+{
+    if needle.is_empty() {
+        return Some(0);
+    }
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    let starts = haystack.len() - needle.len() + 1;
+    find_first_index(policy, starts, |i| haystack[i..i + needle.len()] == *needle)
+}
+
+/// Index of the first run of `count` consecutive elements equal to
+/// `value` (`std::search_n`). `count == 0` matches at index 0.
+pub fn search_n<T>(
+    policy: &ExecutionPolicy,
+    data: &[T],
+    count: usize,
+    value: &T,
+) -> Option<usize>
+where
+    T: PartialEq + Sync,
+{
+    if count == 0 {
+        return Some(0);
+    }
+    if count > data.len() {
+        return None;
+    }
+    let starts = data.len() - count + 1;
+    find_first_index(policy, starts, |i| data[i..i + count].iter().all(|x| x == value))
+}
+
+/// Index of the *last* occurrence of the subsequence `needle` in
+/// `haystack` (`std::find_end`).
+pub fn find_end<T>(policy: &ExecutionPolicy, haystack: &[T], needle: &[T]) -> Option<usize>
+where
+    T: PartialEq + Sync,
+{
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return None;
+    }
+    let starts = haystack.len() - needle.len() + 1;
+    // Max-fold over matches; no early exit (the last match can be
+    // anywhere), so this is a plain chunked reduction.
+    let partials = crate::algorithms::map_chunks(policy, starts, &|r: Range<usize>| {
+        r.rev().find(|&i| haystack[i..i + needle.len()] == *needle)
+    });
+    partials.into_iter().flatten().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn find_returns_first_match() {
+        for policy in policies() {
+            let mut data = vec![0u32; 50_000];
+            data[123] = 7;
+            data[40_000] = 7; // later duplicate must not win
+            assert_eq!(find(&policy, &data, &7), Some(123));
+        }
+    }
+
+    #[test]
+    fn find_absent_value() {
+        for policy in policies() {
+            let data: Vec<u32> = (0..10_000).collect();
+            assert_eq!(find(&policy, &data, &999_999), None);
+        }
+    }
+
+    #[test]
+    fn find_in_empty_and_single() {
+        for policy in policies() {
+            let empty: Vec<u32> = vec![];
+            assert_eq!(find(&policy, &empty, &1), None);
+            assert_eq!(find(&policy, &[5u32], &5), Some(0));
+        }
+    }
+
+    #[test]
+    fn find_if_and_if_not() {
+        for policy in policies() {
+            let data: Vec<i64> = (0..10_000).collect();
+            assert_eq!(find_if(&policy, &data, |&x| x > 500), Some(501));
+            assert_eq!(find_if_not(&policy, &data, |&x| x < 300), Some(300));
+        }
+    }
+
+    #[test]
+    fn find_first_of_candidates() {
+        for policy in policies() {
+            let data: Vec<u32> = (0..10_000).collect();
+            assert_eq!(find_first_of(&policy, &data, &[5000, 100, 9000]), Some(100));
+            assert_eq!(find_first_of(&policy, &data, &[]), None);
+        }
+    }
+
+    #[test]
+    fn search_finds_subsequence() {
+        for policy in policies() {
+            let mut hay: Vec<u8> = (0..200).map(|i| (i % 7) as u8).collect();
+            hay.extend_from_slice(&[9, 8, 7]);
+            hay.extend((0..200).map(|i| (i % 5) as u8));
+            assert_eq!(search(&policy, &hay, &[9, 8, 7]), Some(200));
+            assert_eq!(search(&policy, &hay, &[9, 9, 9]), None);
+            assert_eq!(search(&policy, &hay, &[]), Some(0));
+        }
+    }
+
+    #[test]
+    fn search_needle_longer_than_hay() {
+        let policy = ExecutionPolicy::seq();
+        assert_eq!(search(&policy, &[1u8, 2], &[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn search_n_runs() {
+        for policy in policies() {
+            let mut data = vec![1u8; 100];
+            data[50] = 2;
+            data[51] = 2;
+            data[52] = 2;
+            assert_eq!(search_n(&policy, &data, 3, &2), Some(50));
+            assert_eq!(search_n(&policy, &data, 4, &2), None);
+            assert_eq!(search_n(&policy, &data, 0, &9), Some(0));
+        }
+    }
+
+    #[test]
+    fn find_end_returns_last_match() {
+        for policy in policies() {
+            let mut hay = vec![0u8; 10_000];
+            for start in [10usize, 5_000, 9_000] {
+                hay[start] = 1;
+                hay[start + 1] = 2;
+            }
+            assert_eq!(find_end(&policy, &hay, &[1, 2]), Some(9_000));
+            assert_eq!(find_end(&policy, &hay, &[3, 4]), None);
+            assert_eq!(find_end(&policy, &hay, &[]), None);
+        }
+    }
+
+    #[test]
+    fn paper_workload_random_target() {
+        // The paper's find kernel: v = [1..n], search a random element.
+        for policy in policies() {
+            let n = 1 << 16;
+            let data: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let target = 777.0f64;
+            assert_eq!(find(&policy, &data, &target), Some(776));
+        }
+    }
+}

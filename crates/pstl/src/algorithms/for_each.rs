@@ -1,0 +1,170 @@
+//! `for_each` family — the paper's map-operation benchmark (§5.2).
+
+use crate::algorithms::run_chunks;
+use crate::policy::ExecutionPolicy;
+use crate::ptr::SliceView;
+
+/// Apply `f` to every element (read-only), like
+/// `std::for_each(policy, …)` over a const range.
+pub fn for_each<T, F>(policy: &ExecutionPolicy, data: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    run_chunks(policy, data.len(), &|r| {
+        for x in &data[r] {
+            f(x);
+        }
+    });
+}
+
+/// Apply `f` to every element mutably — the form the pSTL-Bench
+/// `for_each` kernel uses (it stores the kernel result back into the
+/// element, see paper Listing 1).
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+/// use pstl_executor::{build_pool, Discipline};
+///
+/// let policy = ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2));
+/// let mut v = vec![1.0f64, 4.0, 9.0];
+/// pstl::for_each_mut(&policy, &mut v, |x| *x = x.sqrt());
+/// assert_eq!(v, [1.0, 2.0, 3.0]);
+/// ```
+pub fn for_each_mut<T, F>(policy: &ExecutionPolicy, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let n = data.len();
+    let view = SliceView::new(data);
+    let view = &view;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: chunk ranges are pairwise disjoint.
+        for x in unsafe { view.range_mut(r) } {
+            f(x);
+        }
+    });
+}
+
+/// Apply `f` to the first `n` elements mutably (`std::for_each_n`).
+///
+/// # Panics
+/// Panics if `n > data.len()`.
+pub fn for_each_n_mut<T, F>(policy: &ExecutionPolicy, data: &mut [T], n: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    assert!(n <= data.len(), "for_each_n: n exceeds slice length");
+    for_each_mut(policy, &mut data[..n], f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn read_only_visits_every_element() {
+        for policy in policies() {
+            let data: Vec<u64> = (0..10_000).collect();
+            let sum = AtomicU64::new(0);
+            for_each(&policy, &data, |&x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (0..10_000).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn mutation_applies_everywhere() {
+        for policy in policies() {
+            let mut data: Vec<u64> = (0..5000).collect();
+            for_each_mut(&policy, &mut data, |x| *x = *x * 2 + 1);
+            assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64 * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn for_each_n_touches_prefix_only() {
+        for policy in policies() {
+            let mut data = vec![0u32; 100];
+            for_each_n_mut(&policy, &mut data, 40, |x| *x = 9);
+            assert!(data[..40].iter().all(|&x| x == 9));
+            assert!(data[40..].iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n exceeds slice length")]
+    fn for_each_n_out_of_bounds_panics() {
+        let mut data = vec![0u32; 4];
+        for_each_n_mut(&ExecutionPolicy::seq(), &mut data, 5, |_| {});
+    }
+
+    #[test]
+    fn empty_slice_is_noop() {
+        for policy in policies() {
+            let mut data: Vec<u8> = vec![];
+            for_each_mut(&policy, &mut data, |_| unreachable!());
+        }
+    }
+
+    #[test]
+    fn paper_kernel_shape_volatile_loop() {
+        // The pSTL-Bench for_each kernel: k_it dependent loop storing an
+        // accumulated value back (Listing 1). Check it runs under all
+        // policies and produces the expected value.
+        for policy in policies() {
+            let mut data = vec![0.0f64; 1000];
+            let k_it = 10usize;
+            for_each_mut(&policy, &mut data, |x| {
+                let mut a = 0.0f64;
+                for _ in 0..std::hint::black_box(k_it) {
+                    a += 1.0;
+                }
+                *x = a;
+            });
+            assert!(data.iter().all(|&x| x == k_it as f64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod zst_tests {
+    use super::*;
+    use crate::ExecutionPolicy;
+    use pstl_executor::{build_pool, Discipline};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Zero-sized elements must work through the raw-pointer plumbing
+    /// (`SliceView` arithmetic on ZSTs is a no-op, not UB).
+    #[test]
+    fn zero_sized_types_are_supported() {
+        #[derive(Clone, Copy, PartialEq)]
+        struct Unit;
+        for policy in [
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+        ] {
+            let mut data = vec![Unit; 10_000];
+            let hits = AtomicUsize::new(0);
+            for_each_mut(&policy, &mut data, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+            assert_eq!(crate::count(&policy, &data, &Unit), 10_000);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Heap-property checks: `is_heap`, `is_heap_until`.
+
+use crate::algorithms::find_search::find_first_index;
+use crate::policy::ExecutionPolicy;
+
+/// Length of the longest prefix that is a max-heap
+/// (`std::is_heap_until`; returns `data.len()` when the whole slice is a
+/// heap).
+pub fn is_heap_until<T>(policy: &ExecutionPolicy, data: &[T]) -> usize
+where
+    T: Ord + Sync,
+{
+    let n = data.len();
+    if n < 2 {
+        return n;
+    }
+    // Element i violates the heap property iff parent(i) < i's value.
+    match find_first_index(policy, n - 1, |k| {
+        let i = k + 1;
+        data[(i - 1) / 2] < data[i]
+    }) {
+        Some(k) => k + 1,
+        None => n,
+    }
+}
+
+/// Whether the whole slice satisfies the max-heap property
+/// (`std::is_heap`).
+pub fn is_heap<T>(policy: &ExecutionPolicy, data: &[T]) -> bool
+where
+    T: Ord + Sync,
+{
+    is_heap_until(policy, data) == data.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    fn heapify(mut v: Vec<u64>) -> Vec<u64> {
+        // std::collections::BinaryHeap lays out a valid max-heap.
+        let heap: std::collections::BinaryHeap<u64> = v.drain(..).collect();
+        heap.into_vec()
+    }
+
+    #[test]
+    fn valid_heap_detected() {
+        for policy in policies() {
+            let heap = heapify((0..20_000).collect());
+            assert!(is_heap(&policy, &heap));
+            assert_eq!(is_heap_until(&policy, &heap), heap.len());
+        }
+    }
+
+    #[test]
+    fn violation_is_located() {
+        for policy in policies() {
+            let mut heap = heapify((0..20_000).collect());
+            let n = heap.len();
+            // Break the property near the end: make a leaf bigger than its
+            // parent.
+            heap[n - 1] = u64::MAX;
+            assert!(!is_heap(&policy, &heap));
+            let until = is_heap_until(&policy, &heap);
+            assert_eq!(until, n - 1, "prefix before the broken leaf is a heap");
+        }
+    }
+
+    #[test]
+    fn sorted_descending_is_heap() {
+        for policy in policies() {
+            let data: Vec<u64> = (0..1000).rev().collect();
+            assert!(is_heap(&policy, &data));
+        }
+    }
+
+    #[test]
+    fn sorted_ascending_breaks_immediately() {
+        for policy in policies() {
+            let data: Vec<u64> = (0..1000).collect();
+            assert_eq!(is_heap_until(&policy, &data), 1);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_are_heaps() {
+        for policy in policies() {
+            assert!(is_heap::<u64>(&policy, &[]));
+            assert!(is_heap(&policy, &[5u64]));
+            assert_eq!(is_heap_until::<u64>(&policy, &[]), 0);
+            assert_eq!(is_heap_until(&policy, &[5u64]), 1);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! `min_element` / `max_element` / `minmax_element`.
+//!
+//! C++ tie-breaking rules are preserved: `min_element` and `max_element`
+//! return the *first* extremal element; `minmax_element` returns the
+//! first minimum and the *last* maximum.
+
+use std::cmp::Ordering;
+
+use crate::algorithms::map_chunks;
+use crate::policy::ExecutionPolicy;
+
+/// Index of the first minimum element, by `Ord`.
+pub fn min_element<T>(policy: &ExecutionPolicy, data: &[T]) -> Option<usize>
+where
+    T: Ord + Sync,
+{
+    min_element_by(policy, data, |a, b| a.cmp(b))
+}
+
+/// Index of the first minimum element, by comparator.
+pub fn min_element_by<T, C>(policy: &ExecutionPolicy, data: &[T], cmp: C) -> Option<usize>
+where
+    T: Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let partials = map_chunks(policy, data.len(), &|r| {
+        let mut best: Option<usize> = None;
+        for i in r {
+            // Strict less keeps the first occurrence.
+            if best.is_none_or(|b| cmp(&data[i], &data[b]) == Ordering::Less) {
+                best = Some(i);
+            }
+        }
+        best
+    });
+    // Chunk order = index order, so strict less again keeps the first.
+    partials.into_iter().flatten().fold(None, |acc, i| match acc {
+        None => Some(i),
+        Some(b) => {
+            if cmp(&data[i], &data[b]) == Ordering::Less {
+                Some(i)
+            } else {
+                Some(b)
+            }
+        }
+    })
+}
+
+/// Index of the first maximum element, by `Ord`.
+pub fn max_element<T>(policy: &ExecutionPolicy, data: &[T]) -> Option<usize>
+where
+    T: Ord + Sync,
+{
+    max_element_by(policy, data, |a, b| a.cmp(b))
+}
+
+/// Index of the first maximum element, by comparator.
+pub fn max_element_by<T, C>(policy: &ExecutionPolicy, data: &[T], cmp: C) -> Option<usize>
+where
+    T: Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    // max_element(v) is the first i with v[j] < v[i] for all later j;
+    // reuse min_element_by with the reversed *strict* relation: keep the
+    // earlier element unless the later is strictly greater.
+    min_element_by(policy, data, |a, b| match cmp(a, b) {
+        Ordering::Greater => Ordering::Less,
+        _ => Ordering::Greater,
+    })
+}
+
+/// Indices of the first minimum and the last maximum
+/// (`std::minmax_element` tie rules).
+pub fn minmax_element<T>(policy: &ExecutionPolicy, data: &[T]) -> Option<(usize, usize)>
+where
+    T: Ord + Sync,
+{
+    let partials = map_chunks(policy, data.len(), &|r| {
+        let mut mm: Option<(usize, usize)> = None;
+        for i in r {
+            mm = Some(match mm {
+                None => (i, i),
+                Some((lo, hi)) => (
+                    if data[i] < data[lo] { i } else { lo },
+                    if data[i] >= data[hi] { i } else { hi },
+                ),
+            });
+        }
+        mm
+    });
+    partials.into_iter().flatten().fold(None, |acc, (lo, hi)| {
+        Some(match acc {
+            None => (lo, hi),
+            Some((alo, ahi)) => (
+                // Later chunk wins only on strict less (first min)…
+                if data[lo] < data[alo] { lo } else { alo },
+                // …but wins on ties for the max (last max).
+                if data[hi] >= data[ahi] { hi } else { ahi },
+            ),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    fn scrambled(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 7).collect()
+    }
+
+    #[test]
+    fn min_max_match_std() {
+        for policy in policies() {
+            let data = scrambled(50_000);
+            let min_std = data
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
+                .unwrap()
+                .0;
+            let max_std = data
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .unwrap()
+                .0;
+            assert_eq!(min_element(&policy, &data), Some(min_std));
+            assert_eq!(max_element(&policy, &data), Some(max_std));
+        }
+    }
+
+    #[test]
+    fn ties_first_min_first_max_last_maxmax() {
+        for policy in policies() {
+            // All equal: min/max -> first element; minmax max -> last.
+            let data = vec![5u64; 10_000];
+            assert_eq!(min_element(&policy, &data), Some(0));
+            assert_eq!(max_element(&policy, &data), Some(0));
+            assert_eq!(minmax_element(&policy, &data), Some((0, 9_999)));
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        for policy in policies() {
+            let data: Vec<u64> = vec![];
+            assert_eq!(min_element(&policy, &data), None);
+            assert_eq!(max_element(&policy, &data), None);
+            assert_eq!(minmax_element(&policy, &data), None);
+        }
+    }
+
+    #[test]
+    fn minmax_matches_manual_scan() {
+        for policy in policies() {
+            let data = scrambled(30_000);
+            let (mm_lo, mm_hi) = minmax_element(&policy, &data).unwrap();
+            let lo = *data.iter().min().unwrap();
+            let hi = *data.iter().max().unwrap();
+            assert_eq!(data[mm_lo], lo);
+            assert_eq!(data[mm_hi], hi);
+            // First min, last max.
+            assert_eq!(mm_lo, data.iter().position(|&x| x == lo).unwrap());
+            assert_eq!(mm_hi, data.iter().rposition(|&x| x == hi).unwrap());
+        }
+    }
+
+    #[test]
+    fn comparator_variants() {
+        for policy in policies() {
+            let data: Vec<i64> = vec![3, -7, 5, -7, 9, -2, 9];
+            // By absolute value: first |x| min is 3? |-2|=2 smallest → idx 5.
+            let min_abs = min_element_by(&policy, &data, |a, b| a.abs().cmp(&b.abs()));
+            assert_eq!(min_abs, Some(5));
+            let max_abs = max_element_by(&policy, &data, |a, b| a.abs().cmp(&b.abs()));
+            assert_eq!(max_abs, Some(4)); // first of |9|
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The algorithm families, one module each.
+//!
+//! Every algorithm follows the same template: plan the invocation with
+//! [`ExecutionPolicy::plan`], run a plain sequential implementation for
+//! [`Plan::Sequential`], and otherwise decompose the index space into
+//! balanced chunks (see [`crate::chunk`]) executed through the policy's
+//! pool. Shared decomposition helpers live here.
+
+pub mod adjacent;
+pub mod copy_fill;
+pub mod find_search;
+pub mod for_each;
+pub mod heap;
+pub mod merge;
+pub mod minmax;
+pub mod partition;
+pub mod predicates;
+pub mod reduce;
+pub mod reorder;
+pub mod scan;
+pub mod set_ops;
+pub mod sort;
+pub mod transform;
+pub mod unique_remove;
+
+use std::ops::Range;
+
+use crate::chunk::chunk_range;
+use crate::policy::{ExecutionPolicy, Plan};
+use crate::ptr::SliceView;
+
+/// Map every balanced chunk of `0..n` through `map`, collecting the
+/// per-chunk results in chunk order. Sequential plans produce a single
+/// chunk covering the whole range.
+///
+/// This is the workhorse of the reduction-shaped algorithms (`reduce`,
+/// `count`, `min_element`, scan phase 1): each task writes its partial into
+/// a dedicated slot, so no atomics or locks are involved and the combine
+/// step is deterministic.
+pub(crate) fn map_chunks<R, F>(policy: &ExecutionPolicy, n: usize, map: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    match policy.plan(n) {
+        Plan::Sequential => vec![map(0..n)],
+        Plan::Parallel { exec, tasks } => {
+            let mut partials: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
+            let view = SliceView::new(&mut partials);
+            let view = &view;
+            exec.run(tasks, &|i| {
+                let r = chunk_range(n, tasks, i);
+                // SAFETY: each task index writes exactly its own slot.
+                unsafe { view.write(i, Some(map(r))) };
+            });
+            partials
+                .into_iter()
+                .map(|o| o.expect("executor skipped a task index"))
+                .collect()
+        }
+    }
+}
+
+/// Run `body(range)` over every balanced chunk of `0..n` purely for
+/// effects (the map-shaped algorithms: `for_each`, `transform`, `fill`,
+/// `copy`…).
+pub(crate) fn run_chunks<F>(policy: &ExecutionPolicy, n: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    match policy.plan(n) {
+        Plan::Sequential => body(0..n),
+        Plan::Parallel { exec, tasks } => {
+            exec.run(tasks, &|i| body(chunk_range(n, tasks, i)));
+        }
+    }
+}
+
+/// Like [`run_chunks`], but `body` also receives the chunk index. The
+/// chunk count equals what a [`map_chunks`] call with the same policy and
+/// `n` produced (plans are deterministic), so multi-phase algorithms can
+/// line up per-chunk metadata between phases.
+pub(crate) fn run_chunks_indexed<F>(policy: &ExecutionPolicy, n: usize, body: &F)
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    match policy.plan(n) {
+        Plan::Sequential => body(0, 0..n),
+        Plan::Parallel { exec, tasks } => {
+            exec.run(tasks, &|i| body(i, chunk_range(n, tasks, i)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn map_chunks_covers_range_in_order() {
+        for policy in policies() {
+            let ranges = map_chunks(&policy, 10_000, &|r| r);
+            let mut end = 0;
+            for r in &ranges {
+                assert_eq!(r.start, end);
+                end = r.end;
+            }
+            assert_eq!(end, 10_000);
+        }
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        for policy in policies() {
+            let parts = map_chunks(&policy, 0, &|r| r.len());
+            assert_eq!(parts.iter().sum::<usize>(), 0);
+        }
+    }
+
+    #[test]
+    fn run_chunks_visits_everything_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for policy in policies() {
+            let n = 4097;
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run_chunks(&policy, n, &|r| {
+                for i in r {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Partitioning: `partition`, `stable_partition`, `partition_copy`,
+//! `is_partitioned`.
+//!
+//! The in-place partitions use the three-phase count → offsets → scatter
+//! scheme over a scratch buffer, which makes them *stable* (a stronger
+//! guarantee than `std::partition`, matching `std::stable_partition`).
+
+use crate::algorithms::find_search::find_first_index;
+use crate::algorithms::{map_chunks, run_chunks, run_chunks_indexed};
+use crate::policy::ExecutionPolicy;
+use crate::ptr::SliceView;
+
+/// Move all elements satisfying `pred` before all that do not, preserving
+/// relative order on both sides. Returns the boundary index (the number
+/// of satisfying elements).
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+///
+/// let policy = ExecutionPolicy::seq();
+/// let mut v = vec![1, 2, 3, 4, 5, 6];
+/// let boundary = pstl::partition(&policy, &mut v, |&x| x % 2 == 0);
+/// assert_eq!(boundary, 3);
+/// assert_eq!(v, [2, 4, 6, 1, 3, 5]); // stable on both sides
+/// ```
+pub fn partition<T, F>(policy: &ExecutionPolicy, data: &mut [T], pred: F) -> usize
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    // Phase 1: per-chunk true-counts.
+    let counts = map_chunks(policy, n, &|r| data[r].iter().filter(|x| pred(x)).count());
+    let tasks = counts.len();
+    // Phase 2: offsets. True elements pack to the front, false to the back
+    // half starting at total_true.
+    let total_true: usize = counts.iter().sum();
+    let mut true_off = Vec::with_capacity(tasks);
+    let mut false_off = Vec::with_capacity(tasks);
+    let mut t_acc = 0usize;
+    let mut f_acc = total_true;
+    for (i, &c) in counts.iter().enumerate() {
+        true_off.push(t_acc);
+        false_off.push(f_acc);
+        t_acc += c;
+        f_acc += crate::chunk::chunk_range(n, tasks, i).len() - c;
+    }
+    // Phase 3: scatter into scratch, then copy back.
+    let mut scratch: Vec<T> = data.to_vec();
+    {
+        let view = SliceView::new(&mut scratch);
+        let view = &view;
+        let data_ref: &[T] = data;
+        let true_off = &true_off;
+        let false_off = &false_off;
+        run_chunks_indexed(policy, n, &|i, r| {
+            let mut t = true_off[i];
+            let mut f = false_off[i];
+            for x in &data_ref[r] {
+                // SAFETY: each chunk writes the disjoint windows
+                // [true_off[i], true_off[i]+c) and [false_off[i], …).
+                if pred(x) {
+                    unsafe { view.write(t, x.clone()) };
+                    t += 1;
+                } else {
+                    unsafe { view.write(f, x.clone()) };
+                    f += 1;
+                }
+            }
+        });
+    }
+    let scratch_ref: &[T] = &scratch;
+    let view = SliceView::new(data);
+    let view = &view;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: disjoint chunk ranges.
+        unsafe { view.range_mut(r.clone()) }.clone_from_slice(&scratch_ref[r]);
+    });
+    total_true
+}
+
+/// Alias of [`partition`]: our partition is already stable
+/// (`std::stable_partition` semantics).
+pub fn stable_partition<T, F>(policy: &ExecutionPolicy, data: &mut [T], pred: F) -> usize
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    partition(policy, data, pred)
+}
+
+/// Copy satisfying elements to `out_true` and the rest to `out_false`,
+/// preserving order (`std::partition_copy`). Returns the two counts.
+///
+/// # Panics
+/// Panics if either output is too short.
+pub fn partition_copy<T, F>(
+    policy: &ExecutionPolicy,
+    src: &[T],
+    out_true: &mut [T],
+    out_false: &mut [T],
+    pred: F,
+) -> (usize, usize)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = src.len();
+    let counts = map_chunks(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
+    let tasks = counts.len();
+    let total_true: usize = counts.iter().sum();
+    let total_false = n - total_true;
+    assert!(total_true <= out_true.len(), "partition_copy: out_true too short");
+    assert!(total_false <= out_false.len(), "partition_copy: out_false too short");
+    let mut true_off = Vec::with_capacity(tasks);
+    let mut false_off = Vec::with_capacity(tasks);
+    let mut t_acc = 0usize;
+    let mut f_acc = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        true_off.push(t_acc);
+        false_off.push(f_acc);
+        t_acc += c;
+        f_acc += crate::chunk::chunk_range(n, tasks, i).len() - c;
+    }
+    let vt = SliceView::new(out_true);
+    let vf = SliceView::new(out_false);
+    let vt = &vt;
+    let vf = &vf;
+    let true_off = &true_off;
+    let false_off = &false_off;
+    run_chunks_indexed(policy, n, &|i, r| {
+        let mut t = true_off[i];
+        let mut f = false_off[i];
+        for x in &src[r] {
+            // SAFETY: disjoint per-chunk output windows in both outputs.
+            if pred(x) {
+                unsafe { vt.write(t, x.clone()) };
+                t += 1;
+            } else {
+                unsafe { vf.write(f, x.clone()) };
+                f += 1;
+            }
+        }
+    });
+    (total_true, total_false)
+}
+
+/// Whether all satisfying elements precede all non-satisfying ones
+/// (`std::is_partitioned`).
+pub fn is_partitioned<T, F>(policy: &ExecutionPolicy, data: &[T], pred: F) -> bool
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    match find_first_index(policy, data.len(), |i| !pred(&data[i])) {
+        None => true,
+        Some(first_false) => {
+            find_first_index(policy, data.len() - first_false, |k| {
+                pred(&data[first_false + k])
+            })
+            .is_none()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn partition_is_stable_both_sides() {
+        for policy in policies() {
+            let mut v: Vec<i64> = (0..20_000).collect();
+            let boundary = partition(&policy, &mut v, |&x| x % 3 == 0);
+            let expect_true: Vec<i64> = (0..20_000).filter(|x| x % 3 == 0).collect();
+            let expect_false: Vec<i64> = (0..20_000).filter(|x| x % 3 != 0).collect();
+            assert_eq!(boundary, expect_true.len());
+            assert_eq!(&v[..boundary], &expect_true[..]);
+            assert_eq!(&v[boundary..], &expect_false[..]);
+        }
+    }
+
+    #[test]
+    fn partition_all_and_none() {
+        for policy in policies() {
+            let mut v: Vec<i64> = (0..1000).collect();
+            assert_eq!(partition(&policy, &mut v, |_| true), 1000);
+            assert_eq!(partition(&policy, &mut v, |_| false), 0);
+            let mut empty: Vec<i64> = vec![];
+            assert_eq!(partition(&policy, &mut empty, |_| true), 0);
+        }
+    }
+
+    #[test]
+    fn partition_copy_splits() {
+        for policy in policies() {
+            let src: Vec<i64> = (0..10_000).collect();
+            let mut evens = vec![0i64; 10_000];
+            let mut odds = vec![0i64; 10_000];
+            let (ne, no) = partition_copy(&policy, &src, &mut evens, &mut odds, |&x| x % 2 == 0);
+            assert_eq!(ne, 5000);
+            assert_eq!(no, 5000);
+            assert!(evens[..ne].iter().enumerate().all(|(i, &x)| x == 2 * i as i64));
+            assert!(odds[..no].iter().enumerate().all(|(i, &x)| x == 2 * i as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn is_partitioned_checks() {
+        for policy in policies() {
+            let good: Vec<i64> = (0..5000)
+                .map(|i| if i < 2000 { 0 } else { 1 })
+                .collect();
+            assert!(is_partitioned(&policy, &good, |&x| x == 0));
+            let mut bad = good.clone();
+            bad[4000] = 0;
+            assert!(!is_partitioned(&policy, &bad, |&x| x == 0));
+            let empty: Vec<i64> = vec![];
+            assert!(is_partitioned(&policy, &empty, |&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn partition_then_is_partitioned_roundtrip() {
+        for policy in policies() {
+            let mut v: Vec<u64> = (0..9999u64).map(|i| i.wrapping_mul(48271) % 1000).collect();
+            partition(&policy, &mut v, |&x| x < 500);
+            assert!(is_partitioned(&policy, &v, |&x| x < 500));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! `reduce` family — the paper's reduction benchmark (§5.5).
+//!
+//! Parallel strategy: per-chunk partial folds written into dedicated
+//! slots (no atomics), combined sequentially in chunk order. Like
+//! `std::reduce`, the operation must be associative and commutative for
+//! the result to be well-defined; for floating-point `+` the result may
+//! differ from the strict left fold by rounding, exactly as in C++.
+
+use crate::algorithms::map_chunks;
+use crate::policy::ExecutionPolicy;
+
+/// Fold all elements with `op`, starting from `init`
+/// (`std::reduce(policy, first, last, init, op)`).
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+/// use pstl_executor::{build_pool, Discipline};
+///
+/// let policy = ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 2));
+/// let v: Vec<u64> = (1..=100).collect();
+/// assert_eq!(pstl::reduce(&policy, &v, 0, |a, b| a + b), 5050);
+/// ```
+pub fn reduce<T, F>(policy: &ExecutionPolicy, data: &[T], init: T, op: F) -> T
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    transform_reduce(policy, data, init, &op, |x| x.clone())
+}
+
+/// Map each element through `f`, then fold with `op`
+/// (`std::transform_reduce`, unary form).
+pub fn transform_reduce<T, U, R, F>(
+    policy: &ExecutionPolicy,
+    data: &[T],
+    init: U,
+    op: R,
+    f: F,
+) -> U
+where
+    T: Sync,
+    U: Clone + Send + Sync,
+    R: Fn(U, U) -> U + Sync,
+    F: Fn(&T) -> U + Sync,
+{
+    let partials = map_chunks(policy, data.len(), &|r| {
+        let mut iter = data[r].iter();
+        let first = match iter.next() {
+            Some(x) => f(x),
+            None => return None,
+        };
+        Some(iter.fold(first, |acc, x| op(acc, f(x))))
+    });
+    partials
+        .into_iter()
+        .flatten()
+        .fold(init, op)
+}
+
+/// Inner-product-style `std::transform_reduce`: folds
+/// `combine(&a[i], &b[i])` over both slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn transform_reduce_binary<T, U, V, R, F>(
+    policy: &ExecutionPolicy,
+    a: &[T],
+    b: &[U],
+    init: V,
+    op: R,
+    combine: F,
+) -> V
+where
+    T: Sync,
+    U: Sync,
+    V: Clone + Send + Sync,
+    R: Fn(V, V) -> V + Sync,
+    F: Fn(&T, &U) -> V + Sync,
+{
+    assert_eq!(a.len(), b.len(), "transform_reduce_binary: length mismatch");
+    let partials = map_chunks(policy, a.len(), &|r| {
+        let mut acc: Option<V> = None;
+        for i in r {
+            let v = combine(&a[i], &b[i]);
+            acc = Some(match acc {
+                Some(acc) => op(acc, v),
+                None => v,
+            });
+        }
+        acc
+    });
+    partials
+        .into_iter()
+        .flatten()
+        .fold(init, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn integer_sum_matches_iterator() {
+        for policy in policies() {
+            let data: Vec<u64> = (1..=100_000).collect();
+            let sum = reduce(&policy, &data, 0u64, |a, b| a + b);
+            assert_eq!(sum, 100_000 * 100_001 / 2);
+        }
+    }
+
+    #[test]
+    fn nonzero_init_participates_once() {
+        for policy in policies() {
+            let data = vec![1u64; 1000];
+            assert_eq!(reduce(&policy, &data, 42, |a, b| a + b), 1042);
+        }
+    }
+
+    #[test]
+    fn product_reduction() {
+        for policy in policies() {
+            let data = vec![2u64; 20];
+            assert_eq!(reduce(&policy, &data, 1, |a, b| a * b), 1 << 20);
+        }
+    }
+
+    #[test]
+    fn empty_reduce_returns_init() {
+        for policy in policies() {
+            let data: Vec<u64> = vec![];
+            assert_eq!(reduce(&policy, &data, 7, |a, b| a + b), 7);
+        }
+    }
+
+    #[test]
+    fn float_sum_is_close_to_exact() {
+        // The paper's reduce kernel: sum of [1..n] as f64.
+        for policy in policies() {
+            let n = 1 << 20;
+            let data: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let sum = reduce(&policy, &data, 0.0, |a, b| a + b);
+            let exact = (n as f64) * (n as f64 + 1.0) / 2.0;
+            assert!((sum - exact).abs() / exact < 1e-12, "sum={sum} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn transform_reduce_maps_then_folds() {
+        for policy in policies() {
+            let data: Vec<i64> = (0..10_000).collect();
+            let sum_sq = transform_reduce(&policy, &data, 0i64, |a, b| a + b, |&x| x * x);
+            let expect: i64 = data.iter().map(|&x| x * x).sum();
+            assert_eq!(sum_sq, expect);
+        }
+    }
+
+    #[test]
+    fn dot_product() {
+        for policy in policies() {
+            let a: Vec<i64> = (0..5000).collect();
+            let b: Vec<i64> = (0..5000).map(|x| 2 * x).collect();
+            let dot =
+                transform_reduce_binary(&policy, &a, &b, 0i64, |x, y| x + y, |&x, &y| x * y);
+            let expect: i64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            assert_eq!(dot, expect);
+        }
+    }
+
+    #[test]
+    fn min_via_reduce() {
+        for policy in policies() {
+            let data: Vec<i64> = (0..10_000).map(|i| (i * 37 + 11) % 9973).collect();
+            let min = reduce(&policy, &data, i64::MAX, |a, b| a.min(b));
+            assert_eq!(min, *data.iter().min().unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn binary_length_mismatch_panics() {
+        transform_reduce_binary(
+            &ExecutionPolicy::seq(),
+            &[1i64, 2],
+            &[1i64],
+            0,
+            |a, b| a + b,
+            |&x, &y| x * y,
+        );
+    }
+}

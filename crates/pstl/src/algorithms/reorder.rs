@@ -1,0 +1,219 @@
+//! Order-rearranging algorithms: `reverse`, `reverse_copy`,
+//! `rotate_copy`, `swap_ranges`.
+
+use crate::algorithms::run_chunks;
+use crate::policy::ExecutionPolicy;
+use crate::ptr::SliceView;
+
+/// Reverse the slice in place (`std::reverse`). Parallelized over the
+/// `n/2` swap pairs.
+pub fn reverse<T>(policy: &ExecutionPolicy, data: &mut [T])
+where
+    T: Send,
+{
+    let n = data.len();
+    let view = SliceView::new(data);
+    let view = &view;
+    run_chunks(policy, n / 2, &|r| {
+        for i in r {
+            // SAFETY: pair {i, n-1-i} is unique to this index and the two
+            // halves of the index space never overlap (i < n/2).
+            unsafe { view.swap(i, n - 1 - i) };
+        }
+    });
+}
+
+/// `out[i] = src[n-1-i]` (`std::reverse_copy`).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn reverse_copy<T>(policy: &ExecutionPolicy, src: &[T], out: &mut [T])
+where
+    T: Clone + Send + Sync,
+{
+    assert_eq!(src.len(), out.len(), "reverse_copy: length mismatch");
+    let n = src.len();
+    let view = SliceView::new(out);
+    let view = &view;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: disjoint chunk ranges.
+        let dst = unsafe { view.range_mut(r.clone()) };
+        for (off, slot) in dst.iter_mut().enumerate() {
+            *slot = src[n - 1 - (r.start + off)].clone();
+        }
+    });
+}
+
+/// Copy of `src` rotated left by `mid`: `out = src[mid..] ++ src[..mid]`
+/// (`std::rotate_copy`).
+///
+/// # Panics
+/// Panics if lengths differ or `mid > src.len()`.
+pub fn rotate_copy<T>(policy: &ExecutionPolicy, src: &[T], mid: usize, out: &mut [T])
+where
+    T: Clone + Send + Sync,
+{
+    assert_eq!(src.len(), out.len(), "rotate_copy: length mismatch");
+    assert!(mid <= src.len(), "rotate_copy: mid out of range");
+    let n = src.len();
+    let view = SliceView::new(out);
+    let view = &view;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: disjoint chunk ranges.
+        let dst = unsafe { view.range_mut(r.clone()) };
+        for (off, slot) in dst.iter_mut().enumerate() {
+            let i = r.start + off;
+            *slot = src[(i + mid) % n].clone();
+        }
+    });
+}
+
+/// Rotate left in place: `data` becomes `data[mid..] ++ data[..mid]`
+/// (`std::rotate`). Returns the new position of the old first element
+/// (`data.len() - mid`), like C++'s returned iterator.
+///
+/// Implemented as the classic three reversals, each parallel.
+///
+/// # Panics
+/// Panics if `mid > data.len()`.
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+///
+/// let policy = ExecutionPolicy::seq();
+/// let mut v = [1, 2, 3, 4, 5];
+/// let new_first = pstl::rotate(&policy, &mut v, 2);
+/// assert_eq!(v, [3, 4, 5, 1, 2]);
+/// assert_eq!(new_first, 3); // old front now lives here
+/// ```
+pub fn rotate<T>(policy: &ExecutionPolicy, data: &mut [T], mid: usize) -> usize
+where
+    T: Send,
+{
+    let n = data.len();
+    assert!(mid <= n, "rotate: mid out of range");
+    if mid == 0 || mid == n {
+        return n - mid;
+    }
+    reverse(policy, &mut data[..mid]);
+    reverse(policy, &mut data[mid..]);
+    reverse(policy, data);
+    n - mid
+}
+
+/// Exchange the contents of two equal-length slices
+/// (`std::swap_ranges`).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn swap_ranges<T>(policy: &ExecutionPolicy, a: &mut [T], b: &mut [T])
+where
+    T: Send,
+{
+    assert_eq!(a.len(), b.len(), "swap_ranges: length mismatch");
+    let n = a.len();
+    let va = SliceView::new(a);
+    let vb = SliceView::new(b);
+    let va = &va;
+    let vb = &vb;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: disjoint chunk ranges on both (distinct) slices.
+        let ca = unsafe { va.range_mut(r.clone()) };
+        let cb = unsafe { vb.range_mut(r) };
+        for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+            std::mem::swap(x, y);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn reverse_matches_std() {
+        for policy in policies() {
+            for n in [0usize, 1, 2, 3, 1000, 4097] {
+                let mut data: Vec<u32> = (0..n as u32).collect();
+                reverse(&policy, &mut data);
+                let mut expect: Vec<u32> = (0..n as u32).collect();
+                expect.reverse();
+                assert_eq!(data, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_copy_matches() {
+        for policy in policies() {
+            let src: Vec<u32> = (0..5000).collect();
+            let mut out = vec![0u32; 5000];
+            reverse_copy(&policy, &src, &mut out);
+            assert!(out.iter().enumerate().all(|(i, &x)| x == 4999 - i as u32));
+        }
+    }
+
+    #[test]
+    fn rotate_copy_matches() {
+        for policy in policies() {
+            let src: Vec<u32> = (0..977).collect();
+            for mid in [0usize, 1, 400, 976, 977] {
+                let mut out = vec![0u32; 977];
+                rotate_copy(&policy, &src, mid, &mut out);
+                let mut expect = src.clone();
+                expect.rotate_left(mid);
+                assert_eq!(out, expect, "mid={mid}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_ranges_exchanges() {
+        for policy in policies() {
+            let mut a: Vec<u32> = (0..3000).collect();
+            let mut b: Vec<u32> = (3000..6000).collect();
+            swap_ranges(&policy, &mut a, &mut b);
+            assert!(a.iter().enumerate().all(|(i, &x)| x == 3000 + i as u32));
+            assert!(b.iter().enumerate().all(|(i, &x)| x == i as u32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn swap_ranges_length_mismatch_panics() {
+        swap_ranges(&ExecutionPolicy::seq(), &mut [1u8, 2], &mut [1u8]);
+    }
+
+    #[test]
+    fn rotate_matches_std() {
+        for policy in policies() {
+            for n in [0usize, 1, 2, 977, 4096] {
+                for frac in [0usize, 1, 3, 4] {
+                    let mid = if frac == 0 { 0 } else { n * frac / 4 };
+                    let mut data: Vec<u32> = (0..n as u32).collect();
+                    let ret = rotate(&policy, &mut data, mid);
+                    let mut expect: Vec<u32> = (0..n as u32).collect();
+                    expect.rotate_left(mid);
+                    assert_eq!(data, expect, "n={n} mid={mid}");
+                    assert_eq!(ret, n - mid);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mid out of range")]
+    fn rotate_out_of_range_panics() {
+        rotate(&ExecutionPolicy::seq(), &mut [1u8, 2], 3);
+    }
+}

@@ -1,0 +1,391 @@
+//! Prefix sums — the paper's `inclusive_scan` benchmark (§5.4).
+//!
+//! The parallel scan is the classic three-phase scheme every C++ backend
+//! uses: (1) per-chunk reduction, (2) sequential exclusive scan of the
+//! chunk totals, (3) per-chunk scan seeded with its offset. Phases 1 and 3
+//! each traverse the data once, which is why the paper finds scan's
+//! speedup capped near `bandwidth_ratio / 2` on all machines.
+
+use crate::chunk::chunk_range;
+use crate::policy::{ExecutionPolicy, Plan};
+use crate::ptr::SliceView;
+
+/// `out[i] = src[0] ⊕ … ⊕ src[i]` (`std::inclusive_scan`).
+///
+/// `op` must be associative (same contract as C++).
+///
+/// # Panics
+/// Panics if `src.len() != out.len()`.
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+///
+/// let policy = ExecutionPolicy::seq();
+/// let v = [1, 2, 3, 4];
+/// let mut prefix = [0; 4];
+/// pstl::inclusive_scan(&policy, &v, &mut prefix, |a, b| a + b);
+/// assert_eq!(prefix, [1, 3, 6, 10]);
+/// ```
+pub fn inclusive_scan<T, F>(policy: &ExecutionPolicy, src: &[T], out: &mut [T], op: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    assert_eq!(src.len(), out.len(), "inclusive_scan: length mismatch");
+    scan_engine(policy, src.len(), out, &|i| src[i].clone(), &op, None, false);
+}
+
+/// `std::inclusive_scan` with an initial value folded into every prefix.
+pub fn inclusive_scan_init<T, F>(
+    policy: &ExecutionPolicy,
+    src: &[T],
+    out: &mut [T],
+    init: T,
+    op: F,
+) where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    assert_eq!(src.len(), out.len(), "inclusive_scan: length mismatch");
+    scan_engine(policy, src.len(), out, &|i| src[i].clone(), &op, Some(init), false);
+}
+
+/// `out[i] = init ⊕ src[0] ⊕ … ⊕ src[i-1]` (`std::exclusive_scan`).
+pub fn exclusive_scan<T, F>(
+    policy: &ExecutionPolicy,
+    src: &[T],
+    out: &mut [T],
+    init: T,
+    op: F,
+) where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    assert_eq!(src.len(), out.len(), "exclusive_scan: length mismatch");
+    scan_engine(policy, src.len(), out, &|i| src[i].clone(), &op, Some(init), true);
+}
+
+/// `std::transform_inclusive_scan`: scan of `f(&src[i])`.
+pub fn transform_inclusive_scan<T, U, F, G>(
+    policy: &ExecutionPolicy,
+    src: &[T],
+    out: &mut [U],
+    op: F,
+    f: G,
+) where
+    T: Sync,
+    U: Clone + Send + Sync,
+    F: Fn(&U, &U) -> U + Sync,
+    G: Fn(&T) -> U + Sync,
+{
+    assert_eq!(src.len(), out.len(), "transform_inclusive_scan: length mismatch");
+    scan_engine(policy, src.len(), out, &|i| f(&src[i]), &op, None, false);
+}
+
+/// `std::transform_exclusive_scan`: exclusive scan of `f(&src[i])`.
+pub fn transform_exclusive_scan<T, U, F, G>(
+    policy: &ExecutionPolicy,
+    src: &[T],
+    out: &mut [U],
+    init: U,
+    op: F,
+    f: G,
+) where
+    T: Sync,
+    U: Clone + Send + Sync,
+    F: Fn(&U, &U) -> U + Sync,
+    G: Fn(&T) -> U + Sync,
+{
+    assert_eq!(src.len(), out.len(), "transform_exclusive_scan: length mismatch");
+    scan_engine(policy, src.len(), out, &|i| f(&src[i]), &op, Some(init), true);
+}
+
+/// In-place inclusive scan. All element accesses go through per-chunk
+/// exclusive views, so the two data traversals are race-free even though
+/// input and output share storage.
+pub fn inclusive_scan_in_place<T, F>(policy: &ExecutionPolicy, data: &mut [T], op: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    let n = data.len();
+    match policy.plan(n) {
+        Plan::Sequential => {
+            for i in 1..n {
+                data[i] = op(&data[i - 1], &data[i]);
+            }
+        }
+        Plan::Parallel { exec, tasks } => {
+            let view = SliceView::new(data);
+            let view = &view;
+            // Phase 1: chunk totals.
+            let mut sums: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+            let sums_view = SliceView::new(&mut sums);
+            let sums_view = &sums_view;
+            exec.run(tasks, &|t| {
+                let r = chunk_range(n, tasks, t);
+                // SAFETY: each task reads only its own chunk.
+                let chunk = unsafe { view.range(r) };
+                let mut total: Option<T> = None;
+                for x in chunk {
+                    total = Some(match total {
+                        Some(a) => op(&a, x),
+                        None => x.clone(),
+                    });
+                }
+                // SAFETY: one write per task slot.
+                unsafe { sums_view.write(t, total) };
+            });
+            // Phase 2: offsets.
+            let offsets = exclusive_offsets(&sums, None, &op);
+            let offsets = &offsets;
+            // Phase 3: rescan chunks with offsets.
+            exec.run(tasks, &|t| {
+                let r = chunk_range(n, tasks, t);
+                // SAFETY: each task mutates only its own chunk.
+                let chunk = unsafe { view.range_mut(r) };
+                let mut running = offsets[t].clone();
+                for x in chunk.iter_mut() {
+                    let v = match &running {
+                        Some(acc) => op(acc, x),
+                        None => x.clone(),
+                    };
+                    *x = v.clone();
+                    running = Some(v);
+                }
+            });
+        }
+    }
+}
+
+/// Exclusive scan of per-chunk totals: `offsets[t]` is the value every
+/// prefix in chunk `t` must be seeded with (`None` = nothing before it).
+fn exclusive_offsets<T, F>(sums: &[Option<T>], init: Option<T>, op: &F) -> Vec<Option<T>>
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    let mut offsets = Vec::with_capacity(sums.len());
+    let mut running = init;
+    for s in sums {
+        offsets.push(running.clone());
+        running = match (&running, s) {
+            (Some(r), Some(s)) => Some(op(r, s)),
+            (None, Some(s)) => Some(s.clone()),
+            (r, None) => r.clone(),
+        };
+    }
+    offsets
+}
+
+/// The shared scan engine.
+///
+/// * `get(i)` produces the (transformed) i-th input,
+/// * `init` participates in every prefix (required when `exclusive`),
+/// * `exclusive` shifts the output right by one position.
+fn scan_engine<U, G, F>(
+    policy: &ExecutionPolicy,
+    n: usize,
+    out: &mut [U],
+    get: &G,
+    op: &F,
+    init: Option<U>,
+    exclusive: bool,
+) where
+    U: Clone + Send + Sync,
+    G: Fn(usize) -> U + Sync,
+    F: Fn(&U, &U) -> U + Sync,
+{
+    assert!(
+        !exclusive || init.is_some(),
+        "exclusive scans require an initial value"
+    );
+    match policy.plan(n) {
+        Plan::Sequential => {
+            scan_range_into(out, 0..n, get, op, init, exclusive);
+        }
+        Plan::Parallel { exec, tasks } => {
+            // Phase 1: chunk totals of the *inputs* (init excluded).
+            let mut sums: Vec<Option<U>> = (0..tasks).map(|_| None).collect();
+            let sums_view = SliceView::new(&mut sums);
+            let sums_view = &sums_view;
+            exec.run(tasks, &|t| {
+                let r = chunk_range(n, tasks, t);
+                let mut acc: Option<U> = None;
+                for i in r {
+                    let x = get(i);
+                    acc = Some(match acc {
+                        Some(a) => op(&a, &x),
+                        None => x,
+                    });
+                }
+                // SAFETY: one write per task slot.
+                unsafe { sums_view.write(t, acc) };
+            });
+            // Phase 2: offsets (sequential, `tasks` elements).
+            let offsets = exclusive_offsets(&sums, init, op);
+            let offsets = &offsets;
+            // Phase 3: per-chunk scan seeded with the offset.
+            let view = SliceView::new(out);
+            let view = &view;
+            exec.run(tasks, &|t| {
+                let r = chunk_range(n, tasks, t);
+                // SAFETY: disjoint chunk ranges.
+                let dst = unsafe { view.range_mut(r.clone()) };
+                scan_range_into(dst, r, get, op, offsets[t].clone(), exclusive);
+            });
+        }
+    }
+}
+
+/// Sequentially scan `range` of the input into `dst` (`dst.len() ==
+/// range.len()`), seeded with `running`.
+fn scan_range_into<U, G, F>(
+    dst: &mut [U],
+    range: std::ops::Range<usize>,
+    get: &G,
+    op: &F,
+    mut running: Option<U>,
+    exclusive: bool,
+) where
+    U: Clone,
+    G: Fn(usize) -> U,
+    F: Fn(&U, &U) -> U,
+{
+    debug_assert_eq!(dst.len(), range.len());
+    for (slot, i) in dst.iter_mut().zip(range) {
+        let x = get(i);
+        if exclusive {
+            let r = running.clone().expect("exclusive scan without seed");
+            *slot = r.clone();
+            running = Some(op(&r, &x));
+        } else {
+            let v = match &running {
+                Some(acc) => op(acc, &x),
+                None => x,
+            };
+            *slot = v.clone();
+            running = Some(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    fn ref_inclusive(src: &[u64]) -> Vec<u64> {
+        src.iter()
+            .scan(0u64, |acc, &x| {
+                *acc += x;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inclusive_matches_reference() {
+        for policy in policies() {
+            for n in [0usize, 1, 2, 100, 4096, 10_001] {
+                let src: Vec<u64> = (1..=n as u64).collect();
+                let mut out = vec![0u64; n];
+                inclusive_scan(&policy, &src, &mut out, |a, b| a + b);
+                assert_eq!(out, ref_inclusive(&src), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inclusive_with_init() {
+        for policy in policies() {
+            let src = vec![1u64; 1000];
+            let mut out = vec![0u64; 1000];
+            inclusive_scan_init(&policy, &src, &mut out, 100, |a, b| a + b);
+            assert_eq!(out[0], 101);
+            assert_eq!(out[999], 1100);
+        }
+    }
+
+    #[test]
+    fn exclusive_matches_reference() {
+        for policy in policies() {
+            let src: Vec<u64> = (1..=5000).collect();
+            let mut out = vec![0u64; 5000];
+            exclusive_scan(&policy, &src, &mut out, 10, |a, b| a + b);
+            assert_eq!(out[0], 10);
+            for (i, &v) in out.iter().enumerate().skip(1) {
+                assert_eq!(v, 10 + (i as u64) * (i as u64 + 1) / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_scans() {
+        for policy in policies() {
+            let src: Vec<i32> = (0..3000).collect();
+            let mut out = vec![0i64; 3000];
+            transform_inclusive_scan(&policy, &src, &mut out, |a, b| a + b, |&x| x as i64 * 2);
+            let expect: Vec<i64> = ref_inclusive(
+                &src.iter().map(|&x| x as u64 * 2).collect::<Vec<_>>(),
+            )
+            .iter()
+            .map(|&x| x as i64)
+            .collect();
+            assert_eq!(out, expect);
+
+            let mut out2 = vec![0i64; 3000];
+            transform_exclusive_scan(&policy, &src, &mut out2, 0, |a, b| a + b, |&x| {
+                x as i64 * 2
+            });
+            assert_eq!(out2[0], 0);
+            assert_eq!(&out2[1..], &expect[..2999]);
+        }
+    }
+
+    #[test]
+    fn in_place_matches_out_of_place() {
+        for policy in policies() {
+            for n in [0usize, 1, 17, 4096, 9999] {
+                let src: Vec<u64> = (0..n as u64).map(|i| i % 13).collect();
+                let mut expect = vec![0u64; n];
+                inclusive_scan(&ExecutionPolicy::seq(), &src, &mut expect, |a, b| a + b);
+                let mut data = src.clone();
+                inclusive_scan_in_place(&policy, &mut data, |a, b| a + b);
+                assert_eq!(data, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_commutative_op_is_ordered() {
+        // String concatenation: associative but not commutative — parallel
+        // scan must still produce left-to-right prefixes.
+        for policy in policies() {
+            let src: Vec<String> = (0..200).map(|i| format!("{},", i % 10)).collect();
+            let mut out = vec![String::new(); 200];
+            inclusive_scan(&policy, &src, &mut out, |a, b| format!("{a}{b}"));
+            let mut acc = String::new();
+            for (i, s) in src.iter().enumerate() {
+                acc.push_str(s);
+                assert_eq!(&out[i], &acc);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut out = vec![0u64; 2];
+        inclusive_scan(&ExecutionPolicy::seq(), &[1u64, 2, 3], &mut out, |a, b| a + b);
+    }
+}

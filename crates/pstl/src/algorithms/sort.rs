@@ -1,0 +1,710 @@
+//! Sorting — the paper's `sort` benchmark (§5.6).
+//!
+//! Two parallel sorts are provided, mirroring the two backend families the
+//! paper contrasts:
+//!
+//! * [`sort`] / [`stable_sort`] — **binary parallel mergesort** (the
+//!   TBB/HPX shape): sorted leaf chunks, then `log2` merge passes whose
+//!   big merges are split across threads with merge-path co-ranking.
+//!   Every pass traverses the whole array, which is what limits its
+//!   scalability on memory-bound machines.
+//! * [`sort_multiway`] — **PSRS multiway mergesort** (the GNU/MCSTL
+//!   shape): sorted chunks, regular sampling for splitters, bucket
+//!   formation by binary search, and one k-way merge per bucket — a
+//!   *single* merge traversal, which is exactly why the paper measures
+//!   GNU's sort scaling far better than the others (speedups 25–67 vs
+//!   6–11 in its Table 5).
+
+use std::cmp::Ordering;
+
+use crate::chunk::chunk_range;
+use crate::policy::{ExecutionPolicy, Plan};
+use crate::ptr::SliceView;
+use crate::seq::{self, Cmp};
+
+/// Unstable parallel sort by `Ord` (binary mergesort with introsort
+/// leaves).
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+/// use pstl_executor::{build_pool, Discipline};
+///
+/// let policy = ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2));
+/// let mut v = vec![3, 1, 4, 1, 5, 9, 2, 6];
+/// pstl::sort(&policy, &mut v);
+/// assert_eq!(v, [1, 1, 2, 3, 4, 5, 6, 9]);
+/// ```
+pub fn sort<T>(policy: &ExecutionPolicy, data: &mut [T])
+where
+    T: Ord + Clone + Send + Sync,
+{
+    sort_by(policy, data, |a, b| a.cmp(b));
+}
+
+/// Unstable parallel sort by comparator.
+pub fn sort_by<T, C>(policy: &ExecutionPolicy, data: &mut [T], cmp: C)
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    mergesort_driver(policy, data, &cmp, false);
+}
+
+/// Stable parallel sort by `Ord`.
+pub fn stable_sort<T>(policy: &ExecutionPolicy, data: &mut [T])
+where
+    T: Ord + Clone + Send + Sync,
+{
+    stable_sort_by(policy, data, |a, b| a.cmp(b));
+}
+
+/// Stable parallel sort by comparator (stable leaves + stable merges).
+pub fn stable_sort_by<T, C>(policy: &ExecutionPolicy, data: &mut [T], cmp: C)
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    mergesort_driver(policy, data, &cmp, true);
+}
+
+fn mergesort_driver<T, C>(policy: &ExecutionPolicy, data: &mut [T], cmp: &C, stable: bool)
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    match policy.plan(n) {
+        Plan::Sequential => leaf_sort(data, cmp, stable),
+        Plan::Parallel { exec, tasks } => {
+            let tasks = tasks.min(n).max(1);
+            if tasks == 1 {
+                // Still dispatch through the pool so small inputs pay the
+                // backend's overhead, as in the paper's measurements.
+                let view = SliceView::new(data);
+                let view = &view;
+                exec.run(1, &|_| {
+                    // SAFETY: single task owns the whole range.
+                    leaf_sort(unsafe { view.range_mut(0..n) }, cmp, stable);
+                });
+                return;
+            }
+            let mut scratch: Vec<T> = data.to_vec();
+            let bounds: Vec<usize> = (0..=tasks).map(|i| n * i / tasks).collect();
+
+            let data_view = SliceView::new(data);
+            let scratch_view = SliceView::new(&mut scratch);
+
+            // Phase A: sort leaf chunks in place.
+            {
+                let view = &data_view;
+                let bounds = &bounds;
+                exec.run(tasks, &|t| {
+                    // SAFETY: leaf ranges are disjoint.
+                    let chunk = unsafe { view.range_mut(bounds[t]..bounds[t + 1]) };
+                    leaf_sort(chunk, cmp, stable);
+                });
+            }
+
+            // Phase B: pairwise merge passes, ping-ponging buffers.
+            let mut bounds = bounds;
+            let mut in_data = true;
+            while bounds.len() > 2 {
+                let (src, dst): (&SliceView<T>, &SliceView<T>) = if in_data {
+                    (&data_view, &scratch_view)
+                } else {
+                    (&scratch_view, &data_view)
+                };
+                bounds = merge_pass(exec, tasks, n, &bounds, src, dst, cmp);
+                in_data = !in_data;
+            }
+            if !in_data {
+                // Result ended in scratch: copy back in parallel.
+                let src = &scratch_view;
+                let dst = &data_view;
+                exec.run(tasks, &|t| {
+                    let r = chunk_range(n, tasks, t);
+                    // SAFETY: disjoint ranges; scratch is read-only here.
+                    let s = unsafe { src.range(r.clone()) };
+                    unsafe { dst.range_mut(r) }.clone_from_slice(s);
+                });
+            }
+        }
+    }
+}
+
+fn leaf_sort<T, C>(chunk: &mut [T], cmp: &C, stable: bool)
+where
+    T: Clone,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    if stable {
+        let mut scratch = Vec::new();
+        seq::mergesort_stable(chunk, &mut scratch, cmp);
+    } else {
+        seq::introsort(chunk, cmp);
+    }
+}
+
+/// One segment of a merge pass: merge `a` and `b` (ranges in the source
+/// buffer) into `out` (range in the destination buffer).
+struct Segment {
+    a: std::ops::Range<usize>,
+    b: std::ops::Range<usize>,
+    out: std::ops::Range<usize>,
+}
+
+/// Merge adjacent run pairs from `src` into `dst`, splitting large merges
+/// across ~`tasks` segments with co-ranking. Returns the new run bounds.
+fn merge_pass<T, C>(
+    exec: &std::sync::Arc<dyn pstl_executor::Executor>,
+    tasks: usize,
+    n: usize,
+    bounds: &[usize],
+    src: &SliceView<T>,
+    dst: &SliceView<T>,
+    cmp: &C,
+) -> Vec<usize>
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let runs = bounds.len() - 1;
+    let pairs = runs / 2;
+    let tail = runs % 2 == 1;
+
+    // Build the segment list sequentially (cheap: O(tasks · log n)).
+    let mut segments: Vec<Segment> = Vec::with_capacity(tasks + pairs + 1);
+    let mut new_bounds = Vec::with_capacity(pairs + 2);
+    new_bounds.push(bounds[0]);
+    for p in 0..pairs {
+        let a_r = bounds[2 * p]..bounds[2 * p + 1];
+        let b_r = bounds[2 * p + 1]..bounds[2 * p + 2];
+        let out0 = a_r.start;
+        let pair_len = a_r.len() + b_r.len();
+        new_bounds.push(out0 + pair_len);
+        // SAFETY: sequential read access; no concurrent writers.
+        let a = unsafe { src.range(a_r.clone()) };
+        let b = unsafe { src.range(b_r.clone()) };
+        let splits = ((pair_len * tasks).div_ceil(n.max(1))).clamp(1, tasks);
+        let mut prev = (0usize, 0usize);
+        for s in 1..=splits {
+            let k = pair_len * s / splits;
+            let cut = if s == splits {
+                (a.len(), b.len())
+            } else {
+                super::merge::co_rank(a, b, k, &|x: &T, y: &T| cmp(x, y))
+            };
+            segments.push(Segment {
+                a: a_r.start + prev.0..a_r.start + cut.0,
+                b: b_r.start + prev.1..b_r.start + cut.1,
+                out: out0 + prev.0 + prev.1..out0 + cut.0 + cut.1,
+            });
+            prev = cut;
+        }
+    }
+    if tail {
+        // Odd run: carry it into the destination buffer unchanged.
+        let r = bounds[runs - 1]..bounds[runs];
+        new_bounds.push(r.end);
+        segments.push(Segment {
+            a: r.clone(),
+            b: r.end..r.end,
+            out: r,
+        });
+    }
+
+    let segments = &segments;
+    exec.run(segments.len(), &|s| {
+        let seg = &segments[s];
+        // SAFETY: the source buffer is only read during this pass; output
+        // segments are pairwise disjoint by construction.
+        let a = unsafe { src.range(seg.a.clone()) };
+        let b = unsafe { src.range(seg.b.clone()) };
+        let out = unsafe { dst.range_mut(seg.out.clone()) };
+        seq::merge_into(a, b, out, &|x: &T, y: &T| cmp(x, y));
+    });
+    new_bounds
+}
+
+/// GNU-flavoured multiway mergesort (PSRS) by `Ord`.
+pub fn sort_multiway<T>(policy: &ExecutionPolicy, data: &mut [T])
+where
+    T: Ord + Clone + Send + Sync,
+{
+    sort_multiway_by(policy, data, |a, b| a.cmp(b));
+}
+
+/// GNU-flavoured multiway mergesort (PSRS) by comparator.
+///
+/// Phases: sort `p` chunks in parallel; sample `p` regular elements per
+/// chunk; sort the `p²` samples and take `p − 1` splitters; cut every
+/// chunk at the splitters by binary search; then each of the `p` buckets
+/// is k-way merged *once* into its final position. One merge traversal
+/// instead of `log2(p)` — the structural reason GNU's sort scales best in
+/// the paper. Not stable.
+pub fn sort_multiway_by<T, C>(policy: &ExecutionPolicy, data: &mut [T], cmp: C)
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let (exec, p) = match policy.plan(n) {
+        Plan::Sequential => {
+            seq::introsort(data, &cmp);
+            return;
+        }
+        Plan::Parallel { exec, tasks } => (exec, exec.num_threads().min(tasks).min(n).max(1)),
+    };
+    if p == 1 {
+        seq::introsort(data, &cmp);
+        return;
+    }
+    let bounds: Vec<usize> = (0..=p).map(|i| n * i / p).collect();
+    let data_view = SliceView::new(data);
+    let data_view = &data_view;
+
+    // Phase 1: sort the p chunks.
+    {
+        let bounds = &bounds;
+        exec.run(p, &|t| {
+            // SAFETY: disjoint leaf ranges.
+            let chunk = unsafe { data_view.range_mut(bounds[t]..bounds[t + 1]) };
+            seq::introsort(chunk, &|x: &T, y: &T| cmp(x, y));
+        });
+    }
+
+    // Phase 2: regular sampling → splitters (sequential; p² elements).
+    let mut samples: Vec<T> = Vec::with_capacity(p * p);
+    for t in 0..p {
+        // SAFETY: no concurrent writers after phase 1 completed.
+        let chunk = unsafe { data_view.range(bounds[t]..bounds[t + 1]) };
+        for s in 0..p {
+            if !chunk.is_empty() {
+                samples.push(chunk[chunk.len() * s / p].clone());
+            }
+        }
+    }
+    seq::introsort(&mut samples, &|x: &T, y: &T| cmp(x, y));
+    let splitters: Vec<T> = (1..p)
+        .map(|k| samples[(samples.len() * k / p).min(samples.len() - 1)].clone())
+        .collect();
+
+    // Phase 3: bucket boundaries per chunk (sequential; p² searches).
+    // cuts[t] has p+1 positions inside chunk t.
+    let mut cuts: Vec<Vec<usize>> = Vec::with_capacity(p);
+    for t in 0..p {
+        // SAFETY: read-only.
+        let chunk = unsafe { data_view.range(bounds[t]..bounds[t + 1]) };
+        let mut c = Vec::with_capacity(p + 1);
+        c.push(0);
+        for s in &splitters {
+            c.push(seq::lower_bound(chunk, s, &|x: &T, y: &T| cmp(x, y)));
+        }
+        c.push(chunk.len());
+        // lower_bound results are monotone because splitters are sorted.
+        cuts.push(c);
+    }
+
+    // Phase 4: output offsets per bucket.
+    let mut offsets = Vec::with_capacity(p + 1);
+    offsets.push(0usize);
+    for k in 0..p {
+        let size: usize = (0..p).map(|t| cuts[t][k + 1] - cuts[t][k]).sum();
+        offsets.push(offsets[k] + size);
+    }
+    debug_assert_eq!(offsets[p], n);
+
+    // Phase 5: k-way merge each bucket into scratch.
+    let mut scratch: Vec<T> = data_view_clone_contents(data_view, n);
+    let scratch_view = SliceView::new(&mut scratch);
+    {
+        let scratch_view = &scratch_view;
+        let cuts = &cuts;
+        let offsets = &offsets;
+        let bounds = &bounds;
+        exec.run(p, &|k| {
+            // Gather this bucket's sub-run from every chunk.
+            // SAFETY: reads are confined to phase-1-final data; no writer
+            // touches `data` during this pass.
+            let runs: Vec<&[T]> = (0..p)
+                .map(|t| unsafe {
+                    data_view.range(bounds[t] + cuts[t][k]..bounds[t] + cuts[t][k + 1])
+                })
+                .collect();
+            // SAFETY: bucket output windows are disjoint.
+            let out = unsafe { scratch_view.range_mut(offsets[k]..offsets[k + 1]) };
+            multiway_merge_into(&runs, out, &|x: &T, y: &T| cmp(x, y));
+        });
+    }
+
+    // Phase 6: copy back.
+    {
+        let scratch_view = &scratch_view;
+        exec.run(p, &|t| {
+            let r = chunk_range(n, p, t);
+            // SAFETY: disjoint ranges; scratch read-only here.
+            let s = unsafe { scratch_view.range(r.clone()) };
+            unsafe { data_view.range_mut(r) }.clone_from_slice(s);
+        });
+    }
+}
+
+/// Clone the current contents of a view into a fresh Vec (helper for the
+/// scratch buffer; sequential).
+fn data_view_clone_contents<T: Clone>(view: &SliceView<'_, T>, n: usize) -> Vec<T> {
+    // SAFETY: no concurrent writers at the call sites.
+    unsafe { view.range(0..n) }.to_vec()
+}
+
+/// k-way merge of sorted `runs` into `out` using a binary heap of run
+/// heads; ties break toward lower run index.
+fn multiway_merge_into<T: Clone>(runs: &[&[T]], out: &mut [T], cmp: Cmp<T>) {
+    debug_assert_eq!(out.len(), runs.iter().map(|r| r.len()).sum::<usize>());
+    let mut heads = vec![0usize; runs.len()];
+    // Heap of run indices keyed by their head element.
+    let mut heap: Vec<usize> = (0..runs.len()).filter(|&r| !runs[r].is_empty()).collect();
+    let less = |a: usize, b: usize, heads: &[usize]| -> bool {
+        match cmp(&runs[a][heads[a]], &runs[b][heads[b]]) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a < b,
+        }
+    };
+    // Build min-heap.
+    let len = heap.len();
+    for i in (0..len / 2).rev() {
+        sift_down(&mut heap, i, &heads, &less);
+    }
+    for slot in out.iter_mut() {
+        let r = heap[0];
+        *slot = runs[r][heads[r]].clone();
+        heads[r] += 1;
+        if heads[r] == runs[r].len() {
+            let last = heap.len() - 1;
+            heap.swap(0, last);
+            heap.pop();
+            if heap.is_empty() {
+                break;
+            }
+        }
+        sift_down(&mut heap, 0, &heads, &less);
+    }
+}
+
+fn sift_down(
+    heap: &mut [usize],
+    mut i: usize,
+    heads: &[usize],
+    less: &dyn Fn(usize, usize, &[usize]) -> bool,
+) {
+    loop {
+        let l = 2 * i + 1;
+        if l >= heap.len() {
+            return;
+        }
+        let mut child = l;
+        let r = l + 1;
+        if r < heap.len() && less(heap[r], heap[l], heads) {
+            child = r;
+        }
+        if less(heap[child], heap[i], heads) {
+            heap.swap(i, child);
+            i = child;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Rearrange so that `data[k]` is the k-th smallest element, smaller
+/// elements before it and larger after (`std::nth_element`).
+///
+/// Selection is executed sequentially (quickselect); the policy parameter
+/// keeps the API uniform.
+pub fn nth_element<T>(_policy: &ExecutionPolicy, data: &mut [T], k: usize)
+where
+    T: Ord + Send,
+{
+    if data.is_empty() {
+        return;
+    }
+    seq::quickselect(data, k, &|a: &T, b: &T| a.cmp(b));
+}
+
+/// Sort the smallest `mid` elements into `data[..mid]`
+/// (`std::partial_sort`): quickselect to find the boundary, then a
+/// parallel sort of the prefix.
+pub fn partial_sort<T>(policy: &ExecutionPolicy, data: &mut [T], mid: usize)
+where
+    T: Ord + Clone + Send + Sync,
+{
+    assert!(mid <= data.len(), "partial_sort: mid out of range");
+    if mid == 0 {
+        return;
+    }
+    if mid < data.len() {
+        seq::quickselect(data, mid - 1, &|a: &T, b: &T| a.cmp(b));
+    }
+    sort(policy, &mut data[..mid]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    fn scrambled(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 3).collect()
+    }
+
+    #[test]
+    fn sort_matches_std() {
+        for policy in policies() {
+            for n in [0usize, 1, 2, 3, 100, 1024, 10_001, 100_000] {
+                let mut v = scrambled(n);
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort(&policy, &mut v);
+                assert_eq!(v, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_adversarial_patterns() {
+        for policy in policies() {
+            for v in [
+                (0..10_000u64).collect::<Vec<_>>(),          // sorted
+                (0..10_000u64).rev().collect::<Vec<_>>(),    // reversed
+                vec![42u64; 10_000],                         // constant
+                (0..10_000u64).map(|i| i % 4).collect(),     // few distinct
+            ] {
+                let mut data = v.clone();
+                let mut expect = v;
+                expect.sort_unstable();
+                sort(&policy, &mut data);
+                assert_eq!(data, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn stable_sort_preserves_equal_order() {
+        for policy in policies() {
+            let mut v: Vec<(u32, usize)> =
+                (0..30_000).map(|i| ((i % 16) as u32, i)).collect();
+            stable_sort_by(&policy, &mut v, |a, b| a.0.cmp(&b.0));
+            for w in v.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+                if w[0].0 == w[1].0 {
+                    assert!(w[0].1 < w[1].1, "stability violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiway_sort_matches_std() {
+        for policy in policies() {
+            for n in [0usize, 1, 5, 1000, 65_536, 100_001] {
+                let mut v = scrambled(n);
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort_multiway(&policy, &mut v);
+                assert_eq!(v, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiway_sort_skewed_input() {
+        // Heavily skewed data stresses the splitter selection.
+        for policy in policies() {
+            let mut v: Vec<u64> = (0..50_000)
+                .map(|i| if i % 100 == 0 { i as u64 } else { 7 })
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            sort_multiway(&policy, &mut v);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn sort_by_custom_comparator() {
+        for policy in policies() {
+            let mut v = scrambled(10_000);
+            sort_by(&policy, &mut v, |a, b| b.cmp(a)); // descending
+            assert!(v.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+
+    #[test]
+    fn nth_element_places_kth() {
+        let policy = ExecutionPolicy::seq();
+        for n in [1usize, 100, 10_000] {
+            for k in [0, n / 2, n - 1] {
+                let mut v = scrambled(n);
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                nth_element(&policy, &mut v, k);
+                assert_eq!(v[k], expect[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_sort_prefix_sorted() {
+        for policy in policies() {
+            let mut v = scrambled(20_000);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            partial_sort(&policy, &mut v, 500);
+            assert_eq!(&v[..500], &expect[..500]);
+        }
+    }
+
+    #[test]
+    fn multiway_merge_helper() {
+        let runs: Vec<&[u32]> = vec![&[1, 4, 7], &[2, 5, 8], &[0, 3, 6, 9], &[]];
+        let mut out = vec![0u32; 10];
+        multiway_merge_into(&runs, &mut out, &|a, b| a.cmp(b));
+        assert_eq!(out, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn paper_workload_shuffled_permutation() {
+        // The paper's sort kernel: a shuffled permutation of [1..n].
+        for policy in policies() {
+            let n = 50_000u64;
+            let mut v: Vec<u64> = (1..=n).map(|i| (i * 48271) % (n + 1)).collect();
+            sort(&policy, &mut v);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}
+
+/// Unstable parallel sort by a key-extraction function
+/// (`sort_by_key`-style convenience over [`sort_by`]).
+pub fn sort_by_key<T, K, F>(policy: &ExecutionPolicy, data: &mut [T], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    sort_by(policy, data, |a, b| key(a).cmp(&key(b)));
+}
+
+/// Stable parallel sort by a key-extraction function.
+pub fn stable_sort_by_key<T, K, F>(policy: &ExecutionPolicy, data: &mut [T], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    stable_sort_by(policy, data, |a, b| key(a).cmp(&key(b)));
+}
+
+#[cfg(test)]
+mod key_tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    #[test]
+    fn sort_by_key_orders_by_extracted_key() {
+        let policy = ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2));
+        let mut v: Vec<(i64, &str)> = vec![(3, "c"), (-1, "a"), (2, "b"), (-5, "z")];
+        sort_by_key(&policy, &mut v, |&(k, _)| k.abs());
+        let keys: Vec<i64> = v.iter().map(|&(k, _)| k.abs()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn stable_sort_by_key_keeps_order_on_ties() {
+        let policy = ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3));
+        let mut v: Vec<(u32, usize)> = (0..5000).map(|i| ((i % 7) as u32, i)).collect();
+        stable_sort_by_key(&policy, &mut v, |&(k, _)| k);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+}
+
+/// Copy the smallest `out.len()` elements of `src` into `out`, sorted
+/// (`std::partial_sort_copy`; if `out` is at least as long as `src` this
+/// is a sorted copy). Returns the number of elements written.
+pub fn partial_sort_copy<T>(policy: &ExecutionPolicy, src: &[T], out: &mut [T]) -> usize
+where
+    T: Ord + Clone + Send + Sync,
+{
+    let k = out.len().min(src.len());
+    if k == 0 {
+        return 0;
+    }
+    if out.len() >= src.len() {
+        crate::algorithms::copy_fill::copy(policy, src, &mut out[..src.len()]);
+        sort(policy, &mut out[..src.len()]);
+        return src.len();
+    }
+    // Select the k smallest in a scratch copy, then sort them into out.
+    let mut scratch = src.to_vec();
+    seq::quickselect(&mut scratch, k - 1, &|a: &T, b: &T| a.cmp(b));
+    out[..k].clone_from_slice(&scratch[..k]);
+    sort(policy, &mut out[..k]);
+    k
+}
+
+#[cfg(test)]
+mod partial_sort_copy_tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    #[test]
+    fn copies_k_smallest_sorted() {
+        let policy = ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2));
+        let src: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(48271) % 9973).collect();
+        let mut expect = src.clone();
+        expect.sort_unstable();
+        let mut out = vec![0u64; 100];
+        let n = partial_sort_copy(&policy, &src, &mut out);
+        assert_eq!(n, 100);
+        assert_eq!(&out[..], &expect[..100]);
+    }
+
+    #[test]
+    fn output_longer_than_input_is_full_sorted_copy() {
+        let policy = ExecutionPolicy::seq();
+        let src = [5u64, 1, 4, 2];
+        let mut out = [0u64; 6];
+        let n = partial_sort_copy(&policy, &src, &mut out);
+        assert_eq!(n, 4);
+        assert_eq!(&out[..4], &[1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let policy = ExecutionPolicy::seq();
+        let mut out: [u64; 0] = [];
+        assert_eq!(partial_sort_copy(&policy, &[1u64, 2], &mut out), 0);
+        let mut out2 = [9u64; 3];
+        assert_eq!(partial_sort_copy(&policy, &[] as &[u64], &mut out2), 0);
+    }
+}

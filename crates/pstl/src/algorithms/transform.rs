@@ -1,0 +1,140 @@
+//! `transform` — elementwise map into an output slice.
+
+use crate::algorithms::run_chunks;
+use crate::policy::ExecutionPolicy;
+use crate::ptr::SliceView;
+
+/// `out[i] = f(&src[i])`, like unary `std::transform`.
+///
+/// # Panics
+/// Panics if `src.len() != out.len()`.
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+///
+/// let policy = ExecutionPolicy::seq();
+/// let v = [1, 2, 3];
+/// let mut doubled = [0; 3];
+/// pstl::transform(&policy, &v, &mut doubled, |&x| x * 2);
+/// assert_eq!(doubled, [2, 4, 6]);
+/// ```
+pub fn transform<T, U, F>(policy: &ExecutionPolicy, src: &[T], out: &mut [U], f: F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert_eq!(src.len(), out.len(), "transform: length mismatch");
+    let n = src.len();
+    let view = SliceView::new(out);
+    let view = &view;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: chunk ranges are pairwise disjoint; every output element
+        // in the range is written exactly once.
+        let dst = unsafe { view.range_mut(r.clone()) };
+        for (slot, x) in dst.iter_mut().zip(&src[r]) {
+            *slot = f(x);
+        }
+    });
+}
+
+/// `out[i] = f(&a[i], &b[i])`, like binary `std::transform`.
+///
+/// # Panics
+/// Panics if the three slices differ in length.
+pub fn transform_binary<T, U, V, F>(
+    policy: &ExecutionPolicy,
+    a: &[T],
+    b: &[U],
+    out: &mut [V],
+    f: F,
+) where
+    T: Sync,
+    U: Sync,
+    V: Send,
+    F: Fn(&T, &U) -> V + Sync,
+{
+    assert_eq!(a.len(), b.len(), "transform_binary: input length mismatch");
+    assert_eq!(a.len(), out.len(), "transform_binary: output length mismatch");
+    let n = a.len();
+    let view = SliceView::new(out);
+    let view = &view;
+    run_chunks(policy, n, &|r| {
+        // SAFETY: disjoint chunk ranges.
+        let dst = unsafe { view.range_mut(r.clone()) };
+        for ((slot, x), y) in dst.iter_mut().zip(&a[r.clone()]).zip(&b[r]) {
+            *slot = f(x, y);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn unary_matches_sequential_map() {
+        for policy in policies() {
+            let src: Vec<i64> = (0..7000).collect();
+            let mut out = vec![0i64; 7000];
+            transform(&policy, &src, &mut out, |&x| x * x - 1);
+            let expect: Vec<i64> = src.iter().map(|&x| x * x - 1).collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn binary_matches_sequential_zip() {
+        for policy in policies() {
+            let a: Vec<i64> = (0..5000).collect();
+            let b: Vec<i64> = (0..5000).rev().collect();
+            let mut out = vec![0i64; 5000];
+            transform_binary(&policy, &a, &b, &mut out, |&x, &y| x + y);
+            assert!(out.iter().all(|&x| x == 4999));
+        }
+    }
+
+    #[test]
+    fn type_changing_transform() {
+        let policy = ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2));
+        let src: Vec<u32> = (0..1000).collect();
+        let mut out = vec![String::new(); 1000];
+        transform(&policy, &src, &mut out, |x| format!("v{x}"));
+        assert_eq!(out[0], "v0");
+        assert_eq!(out[999], "v999");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unary_length_mismatch_panics() {
+        let mut out = vec![0u8; 3];
+        transform(&ExecutionPolicy::seq(), &[1u8, 2], &mut out, |&x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn binary_length_mismatch_panics() {
+        let mut out = vec![0u8; 2];
+        transform_binary(&ExecutionPolicy::seq(), &[1u8, 2], &[1u8], &mut out, |&x, &y| x + y);
+    }
+
+    #[test]
+    fn empty_transform_is_noop() {
+        for policy in policies() {
+            let src: Vec<u8> = vec![];
+            let mut out: Vec<u8> = vec![];
+            transform(&policy, &src, &mut out, |&x| x);
+            assert!(out.is_empty());
+        }
+    }
+}

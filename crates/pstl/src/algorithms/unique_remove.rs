@@ -1,0 +1,229 @@
+//! Compaction algorithms: `unique`, `unique_copy`, `remove_if`,
+//! `replace_if`.
+//!
+//! Compactions are parallelized with the count → offsets → scatter scheme
+//! and are stable. In-place forms return the new logical length; elements
+//! past it keep their pre-call values (C++ leaves them unspecified).
+
+use crate::algorithms::for_each::for_each_mut;
+use crate::algorithms::{map_chunks, run_chunks, run_chunks_indexed};
+use crate::policy::ExecutionPolicy;
+use crate::ptr::SliceView;
+
+/// Keep-predicate compaction into a destination slice: writes every
+/// element `i` with `keep(i)` into `dst` in order, returns the count.
+fn compact_into<T, K>(policy: &ExecutionPolicy, src: &[T], dst: &SliceView<'_, T>, keep: &K) -> usize
+where
+    T: Clone + Send + Sync,
+    K: Fn(usize) -> bool + Sync,
+{
+    let n = src.len();
+    let counts = map_chunks(policy, n, &|r| r.filter(|&i| keep(i)).count());
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    for &c in &counts {
+        offsets.push(acc);
+        acc += c;
+    }
+    offsets.push(acc);
+    assert!(acc <= dst.len(), "compaction destination too short");
+    let offsets = &offsets;
+    run_chunks_indexed(policy, n, &|ci, r| {
+        let mut at = offsets[ci];
+        for i in r {
+            if keep(i) {
+                // SAFETY: disjoint per-chunk output windows.
+                unsafe { dst.write(at, src[i].clone()) };
+                at += 1;
+            }
+        }
+        debug_assert_eq!(at, offsets[ci + 1]);
+    });
+    acc
+}
+
+/// Copy `src` into `dst`, dropping consecutive duplicates
+/// (`std::unique_copy`). Returns the number written.
+pub fn unique_copy<T>(policy: &ExecutionPolicy, src: &[T], dst: &mut [T]) -> usize
+where
+    T: PartialEq + Clone + Send + Sync,
+{
+    let view = SliceView::new(dst);
+    compact_into(policy, src, &view, &|i| i == 0 || src[i] != src[i - 1])
+}
+
+/// In-place `std::unique`: collapse runs of equal elements to their first
+/// element. Returns the new logical length.
+/// # Examples
+/// ```
+/// use pstl::ExecutionPolicy;
+///
+/// let policy = ExecutionPolicy::seq();
+/// let mut v = vec![1, 1, 2, 2, 2, 3, 1];
+/// let n = pstl::unique(&policy, &mut v);
+/// assert_eq!(&v[..n], &[1, 2, 3, 1]); // consecutive duplicates collapsed
+/// ```
+pub fn unique<T>(policy: &ExecutionPolicy, data: &mut [T]) -> usize
+where
+    T: PartialEq + Clone + Send + Sync,
+{
+    let n = data.len();
+    if n < 2 {
+        return n;
+    }
+    let mut scratch: Vec<T> = data.to_vec();
+    let kept = {
+        let view = SliceView::new(&mut scratch);
+        let src: &[T] = data;
+        compact_into(policy, src, &view, &|i| i == 0 || src[i] != src[i - 1])
+    };
+    copy_back_prefix(policy, &scratch, data, kept);
+    kept
+}
+
+/// In-place stable `std::remove_if`: drop elements satisfying `pred`.
+/// Returns the new logical length.
+pub fn remove_if<T, F>(policy: &ExecutionPolicy, data: &mut [T], pred: F) -> usize
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut scratch: Vec<T> = data.to_vec();
+    let kept = {
+        let view = SliceView::new(&mut scratch);
+        let src: &[T] = data;
+        compact_into(policy, src, &view, &|i| !pred(&src[i]))
+    };
+    copy_back_prefix(policy, &scratch, data, kept);
+    kept
+}
+
+fn copy_back_prefix<T>(policy: &ExecutionPolicy, scratch: &[T], data: &mut [T], kept: usize)
+where
+    T: Clone + Send + Sync,
+{
+    let view = SliceView::new(data);
+    let view = &view;
+    run_chunks(policy, kept, &|r| {
+        // SAFETY: disjoint chunk ranges.
+        unsafe { view.range_mut(r.clone()) }.clone_from_slice(&scratch[r]);
+    });
+}
+
+/// Replace every element satisfying `pred` with `new_value`
+/// (`std::replace_if`).
+pub fn replace_if<T, F>(policy: &ExecutionPolicy, data: &mut [T], pred: F, new_value: T)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let new_value = &new_value;
+    for_each_mut(policy, data, |x| {
+        if pred(x) {
+            *x = new_value.clone();
+        }
+    });
+}
+
+/// Replace every element equal to `old` with `new_value`
+/// (`std::replace`).
+pub fn replace<T>(policy: &ExecutionPolicy, data: &mut [T], old: &T, new_value: T)
+where
+    T: PartialEq + Clone + Send + Sync,
+{
+    replace_if(policy, data, |x| x == old, new_value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    fn policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::seq(),
+            ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
+            ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
+            ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
+        ]
+    }
+
+    #[test]
+    fn unique_copy_collapses_runs() {
+        for policy in policies() {
+            let src: Vec<u32> = (0..10_000).map(|i| i / 4).collect(); // runs of 4
+            let mut dst = vec![0u32; 10_000];
+            let n = unique_copy(&policy, &src, &mut dst);
+            assert_eq!(n, 2500);
+            assert!(dst[..n].iter().enumerate().all(|(i, &x)| x == i as u32));
+        }
+    }
+
+    #[test]
+    fn unique_in_place_matches_dedup() {
+        for policy in policies() {
+            let mut v: Vec<u32> = (0..9999).map(|i| (i / 7) % 50).collect();
+            let mut expect = v.clone();
+            expect.dedup();
+            let n = unique(&policy, &mut v);
+            assert_eq!(&v[..n], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn unique_no_duplicates_is_identity() {
+        for policy in policies() {
+            let mut v: Vec<u32> = (0..5000).collect();
+            let n = unique(&policy, &mut v);
+            assert_eq!(n, 5000);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+        }
+    }
+
+    #[test]
+    fn remove_if_is_stable() {
+        for policy in policies() {
+            let mut v: Vec<i64> = (0..20_000).collect();
+            let n = remove_if(&policy, &mut v, |&x| x % 2 == 0);
+            assert_eq!(n, 10_000);
+            assert!(v[..n].iter().enumerate().all(|(i, &x)| x == 2 * i as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn remove_if_nothing_matches() {
+        for policy in policies() {
+            let mut v: Vec<i64> = (0..100).collect();
+            let n = remove_if(&policy, &mut v, |&x| x > 1000);
+            assert_eq!(n, 100);
+        }
+    }
+
+    #[test]
+    fn replace_and_replace_if() {
+        for policy in policies() {
+            let mut v: Vec<u32> = (0..10_000).map(|i| i % 5).collect();
+            replace(&policy, &mut v, &3, 99);
+            assert!(!v.contains(&3));
+            assert_eq!(v.iter().filter(|&&x| x == 99).count(), 2000);
+
+            replace_if(&policy, &mut v, |&x| x < 2, 100);
+            assert!(v.iter().all(|&x| x == 2 || x == 4 || x == 99 || x == 100));
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for policy in policies() {
+            let mut v: Vec<u32> = vec![];
+            assert_eq!(unique(&policy, &mut v), 0);
+            assert_eq!(remove_if(&policy, &mut v, |_| true), 0);
+            let mut one = vec![7u32];
+            assert_eq!(unique(&policy, &mut one), 1);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Balanced contiguous chunking of an index space.
+
+use std::ops::Range;
+
+/// The `i`-th of `tasks` balanced contiguous chunks of `0..n`.
+///
+/// Chunk sizes differ by at most one element and chunks are contiguous and
+/// ordered: `chunk_range(n, t, i).end == chunk_range(n, t, i + 1).start`.
+#[inline]
+pub fn chunk_range(n: usize, tasks: usize, i: usize) -> Range<usize> {
+    debug_assert!(i < tasks);
+    let lo = n * i / tasks;
+    let hi = n * (i + 1) / tasks;
+    lo..hi
+}
+
+/// Iterator over all chunk ranges of `0..n` split into `tasks` chunks.
+pub fn chunks(n: usize, tasks: usize) -> impl Iterator<Item = Range<usize>> {
+    (0..tasks).map(move |i| chunk_range(n, tasks, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_tile_the_space() {
+        for n in [0usize, 1, 2, 10, 1023, 1024, 1025, 999_983] {
+            for tasks in [1usize, 2, 3, 7, 64] {
+                let mut end = 0;
+                let mut total = 0;
+                for (i, r) in chunks(n, tasks).enumerate() {
+                    assert_eq!(r, chunk_range(n, tasks, i));
+                    assert_eq!(r.start, end);
+                    end = r.end;
+                    total += r.len();
+                }
+                assert_eq!(end, n);
+                assert_eq!(total, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let lens: Vec<usize> = chunks(1000, 7).map(|r| r.len()).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max - min <= 1, "{lens:?}");
+    }
+
+    #[test]
+    fn more_tasks_than_elements_yields_empty_chunks() {
+        let lens: Vec<usize> = chunks(3, 8).map(|r| r.len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 3);
+        assert!(lens.iter().all(|&l| l <= 1));
+    }
+}

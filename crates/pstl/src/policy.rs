@@ -1,0 +1,238 @@
+//! Execution policies: the `std::execution::seq` / `par` analog.
+
+use std::sync::Arc;
+
+use pstl_executor::Executor;
+
+/// Tuning knobs of a parallel policy.
+///
+/// These encode the per-backend chunking behaviours the paper observes:
+/// GNU's backend falls back to fully sequential execution below a size
+/// threshold (`seq_threshold`), TBB splits dynamically down to a grain,
+/// and HPX creates many fine-grained tasks (`max_tasks_per_thread` high,
+/// `grain` low).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Minimum number of elements a single task should process; chunk
+    /// counts are capped so chunks never go below this size.
+    pub grain: usize,
+    /// Upper bound on tasks per participating thread (over-decomposition
+    /// factor for load balancing).
+    pub max_tasks_per_thread: usize,
+    /// Inputs of at most this many elements run sequentially *inline*,
+    /// skipping pool dispatch entirely (GNU-style fallback). `0` disables
+    /// the fallback: even 1-element inputs pay the dispatch overhead,
+    /// which is what the paper measures for TBB and HPX.
+    pub seq_threshold: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            grain: 1024,
+            max_tasks_per_thread: 8,
+            seq_threshold: 0,
+        }
+    }
+}
+
+impl ParConfig {
+    /// Config with a given grain, other fields default.
+    pub fn with_grain(grain: usize) -> Self {
+        ParConfig {
+            grain: grain.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setter for the sequential-fallback threshold.
+    pub fn seq_threshold(mut self, threshold: usize) -> Self {
+        self.seq_threshold = threshold;
+        self
+    }
+
+    /// Builder-style setter for the over-decomposition factor.
+    pub fn max_tasks_per_thread(mut self, factor: usize) -> Self {
+        self.max_tasks_per_thread = factor.max(1);
+        self
+    }
+
+    /// Builder-style setter for the grain.
+    pub fn grain(mut self, grain: usize) -> Self {
+        self.grain = grain.max(1);
+        self
+    }
+}
+
+/// Either sequential execution or parallel execution on a pool.
+///
+/// Cloning is cheap (the pool is shared through an [`Arc`]).
+#[derive(Clone)]
+pub enum ExecutionPolicy {
+    /// Run inline on the calling thread.
+    Seq,
+    /// Run on `exec` with chunking behaviour `cfg`.
+    Par {
+        /// The scheduling backend.
+        exec: Arc<dyn Executor>,
+        /// Chunking behaviour.
+        cfg: ParConfig,
+    },
+}
+
+impl std::fmt::Debug for ExecutionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionPolicy::Seq => write!(f, "ExecutionPolicy::Seq"),
+            ExecutionPolicy::Par { exec, cfg } => f
+                .debug_struct("ExecutionPolicy::Par")
+                .field("discipline", &exec.discipline().name())
+                .field("threads", &exec.num_threads())
+                .field("cfg", cfg)
+                .finish(),
+        }
+    }
+}
+
+/// The dispatch decision for one algorithm invocation on `n` elements.
+pub enum Plan<'a> {
+    /// Run inline (sequential policy, sequential fallback, or trivially
+    /// small input).
+    Sequential,
+    /// Run `tasks` chunks on `exec`.
+    Parallel {
+        /// The pool to dispatch to.
+        exec: &'a Arc<dyn Executor>,
+        /// Number of task indices to schedule (≥ 1).
+        tasks: usize,
+    },
+}
+
+impl ExecutionPolicy {
+    /// The sequential policy.
+    pub fn seq() -> Self {
+        ExecutionPolicy::Seq
+    }
+
+    /// Parallel policy on `exec` with default chunking.
+    pub fn par(exec: Arc<dyn Executor>) -> Self {
+        ExecutionPolicy::Par {
+            exec,
+            cfg: ParConfig::default(),
+        }
+    }
+
+    /// Parallel policy with explicit chunking behaviour.
+    pub fn par_with(exec: Arc<dyn Executor>, cfg: ParConfig) -> Self {
+        ExecutionPolicy::Par { exec, cfg }
+    }
+
+    /// Threads participating under this policy.
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecutionPolicy::Seq => 1,
+            ExecutionPolicy::Par { exec, .. } => exec.num_threads(),
+        }
+    }
+
+    /// Whether this policy is the sequential one.
+    pub fn is_seq(&self) -> bool {
+        matches!(self, ExecutionPolicy::Seq)
+    }
+
+    /// Number of tasks a parallel run over `n` elements would use
+    /// (ignoring the sequential fallback); at least 1.
+    pub fn tasks_for(&self, n: usize) -> usize {
+        match self {
+            ExecutionPolicy::Seq => 1,
+            ExecutionPolicy::Par { exec, cfg } => {
+                let by_grain = n.div_ceil(cfg.grain.max(1)).max(1);
+                let cap = exec.num_threads() * cfg.max_tasks_per_thread.max(1);
+                by_grain.min(cap).max(1)
+            }
+        }
+    }
+
+    /// Decide how to run an algorithm over `n` elements.
+    ///
+    /// Note that a `Par` policy on a non-trivial input always dispatches to
+    /// the pool — even when `tasks == 1` — unless the GNU-style
+    /// `seq_threshold` fallback applies. Paying the dispatch overhead for
+    /// small inputs is deliberate: it is precisely the cost the paper's
+    /// problem-scaling experiments expose.
+    pub fn plan(&self, n: usize) -> Plan<'_> {
+        match self {
+            ExecutionPolicy::Seq => Plan::Sequential,
+            ExecutionPolicy::Par { exec, cfg } => {
+                if n == 0 || n <= cfg.seq_threshold {
+                    Plan::Sequential
+                } else {
+                    Plan::Parallel {
+                        exec,
+                        tasks: self.tasks_for(n),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstl_executor::{build_pool, Discipline};
+
+    #[test]
+    fn seq_policy_always_plans_sequential() {
+        let p = ExecutionPolicy::seq();
+        assert!(matches!(p.plan(1_000_000), Plan::Sequential));
+        assert_eq!(p.threads(), 1);
+        assert!(p.is_seq());
+    }
+
+    #[test]
+    fn par_policy_dispatches_even_tiny_inputs_without_threshold() {
+        let pool = build_pool(Discipline::ForkJoin, 2);
+        let p = ExecutionPolicy::par(pool);
+        assert!(matches!(p.plan(1), Plan::Parallel { tasks: 1, .. }));
+    }
+
+    #[test]
+    fn seq_threshold_falls_back_like_gnu() {
+        let pool = build_pool(Discipline::ForkJoin, 2);
+        let cfg = ParConfig::default().seq_threshold(1 << 10);
+        let p = ExecutionPolicy::par_with(pool, cfg);
+        assert!(matches!(p.plan(1 << 10), Plan::Sequential));
+        assert!(matches!(p.plan((1 << 10) + 1), Plan::Parallel { .. }));
+    }
+
+    #[test]
+    fn tasks_respect_grain_and_cap() {
+        let pool = build_pool(Discipline::ForkJoin, 4);
+        let cfg = ParConfig::with_grain(100).max_tasks_per_thread(2);
+        let p = ExecutionPolicy::par_with(pool, cfg);
+        // 350 elements / grain 100 → 4 tasks.
+        assert_eq!(p.tasks_for(350), 4);
+        // Large input is capped at threads * factor = 8 tasks.
+        assert_eq!(p.tasks_for(1_000_000), 8);
+        // Small input never yields zero tasks.
+        assert_eq!(p.tasks_for(1), 1);
+        assert_eq!(p.tasks_for(0), 1);
+    }
+
+    #[test]
+    fn empty_input_plans_sequential() {
+        let pool = build_pool(Discipline::WorkStealing, 2);
+        let p = ExecutionPolicy::par(pool);
+        assert!(matches!(p.plan(0), Plan::Sequential));
+    }
+
+    #[test]
+    fn debug_formatting_names_the_backend() {
+        let pool = build_pool(Discipline::TaskPool, 2);
+        let p = ExecutionPolicy::par(pool);
+        let s = format!("{p:?}");
+        assert!(s.contains("task_pool"));
+        assert!(s.contains("threads: 2"));
+    }
+}

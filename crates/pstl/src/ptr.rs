@@ -1,0 +1,136 @@
+//! Shared-pointer plumbing for handing disjoint slice chunks to tasks.
+//!
+//! Rust's borrow rules (rightly) forbid sharing `&mut [T]` across the
+//! `Fn(usize)` task closures of an [`Executor`](pstl_executor::Executor).
+//! The algorithm layer guarantees by construction that distinct task
+//! indices touch *disjoint* element ranges (see [`crate::chunk`]), so a
+//! raw-pointer view with an explicit safety contract is sound. All unsafe
+//! slice access in this crate is funneled through this module.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A `Send + Sync` view of a `&mut [T]` that tasks index with disjoint
+/// ranges.
+pub struct SliceView<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: tasks only access disjoint ranges (contract of `range_mut`), so
+// concurrent use is race-free; `T: Send` lets elements be mutated from
+// other threads.
+unsafe impl<T: Send> Send for SliceView<'_, T> {}
+unsafe impl<T: Send> Sync for SliceView<'_, T> {}
+
+impl<'a, T> SliceView<'a, T> {
+    /// Wrap a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SliceView {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reborrow a sub-range mutably.
+    ///
+    /// # Safety
+    /// Across all concurrent users, ranges must be pairwise disjoint and
+    /// within bounds; the underlying borrow must outlive the use (upheld
+    /// by the executor run protocol).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, range: Range<usize>) -> &'a mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
+    }
+
+    /// Write a single element.
+    ///
+    /// # Safety
+    /// Same disjointness/bounds contract as [`range_mut`](Self::range_mut).
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        self.ptr.add(index).write(value);
+    }
+
+    /// Reborrow a sub-range immutably (shared reads).
+    ///
+    /// # Safety
+    /// No element of `range` may be concurrently written through this or
+    /// any other view while the returned slice is live; bounds must hold.
+    pub unsafe fn range(&self, range: Range<usize>) -> &'a [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(range.start), range.len())
+    }
+
+    /// Swap two elements.
+    ///
+    /// # Safety
+    /// Across all concurrent users, the *pair* `{i, j}` must be disjoint
+    /// from every other concurrently accessed element; bounds must hold.
+    pub unsafe fn swap(&self, i: usize, j: usize) {
+        debug_assert!(i < self.len && j < self.len);
+        std::ptr::swap(self.ptr.add(i), self.ptr.add(j));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::chunk_range;
+    use pstl_executor::{build_pool, Discipline};
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let pool = build_pool(Discipline::WorkStealing, 4);
+        let n = 10_000;
+        let mut data = vec![0usize; n];
+        let view = SliceView::new(&mut data);
+        let view = &view;
+        let tasks = 64;
+        pool.run(tasks, &|i| {
+            let r = chunk_range(n, tasks, i);
+            // SAFETY: chunk ranges are pairwise disjoint.
+            let chunk = unsafe { view.range_mut(r.clone()) };
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = r.start + off;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn single_writes_land() {
+        let mut data = vec![0u32; 16];
+        let view = SliceView::new(&mut data);
+        for i in 0..16 {
+            unsafe { view.write(i, i as u32 * 3) };
+        }
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32 * 3));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut data = vec![1u8; 5];
+        let view = SliceView::new(&mut data);
+        assert_eq!(view.len(), 5);
+        assert!(!view.is_empty());
+        let mut empty: Vec<u8> = vec![];
+        let view = SliceView::new(&mut empty);
+        assert!(view.is_empty());
+    }
+}

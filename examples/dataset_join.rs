@@ -1,0 +1,76 @@
+//! Sorted-set relational operations with the parallel STL — building a
+//! tiny analytics join out of `sort` + the `set_*` algorithms, the way
+//! C++ codebases compose `std::set_intersection` pipelines.
+//!
+//! ```sh
+//! cargo run --release --example dataset_join
+//! ```
+//!
+//! Two synthetic "tables" of user ids: purchasers and newsletter
+//! subscribers. We compute who is both (intersection), who purchases
+//! without subscribing (difference), the combined audience (union), and
+//! check a campaign list is covered (includes) — all in parallel.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pstl::prelude::*;
+use pstl_executor::{build_pool, Discipline};
+
+fn synth_ids(n: usize, stride: u64, offset: u64) -> Vec<u64> {
+    // Strided ids with gaps, pre-sorted ascending.
+    (0..n as u64).map(|i| i * stride + offset).collect()
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let pool = build_pool(Discipline::WorkStealing, threads);
+    let par = ExecutionPolicy::par(Arc::clone(&pool));
+
+    let purchasers = synth_ids(2_000_000, 3, 0); // ids 0, 3, 6, …
+    let subscribers = synth_ids(1_500_000, 5, 0); // ids 0, 5, 10, …
+    println!(
+        "joining {} purchasers with {} subscribers on {threads} threads\n",
+        purchasers.len(),
+        subscribers.len()
+    );
+
+    let t = Instant::now();
+    let mut both = vec![0u64; purchasers.len().min(subscribers.len())];
+    let n_both = pstl::set_intersection(&par, &purchasers, &subscribers, &mut both);
+    println!(
+        "purchasing subscribers: {n_both} (every 15th id) in {:?}",
+        t.elapsed()
+    );
+    // Intersection of stride-3 and stride-5 ids = stride-15 ids.
+    assert!(both[..n_both].iter().all(|id| id % 15 == 0));
+
+    let t = Instant::now();
+    let mut only_buyers = vec![0u64; purchasers.len()];
+    let n_only = pstl::set_difference(&par, &purchasers, &subscribers, &mut only_buyers);
+    println!("purchase-only users: {n_only} in {:?}", t.elapsed());
+    assert_eq!(n_only, purchasers.len() - n_both);
+
+    let t = Instant::now();
+    let mut audience = vec![0u64; purchasers.len() + subscribers.len()];
+    let n_audience = pstl::set_union(&par, &purchasers, &subscribers, &mut audience);
+    println!("combined audience: {n_audience} in {:?}", t.elapsed());
+    assert_eq!(
+        n_audience,
+        purchasers.len() + subscribers.len() - n_both,
+        "inclusion–exclusion must hold"
+    );
+    assert!(pstl::is_sorted(&par, &audience[..n_audience]));
+
+    // A campaign targets every 30th id — must be a subset of the joint
+    // segment (30 is a multiple of 15).
+    let campaign = synth_ids(100_000, 30, 0);
+    let t = Instant::now();
+    let covered = pstl::includes(&par, &both[..n_both], &campaign);
+    println!("campaign covered by joint segment: {covered} in {:?}", t.elapsed());
+    assert!(covered);
+
+    // And a quick sanity pipeline: the joint segment summed in parallel.
+    let total: u64 = pstl::reduce(&par, &both[..n_both], 0, |a, b| a + b);
+    println!("\nsum of joint ids: {total}");
+}

@@ -1,0 +1,95 @@
+//! Using the simulator as an *offload planner* — the practical question
+//! behind the paper's GPU section (§5.8): given a kernel, a size, an
+//! intensity, and a call pattern, is the GPU worth it under Unified
+//! Memory, or do the PCIe transfers eat the win?
+//!
+//! ```sh
+//! cargo run --release --example gpu_offload_planner
+//! ```
+
+use pstl_sim::gpu::{mach_d_tesla_t4, GpuRun, GpuSim};
+use pstl_sim::kernels::{DType, Kernel};
+use pstl_sim::machine::mach_a;
+use pstl_sim::memory::PagePlacement;
+use pstl_sim::{Backend, CpuSim, RunParams};
+
+fn cpu_time(kernel: Kernel, n: usize) -> f64 {
+    let sim = CpuSim::new(mach_a(), Backend::NvcOmp);
+    sim.time(&RunParams {
+        kernel,
+        dtype: DType::F32,
+        n,
+        threads: 32,
+        placement: PagePlacement::Spread,
+    })
+}
+
+fn main() {
+    let gpu = GpuSim::new(mach_d_tesla_t4());
+    println!(
+        "offload planner: {} vs 32-core CPU (NVC-OMP model)\n",
+        gpu.gpu().name
+    );
+    println!(
+        "{:<14} {:>10} {:>8} {:>12} {:>12} {:>9}",
+        "kernel", "n", "chained", "GPU [s]", "CPU [s]", "verdict"
+    );
+
+    let scenarios = [
+        (Kernel::ForEach { k_it: 1 }, 1usize << 26, 1usize),
+        (Kernel::ForEach { k_it: 1 }, 1 << 26, 100),
+        (Kernel::ForEach { k_it: 100_000 }, 1 << 24, 1),
+        (Kernel::Reduce, 1 << 26, 1),
+        (Kernel::Reduce, 1 << 26, 100),
+    ];
+
+    for (kernel, n, calls) in scenarios {
+        let run = GpuRun {
+            kernel,
+            dtype: DType::F32,
+            n,
+            data_on_device: false,
+            transfer_back: false,
+        };
+        // One-shot calls must round-trip the data; chains keep residency.
+        let gpu_total = if calls == 1 {
+            gpu.time(&GpuRun {
+                transfer_back: true,
+                ..run
+            })
+        } else {
+            gpu.chain_time(&run, calls, false)
+        };
+        let cpu_total = cpu_time(kernel, n) * calls as f64;
+        let verdict = if gpu_total < cpu_total { "offload" } else { "stay" };
+        println!(
+            "{:<14} {:>10} {:>8} {:>12.4} {:>12.4} {:>9}",
+            kernel.name(),
+            n,
+            calls,
+            gpu_total,
+            cpu_total,
+            verdict
+        );
+    }
+
+    println!(
+        "\nthe paper's rule of thumb reproduced: one-shot low-intensity calls \
+         stay on the CPU;\nchained or compute-heavy work offloads."
+    );
+
+    // The volatile quirk (§5.8): planning with `double` under the magic
+    // k_it would be planning against a deleted loop.
+    for (dtype, k_it) in [(DType::F64, 60_000u32), (DType::F64, 70_000), (DType::F32, 60_000)] {
+        println!(
+            "volatile check: {} k_it={} → loop {}",
+            dtype.name(),
+            k_it,
+            if GpuSim::volatile_elided(dtype, k_it) {
+                "OPTIMIZED AWAY (do not trust the benchmark!)"
+            } else {
+                "kept"
+            }
+        );
+    }
+}

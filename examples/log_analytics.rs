@@ -1,0 +1,116 @@
+//! Log analytics with the parallel STL — the kind of data-wrangling
+//! pipeline the paper's introduction motivates for performance-portable
+//! building blocks.
+//!
+//! ```sh
+//! cargo run --release --example log_analytics
+//! ```
+//!
+//! Pipeline over synthetic web-server events:
+//! 1. `sort` by timestamp,
+//! 2. `partition` errors to the front,
+//! 3. `count_if` / `transform_reduce` for rates and byte totals,
+//! 4. `inclusive_scan` for cumulative traffic,
+//! 5. `partial_sort` for the top-k slowest requests,
+//! 6. `unique` on sorted status codes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pstl::prelude::*;
+use pstl_executor::{build_pool, Discipline};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    timestamp_ms: u64,
+    status: u16,
+    bytes: u32,
+    latency_us: u32,
+}
+
+fn synth_events(n: usize) -> Vec<Event> {
+    // Deterministic pseudo-random stream (no external input needed).
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let r = next();
+            Event {
+                timestamp_ms: r % 86_400_000,
+                status: match r % 100 {
+                    0..=79 => 200,
+                    80..=89 => 304,
+                    90..=95 => 404,
+                    96..=98 => 500,
+                    _ => 503,
+                },
+                bytes: (r >> 32) as u32 % 65_536,
+                latency_us: (r >> 16) as u32 % 500_000,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let pool = build_pool(Discipline::WorkStealing, threads);
+    let par = ExecutionPolicy::par(Arc::clone(&pool));
+
+    let n = 1 << 20;
+    let mut events = synth_events(n);
+    println!("analyzing {n} synthetic events with {threads} threads\n");
+
+    // 1. Order by time (stable, so equal timestamps keep arrival order).
+    let t = Instant::now();
+    pstl::stable_sort_by(&par, &mut events, |a, b| a.timestamp_ms.cmp(&b.timestamp_ms));
+    println!("sorted by timestamp in {:?}", t.elapsed());
+    assert!(events.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
+
+    // 2. Errors to the front (stable partition keeps time order on both
+    //    sides).
+    let mut by_severity = events.clone();
+    let errors = pstl::partition(&par, &mut by_severity, |e| e.status >= 500);
+    println!("{errors} server errors moved to the front");
+    assert!(pstl::is_partitioned(&par, &by_severity, |e| e.status >= 500));
+
+    // 3. Rates and totals.
+    let not_found = pstl::count_if(&par, &events, |e| e.status == 404);
+    let total_bytes =
+        pstl::transform_reduce(&par, &events, 0u64, |a, b| a + b, |e| e.bytes as u64);
+    println!(
+        "404 rate: {:.2} %, total transfer: {:.2} GiB",
+        100.0 * not_found as f64 / n as f64,
+        total_bytes as f64 / (1u64 << 30) as f64
+    );
+
+    // 4. Cumulative traffic curve (bytes after each event, in time order).
+    let bytes: Vec<u64> = events.iter().map(|e| e.bytes as u64).collect();
+    let mut cumulative = vec![0u64; n];
+    pstl::inclusive_scan(&par, &bytes, &mut cumulative, |a, b| a + b);
+    assert_eq!(*cumulative.last().unwrap(), total_bytes);
+    let half_idx = pstl::find_if(&par, &cumulative, |&c| c >= total_bytes / 2).unwrap();
+    println!(
+        "half of all traffic had flowed after event {half_idx} (t = {} ms)",
+        events[half_idx].timestamp_ms
+    );
+
+    // 5. Top-10 slowest requests: partial_sort of negated latencies puts
+    //    the k largest first without sorting the rest.
+    let k = 10;
+    let mut neg_latency: Vec<i64> = events.iter().map(|e| -(e.latency_us as i64)).collect();
+    pstl::partial_sort(&par, &mut neg_latency, k);
+    let slowest: Vec<i64> = neg_latency[..k].iter().map(|x| -x).collect();
+    println!("slowest requests (us): {slowest:?}");
+    assert!(slowest.windows(2).all(|w| w[0] >= w[1]));
+
+    // 6. Distinct status codes seen (sort small projection + unique).
+    let mut codes: Vec<u16> = events.iter().map(|e| e.status).collect();
+    pstl::sort(&par, &mut codes);
+    let distinct = pstl::unique(&par, &mut codes);
+    println!("distinct status codes: {:?}", &codes[..distinct]);
+}

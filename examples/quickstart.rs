@@ -1,0 +1,79 @@
+//! Quickstart: the parallel-STL analog in five minutes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a work-stealing pool (the TBB-style backend), wraps it in an
+//! execution policy, and walks through the five algorithms the paper
+//! studies — plus the policy knobs that emulate the other backends.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pstl::prelude::*;
+use pstl_executor::{build_pool, Discipline};
+
+fn main() {
+    // 1. Pick a backend: a pool + a chunking policy. This is the analog
+    //    of compiling against TBB in the paper's study.
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let pool = build_pool(Discipline::WorkStealing, threads);
+    let par = ExecutionPolicy::par(Arc::clone(&pool));
+    let seq = ExecutionPolicy::seq();
+    println!("pool: {} threads, {} discipline\n", threads, pool.discipline().name());
+
+    let n = 1 << 22;
+    let mut v: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+
+    // 2. X::for_each — map a kernel over every element.
+    let t = Instant::now();
+    pstl::for_each_mut(&par, &mut v, |x| *x = x.sqrt());
+    println!("for_each (sqrt of {n} elements): {:?}", t.elapsed());
+
+    // 3. X::reduce — parallel sum.
+    let t = Instant::now();
+    let sum = pstl::reduce(&par, &v, 0.0, |a, b| a + b);
+    println!("reduce: sum = {sum:.3e} in {:?}", t.elapsed());
+
+    // 4. X::inclusive_scan — prefix sums.
+    let mut prefix = vec![0.0; v.len()];
+    let t = Instant::now();
+    pstl::inclusive_scan(&par, &v, &mut prefix, |a, b| a + b);
+    println!("inclusive_scan: last prefix = {:.3e} in {:?}", prefix[n - 1], t.elapsed());
+
+    // 5. X::find — early-exit search (first match wins, like C++).
+    let needle = v[3 * n / 4];
+    let t = Instant::now();
+    let idx = pstl::find(&par, &v, &needle);
+    println!("find: located at {idx:?} in {:?}", t.elapsed());
+
+    // 6. X::sort — parallel mergesort (and the GNU-style multiway).
+    let mut shuffled: Vec<f64> = v.iter().rev().cloned().collect();
+    let t = Instant::now();
+    pstl::sort_by(&par, &mut shuffled, f64::total_cmp);
+    println!("sort ({n} reversed elements): {:?}", t.elapsed());
+    assert!(pstl::is_sorted(&seq, &vec_as_bits(&shuffled)));
+
+    // 7. The paper's backend differences are *policy* differences:
+    //    GNU-style sequential fallback below a threshold…
+    let gnu_like = ExecutionPolicy::par_with(
+        Arc::clone(&pool),
+        ParConfig::default().seq_threshold(1 << 10),
+    );
+    assert!(matches!(gnu_like.plan(512), pstl::Plan::Sequential));
+    //    …or HPX-style fine-grained over-decomposition.
+    let hpx_like = ExecutionPolicy::par_with(
+        pool,
+        ParConfig::with_grain(256).max_tasks_per_thread(16),
+    );
+    println!(
+        "\npolicy knobs: gnu_like runs 512 elements inline; hpx_like splits 2^20 into {} tasks",
+        hpx_like.tasks_for(1 << 20)
+    );
+}
+
+/// f64 has no Ord; compare sortedness through total-order bit patterns.
+fn vec_as_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}

@@ -1,0 +1,25 @@
+//! pstl-bench-rs: a Rust reproduction of *"Exploring Scalability in C++
+//! Parallel STL Implementations"* (Laso, Krupitza, Hunold; ICPP 2024).
+//!
+//! This umbrella crate re-exports the workspace members so the examples
+//! and integration tests can use one coherent namespace:
+//!
+//! * [`executor`] — from-scratch thread pools (fork-join, Chase–Lev work
+//!   stealing, task futures) behind one [`executor::Executor`] trait;
+//! * [`alloc`] — the parallel first-touch allocator of the paper's §3.3;
+//! * [`pstl`] — the parallel-STL analog: ~35 STL-shaped algorithms with
+//!   sequential/parallel execution policies;
+//! * [`sim`] — deterministic models of the paper's five machines and six
+//!   backends that regenerate every figure and table of its evaluation;
+//! * [`harness`] — Google-Benchmark-style measurement;
+//! * [`suite`] — pSTL-Bench itself: kernels, workloads, experiments.
+//!
+//! See README.md for the quickstart, DESIGN.md for the system inventory
+//! and experiment index, and EXPERIMENTS.md for paper-vs-model results.
+
+pub use pstl;
+pub use pstl_alloc as alloc;
+pub use pstl_executor as executor;
+pub use pstl_harness as harness;
+pub use pstl_sim as sim;
+pub use pstl_suite as suite;

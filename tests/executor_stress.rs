@@ -1,0 +1,167 @@
+//! Stress and property tests of the executor substrate under real
+//! concurrency: repeated runs, nested algorithm calls, deque storms,
+//! futures fan-out.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pstl_executor::deque::{deque, Steal};
+use pstl_executor::{build_pool, Discipline, TaskPool};
+
+#[test]
+fn thousand_small_runs_per_discipline() {
+    for discipline in [
+        Discipline::ForkJoin,
+        Discipline::WorkStealing,
+        Discipline::TaskPool,
+    ] {
+        let pool = build_pool(discipline, 4);
+        let total = AtomicUsize::new(0);
+        for round in 0..1000 {
+            pool.run(round % 17, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let expect: usize = (0..1000).map(|r| r % 17).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect, "{:?}", discipline);
+    }
+}
+
+#[test]
+fn interleaved_algorithms_share_one_pool() {
+    // Many different algorithms back-to-back on the same pool must not
+    // deadlock or cross-contaminate runs.
+    let pool = build_pool(Discipline::WorkStealing, 4);
+    let policy = pstl::ExecutionPolicy::par(pool);
+    for round in 0..50 {
+        let n = 500 + round * 37;
+        let mut v: Vec<u64> = (0..n as u64).rev().collect();
+        pstl::sort(&policy, &mut v);
+        let sum = pstl::reduce(&policy, &v, 0u64, |a, b| a + b);
+        assert_eq!(sum, (n as u64 - 1) * n as u64 / 2);
+        let idx = pstl::find(&policy, &v, &(n as u64 / 2));
+        assert_eq!(idx, Some(n / 2));
+    }
+}
+
+#[test]
+fn deque_storm_many_thieves() {
+    const ITEMS: usize = 50_000;
+    const THIEVES: usize = 4;
+    let (worker, stealer) = deque::<usize>();
+    let taken = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicUsize::new(0));
+
+    let thieves: Vec<_> = (0..THIEVES)
+        .map(|_| {
+            let s = stealer.clone();
+            let taken = Arc::clone(&taken);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(_) => {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => {
+                        if stop.load(Ordering::Acquire) == 1 {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut popped = 0usize;
+    for i in 0..ITEMS {
+        worker.push(i);
+        if i % 2 == 0
+            && worker.pop().is_some() {
+                popped += 1;
+            }
+    }
+    // Drain the rest cooperatively with the thieves.
+    while worker.pop().is_some() {
+        popped += 1;
+    }
+    stop.store(1, Ordering::Release);
+    for t in thieves {
+        t.join().unwrap();
+    }
+    assert_eq!(popped + taken.load(Ordering::Relaxed), ITEMS);
+}
+
+#[test]
+fn futures_fan_out_fan_in() {
+    let pool = TaskPool::new(4);
+    let futures: Vec<_> = (0..200)
+        .map(|i| pool.spawn(move || (0..=i as u64).sum::<u64>()))
+        .collect();
+    for (i, f) in futures.into_iter().enumerate() {
+        assert_eq!(f.wait(), (0..=i as u64).sum::<u64>());
+    }
+}
+
+#[test]
+fn pools_survive_panicking_free_spawns() {
+    // A panic inside a spawned task must not wedge the pool for later
+    // runs. (Algorithm closures are expected not to panic; `spawn` is the
+    // escape hatch where user code might.)
+    use pstl_executor::Executor;
+    let pool = TaskPool::new(2);
+    let f = pool.spawn(|| 1u32);
+    assert_eq!(f.wait(), 1);
+    let hits = AtomicUsize::new(0);
+    pool.run(100, &|_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 100);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn run_covers_arbitrary_task_counts(tasks in 0usize..3000) {
+        static POOL: std::sync::OnceLock<Arc<dyn pstl_executor::Executor>> =
+            std::sync::OnceLock::new();
+        let pool = POOL.get_or_init(|| build_pool(Discipline::WorkStealing, 3));
+        let hits = AtomicUsize::new(0);
+        pool.run(tasks, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert_eq!(hits.load(Ordering::Relaxed), tasks);
+    }
+
+    #[test]
+    fn deque_single_thread_semantics(ops in prop::collection::vec(0u8..3, 0..200)) {
+        // Model-check push/pop/steal against a VecDeque reference.
+        let (worker, stealer) = deque::<u32>();
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut counter = 0u32;
+        for op in ops {
+            match op {
+                0 => {
+                    worker.push(counter);
+                    model.push_back(counter);
+                    counter += 1;
+                }
+                1 => {
+                    prop_assert_eq!(worker.pop(), model.pop_back());
+                }
+                _ => {
+                    let got = match stealer.steal() {
+                        Steal::Success(v) => Some(v),
+                        _ => None,
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+        }
+        prop_assert_eq!(worker.len(), model.len());
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration: the full pSTL-Bench pipeline — allocator →
+//! backend policy → kernel → harness measurement → report — plus the
+//! experiment builders producing complete, serializable documents.
+
+use std::time::{Duration, Instant};
+
+use pstl_alloc::{generate_increment_f64, Placement};
+use pstl_executor::{build_pool, Discipline};
+use pstl_harness::{Bench, BenchConfig, Report};
+use pstl_sim::Backend;
+use pstl_suite::{backends::BackendHost, experiments, kernels, workload};
+
+#[test]
+fn full_real_mode_pipeline_for_every_backend() {
+    let host = BackendHost::new(2);
+    let exec = build_pool(Discipline::ForkJoin, 2);
+    let n = 1 << 14;
+    let mut report = Report::new("integration_smoke").context("threads", "2");
+
+    for backend in BackendHost::real_mode_backends() {
+        let policy = host.policy_for(backend).unwrap();
+        let data = generate_increment_f64(&exec, Placement::FirstTouch, n);
+        let m = Bench::new(format!("{}/reduce/2^14", backend.name()))
+            .config(BenchConfig::quick())
+            .bytes_per_iter((n * 8) as u64)
+            .run_manual(|| {
+                let start = Instant::now();
+                let sum = kernels::run_reduce(&policy, &data);
+                let d = start.elapsed();
+                assert_eq!(sum, (n * (n + 1) / 2) as f64);
+                d
+            });
+        assert!(m.iterations >= 2);
+        assert!(m.stats.mean > 0.0);
+        assert!(m.gib_per_sec().unwrap() > 0.0);
+        report.push(m);
+    }
+
+    let json = report.json();
+    assert!(json.contains("GCC-HPX/reduce"));
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed["benchmarks"].as_array().unwrap().len(), 6);
+}
+
+#[test]
+fn sort_pipeline_with_untimed_shuffle() {
+    let host = BackendHost::new(2);
+    let n = 1 << 12;
+    for backend in [Backend::GccTbb, Backend::GccGnu, Backend::GccHpx] {
+        let policy = host.policy_for(backend).unwrap();
+        let mut data = workload::shuffled_permutation(n, 11);
+        let mut rng = workload::seeded_rng(13);
+        let m = Bench::new("sort")
+            .config(BenchConfig {
+                min_time: Duration::from_millis(5),
+                warmup_iterations: 1,
+                min_iterations: 2,
+                max_iterations: 100,
+            })
+            .run_manual(|| {
+                workload::reshuffle(&mut data, &mut rng);
+                let start = Instant::now();
+                kernels::run_sort(&policy, backend, &mut data);
+                start.elapsed()
+            });
+        assert!(m.iterations >= 2);
+        // The final state must actually be sorted.
+        assert_eq!(data, workload::generate_increment(n), "{:?}", backend);
+    }
+}
+
+#[test]
+fn every_experiment_builder_produces_serializable_output() {
+    // Figures.
+    for fig in [
+        experiments::fig2::build(),
+        experiments::fig3::build(),
+        experiments::fig4::build(),
+        experiments::fig5::build(),
+        experiments::fig6::build(),
+        experiments::fig7::build(),
+        experiments::fig8::build(),
+        experiments::fig9::build(),
+    ] {
+        assert!(!fig.panels.is_empty(), "{}", fig.id);
+        for panel in &fig.panels {
+            for series in &panel.series {
+                assert_eq!(series.x.len(), series.y.len());
+                assert!(
+                    series.y.iter().all(|y| y.is_finite() && *y >= 0.0),
+                    "{}/{}: non-finite values",
+                    fig.id,
+                    series.label
+                );
+            }
+        }
+        let json = serde_json::to_string(&fig).unwrap();
+        assert!(json.contains(&fig.id));
+        let rendered = fig.render();
+        assert!(rendered.contains(&fig.id));
+    }
+    // Tables.
+    for table in [
+        experiments::table2::build(),
+        experiments::fig1::build(),
+        experiments::table3::build(),
+        experiments::table4::build(),
+        experiments::table5::build(),
+        experiments::table5::build_ratio(),
+        experiments::table6::build(),
+        experiments::table7::build(),
+    ] {
+        assert!(!table.rows.is_empty(), "{}", table.id);
+        for row in &table.rows {
+            assert_eq!(row.values.len(), table.columns.len(), "{}", table.id);
+        }
+        let json = serde_json::to_string(&table).unwrap();
+        assert!(json.contains(&table.id));
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_work_together() {
+    // The root crate's namespaces compose end-to-end.
+    let pool = pstl_bench_rs::executor::build_pool(
+        pstl_bench_rs::executor::Discipline::WorkStealing,
+        2,
+    );
+    let policy = pstl_bench_rs::pstl::ExecutionPolicy::par(pool);
+    let data: Vec<u64> = (0..10_000).collect();
+    let sum = pstl_bench_rs::pstl::reduce(&policy, &data, 0, |a, b| a + b);
+    assert_eq!(sum, 10_000 * 9_999 / 2);
+
+    let sim = pstl_bench_rs::sim::CpuSim::new(
+        pstl_bench_rs::sim::machine::mach_a(),
+        pstl_bench_rs::sim::Backend::GccTbb,
+    );
+    let t = sim.time(&pstl_bench_rs::sim::RunParams::new(
+        pstl_bench_rs::sim::Kernel::Reduce,
+        1 << 20,
+        32,
+    ));
+    assert!(t > 0.0 && t.is_finite());
+}
+
+#[test]
+fn thread_count_env_matches_paper_interface() {
+    // The paper controls threads via OMP_NUM_THREADS; our suite uses
+    // PSTL_THREADS with the same semantics (BackendHost threads).
+    let host = BackendHost::new(3);
+    assert_eq!(host.threads(), 3);
+    for backend in Backend::paper_cpu_set() {
+        let policy = host.policy_for(backend).unwrap();
+        assert_eq!(policy.threads(), 3, "{:?}", backend);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests of the performance models: the structural invariants
+//! any sane cost model must satisfy, independent of calibration.
+
+use proptest::prelude::*;
+
+use pstl_sim::gpu::{mach_d_tesla_t4, GpuRun, GpuSim};
+use pstl_sim::kernels::{DType, Kernel};
+use pstl_sim::machine::{all_machines, mach_b};
+use pstl_sim::memory::{MemorySystem, PagePlacement};
+use pstl_sim::sched_sim::{SchedSim, SimDiscipline};
+use pstl_sim::{Backend, CpuSim, RunParams};
+
+fn kernels() -> Vec<Kernel> {
+    Kernel::paper_summary_set()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cpu_time_is_monotone_in_problem_size(
+        exp in 4u32..29,
+        backend_idx in 0usize..5,
+        threads_exp in 0u32..7,
+    ) {
+        let backend = Backend::paper_cpu_set()[backend_idx];
+        let threads = 1usize << threads_exp;
+        for machine in all_machines() {
+            let sim = CpuSim::new(machine.clone(), backend);
+            for kernel in kernels() {
+                let small = sim.time(&RunParams::new(kernel, 1 << exp, threads));
+                let large = sim.time(&RunParams::new(kernel, 1 << (exp + 1), threads));
+                prop_assert!(
+                    large >= small * 0.999,
+                    "{:?} {:?} t={threads}: time(2^{}) {} < time(2^{}) {}",
+                    backend, kernel, exp + 1, large, exp, small
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_speedup_never_wildly_superlinear(
+        backend_idx in 0usize..5,
+        threads_exp in 1u32..8,
+    ) {
+        let backend = Backend::paper_cpu_set()[backend_idx];
+        for machine in all_machines() {
+            let threads = (1usize << threads_exp).min(machine.cores);
+            let sim = CpuSim::new(machine.clone(), backend);
+            let seq = CpuSim::new(machine.clone(), Backend::GccSeq);
+            for kernel in kernels() {
+                let s = seq.time(&RunParams::new(kernel, 1 << 28, 1))
+                    / sim.time(&RunParams::new(kernel, 1 << 28, threads));
+                // Superlinearity is allowed only from baseline quality
+                // differences (bounded) — never unbounded.
+                prop_assert!(
+                    s <= threads as f64 * 1.5 + 1.0,
+                    "{:?} {:?}: speedup {s} at {threads} threads",
+                    backend, kernel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_monotone_and_bounded(threads in 1usize..=64) {
+        let machine = mach_b();
+        let mem = MemorySystem::new(machine.clone());
+        for placement in [PagePlacement::Node0, PagePlacement::Spread] {
+            let bw = mem.dram_bandwidth(threads, placement);
+            prop_assert!(bw > 0.0);
+            prop_assert!(bw <= machine.bw_all_gbs * 1.05, "bw {bw}");
+            let bw_next = mem.dram_bandwidth(threads + 1, placement);
+            prop_assert!(bw_next >= bw * 0.999);
+            // Spread never loses to node-0 hoarding.
+            prop_assert!(
+                mem.dram_bandwidth(threads, PagePlacement::Spread)
+                    >= mem.dram_bandwidth(threads, PagePlacement::Node0) * 0.999
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_time_monotone_in_size_and_intensity(
+        exp in 10u32..27,
+        k_exp in 0u32..16,
+    ) {
+        let sim = GpuSim::new(mach_d_tesla_t4());
+        let run = |n: usize, k: u32| GpuRun {
+            kernel: Kernel::ForEach { k_it: k },
+            dtype: DType::F32,
+            n,
+            data_on_device: false,
+            transfer_back: true,
+        };
+        let k = 1u32 << k_exp;
+        let t_small = sim.time(&run(1 << exp, k));
+        let t_large = sim.time(&run(1 << (exp + 1), k));
+        prop_assert!(t_large >= t_small);
+        let t_heavier = sim.time(&run(1 << exp, k * 2));
+        prop_assert!(t_heavier >= t_small * 0.999);
+        // Residency can only help.
+        let resident = sim.time(&GpuRun { data_on_device: true, ..run(1 << exp, k) });
+        prop_assert!(resident <= t_small);
+    }
+
+    #[test]
+    fn sched_sim_respects_bounds(
+        durations in prop::collection::vec(0.1f64..20.0, 1..300),
+        workers in 1usize..16,
+    ) {
+        let sim = SchedSim::new(workers);
+        let lb = sim.lower_bound(&durations);
+        let total: f64 = durations.iter().sum();
+        for d in [
+            SimDiscipline::Static,
+            SimDiscipline::Dynamic { chunk: 4, overhead: 0.0 },
+            SimDiscipline::WorkStealing { steal_cost: 0.0 },
+        ] {
+            let m = sim.makespan(&durations, d);
+            prop_assert!(m >= lb * 0.999, "{d:?}: makespan {m} below bound {lb}");
+            prop_assert!(m <= total * 1.001, "{d:?}: makespan {m} above serial {total}");
+        }
+    }
+
+    #[test]
+    fn counters_scale_linearly_with_calls(calls in 1usize..50) {
+        let machine = pstl_sim::machine::mach_a();
+        let one = pstl_sim::counters::report(
+            &machine, Backend::GccTbb, Kernel::Reduce, 1 << 20, 32, 1,
+        );
+        let many = pstl_sim::counters::report(
+            &machine, Backend::GccTbb, Kernel::Reduce, 1 << 20, 32, calls,
+        );
+        prop_assert!((many.instructions / one.instructions - calls as f64).abs() < 1e-6);
+        prop_assert!((many.mem_volume_gib / one.mem_volume_gib - calls as f64).abs() < 1e-6);
+        // Rates are per-time and thus call-count invariant.
+        prop_assert!((many.gflops - one.gflops).abs() < 1e-9);
+    }
+}
