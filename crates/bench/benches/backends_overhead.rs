@@ -19,7 +19,10 @@ fn bench_dispatch(c: &mut Criterion) {
     let pools = [
         ("seq", build_pool(Discipline::Sequential, 1)),
         ("fork_join", build_pool(Discipline::ForkJoin, threads)),
-        ("work_stealing", build_pool(Discipline::WorkStealing, threads)),
+        (
+            "work_stealing",
+            build_pool(Discipline::WorkStealing, threads),
+        ),
         ("task_pool", build_pool(Discipline::TaskPool, threads)),
     ];
     let mut group = c.benchmark_group("dispatch_overhead");

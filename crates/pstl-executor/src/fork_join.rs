@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+use pstl_trace::{EventKind, PoolTracer};
 
 use crate::job::BodyPtr;
 use crate::latch::CountLatch;
@@ -62,6 +63,8 @@ struct FjShared {
     signal: WorkSignal,
     shutdown: ShutdownFlag,
     metrics: PoolMetrics,
+    /// One track per team member; the master (caller) is track 0.
+    tracer: PoolTracer,
 }
 
 /// Fork-join pool with static contiguous partitioning.
@@ -92,6 +95,7 @@ impl ForkJoinPool {
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
             metrics: PoolMetrics::new(),
+            tracer: PoolTracer::new(threads, false),
         });
         let handles = (1..threads)
             .map(|w| {
@@ -111,6 +115,7 @@ impl ForkJoinPool {
 }
 
 fn worker_loop(shared: &FjShared, worker: usize) {
+    let rec = shared.tracer.recorder(worker);
     let mut last_epoch = 0usize;
     loop {
         let seen = shared.signal.epoch();
@@ -123,12 +128,18 @@ fn worker_loop(shared: &FjShared, worker: usize) {
                 last_epoch = job.epoch;
                 let range = static_partition(job.tasks, shared.threads, worker);
                 shared.metrics.record_tasks(1);
+                rec.record(EventKind::TaskStart {
+                    size: range.len() as u64,
+                });
                 run_partition(&job, range);
+                rec.record(EventKind::TaskFinish);
                 job.latch.count_down(1);
             }
             _ => {
                 shared.metrics.record_park();
+                rec.record(EventKind::Park);
                 shared.signal.sleep_unless_changed(seen);
+                rec.record(EventKind::Unpark);
             }
         }
     }
@@ -152,6 +163,12 @@ impl Executor for ForkJoinPool {
         }
         *epoch_guard += 1;
         self.shared.metrics.record_run();
+        // Track 0 belongs to the master; `run_lock` serializes callers, so
+        // the single-producer ring contract holds.
+        let rec = self.shared.tracer.recorder(0);
+        rec.record(EventKind::RegionBegin {
+            tasks: tasks as u64,
+        });
         let latch = Arc::new(CountLatch::new(self.shared.threads - 1));
         let panic = Arc::new(Mutex::new(None));
         let master_job = FjJob {
@@ -168,8 +185,14 @@ impl Executor for ForkJoinPool {
         self.shared.signal.notify_all();
         // Master executes partition 0 while the team works.
         self.shared.metrics.record_tasks(1);
-        run_partition(&master_job, static_partition(tasks, self.shared.threads, 0));
+        let partition = static_partition(tasks, self.shared.threads, 0);
+        rec.record(EventKind::TaskStart {
+            size: partition.len() as u64,
+        });
+        run_partition(&master_job, partition);
+        rec.record(EventKind::TaskFinish);
         latch.wait();
+        rec.record(EventKind::RegionEnd);
         let payload = panic.lock().take();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
@@ -182,6 +205,14 @@ impl Executor for ForkJoinPool {
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
         Some(self.shared.metrics.snapshot())
+    }
+
+    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
+        Some(
+            self.shared
+                .tracer
+                .take(Discipline::ForkJoin.name(), self.shared.threads),
+        )
     }
 }
 
@@ -223,7 +254,10 @@ mod tests {
         let sizes: Vec<usize> = (0..7).map(|w| static_partition(100, 7, w).len()).collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
-        assert!(max - min <= 1, "static partitions differ by more than 1: {sizes:?}");
+        assert!(
+            max - min <= 1,
+            "static partitions differ by more than 1: {sizes:?}"
+        );
     }
 
     #[test]

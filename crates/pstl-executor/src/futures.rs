@@ -1,15 +1,27 @@
-//! A blocking one-shot future/promise pair.
+//! A blocking one-shot future/promise pair and the futures-style executor
+//! built on it.
 //!
 //! HPX exposes its parallel algorithms on top of futures; our
 //! [`TaskPool`](crate::TaskPool) does the same through
 //! [`TaskPool::spawn`](crate::TaskPool::spawn), which returns a [`Future`].
 //! This is a deliberately simple synchronous future (no `async`): `wait`
 //! blocks the calling thread until the promise is fulfilled.
+//!
+//! [`FuturesPool`] is the executor-shaped version of that idiom: each
+//! parallel region becomes a handful of contiguous block futures submitted
+//! to an inner task pool and awaited by the caller — HPX's
+//! `async`/`when_all` chunking, as opposed to the task pool's
+//! one-task-per-index flood.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+use pstl_trace::EventKind;
+
+use crate::job::BodyPtr;
+use crate::task_pool::TaskPool;
+use crate::{Discipline, Executor};
 
 struct Oneshot<T> {
     ready: AtomicBool,
@@ -100,8 +112,118 @@ impl<T> Future<T> {
             if Arc::strong_count(&self.shared) == 1 {
                 panic!("promise dropped without fulfilling the future");
             }
-            self.shared.cond.wait_for(&mut slot, std::time::Duration::from_millis(1));
+            self.shared
+                .cond
+                .wait_for(&mut slot, std::time::Duration::from_millis(1));
         }
+    }
+}
+
+/// Futures-style executor (the HPX `async`/`when_all` analog).
+///
+/// `run` splits the index space into a few contiguous blocks per thread,
+/// submits each block as a future on an inner [`TaskPool`], and awaits
+/// them all — helping drain the queue while it waits, so the calling
+/// thread participates like in every other pool. Scheduling counters and
+/// event traces are those of the inner pool (reported under the
+/// `futures` discipline label), which is what makes
+/// [`metrics`](Executor::metrics) return `Some` for this backend.
+pub struct FuturesPool {
+    inner: TaskPool,
+    /// Serializes `run` callers (one region at a time, like the other
+    /// pools) and guards the caller trace track.
+    run_lock: Mutex<()>,
+}
+
+/// Blocks per `run`: enough per thread that early-finishing workers can
+/// pick up more, few enough to stay far from one-task-per-index cost.
+const BLOCKS_PER_THREAD: usize = 4;
+
+impl FuturesPool {
+    /// A pool where `threads` threads (including the caller during `run`)
+    /// execute block futures.
+    pub fn new(threads: usize) -> Self {
+        FuturesPool {
+            inner: TaskPool::new(threads.max(1)),
+            run_lock: Mutex::new(()),
+        }
+    }
+}
+
+impl Executor for FuturesPool {
+    fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        let _guard = self.run_lock.lock();
+        let threads = self.inner.num_threads();
+        if threads == 1 {
+            for i in 0..tasks {
+                body(i);
+            }
+            return;
+        }
+        self.inner.metrics_handle().record_run();
+        let rec = self.inner.caller_trace_recorder();
+        rec.record(EventKind::RegionBegin {
+            tasks: tasks as u64,
+        });
+        let blocks = (threads * BLOCKS_PER_THREAD).min(tasks);
+        let ptr = BodyPtr::new(body);
+        let futures: Vec<Future<Result<(), Box<dyn std::any::Any + Send>>>> = (0..blocks)
+            .map(|b| {
+                let lo = tasks * b / blocks;
+                let hi = tasks * (b + 1) / blocks;
+                rec.record(EventKind::TaskSpawn {
+                    size: (hi - lo) as u64,
+                });
+                // The panic is caught inside the block future (a worker
+                // must never unwind) and re-thrown on this thread below.
+                self.inner.spawn_sized((hi - lo) as u64, move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for i in lo..hi {
+                            // SAFETY: this `run` call blocks until every
+                            // block future resolves, keeping the body
+                            // borrow live.
+                            unsafe { ptr.call(i) };
+                        }
+                    }))
+                })
+            })
+            .collect();
+
+        // Await all blocks, helping execute queued ones meanwhile.
+        while !futures.iter().all(Future::is_ready) {
+            if !self.inner.try_run_one(Some(&rec)) {
+                std::thread::yield_now();
+            }
+        }
+        rec.record(EventKind::RegionEnd);
+        let mut first_panic = None;
+        for f in futures {
+            if let Err(payload) = f.wait() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::Futures
+    }
+
+    fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        Some(self.inner.metrics_handle().snapshot())
+    }
+
+    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
+        Some(self.inner.take_trace_as(Discipline::Futures.name()))
     }
 }
 
@@ -141,5 +263,64 @@ mod tests {
         let (f, p) = future_promise::<u32>();
         drop(p);
         f.wait();
+    }
+}
+
+#[cfg(test)]
+mod futures_pool_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+    #[test]
+    fn covers_index_space_exactly_once() {
+        let pool = FuturesPool::new(4);
+        let n = 10_000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, &|i| {
+            counts[i].fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(AtomicOrdering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn metrics_are_wired() {
+        let pool = FuturesPool::new(2);
+        pool.run(500, &|_| {});
+        let m = pool.metrics().expect("futures pool must report metrics");
+        assert_eq!(m.runs, 1);
+        // One executed task per block future.
+        assert_eq!(m.tasks_executed, 2 * super::BLOCKS_PER_THREAD as u64);
+    }
+
+    #[test]
+    fn small_runs_spawn_at_most_one_block_per_index() {
+        let pool = FuturesPool::new(4);
+        pool.run(3, &|_| {});
+        assert_eq!(pool.metrics().unwrap().tasks_executed, 3);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = FuturesPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.run(100, &|_| {
+            hits.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(hits.load(AtomicOrdering::Relaxed), 100);
+    }
+
+    #[test]
+    fn consecutive_runs_accumulate() {
+        let pool = FuturesPool::new(3);
+        for round in 1..=20u64 {
+            let hits = AtomicUsize::new(0);
+            pool.run(64, &|_| {
+                hits.fetch_add(1, AtomicOrdering::Relaxed);
+            });
+            assert_eq!(hits.load(AtomicOrdering::Relaxed), 64);
+            assert_eq!(pool.metrics().unwrap().runs, round);
+        }
     }
 }

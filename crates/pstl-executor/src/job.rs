@@ -78,9 +78,7 @@ impl Job {
     /// See [`BodyPtr::call`]; additionally each index must be executed at
     /// most once across all threads.
     pub unsafe fn execute_index(&self, i: usize) {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.body.call(i)
-        }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.body.call(i)));
         if let Err(payload) = result {
             let mut slot = self.panic.lock();
             if slot.is_none() {

@@ -4,7 +4,6 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
-
 /// Shared helping-wait loop: poll `try_work` until `done()` holds,
 /// spinning briefly between failed polls and yielding thereafter (so
 /// single-core hosts make progress on worker threads).

@@ -35,7 +35,7 @@ pub mod work_stealing;
 use std::sync::Arc;
 
 pub use fork_join::ForkJoinPool;
-pub use futures::{future_promise, Future, Promise};
+pub use futures::{future_promise, Future, FuturesPool, Promise};
 pub use latch::CountLatch;
 pub use metrics::{MetricsSnapshot, PoolMetrics};
 pub use seq::SequentialExecutor;
@@ -70,6 +70,15 @@ pub trait Executor: Send + Sync {
     fn metrics(&self) -> Option<metrics::MetricsSnapshot> {
         None
     }
+
+    /// Drain and return the per-worker event trace recorded since the
+    /// previous drain. The pools always return `Some`; the log only
+    /// carries events when this crate is built with the `trace` feature
+    /// (otherwise it is structurally valid but empty). `None` means the
+    /// executor does not trace at all (the sequential executor).
+    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
+        None
+    }
 }
 
 /// The scheduling disciplines implemented by this crate, named after the
@@ -84,6 +93,9 @@ pub enum Discipline {
     WorkStealing,
     /// One heap-allocated task per index through a central queue (HPX).
     TaskPool,
+    /// Contiguous blocks submitted as futures that the caller awaits
+    /// (HPX's `async`/`when_all` idiom over the same central queue).
+    Futures,
 }
 
 impl Discipline {
@@ -94,6 +106,7 @@ impl Discipline {
             Discipline::ForkJoin => "fork_join",
             Discipline::WorkStealing => "work_stealing",
             Discipline::TaskPool => "task_pool",
+            Discipline::Futures => "futures",
         }
     }
 }
@@ -109,6 +122,7 @@ pub fn build_pool(discipline: Discipline, threads: usize) -> Arc<dyn Executor> {
         Discipline::ForkJoin => Arc::new(ForkJoinPool::new(threads)),
         Discipline::WorkStealing => Arc::new(WorkStealingPool::new(threads)),
         Discipline::TaskPool => Arc::new(TaskPool::new(threads)),
+        Discipline::Futures => Arc::new(FuturesPool::new(threads)),
     }
 }
 
@@ -126,7 +140,11 @@ mod tests {
                 sum.fetch_add(i, Ordering::Relaxed);
             });
             assert_eq!(hits.load(Ordering::Relaxed), tasks);
-            let expect = if tasks == 0 { 0 } else { tasks * (tasks - 1) / 2 };
+            let expect = if tasks == 0 {
+                0
+            } else {
+                tasks * (tasks - 1) / 2
+            };
             assert_eq!(sum.load(Ordering::Relaxed), expect);
         }
     }
@@ -138,6 +156,7 @@ mod tests {
             Discipline::ForkJoin,
             Discipline::WorkStealing,
             Discipline::TaskPool,
+            Discipline::Futures,
         ] {
             for threads in [1usize, 2, 4] {
                 let pool = build_pool(d, threads);
@@ -152,6 +171,7 @@ mod tests {
         assert_eq!(Discipline::ForkJoin.name(), "fork_join");
         assert_eq!(Discipline::WorkStealing.name(), "work_stealing");
         assert_eq!(Discipline::TaskPool.name(), "task_pool");
+        assert_eq!(Discipline::Futures.name(), "futures");
     }
 
     #[test]
@@ -159,6 +179,7 @@ mod tests {
         assert_eq!(build_pool(Discipline::ForkJoin, 3).num_threads(), 3);
         assert_eq!(build_pool(Discipline::WorkStealing, 2).num_threads(), 2);
         assert_eq!(build_pool(Discipline::TaskPool, 2).num_threads(), 2);
+        assert_eq!(build_pool(Discipline::Futures, 2).num_threads(), 2);
         assert_eq!(build_pool(Discipline::Sequential, 8).num_threads(), 1);
     }
 
@@ -205,6 +226,11 @@ mod panic_tests {
     #[test]
     fn task_pool_propagates_panics_and_survives() {
         panics_propagate(&*build_pool(Discipline::TaskPool, 3));
+    }
+
+    #[test]
+    fn futures_propagates_panics_and_survives() {
+        panics_propagate(&*build_pool(Discipline::Futures, 3));
     }
 
     #[test]

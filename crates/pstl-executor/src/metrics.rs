@@ -186,8 +186,14 @@ mod pool_integration_tests {
         let fj_tasks = fj.metrics().unwrap().tasks_executed;
         let ws_tasks = ws.metrics().unwrap().tasks_executed;
         let tp_tasks = tp.metrics().unwrap().tasks_executed;
-        assert!(fj_tasks < ws_tasks, "fork-join {fj_tasks} < stealing {ws_tasks}");
-        assert!(ws_tasks <= tp_tasks, "stealing {ws_tasks} <= task pool {tp_tasks}");
+        assert!(
+            fj_tasks < ws_tasks,
+            "fork-join {fj_tasks} < stealing {ws_tasks}"
+        );
+        assert!(
+            ws_tasks <= tp_tasks,
+            "stealing {ws_tasks} <= task pool {tp_tasks}"
+        );
         assert_eq!(tp_tasks, n as u64);
     }
 

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+use pstl_trace::{EventKind, PoolTracer, WorkerRecorder};
 
 use crate::futures::{future_promise, Future};
 use crate::injector::Injector;
@@ -26,12 +27,23 @@ use crate::{Discipline, Executor};
 
 type BoxTask = Box<dyn FnOnce() + Send>;
 
+/// A queued closure plus the number of task indices it covers, so the
+/// executing worker can trace the block size (1 for `run`/`spawn` tasks,
+/// larger for the futures pool's blocks).
+struct QueuedTask {
+    size: u64,
+    run: BoxTask,
+}
+
 struct TpShared {
     threads: usize,
-    queue: Injector<BoxTask>,
+    queue: Injector<QueuedTask>,
     signal: WorkSignal,
     shutdown: ShutdownFlag,
     metrics: PoolMetrics,
+    /// One track per thread; the `run`-calling thread is track 0
+    /// (serialized by `run_lock`).
+    tracer: PoolTracer,
 }
 
 /// Central-queue task pool with one boxed task per index.
@@ -52,13 +64,14 @@ impl TaskPool {
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
             metrics: PoolMetrics::new(),
+            tracer: PoolTracer::new(threads, false),
         });
         let handles = (1..threads)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("pstl-tp-{w}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, w))
                     .expect("failed to spawn task-pool worker")
             })
             .collect();
@@ -78,14 +91,66 @@ impl TaskPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.spawn_sized(1, f)
+    }
+
+    /// As [`spawn`](Self::spawn), with an explicit task-size hint (the
+    /// number of indices the closure covers) for metrics and tracing.
+    /// Used by the futures pool, whose tasks are contiguous blocks.
+    pub(crate) fn spawn_sized<T, F>(&self, size: u64, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let (future, promise) = future_promise();
         if self.shared.threads == 1 {
+            self.shared.metrics.record_tasks(1);
             promise.set(f());
             return future;
         }
-        self.shared.queue.push(Box::new(move || promise.set(f())));
+        self.shared.queue.push(QueuedTask {
+            size,
+            run: Box::new(move || promise.set(f())),
+        });
         self.shared.signal.notify_all();
         future
+    }
+
+    /// Pop and execute one queued task, tracing it on `rec` when given.
+    /// Returns whether a task was run. Shared by the caller help-loops
+    /// (`run`, `scope`, and the futures pool's await loop).
+    pub(crate) fn try_run_one(&self, rec: Option<&WorkerRecorder>) -> bool {
+        match self.shared.queue.pop() {
+            Some(task) => {
+                self.shared.metrics.record_tasks(1);
+                if let Some(rec) = rec {
+                    rec.record(EventKind::TaskStart { size: task.size });
+                    (task.run)();
+                    rec.record(EventKind::TaskFinish);
+                } else {
+                    (task.run)();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The pool's metric counters (for the futures pool, which fronts
+    /// this pool but reports its own parallel regions).
+    pub(crate) fn metrics_handle(&self) -> &PoolMetrics {
+        &self.shared.metrics
+    }
+
+    /// Recorder of the caller track (track 0). The caller must hold
+    /// whatever serializes its run path before recording.
+    pub(crate) fn caller_trace_recorder(&self) -> WorkerRecorder {
+        self.shared.tracer.recorder(0)
+    }
+
+    /// Drain the trace under a fronting executor's discipline label.
+    pub(crate) fn take_trace_as(&self, discipline: &'static str) -> pstl_trace::TraceLog {
+        self.shared.tracer.take(discipline, self.shared.threads)
     }
 
     /// Structured-concurrency scope (rayon-style): closures spawned
@@ -117,16 +182,10 @@ impl TaskPool {
         };
         let result = op(&scope);
         // Help-drain the queue until every spawned task (including ones
-        // spawned by tasks) has finished.
-        scope.wg.wait_while_helping(|| {
-            if let Some(task) = self.shared.queue.pop() {
-                self.shared.metrics.record_tasks(1);
-                task();
-                true
-            } else {
-                false
-            }
-        });
+        // spawned by tasks) has finished. No trace recorder here: scopes
+        // are not serialized against each other, so the caller track's
+        // single-producer contract would not hold.
+        scope.wg.wait_while_helping(|| self.try_run_one(None));
         let payload = scope.panic.lock().take();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
@@ -181,8 +240,7 @@ impl<'scope> Scope<'scope> {
             // SAFETY: see ScopePtr — the scope stack frame is alive for
             // every access before `done()` (the count is still nonzero).
             let scope = unsafe { ptr.get() };
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(scope)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(scope)));
             if let Err(payload) = result {
                 let mut slot = scope.panic.lock();
                 if slot.is_none() {
@@ -199,24 +257,32 @@ impl<'scope> Scope<'scope> {
         // SAFETY: only erases the 'scope lifetime; the scope's wait-group
         // drain guarantees execution completes before 'scope ends.
         let boxed: BoxTask = unsafe { std::mem::transmute(boxed) };
-        self.pool.shared.queue.push(boxed);
+        self.pool.shared.queue.push(QueuedTask {
+            size: 1,
+            run: boxed,
+        });
         self.pool.shared.signal.notify_all();
     }
 }
 
-fn worker_loop(shared: &TpShared) {
+fn worker_loop(shared: &TpShared, index: usize) {
+    let rec = shared.tracer.recorder(index);
     loop {
         let seen = shared.signal.epoch();
         if let Some(task) = shared.queue.pop() {
             shared.metrics.record_tasks(1);
-            task();
+            rec.record(EventKind::TaskStart { size: task.size });
+            (task.run)();
+            rec.record(EventKind::TaskFinish);
             continue;
         }
         if shared.shutdown.is_triggered() {
             return;
         }
         shared.metrics.record_park();
+        rec.record(EventKind::Park);
         shared.signal.sleep_unless_changed(seen);
+        rec.record(EventKind::Unpark);
     }
 }
 
@@ -237,27 +303,29 @@ impl Executor for TaskPool {
             return;
         }
         self.shared.metrics.record_run();
+        // Track 0 belongs to the `run` caller; `run_lock` serializes them.
+        let rec = self.shared.tracer.recorder(0);
+        rec.record(EventKind::RegionBegin {
+            tasks: tasks as u64,
+        });
         let job = Job::new(body, tasks);
         // One boxed task per index: HPX-grade scheduling overhead, by
         // design. The batch push takes the queue lock once, but each task
         // still pays its own allocation and pop.
         self.shared.queue.push_batch((0..tasks).map(|i| {
             let job = Arc::clone(&job);
-            // SAFETY: the caller below blocks on the job latch until every
-            // index has executed, keeping the body borrow live.
-            Box::new(move || unsafe { job.execute_index(i) }) as BoxTask
+            QueuedTask {
+                size: 1,
+                // SAFETY: the caller below blocks on the job latch until
+                // every index has executed, keeping the body borrow live.
+                run: Box::new(move || unsafe { job.execute_index(i) }),
+            }
         }));
         self.shared.signal.notify_all();
 
-        job.latch().wait_while_helping(|| {
-            if let Some(task) = self.shared.queue.pop() {
-                self.shared.metrics.record_tasks(1);
-                task();
-                true
-            } else {
-                false
-            }
-        });
+        job.latch()
+            .wait_while_helping(|| self.try_run_one(Some(&rec)));
+        rec.record(EventKind::RegionEnd);
         job.resume_if_panicked();
     }
 
@@ -267,6 +335,10 @@ impl Executor for TaskPool {
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
         Some(self.shared.metrics.snapshot())
+    }
+
+    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
+        Some(self.take_trace_as(Discipline::TaskPool.name()))
     }
 }
 

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+use pstl_trace::{EventKind, PoolTracer, WorkerRecorder};
 
 use crate::deque::{deque, Steal, Stealer, Worker};
 use crate::injector::Injector;
@@ -35,6 +36,9 @@ struct WsShared {
     signal: WorkSignal,
     shutdown: ShutdownFlag,
     metrics: PoolMetrics,
+    /// One track per participant; the caller is track 0 (serialized by
+    /// the caller-deque lock).
+    tracer: PoolTracer,
 }
 
 /// Work-stealing pool with binary range splitting.
@@ -65,6 +69,7 @@ impl WorkStealingPool {
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
             metrics: PoolMetrics::new(),
+            tracer: PoolTracer::new(threads, false),
         });
         let caller_deque = Mutex::new(workers.remove(0));
         let handles = workers
@@ -89,21 +94,40 @@ impl WorkStealingPool {
 
 /// Split `range` down to a single index, pushing back halves onto `local`,
 /// then execute that index.
-fn execute_task(shared: &WsShared, local: &Worker<Task>, job: Arc<Job>, mut range: Range<usize>) {
+fn execute_task(
+    shared: &WsShared,
+    local: &Worker<Task>,
+    rec: &WorkerRecorder,
+    job: Arc<Job>,
+    mut range: Range<usize>,
+) {
     shared.metrics.record_tasks(1);
+    rec.record(EventKind::TaskStart {
+        size: range.len() as u64,
+    });
     while range.len() > 1 {
         let mid = range.start + range.len() / 2;
+        rec.record(EventKind::TaskSpawn {
+            size: (range.end - mid) as u64,
+        });
         local.push((Arc::clone(&job), mid..range.end));
         range.end = mid;
     }
     // SAFETY: the run's caller blocks on the job latch, keeping the body
     // borrow live; each index reaches exactly one execute_task leaf.
     unsafe { job.execute_index(range.start) };
+    rec.record(EventKind::TaskFinish);
 }
 
 /// Find work for participant `me`: own deque, then injector, then two
 /// rounds of randomized stealing.
-fn find_task(shared: &WsShared, local: &Worker<Task>, me: usize, rng: &mut XorShift64) -> Option<Task> {
+fn find_task(
+    shared: &WsShared,
+    local: &Worker<Task>,
+    rec: &WorkerRecorder,
+    me: usize,
+    rng: &mut XorShift64,
+) -> Option<Task> {
     if let Some(task) = local.pop() {
         return Some(task);
     }
@@ -123,9 +147,15 @@ fn find_task(shared: &WsShared, local: &Worker<Task>, me: usize, rng: &mut XorSh
             }
             loop {
                 shared.metrics.record_steal_attempt();
+                rec.record(EventKind::StealAttempt {
+                    victim: victim as u64,
+                });
                 match shared.stealers[victim].steal() {
                     Steal::Success(task) => {
                         shared.metrics.record_steal();
+                        rec.record(EventKind::StealSuccess {
+                            victim: victim as u64,
+                        });
                         return Some(task);
                     }
                     Steal::Retry => continue,
@@ -138,18 +168,21 @@ fn find_task(shared: &WsShared, local: &Worker<Task>, me: usize, rng: &mut XorSh
 }
 
 fn worker_loop(shared: &WsShared, local: Worker<Task>, index: usize) {
+    let rec = shared.tracer.recorder(index);
     let mut rng = XorShift64::new(0x5851_F42D ^ (index as u64) << 17 | 1);
     loop {
         let seen = shared.signal.epoch();
-        if let Some((job, range)) = find_task(shared, &local, index, &mut rng) {
-            execute_task(shared, &local, job, range);
+        if let Some((job, range)) = find_task(shared, &local, &rec, index, &mut rng) {
+            execute_task(shared, &local, &rec, job, range);
             continue;
         }
         if shared.shutdown.is_triggered() {
             return;
         }
         shared.metrics.record_park();
+        rec.record(EventKind::Park);
         shared.signal.sleep_unless_changed(seen);
+        rec.record(EventKind::Unpark);
     }
 }
 
@@ -170,6 +203,12 @@ impl Executor for WorkStealingPool {
             return;
         }
         self.shared.metrics.record_run();
+        // Track 0 belongs to whichever thread holds the caller deque;
+        // the lock above serializes them, preserving single-producer.
+        let rec = self.shared.tracer.recorder(0);
+        rec.record(EventKind::RegionBegin {
+            tasks: tasks as u64,
+        });
         let job = Job::new(body, tasks);
         // Seed the injector with one contiguous root range per thread.
         let roots = self.shared.threads.min(tasks);
@@ -183,14 +222,15 @@ impl Executor for WorkStealingPool {
         // Participate until every index has executed.
         let mut rng = XorShift64::new(0x9E37_79B9);
         job.latch().wait_while_helping(|| {
-            if let Some((job, range)) = find_task(&self.shared, &local, 0, &mut rng) {
-                execute_task(&self.shared, &local, job, range);
+            if let Some((job, range)) = find_task(&self.shared, &local, &rec, 0, &mut rng) {
+                execute_task(&self.shared, &local, &rec, job, range);
                 true
             } else {
                 false
             }
         });
         debug_assert!(local.is_empty(), "run finished with caller-deque residue");
+        rec.record(EventKind::RegionEnd);
         job.resume_if_panicked();
     }
 
@@ -200,6 +240,14 @@ impl Executor for WorkStealingPool {
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
         Some(self.shared.metrics.snapshot())
+    }
+
+    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
+        Some(
+            self.shared
+                .tracer
+                .take(Discipline::WorkStealing.name(), self.shared.threads),
+        )
     }
 }
 
@@ -227,7 +275,11 @@ mod tests {
             counts[i].fetch_add(1, Ordering::Relaxed);
         });
         for (i, c) in counts.iter().enumerate() {
-            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} executed wrong count");
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "index {i} executed wrong count"
+            );
         }
     }
 

@@ -19,8 +19,10 @@
 pub mod report;
 pub mod stats;
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pstl_executor::{Executor, MetricsSnapshot};
 use serde::Serialize;
 
 pub use report::{print_table, to_json, Report};
@@ -73,6 +75,36 @@ impl BenchConfig {
     }
 }
 
+/// Scheduler-counter deltas attributed to one measurement: how much the
+/// executor's counters moved across the measured iterations (warmup
+/// excluded). The software-counter sibling of the paper's perf-stat
+/// columns in Tables 3–4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SchedDelta {
+    /// Parallel regions dispatched.
+    pub runs: u64,
+    /// Task fragments executed.
+    pub tasks_executed: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Steal attempts (successful or not).
+    pub steal_attempts: u64,
+    /// Worker parks.
+    pub parks: u64,
+}
+
+impl From<MetricsSnapshot> for SchedDelta {
+    fn from(s: MetricsSnapshot) -> Self {
+        SchedDelta {
+            runs: s.runs,
+            tasks_executed: s.tasks_executed,
+            steals: s.steals,
+            steal_attempts: s.steal_attempts,
+            parks: s.parks,
+        }
+    }
+}
+
 /// One benchmark's result.
 #[derive(Debug, Clone, Serialize)]
 pub struct Measurement {
@@ -86,6 +118,9 @@ pub struct Measurement {
     pub bytes_per_iter: Option<u64>,
     /// Items processed per iteration.
     pub items_per_iter: Option<u64>,
+    /// Scheduler-counter deltas over the measured iterations, when a
+    /// metrics source was attached ([`Bench::metrics_source`]).
+    pub sched: Option<SchedDelta>,
 }
 
 impl Measurement {
@@ -107,6 +142,7 @@ pub struct Bench {
     config: BenchConfig,
     bytes_per_iter: Option<u64>,
     items_per_iter: Option<u64>,
+    metrics_source: Option<Arc<dyn Executor>>,
 }
 
 impl Bench {
@@ -117,6 +153,7 @@ impl Bench {
             config: BenchConfig::default(),
             bytes_per_iter: None,
             items_per_iter: None,
+            metrics_source: None,
         }
     }
 
@@ -138,6 +175,16 @@ impl Bench {
         self
     }
 
+    /// Attach the executor whose scheduling counters the measured region
+    /// exercises. The runner snapshots the counters after warmup and
+    /// again after the measured loop, attributing the difference to this
+    /// measurement ([`Measurement::sched`]). Executors without counters
+    /// (the sequential one) simply yield no delta.
+    pub fn metrics_source(mut self, executor: Arc<dyn Executor>) -> Self {
+        self.metrics_source = Some(executor);
+        self
+    }
+
     /// Run with wall-clock timing of the whole closure.
     pub fn run<F: FnMut()>(self, mut f: F) -> Measurement {
         self.run_manual(|| {
@@ -155,6 +202,7 @@ impl Bench {
         for _ in 0..self.config.warmup_iterations {
             let _ = f();
         }
+        let sched_before = self.metrics_source.as_ref().and_then(|e| e.metrics());
         let mut samples: Vec<f64> = Vec::new();
         let mut accumulated = Duration::ZERO;
         let mut iterations = 0u64;
@@ -166,12 +214,17 @@ impl Bench {
             samples.push(d.as_secs_f64());
             iterations += 1;
         }
+        let sched = match (&self.metrics_source, sched_before) {
+            (Some(e), Some(before)) => e.metrics().map(|after| after.since(&before).into()),
+            _ => None,
+        };
         Measurement {
             name: self.name,
             stats: Stats::from_samples(&samples),
             iterations,
             bytes_per_iter: self.bytes_per_iter,
             items_per_iter: self.items_per_iter,
+            sched,
         }
     }
 }
@@ -260,5 +313,64 @@ mod tests {
             .run_manual(|| Duration::from_micros(10));
         assert!(m.gib_per_sec().is_none());
         assert!(m.items_per_sec().is_none());
+    }
+
+    #[test]
+    fn sched_delta_attributed_to_measured_iterations() {
+        use pstl_executor::{build_pool, Discipline};
+
+        let pool = build_pool(Discipline::WorkStealing, 2);
+        let exec = Arc::clone(&pool);
+        let m = Bench::new("sched")
+            .config(BenchConfig {
+                min_time: Duration::ZERO,
+                warmup_iterations: 2,
+                min_iterations: 5,
+                max_iterations: 5,
+            })
+            .metrics_source(Arc::clone(&pool))
+            .run(|| exec.run(256, &|_| {}));
+        let sched = m.sched.expect("work-stealing pool reports metrics");
+        // Warmup regions are excluded; exactly the 5 measured runs count.
+        assert_eq!(sched.runs, 5);
+        assert!(sched.tasks_executed > 0);
+    }
+
+    #[test]
+    fn no_sched_without_source_or_counters() {
+        let m = Bench::new("plain")
+            .config(BenchConfig::quick())
+            .run_manual(|| Duration::from_micros(1));
+        assert!(m.sched.is_none());
+
+        use pstl_executor::{build_pool, Discipline};
+        let seq = build_pool(Discipline::Sequential, 1);
+        let m = Bench::new("seq")
+            .config(BenchConfig::quick())
+            .metrics_source(Arc::clone(&seq))
+            .run(|| seq.run(8, &|_| {}));
+        assert!(m.sched.is_none(), "sequential executor has no counters");
+    }
+
+    #[test]
+    fn sched_delta_serializes_into_measurement_json() {
+        let m = Measurement {
+            name: "j".into(),
+            stats: Stats::from_samples(&[0.1]),
+            iterations: 1,
+            bytes_per_iter: None,
+            items_per_iter: None,
+            sched: Some(SchedDelta {
+                runs: 1,
+                tasks_executed: 42,
+                steals: 3,
+                steal_attempts: 7,
+                parks: 2,
+            }),
+        };
+        let json = report::to_json(&m);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["sched"]["tasks_executed"].as_u64(), Some(42));
+        assert_eq!(v["sched"]["steals"].as_u64(), Some(3));
     }
 }

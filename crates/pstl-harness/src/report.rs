@@ -121,6 +121,7 @@ mod tests {
             iterations: 1,
             bytes_per_iter: Some(1 << 30),
             items_per_iter: None,
+            sched: None,
         }
     }
 

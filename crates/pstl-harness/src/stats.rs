@@ -61,8 +61,7 @@ impl Stats {
         let stddev = if count < 2 {
             0.0
         } else {
-            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                / (count - 1) as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64;
             var.sqrt()
         };
         Stats {

@@ -138,10 +138,7 @@ fn main() {
         .iter()
         .map(|r| if *r > 1.0 { *r } else { 1.0 / *r })
         .fold(0.0f64, f64::max);
-    let within2 = ratios
-        .iter()
-        .filter(|r| (0.5..=2.0).contains(*r))
-        .count();
+    let within2 = ratios.iter().filter(|r| (0.5..=2.0).contains(*r)).count();
     println!(
         "\ncells: {}  median ratio: {:.2}  worst: {:.2}x  within 2x: {}/{}",
         ratios.len(),

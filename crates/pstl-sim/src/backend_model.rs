@@ -334,8 +334,8 @@ impl BackendModel {
                 map_extra_cycles: 7.0,
                 // Table 4: 107 G ≈ 1.0/elem, vectorized.
                 reduce_extra_cycles: 0.4,
-                traffic_factor: 1.25, // Table 3: 2151 GiB
-                bw_efficiency: 0.80,  // Table 3: 104.5 GiB/s
+                traffic_factor: 1.25,    // Table 3: 2151 GiB
+                bw_efficiency: 0.80,     // Table 3: 104.5 GiB/s
                 vectorizes_reduce: true, // Table 4: 26 G 256-bit packed
                 seq_quality: 0.95,
                 parallel_scan: Some(true),
@@ -449,7 +449,12 @@ mod tests {
         // Table 3 / §5.2: HPX executes the most instructions and has the
         // worst small-size behaviour.
         let hpx = Backend::GccHpx.model();
-        for b in [Backend::GccTbb, Backend::GccGnu, Backend::IccTbb, Backend::NvcOmp] {
+        for b in [
+            Backend::GccTbb,
+            Backend::GccGnu,
+            Backend::IccTbb,
+            Backend::NvcOmp,
+        ] {
             let m = b.model();
             assert!(hpx.dispatch_us > m.dispatch_us, "{:?}", b);
             assert!(hpx.per_task_ns > m.per_task_ns, "{:?}", b);
@@ -460,7 +465,12 @@ mod tests {
     #[test]
     fn nvc_omp_has_lowest_dispatch() {
         let nvc = Backend::NvcOmp.model();
-        for b in [Backend::GccTbb, Backend::GccGnu, Backend::GccHpx, Backend::IccTbb] {
+        for b in [
+            Backend::GccTbb,
+            Backend::GccGnu,
+            Backend::GccHpx,
+            Backend::IccTbb,
+        ] {
             assert!(nvc.dispatch_us < b.model().dispatch_us, "{:?}", b);
         }
     }
@@ -478,7 +488,10 @@ mod tests {
         assert!(gnu.falls_back_to_seq(&Kernel::ForEach { k_it: 1 }, 1 << 10));
         assert!(!gnu.falls_back_to_seq(&Kernel::ForEach { k_it: 1 }, (1 << 10) + 1));
         assert!(gnu.falls_back_to_seq(&Kernel::Find, 1 << 9));
-        assert!(gnu.falls_back_to_seq(&Kernel::InclusiveScan, 1 << 30), "GNU never parallel");
+        assert!(
+            gnu.falls_back_to_seq(&Kernel::InclusiveScan, 1 << 30),
+            "GNU never parallel"
+        );
 
         let tbb = Backend::GccTbb.model();
         assert!(tbb.falls_back_to_seq(&Kernel::Sort, 1 << 9));

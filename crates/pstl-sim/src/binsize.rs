@@ -125,8 +125,16 @@ mod tests {
     #[test]
     fn hpx_is_largest_nvc_omp_smallest() {
         let t = table7();
-        let max = t.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
-        let min = t.iter().cloned().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        let max = t
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let min = t
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
         assert_eq!(max.0, Backend::GccHpx);
         assert_eq!(min.0, Backend::NvcOmp);
         assert!(max.1 / min.1 > 30.0, "Table 7 spread is >30×");

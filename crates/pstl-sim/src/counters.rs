@@ -120,7 +120,14 @@ mod tests {
     fn table3_report(backend: Backend) -> CounterReport {
         // Paper Table 3 setup: 100 calls of for_each (k_it = 1), 2^30
         // f64 elements, Mach A with 32 threads.
-        report(&mach_a(), backend, Kernel::ForEach { k_it: 1 }, 1 << 30, 32, 100)
+        report(
+            &mach_a(),
+            backend,
+            Kernel::ForEach { k_it: 1 },
+            1 << 30,
+            32,
+            100,
+        )
     }
 
     #[test]
@@ -150,7 +157,10 @@ mod tests {
         let hpx = table3_report(Backend::GccHpx).instructions;
         assert!(icc < tbb && tbb < gnu && gnu < hpx);
         let ratio = hpx / icc;
-        assert!((1.8..3.2).contains(&ratio), "HPX/ICC instruction ratio {ratio}");
+        assert!(
+            (1.8..3.2).contains(&ratio),
+            "HPX/ICC instruction ratio {ratio}"
+        );
     }
 
     #[test]

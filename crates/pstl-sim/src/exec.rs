@@ -330,7 +330,11 @@ impl CpuSim {
             SortFlavor::Quicksort => {
                 // Top-level partitions are elapsed-time bound by their
                 // largest (single-threaded) partition at each level.
-                let scale = if m.backend == Backend::NvcOmp { 1.5 } else { 1.0 };
+                let scale = if m.backend == Backend::NvcOmp {
+                    1.5
+                } else {
+                    1.0
+                };
                 let levels = tf.log2().ceil().max(1.0);
                 let per_elem = (C_PART * scale / freq).max(2.0 * elem / bw1);
                 // sum_{l=0}^{L-1} n/2^l ≈ 2n (1 − 2^−L)
@@ -414,8 +418,19 @@ mod tests {
         // Fig. 3 / Table 5: NVC-OMP is fastest for k_it = 1 at scale.
         for m in [mach_a(), mach_b(), mach_c()] {
             let cores = m.cores;
-            let nvc = speedup(m.clone(), Backend::NvcOmp, Kernel::ForEach { k_it: 1 }, 1 << 30, cores);
-            for b in [Backend::GccTbb, Backend::GccGnu, Backend::GccHpx, Backend::IccTbb] {
+            let nvc = speedup(
+                m.clone(),
+                Backend::NvcOmp,
+                Kernel::ForEach { k_it: 1 },
+                1 << 30,
+                cores,
+            );
+            for b in [
+                Backend::GccTbb,
+                Backend::GccGnu,
+                Backend::GccHpx,
+                Backend::IccTbb,
+            ] {
                 let s = speedup(m.clone(), b, Kernel::ForEach { k_it: 1 }, 1 << 30, cores);
                 assert!(nvc > s, "{} NVC {nvc} vs {b:?} {s}", m.name);
             }
@@ -426,7 +441,13 @@ mod tests {
     fn hpx_loses_foreach_k1() {
         for m in [mach_a(), mach_b(), mach_c()] {
             let cores = m.cores;
-            let hpx = speedup(m.clone(), Backend::GccHpx, Kernel::ForEach { k_it: 1 }, 1 << 30, cores);
+            let hpx = speedup(
+                m.clone(),
+                Backend::GccHpx,
+                Kernel::ForEach { k_it: 1 },
+                1 << 30,
+                cores,
+            );
             for b in [Backend::GccTbb, Backend::GccGnu, Backend::NvcOmp] {
                 let s = speedup(m.clone(), b, Kernel::ForEach { k_it: 1 }, 1 << 30, cores);
                 assert!(hpx < s, "{} HPX {hpx} vs {b:?} {s}", m.name);
@@ -467,10 +488,22 @@ mod tests {
     fn scan_support_shapes_table5() {
         // NVC-OMP scan ≈ 0.9 (sequential, slightly worse codegen).
         let m = mach_c();
-        let nvc = speedup(m.clone(), Backend::NvcOmp, Kernel::InclusiveScan, 1 << 30, 128);
+        let nvc = speedup(
+            m.clone(),
+            Backend::NvcOmp,
+            Kernel::InclusiveScan,
+            1 << 30,
+            128,
+        );
         assert!((0.5..1.1).contains(&nvc), "NVC scan speedup {nvc}");
         // TBB scan ≈ 4.7 on Mach C.
-        let tbb = speedup(m.clone(), Backend::GccTbb, Kernel::InclusiveScan, 1 << 30, 128);
+        let tbb = speedup(
+            m.clone(),
+            Backend::GccTbb,
+            Kernel::InclusiveScan,
+            1 << 30,
+            128,
+        );
         assert!((2.5..8.0).contains(&tbb), "TBB scan speedup {tbb}");
     }
 

@@ -155,8 +155,7 @@ impl GpuSim {
             DType::F64 => 1.0 / self.gpu.fp64_ratio,
             _ => 1.0,
         };
-        let compute =
-            n * cycles * dtype_penalty / (g.cuda_cores as f64 * g.freq_ghz * 1e9);
+        let compute = n * cycles * dtype_penalty / (g.cuda_cores as f64 * g.freq_ghz * 1e9);
         // Device-memory traversal(s).
         let mem = n * (prof.read_bytes + prof.write_bytes) / (g.dev_bw_gbs * 1e9);
 
@@ -232,7 +231,10 @@ mod tests {
         // over 2842 Gcycle/s.
         let cycles = 4.0 + GPU_CYCLES_PER_KIT_ITER * 100_000.0;
         let expect = (1u64 << 28) as f64 * cycles / (2560.0 * 1.11e9);
-        assert!((heavy / expect - 1.0).abs() < 0.2, "heavy {heavy} expect {expect}");
+        assert!(
+            (heavy / expect - 1.0).abs() < 0.2,
+            "heavy {heavy} expect {expect}"
+        );
     }
 
     #[test]

@@ -172,7 +172,10 @@ mod tests {
         let lo = Kernel::ForEach { k_it: 1 }.profile(DType::F64);
         let hi = Kernel::ForEach { k_it: 1000 }.profile(DType::F64);
         assert!(hi.cycles > 100.0 * lo.cycles);
-        assert_eq!(lo.read_bytes + lo.write_bytes, hi.read_bytes + hi.write_bytes);
+        assert_eq!(
+            lo.read_bytes + lo.write_bytes,
+            hi.read_bytes + hi.write_bytes
+        );
     }
 
     #[test]

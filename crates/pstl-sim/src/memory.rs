@@ -120,8 +120,7 @@ impl MemorySystem {
                 let local_bw = (local as f64 * per_thread).min(node_bw);
                 // Remote threads add traffic over the interconnect but the
                 // pages' home node caps the total.
-                let remote_bw =
-                    (remote as f64 * per_thread * 0.7).min(node_bw * XLINK_FRACTION);
+                let remote_bw = (remote as f64 * per_thread * 0.7).min(node_bw * XLINK_FRACTION);
                 local_bw + remote_bw
             }
         }
@@ -246,8 +245,8 @@ mod tests {
         // §5.3: expected max speedup for memory-bound find ≈ BW ratio ≈ 7.
         let m = mach_b();
         let mem = MemorySystem::new(m.clone());
-        let ratio =
-            mem.dram_bandwidth(64, PagePlacement::Spread) / mem.dram_bandwidth(1, PagePlacement::Spread);
+        let ratio = mem.dram_bandwidth(64, PagePlacement::Spread)
+            / mem.dram_bandwidth(1, PagePlacement::Spread);
         assert!((6.5..8.5).contains(&ratio), "ratio {ratio}");
     }
 }

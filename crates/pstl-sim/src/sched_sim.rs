@@ -326,7 +326,10 @@ mod tests {
             let mut prev = f64::INFINITY;
             for workers in [1usize, 2, 4, 8, 16] {
                 let m = SchedSim::new(workers).makespan(&work, d);
-                assert!(m <= prev * 1.001, "{d:?} at {workers} workers: {m} > {prev}");
+                assert!(
+                    m <= prev * 1.001,
+                    "{d:?} at {workers} workers: {m} > {prev}"
+                );
                 prev = m;
             }
         }

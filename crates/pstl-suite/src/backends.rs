@@ -143,10 +143,9 @@ mod tests {
         let a = host.policy_for(Backend::GccTbb).unwrap();
         let b = host.policy_for(Backend::IccTbb).unwrap();
         match (a, b) {
-            (
-                ExecutionPolicy::Par { exec: ea, .. },
-                ExecutionPolicy::Par { exec: eb, .. },
-            ) => assert!(Arc::ptr_eq(&ea, &eb), "TBB flavors share the pool"),
+            (ExecutionPolicy::Par { exec: ea, .. }, ExecutionPolicy::Par { exec: eb, .. }) => {
+                assert!(Arc::ptr_eq(&ea, &eb), "TBB flavors share the pool")
+            }
             _ => panic!("expected parallel policies"),
         }
     }

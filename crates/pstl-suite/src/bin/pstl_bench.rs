@@ -115,22 +115,28 @@ fn main() {
         // policy (the sequential baseline allocates sequentially).
         let exec = pstl_executor::build_pool(
             pstl_executor::Discipline::ForkJoin,
-            if backend == &Backend::GccSeq { 1 } else { opts.threads },
+            if backend == &Backend::GccSeq {
+                1
+            } else {
+                opts.threads
+            },
         );
         for &n in &sizes {
             for kernel in &opts.kernels {
                 let name = format!("{}/{}/2^{}", backend.name(), kernel, n.trailing_zeros());
-                let bench = Bench::new(&name)
+                let mut bench = Bench::new(&name)
                     .config(config.clone())
                     .bytes_per_iter((n * 8) as u64)
                     .items_per_iter(n as u64);
+                // Attribute scheduler counter deltas (tasks, steals,
+                // parks) to the measured iterations of this benchmark.
+                if let pstl::ExecutionPolicy::Par { exec: pool, .. } = &policy {
+                    bench = bench.metrics_source(std::sync::Arc::clone(pool));
+                }
                 let m = match kernel.as_str() {
                     "find" => {
-                        let data = pstl_alloc::generate_increment_f64(
-                            &exec,
-                            Placement::FirstTouch,
-                            n,
-                        );
+                        let data =
+                            pstl_alloc::generate_increment_f64(&exec, Placement::FirstTouch, n);
                         let target = workload::random_target(n, &mut rng);
                         bench.run_manual(|| {
                             let start = Instant::now();
@@ -142,8 +148,7 @@ fn main() {
                     }
                     "for_each_k1" | "for_each_k1000" => {
                         let k_it = if kernel == "for_each_k1" { 1 } else { 1000 };
-                        let mut data: Vec<f64> =
-                            alloc_init(&exec, n, |i| (i + 1) as f64);
+                        let mut data: Vec<f64> = alloc_init(&exec, n, |i| (i + 1) as f64);
                         bench.run_manual(|| {
                             let start = Instant::now();
                             kernels::run_for_each(&policy, &mut data, k_it);
@@ -151,11 +156,8 @@ fn main() {
                         })
                     }
                     "inclusive_scan" => {
-                        let src = pstl_alloc::generate_increment_f64(
-                            &exec,
-                            Placement::FirstTouch,
-                            n,
-                        );
+                        let src =
+                            pstl_alloc::generate_increment_f64(&exec, Placement::FirstTouch, n);
                         let mut out: Vec<f64> = alloc_init(&exec, n, |_| 0.0);
                         bench.run_manual(|| {
                             let start = Instant::now();
@@ -164,11 +166,8 @@ fn main() {
                         })
                     }
                     "reduce" => {
-                        let data = pstl_alloc::generate_increment_f64(
-                            &exec,
-                            Placement::FirstTouch,
-                            n,
-                        );
+                        let data =
+                            pstl_alloc::generate_increment_f64(&exec, Placement::FirstTouch, n);
                         bench.run_manual(|| {
                             let start = Instant::now();
                             let sum = kernels::run_reduce(&policy, &data);

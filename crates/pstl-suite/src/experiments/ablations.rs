@@ -25,7 +25,8 @@ use crate::experiments::N_LARGE;
 use crate::output::{TableDoc, TableRow};
 
 fn speedup_with(sim: &CpuSim, baseline: &CpuSim, kernel: Kernel, threads: usize) -> f64 {
-    baseline.time(&RunParams::new(kernel, N_LARGE, 1)) / sim.time(&RunParams::new(kernel, N_LARGE, threads))
+    baseline.time(&RunParams::new(kernel, N_LARGE, 1))
+        / sim.time(&RunParams::new(kernel, N_LARGE, threads))
 }
 
 /// Ablation 1: sort speedups on Mach C with every backend's sort flavor
@@ -43,7 +44,12 @@ pub fn build_sort_flavor() -> TableDoc {
             label: backend.name().to_string(),
             values: vec![
                 Some(speedup_with(&stock, &baseline, Kernel::Sort, machine.cores)),
-                Some(speedup_with(&multiway, &baseline, Kernel::Sort, machine.cores)),
+                Some(speedup_with(
+                    &multiway,
+                    &baseline,
+                    Kernel::Sort,
+                    machine.cores,
+                )),
             ],
         });
     }
@@ -79,13 +85,20 @@ pub fn build_hpx_decomposition() -> TableDoc {
     placement_fixed.store_numa_gamma = tbb.store_numa_gamma;
     let placement_fixed = CpuSim::with_model(machine.clone(), placement_fixed);
 
-    let kernels = [Kernel::ForEach { k_it: 1 }, Kernel::Reduce, Kernel::InclusiveScan];
+    let kernels = [
+        Kernel::ForEach { k_it: 1 },
+        Kernel::Reduce,
+        Kernel::InclusiveScan,
+    ];
     let mut rows = Vec::new();
     for (label, sim) in [
         ("HPX stock", &stock),
         ("HPX + TBB scheduling", &sched_fixed),
         ("HPX + TBB placement", &placement_fixed),
-        ("GCC-TBB (reference)", &CpuSim::new(machine.clone(), Backend::GccTbb)),
+        (
+            "GCC-TBB (reference)",
+            &CpuSim::new(machine.clone(), Backend::GccTbb),
+        ),
     ] {
         rows.push(TableRow {
             label: label.to_string(),
@@ -121,9 +134,8 @@ pub fn build_placement() -> TableDoc {
                 .iter()
                 .map(|&k| {
                     let t = baseline.time(&RunParams::new(k, N_LARGE, 1));
-                    let p = sim.time(
-                        &RunParams::new(k, N_LARGE, machine.cores).with_placement(placement),
-                    );
+                    let p = sim
+                        .time(&RunParams::new(k, N_LARGE, machine.cores).with_placement(placement));
                     Some(t / p)
                 })
                 .collect(),
@@ -162,7 +174,10 @@ pub fn build_arm_prediction() -> TableDoc {
     }
     TableDoc {
         id: "ablation_arm_prediction".into(),
-        title: format!("Predicted speedups on {} (64 cores, 1 NUMA node)", machine.name),
+        title: format!(
+            "Predicted speedups on {} (64 cores, 1 NUMA node)",
+            machine.name
+        ),
         columns: kernels.iter().map(|k| k.name()).collect(),
         rows,
     }
@@ -185,7 +200,10 @@ mod tests {
             let stock = row.values[0].unwrap();
             let multiway = row.values[1].unwrap();
             if row.label == "GCC-GNU" {
-                assert!((multiway / stock - 1.0).abs() < 1e-9, "GNU already multiway");
+                assert!(
+                    (multiway / stock - 1.0).abs() < 1e-9,
+                    "GNU already multiway"
+                );
             } else {
                 assert!(
                     multiway > 2.0 * stock,
@@ -205,7 +223,10 @@ mod tests {
         let stock = cell(&t, "HPX stock", 0);
         let sched = cell(&t, "HPX + TBB scheduling", 0);
         let placed = cell(&t, "HPX + TBB placement", 0);
-        assert!(placed > sched, "placement fix {placed} vs scheduling fix {sched}");
+        assert!(
+            placed > sched,
+            "placement fix {placed} vs scheduling fix {sched}"
+        );
         assert!(placed > 2.0 * stock);
     }
 

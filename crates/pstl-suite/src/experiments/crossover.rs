@@ -84,7 +84,10 @@ mod tests {
         let m = mach_a();
         let gnu = crossover_exp(&m, Backend::GccGnu, Kernel::ForEach { k_it: 1 }).unwrap();
         let tbb = crossover_exp(&m, Backend::GccTbb, Kernel::ForEach { k_it: 1 }).unwrap();
-        assert!(gnu <= tbb, "GNU 2^{gnu} must cross no later than TBB 2^{tbb}");
+        assert!(
+            gnu <= tbb,
+            "GNU 2^{gnu} must cross no later than TBB 2^{tbb}"
+        );
     }
 
     #[test]

@@ -21,12 +21,10 @@ pub fn build() -> TableDoc {
             .iter()
             .map(|&kernel| {
                 let spread = sim.time(
-                    &RunParams::new(kernel, 1 << 30, 32)
-                        .with_placement(PagePlacement::Spread),
+                    &RunParams::new(kernel, 1 << 30, 32).with_placement(PagePlacement::Spread),
                 );
                 let node0 = sim.time(
-                    &RunParams::new(kernel, 1 << 30, 32)
-                        .with_placement(PagePlacement::Node0),
+                    &RunParams::new(kernel, 1 << 30, 32).with_placement(PagePlacement::Node0),
                 );
                 Some(node0 / spread)
             })

@@ -95,7 +95,11 @@ mod tests {
     #[test]
     fn nvc_dominates_k1_curves() {
         let fig = build();
-        for panel in ["Mach A (Skylake) k_it=1", "Mach B (Zen 1) k_it=1", "Mach C (Zen 3) k_it=1"] {
+        for panel in [
+            "Mach A (Skylake) k_it=1",
+            "Mach B (Zen 1) k_it=1",
+            "Mach C (Zen 3) k_it=1",
+        ] {
             let nvc = final_speedup(&fig, panel, "NVC-OMP");
             for other in ["GCC-TBB", "GCC-GNU", "GCC-HPX"] {
                 assert!(

@@ -100,7 +100,11 @@ mod tests {
         let panel = &fig.panels[0];
         let seq = panel.series.iter().find(|s| s.label == "GCC-SEQ").unwrap();
         let tbb = panel.series.iter().find(|s| s.label == "GCC-TBB").unwrap();
-        let large = seq.x.iter().position(|&x| x == (1u64 << 25) as f64).unwrap();
+        let large = seq
+            .x
+            .iter()
+            .position(|&x| x == (1u64 << 25) as f64)
+            .unwrap();
         assert!(tbb.y[large] < seq.y[large]);
     }
 

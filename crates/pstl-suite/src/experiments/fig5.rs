@@ -84,7 +84,11 @@ mod tests {
     use super::*;
 
     fn strong<'f>(fig: &'f Figure, label: &str) -> &'f Series {
-        fig.panels[1].series.iter().find(|s| s.label == label).unwrap()
+        fig.panels[1]
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap()
     }
 
     #[test]
@@ -135,8 +139,16 @@ mod tests {
         // our model's crossover sits earlier — see EXPERIMENTS.md), and
         // parallel wins decisively past the LLC.
         let fig = build();
-        let seq = fig.panels[0].series.iter().find(|s| s.label == "GCC-SEQ").unwrap();
-        let tbb = fig.panels[0].series.iter().find(|s| s.label == "GCC-TBB").unwrap();
+        let seq = fig.panels[0]
+            .series
+            .iter()
+            .find(|s| s.label == "GCC-SEQ")
+            .unwrap();
+        let tbb = fig.panels[0]
+            .series
+            .iter()
+            .find(|s| s.label == "GCC-TBB")
+            .unwrap();
         let at = |n: u64| seq.x.iter().position(|&x| x == n as f64).unwrap();
         assert!(tbb.y[at(1 << 12)] > seq.y[at(1 << 12)], "seq wins at 2^12");
         assert!(

@@ -73,7 +73,11 @@ mod tests {
     use super::*;
 
     fn strong<'f>(fig: &'f Figure, label: &str) -> &'f Series {
-        fig.panels[1].series.iter().find(|s| s.label == label).unwrap()
+        fig.panels[1]
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap()
     }
 
     #[test]
@@ -108,8 +112,16 @@ mod tests {
     fn hpx_sequential_below_2e15() {
         // §5.6: HPX delegates to a single thread for inputs ≤ 2^15.
         let fig = build();
-        let hpx = fig.panels[0].series.iter().find(|s| s.label == "GCC-HPX").unwrap();
-        let seq = fig.panels[0].series.iter().find(|s| s.label == "GCC-SEQ").unwrap();
+        let hpx = fig.panels[0]
+            .series
+            .iter()
+            .find(|s| s.label == "GCC-HPX")
+            .unwrap();
+        let seq = fig.panels[0]
+            .series
+            .iter()
+            .find(|s| s.label == "GCC-SEQ")
+            .unwrap();
         let at = |n: u64| seq.x.iter().position(|&x| x == n as f64).unwrap();
         let i = at(1 << 14);
         let ratio = hpx.y[i] / seq.y[i];
@@ -122,8 +134,16 @@ mod tests {
     #[test]
     fn sort_crossover_exists() {
         let fig = build();
-        let seq = fig.panels[0].series.iter().find(|s| s.label == "GCC-SEQ").unwrap();
-        let gnu = fig.panels[0].series.iter().find(|s| s.label == "GCC-GNU").unwrap();
+        let seq = fig.panels[0]
+            .series
+            .iter()
+            .find(|s| s.label == "GCC-SEQ")
+            .unwrap();
+        let gnu = fig.panels[0]
+            .series
+            .iter()
+            .find(|s| s.label == "GCC-GNU")
+            .unwrap();
         let at = |n: u64| seq.x.iter().position(|&x| x == n as f64).unwrap();
         assert!(gnu.y[at(1 << 28)] < seq.y[at(1 << 28)]);
     }

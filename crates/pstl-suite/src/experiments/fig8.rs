@@ -64,12 +64,16 @@ pub fn build() -> Figure {
             Series::new(
                 "CPU par (NVC-OMP)",
                 xs.clone(),
-                ns.iter().map(|&n| cpu_time(Backend::NvcOmp, k_it, n, 32)).collect(),
+                ns.iter()
+                    .map(|&n| cpu_time(Backend::NvcOmp, k_it, n, 32))
+                    .collect(),
             ),
             Series::new(
                 "GCC-SEQ",
                 xs.clone(),
-                ns.iter().map(|&n| cpu_time(Backend::GccSeq, k_it, n, 1)).collect(),
+                ns.iter()
+                    .map(|&n| cpu_time(Backend::GccSeq, k_it, n, 1))
+                    .collect(),
             ),
         ];
         panels.push(Panel {
@@ -160,7 +164,10 @@ mod tests {
         let a2 = last(&fig, panel, "NVC-CUDA (A2)");
         let t4_speedup = cpu / t4;
         let a2_speedup = cpu / a2;
-        assert!((10.0..40.0).contains(&t4_speedup), "T4 speedup {t4_speedup}");
+        assert!(
+            (10.0..40.0).contains(&t4_speedup),
+            "T4 speedup {t4_speedup}"
+        );
         assert!((6.0..32.0).contains(&a2_speedup), "A2 speedup {a2_speedup}");
         assert!(t4_speedup > a2_speedup, "T4 must beat A2 (more cores)");
     }
@@ -206,7 +213,10 @@ mod tests {
         let float = last("float");
         let double = last("double");
         let int = last("int");
-        assert!(float > 100.0 * double, "float {float} vs elided double {double}");
+        assert!(
+            float > 100.0 * double,
+            "float {float} vs elided double {double}"
+        );
         assert!(float > 100.0 * int);
         assert!(panel.series.iter().any(|s| s.label.contains("loop elided")));
         assert!(panel.series.iter().any(|s| s.label.contains("loop kept")));

@@ -54,22 +54,30 @@ pub fn build() -> Figure {
             Series::new(
                 "NVC-CUDA (T4)",
                 xs.clone(),
-                ns.iter().map(|&n| gpu_chain_avg(&t4, n, transfer_each)).collect(),
+                ns.iter()
+                    .map(|&n| gpu_chain_avg(&t4, n, transfer_each))
+                    .collect(),
             ),
             Series::new(
                 "NVC-CUDA (A2)",
                 xs.clone(),
-                ns.iter().map(|&n| gpu_chain_avg(&a2, n, transfer_each)).collect(),
+                ns.iter()
+                    .map(|&n| gpu_chain_avg(&a2, n, transfer_each))
+                    .collect(),
             ),
             Series::new(
                 "CPU par (NVC-OMP)",
                 xs.clone(),
-                ns.iter().map(|&n| cpu_time(Backend::NvcOmp, n, 32)).collect(),
+                ns.iter()
+                    .map(|&n| cpu_time(Backend::NvcOmp, n, 32))
+                    .collect(),
             ),
             Series::new(
                 "GCC-SEQ",
                 xs.clone(),
-                ns.iter().map(|&n| cpu_time(Backend::GccSeq, n, 1)).collect(),
+                ns.iter()
+                    .map(|&n| cpu_time(Backend::GccSeq, n, 1))
+                    .collect(),
             ),
         ],
     };

@@ -17,15 +17,15 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod roofline;
+pub mod skew;
+pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
 pub mod table7;
-pub mod roofline;
-pub mod table1;
-pub mod skew;
 pub mod weak_scaling;
 
 use pstl_sim::kernels::Kernel;
@@ -38,7 +38,13 @@ pub const N_LARGE: usize = 1 << 30;
 
 /// Modeled speedup of `backend` at `threads` over the GCC-SEQ single
 /// thread baseline (the paper's Table 5 definition).
-pub fn speedup(machine: &Machine, backend: Backend, kernel: Kernel, n: usize, threads: usize) -> f64 {
+pub fn speedup(
+    machine: &Machine,
+    backend: Backend,
+    kernel: Kernel,
+    n: usize,
+    threads: usize,
+) -> f64 {
     let sim = CpuSim::new(machine.clone(), backend);
     let baseline = CpuSim::new(machine.clone(), Backend::GccSeq);
     baseline.time(&RunParams::new(kernel, n, 1)) / sim.time(&RunParams::new(kernel, n, threads))

@@ -17,7 +17,9 @@ pub fn build() -> TableDoc {
         .chain(gpus.iter().map(|g| g.name.to_string()))
         .collect();
 
-    let row = |label: &str, cpu: &dyn Fn(&pstl_sim::Machine) -> f64, gpu: &dyn Fn(&pstl_sim::gpu::Gpu) -> Option<f64>| TableRow {
+    let row = |label: &str,
+               cpu: &dyn Fn(&pstl_sim::Machine) -> f64,
+               gpu: &dyn Fn(&pstl_sim::gpu::Gpu) -> Option<f64>| TableRow {
         label: label.to_string(),
         values: cpus
             .iter()
@@ -35,7 +37,9 @@ pub fn build() -> TableDoc {
             row("sockets", &|m| m.sockets as f64, &|_| Some(1.0)),
             row("numa_nodes", &|m| m.numa_nodes as f64, &|_| Some(1.0)),
             row("freq_ghz", &|m| m.freq_ghz, &|g| Some(g.freq_ghz)),
-            row("mem_gib", &|m| m.mem_gib as f64, &|g| Some(g.mem_gib as f64)),
+            row("mem_gib", &|m| m.mem_gib as f64, &|g| {
+                Some(g.mem_gib as f64)
+            }),
             row("bw_1core_gbs", &|m| m.bw_1core_gbs, &|_| None),
             row("bw_all_gbs", &|m| m.bw_all_gbs, &|g| Some(g.dev_bw_gbs)),
         ],
@@ -68,12 +72,22 @@ mod tests {
     #[test]
     fn stream_row_matches_paper() {
         let t = build();
-        let bw = &t.rows.iter().find(|r| r.label == "bw_all_gbs").unwrap().values;
+        let bw = &t
+            .rows
+            .iter()
+            .find(|r| r.label == "bw_all_gbs")
+            .unwrap()
+            .values;
         assert_eq!(
             bw.iter().map(|v| v.unwrap()).collect::<Vec<_>>(),
             vec![135.0, 204.0, 249.0, 264.0, 172.0]
         );
-        let bw1 = &t.rows.iter().find(|r| r.label == "bw_1core_gbs").unwrap().values;
+        let bw1 = &t
+            .rows
+            .iter()
+            .find(|r| r.label == "bw_1core_gbs")
+            .unwrap()
+            .values;
         assert!(bw1[3].is_none(), "GPUs have no 1-core STREAM entry");
     }
 }

@@ -34,7 +34,11 @@ pub fn reports() -> Vec<CounterReport> {
 /// Build the counter table (metrics as rows, backends as columns, like
 /// the paper).
 pub fn build() -> TableDoc {
-    build_from(reports(), "table3_counters_foreach", "Counters for 100 calls of X::for_each (k_it = 1) on Mach A")
+    build_from(
+        reports(),
+        "table3_counters_foreach",
+        "Counters for 100 calls of X::for_each (k_it = 1) on Mach A",
+    )
 }
 
 pub(crate) fn build_from(reports: Vec<CounterReport>, id: &str, title: &str) -> TableDoc {
@@ -75,7 +79,12 @@ mod tests {
     #[test]
     fn hpx_has_most_instructions() {
         let t = build();
-        let instr = &t.rows.iter().find(|r| r.label == "instructions").unwrap().values;
+        let instr = &t
+            .rows
+            .iter()
+            .find(|r| r.label == "instructions")
+            .unwrap()
+            .values;
         let hpx = instr[2].unwrap();
         for (i, v) in instr.iter().enumerate() {
             if i != 2 {
@@ -88,7 +97,12 @@ mod tests {
     fn fp_scalar_uniform_107g() {
         // Table 3: every backend retires 107 G scalar FP operations.
         let t = build();
-        let fp = &t.rows.iter().find(|r| r.label == "fp_scalar").unwrap().values;
+        let fp = &t
+            .rows
+            .iter()
+            .find(|r| r.label == "fp_scalar")
+            .unwrap()
+            .values;
         for v in fp {
             let v = v.unwrap();
             assert!((v / 1.073741824e11 - 1.0).abs() < 1e-9, "fp_scalar {v}");

@@ -115,7 +115,12 @@ mod tests {
         let fig = build();
         for panel in &fig.panels {
             for s in &panel.series {
-                assert!((s.y[0] - 1.0).abs() < 1e-9, "{}: y(1) = {}", s.label, s.y[0]);
+                assert!(
+                    (s.y[0] - 1.0).abs() < 1e-9,
+                    "{}: y(1) = {}",
+                    s.label,
+                    s.y[0]
+                );
             }
         }
     }

@@ -1,0 +1,206 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the JSON-array flavour of the trace-event format, loadable
+//! in `chrome://tracing` and Perfetto: one `pid` per capture, one `tid`
+//! (track) per worker, `M` metadata naming the tracks, `B`/`E` spans
+//! for parallel regions, `X` complete events for executed task blocks
+//! and park intervals, and `i` instants for spawns and steals. The JSON
+//! is written by hand — the format is flat and this crate stays
+//! dependency-free.
+
+use crate::{EventKind, TraceLog, WorkerTrace};
+
+/// Render the log as a Chrome trace-event JSON array.
+pub fn trace_json(log: &TraceLog) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let mut push = |event: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&event);
+    };
+
+    push(
+        format!(
+            r#"{{"name":"process_name","ph":"M","pid":1,"args":{{"name":"pstl {} pool (threads={})"}}}}"#,
+            log.discipline, log.threads
+        ),
+        &mut out,
+    );
+    for (tid, worker) in log.workers.iter().enumerate() {
+        push(
+            format!(
+                r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{tid},"args":{{"name":"{}"}}}}"#,
+                worker.label
+            ),
+            &mut out,
+        );
+        for event in track_events(worker, tid) {
+            push(event, &mut out);
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn us(t_ns: u64) -> String {
+    format!("{:.3}", t_ns as f64 / 1000.0)
+}
+
+fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(worker.events.len());
+    // Pending-start stacks for X (complete) events. Streams are
+    // well-nested per worker by construction; unmatched starts (e.g. a
+    // park still open when the trace was drained) fall back to `B` so
+    // the export stays structurally valid.
+    let mut tasks: Vec<(u64, u64)> = Vec::new();
+    let mut parks: Vec<u64> = Vec::new();
+    for e in &worker.events {
+        match e.kind {
+            EventKind::RegionBegin { tasks: n } => out.push(format!(
+                r#"{{"name":"region","cat":"region","ph":"B","pid":1,"tid":{tid},"ts":{},"args":{{"tasks":{n}}}}}"#,
+                us(e.t_ns)
+            )),
+            EventKind::RegionEnd => out.push(format!(
+                r#"{{"name":"region","cat":"region","ph":"E","pid":1,"tid":{tid},"ts":{}}}"#,
+                us(e.t_ns)
+            )),
+            EventKind::TaskStart { size } => tasks.push((e.t_ns, size)),
+            EventKind::TaskFinish => {
+                if let Some((start, size)) = tasks.pop() {
+                    out.push(format!(
+                        r#"{{"name":"task","cat":"task","ph":"X","pid":1,"tid":{tid},"ts":{},"dur":{},"args":{{"size":{size}}}}}"#,
+                        us(start),
+                        us(e.t_ns.saturating_sub(start))
+                    ));
+                }
+            }
+            EventKind::TaskSpawn { size } => out.push(format!(
+                r#"{{"name":"spawn","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"size":{size}}}}}"#,
+                us(e.t_ns)
+            )),
+            EventKind::StealAttempt { victim } => out.push(format!(
+                r#"{{"name":"steal_attempt","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
+                us(e.t_ns)
+            )),
+            EventKind::StealSuccess { victim } => out.push(format!(
+                r#"{{"name":"steal","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
+                us(e.t_ns)
+            )),
+            EventKind::Park => parks.push(e.t_ns),
+            EventKind::Unpark => {
+                if let Some(start) = parks.pop() {
+                    out.push(format!(
+                        r#"{{"name":"park","cat":"idle","ph":"X","pid":1,"tid":{tid},"ts":{},"dur":{}}}"#,
+                        us(start),
+                        us(e.t_ns.saturating_sub(start))
+                    ));
+                }
+            }
+        }
+    }
+    for (start, size) in tasks {
+        out.push(format!(
+            r#"{{"name":"task","cat":"task","ph":"B","pid":1,"tid":{tid},"ts":{},"args":{{"size":{size}}}}}"#,
+            us(start)
+        ));
+    }
+    for start in parks {
+        out.push(format!(
+            r#"{{"name":"park","cat":"idle","ph":"B","pid":1,"tid":{tid},"ts":{}}}"#,
+            us(start)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn ev(t_ns: u64, kind: EventKind) -> Event {
+        Event { t_ns, kind }
+    }
+
+    fn sample_log() -> TraceLog {
+        TraceLog {
+            discipline: "work_stealing",
+            threads: 2,
+            workers: vec![
+                WorkerTrace {
+                    label: "worker-0".into(),
+                    events: vec![
+                        ev(100, EventKind::TaskStart { size: 8 }),
+                        ev(900, EventKind::TaskFinish),
+                        ev(1000, EventKind::Park),
+                        ev(2000, EventKind::Unpark),
+                    ],
+                    dropped: 0,
+                },
+                WorkerTrace {
+                    label: "worker-1".into(),
+                    events: vec![
+                        ev(150, EventKind::StealAttempt { victim: 0 }),
+                        ev(200, EventKind::StealSuccess { victim: 0 }),
+                        ev(210, EventKind::TaskStart { size: 4 }),
+                        ev(300, EventKind::TaskSpawn { size: 2 }),
+                        ev(800, EventKind::TaskFinish),
+                    ],
+                    dropped: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_contains_required_phases_and_tracks() {
+        let json = trace_json(&sample_log());
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""ph":"M""#));
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains(r#""tid":0"#));
+        assert!(json.contains(r#""tid":1"#));
+        assert!(json.contains(r#""name":"steal""#));
+        assert!(json.contains(r#""name":"park""#));
+        // Task X event carries microsecond dur: 800 ns → 0.800 us.
+        assert!(json.contains(r#""dur":0.800"#));
+    }
+
+    #[test]
+    fn unmatched_start_degrades_to_begin_event() {
+        let log = TraceLog {
+            discipline: "fork_join",
+            threads: 1,
+            workers: vec![WorkerTrace {
+                label: "worker-0".into(),
+                events: vec![ev(10, EventKind::TaskStart { size: 1 })],
+                dropped: 0,
+            }],
+        };
+        let json = trace_json(&log);
+        assert!(json.contains(r#""name":"task","cat":"task","ph":"B""#));
+    }
+
+    #[test]
+    fn region_events_pair_begin_end() {
+        let log = TraceLog {
+            discipline: "fork_join",
+            threads: 1,
+            workers: vec![WorkerTrace {
+                label: "caller".into(),
+                events: vec![
+                    ev(0, EventKind::RegionBegin { tasks: 16 }),
+                    ev(5000, EventKind::RegionEnd),
+                ],
+                dropped: 0,
+            }],
+        };
+        let json = trace_json(&log);
+        assert!(json.contains(r#""ph":"B""#));
+        assert!(json.contains(r#""ph":"E""#));
+        assert!(json.contains(r#""args":{"tasks":16}"#));
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-worker scheduling event tracing for the pstl executors.
+//!
+//! The paper's explanatory evidence for backend gaps is scheduling
+//! observability (hardware counters in Tables 3–4 attributing HPX's
+//! instruction blow-up to chunk management); this crate is the
+//! reproduction's equivalent instrument. Executors record timestamped
+//! lifecycle events ([`EventKind`]) into per-worker lock-free ring
+//! buffers ([`PoolTracer`]), and the captured [`TraceLog`] exports two
+//! ways:
+//!
+//! * [`chrome::trace_json`] — Chrome trace-event JSON (open in
+//!   `chrome://tracing` or Perfetto), one track per worker;
+//! * [`stats::analyze`] — derived scheduler statistics: per-worker
+//!   utilization, steal-latency distribution, task-size histogram.
+//!
+//! Recording is gated behind the `record` cargo feature. Without it,
+//! [`PoolTracer`]/[`WorkerRecorder`] are zero-sized and
+//! [`WorkerRecorder::record`] is an empty `#[inline(always)]` function,
+//! so instrumentation call sites cost nothing in normal builds — the
+//! types, exporters, and [`TraceLog`] remain available either way so
+//! downstream code needs no `cfg` at call sites.
+
+pub mod chrome;
+mod recorder;
+pub mod stats;
+
+pub use recorder::{PoolTracer, WorkerRecorder, DEFAULT_CAPACITY};
+
+/// Whether this build records events (`record` cargo feature).
+pub const fn enabled() -> bool {
+    cfg!(feature = "record")
+}
+
+/// A scheduling lifecycle event. Payloads are capped at 56 bits by the
+/// ring encoding; sizes/victims beyond that saturate (never observed in
+/// practice — they are task counts and worker indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A parallel region (one `Executor::run`) began on this worker;
+    /// `tasks` is the region's task count.
+    RegionBegin { tasks: u64 },
+    /// The region finished.
+    RegionEnd,
+    /// This worker made a task (or block of tasks) runnable elsewhere;
+    /// `size` is the number of indices in the block.
+    TaskSpawn { size: u64 },
+    /// This worker started executing a block of `size` indices.
+    TaskStart { size: u64 },
+    /// The block finished.
+    TaskFinish,
+    /// A steal was attempted from `victim`'s deque.
+    StealAttempt { victim: u64 },
+    /// The steal from `victim` succeeded.
+    StealSuccess { victim: u64 },
+    /// The worker went to sleep waiting for work.
+    Park,
+    /// The worker woke up.
+    Unpark,
+}
+
+// The packed encoding is exercised only by the ring recorder, which the
+// `record` feature swaps in; keep it compiled (and unit-tested) either way.
+#[cfg_attr(not(feature = "record"), allow(dead_code))]
+mod encoding {
+    use super::EventKind;
+
+    const TAG_REGION_BEGIN: u64 = 0;
+    const TAG_REGION_END: u64 = 1;
+    const TAG_TASK_SPAWN: u64 = 2;
+    const TAG_TASK_START: u64 = 3;
+    const TAG_TASK_FINISH: u64 = 4;
+    const TAG_STEAL_ATTEMPT: u64 = 5;
+    const TAG_STEAL_SUCCESS: u64 = 6;
+    const TAG_PARK: u64 = 7;
+    const TAG_UNPARK: u64 = 8;
+
+    const PAYLOAD_BITS: u32 = 56;
+    const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
+
+    impl EventKind {
+        /// Pack into one ring word: `tag << 56 | payload`.
+        pub(crate) fn encode(self) -> u64 {
+            let (tag, payload) = match self {
+                EventKind::RegionBegin { tasks } => (TAG_REGION_BEGIN, tasks),
+                EventKind::RegionEnd => (TAG_REGION_END, 0),
+                EventKind::TaskSpawn { size } => (TAG_TASK_SPAWN, size),
+                EventKind::TaskStart { size } => (TAG_TASK_START, size),
+                EventKind::TaskFinish => (TAG_TASK_FINISH, 0),
+                EventKind::StealAttempt { victim } => (TAG_STEAL_ATTEMPT, victim),
+                EventKind::StealSuccess { victim } => (TAG_STEAL_SUCCESS, victim),
+                EventKind::Park => (TAG_PARK, 0),
+                EventKind::Unpark => (TAG_UNPARK, 0),
+            };
+            (tag << PAYLOAD_BITS) | (payload & PAYLOAD_MASK)
+        }
+
+        pub(crate) fn decode(word: u64) -> EventKind {
+            let payload = word & PAYLOAD_MASK;
+            match word >> PAYLOAD_BITS {
+                TAG_REGION_BEGIN => EventKind::RegionBegin { tasks: payload },
+                TAG_REGION_END => EventKind::RegionEnd,
+                TAG_TASK_SPAWN => EventKind::TaskSpawn { size: payload },
+                TAG_TASK_START => EventKind::TaskStart { size: payload },
+                TAG_TASK_FINISH => EventKind::TaskFinish,
+                TAG_STEAL_ATTEMPT => EventKind::StealAttempt { victim: payload },
+                TAG_STEAL_SUCCESS => EventKind::StealSuccess { victim: payload },
+                TAG_PARK => EventKind::Park,
+                _ => EventKind::Unpark,
+            }
+        }
+    }
+}
+
+/// One recorded event: nanoseconds since the process trace epoch plus
+/// the event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub t_ns: u64,
+    pub kind: EventKind,
+}
+
+/// The event stream of one worker track, oldest first.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// Track label (`worker-N`, or `caller` for the master-participates
+    /// track of helping executors).
+    pub label: String,
+    /// Events in recording order.
+    pub events: Vec<Event>,
+    /// Events overwritten before they could be drained (ring overflow).
+    pub dropped: u64,
+}
+
+/// A drained capture: every worker track of one pool, plus identity.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    /// Scheduling discipline name (`fork_join`, `work_stealing`, ...).
+    pub discipline: &'static str,
+    /// Pool thread count.
+    pub threads: usize,
+    /// One entry per track.
+    pub workers: Vec<WorkerTrace>,
+}
+
+impl TraceLog {
+    /// Total recorded events across tracks.
+    pub fn event_count(&self) -> usize {
+        self.workers.iter().map(|w| w.events.len()).sum()
+    }
+
+    /// An empty log (what disabled builds produce).
+    pub fn empty(discipline: &'static str, threads: usize) -> Self {
+        TraceLog {
+            discipline,
+            threads,
+            workers: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for kind in [
+            EventKind::RegionBegin { tasks: 500 },
+            EventKind::RegionEnd,
+            EventKind::TaskSpawn { size: 1 << 40 },
+            EventKind::TaskStart { size: 0 },
+            EventKind::TaskFinish,
+            EventKind::StealAttempt { victim: 31 },
+            EventKind::StealSuccess { victim: 0 },
+            EventKind::Park,
+            EventKind::Unpark,
+        ] {
+            assert_eq!(EventKind::decode(kind.encode()), kind);
+        }
+    }
+
+    #[test]
+    fn payload_saturates_at_56_bits() {
+        let kind = EventKind::TaskSpawn { size: u64::MAX };
+        match EventKind::decode(kind.encode()) {
+            EventKind::TaskSpawn { size } => assert_eq!(size, (1 << 56) - 1),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_log_counts_zero() {
+        assert_eq!(TraceLog::empty("seq", 1).event_count(), 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Per-worker event recorders.
+//!
+//! One single-producer ring per worker track: the owning worker packs
+//! each event into two `AtomicU64` words (timestamp, tag|payload) at a
+//! monotonically increasing head index, overwriting the oldest events
+//! on overflow. Atomic slots make the wraparound race with a
+//! concurrent drain well-defined (a torn pair can only misreport an
+//! event that was being overwritten anyway); in practice
+//! [`PoolTracer::take`] runs between `run()` calls, when the pool is
+//! quiescent for the traced region.
+//!
+//! With the `record` feature off, this module swaps in zero-sized
+//! no-op twins with identical signatures, so executors carry a
+//! `PoolTracer` field and call [`WorkerRecorder::record`]
+//! unconditionally at zero cost.
+
+/// Default ring capacity per worker track, in events (16 B each).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+#[cfg(feature = "record")]
+mod imp {
+    use super::DEFAULT_CAPACITY;
+    use crate::{Event, EventKind, TraceLog, WorkerTrace};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, OnceLock};
+    use std::time::Instant;
+
+    /// Process-wide trace epoch: all timestamps are nanoseconds since
+    /// the first recorded event, so tracks from different pools align.
+    fn epoch() -> &'static Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now)
+    }
+
+    pub(super) fn now_ns() -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+
+    struct Ring {
+        /// `2 * capacity` words: `[t_ns, tag|payload]` per event.
+        slots: Box<[AtomicU64]>,
+        /// Capacity in events (power of two).
+        capacity: u64,
+        /// Events ever written (not wrapped).
+        head: AtomicU64,
+        /// Events consumed by previous drains.
+        taken: AtomicU64,
+    }
+
+    impl Ring {
+        fn new(capacity: usize) -> Self {
+            let capacity = capacity.next_power_of_two().max(2);
+            let slots = (0..capacity * 2).map(|_| AtomicU64::new(0)).collect();
+            Ring {
+                slots,
+                capacity: capacity as u64,
+                head: AtomicU64::new(0),
+                taken: AtomicU64::new(0),
+            }
+        }
+
+        fn record(&self, kind: EventKind) {
+            let t = now_ns();
+            let idx = self.head.load(Ordering::Relaxed);
+            let slot = ((idx & (self.capacity - 1)) * 2) as usize;
+            self.slots[slot].store(t, Ordering::Relaxed);
+            self.slots[slot + 1].store(kind.encode(), Ordering::Relaxed);
+            // Single producer: plain increment, published by the store.
+            self.head.store(idx + 1, Ordering::Release);
+        }
+
+        fn drain(&self) -> (Vec<Event>, u64) {
+            let head = self.head.load(Ordering::Acquire);
+            let taken = self.taken.load(Ordering::Relaxed);
+            let start = taken.max(head.saturating_sub(self.capacity));
+            let dropped = start - taken;
+            let mut events = Vec::with_capacity((head - start) as usize);
+            for idx in start..head {
+                let slot = ((idx & (self.capacity - 1)) * 2) as usize;
+                events.push(Event {
+                    t_ns: self.slots[slot].load(Ordering::Relaxed),
+                    kind: EventKind::decode(self.slots[slot + 1].load(Ordering::Relaxed)),
+                });
+            }
+            self.taken.store(head, Ordering::Relaxed);
+            (events, dropped)
+        }
+    }
+
+    /// Owner of one ring per worker track; lives in the pool.
+    pub struct PoolTracer {
+        rings: Vec<Arc<Ring>>,
+        with_caller: bool,
+    }
+
+    /// Cheap per-worker handle; cloned into worker threads.
+    #[derive(Clone)]
+    pub struct WorkerRecorder {
+        ring: Arc<Ring>,
+    }
+
+    impl PoolTracer {
+        /// Tracer with `workers` tracks, plus one extra `caller` track
+        /// when the executor's calling thread participates in work.
+        pub fn new(workers: usize, with_caller: bool) -> Self {
+            Self::with_capacity(workers, with_caller, DEFAULT_CAPACITY)
+        }
+
+        /// As [`new`](Self::new) with an explicit per-track ring
+        /// capacity (in events; rounded up to a power of two).
+        pub fn with_capacity(workers: usize, with_caller: bool, capacity: usize) -> Self {
+            let tracks = workers + usize::from(with_caller);
+            PoolTracer {
+                rings: (0..tracks).map(|_| Arc::new(Ring::new(capacity))).collect(),
+                with_caller,
+            }
+        }
+
+        /// Recorder for worker track `index` (the caller track, if any,
+        /// is the last index).
+        pub fn recorder(&self, index: usize) -> WorkerRecorder {
+            WorkerRecorder {
+                ring: Arc::clone(&self.rings[index]),
+            }
+        }
+
+        /// Recorder for the calling thread's track. Panics if the
+        /// tracer was built without one.
+        pub fn caller_recorder(&self) -> WorkerRecorder {
+            assert!(self.with_caller, "tracer has no caller track");
+            self.recorder(self.rings.len() - 1)
+        }
+
+        /// Drain all tracks into a [`TraceLog`], consuming the events
+        /// recorded since the previous drain.
+        pub fn take(&self, discipline: &'static str, threads: usize) -> TraceLog {
+            let workers = self
+                .rings
+                .iter()
+                .enumerate()
+                .map(|(i, ring)| {
+                    let (events, dropped) = ring.drain();
+                    let label = if self.with_caller && i == self.rings.len() - 1 {
+                        "caller".to_string()
+                    } else {
+                        format!("worker-{i}")
+                    };
+                    WorkerTrace {
+                        label,
+                        events,
+                        dropped,
+                    }
+                })
+                .collect();
+            TraceLog {
+                discipline,
+                threads,
+                workers,
+            }
+        }
+    }
+
+    impl WorkerRecorder {
+        /// Record one event, stamped with the current trace time.
+        #[inline]
+        pub fn record(&self, kind: EventKind) {
+            self.ring.record(kind);
+        }
+    }
+}
+
+#[cfg(not(feature = "record"))]
+mod imp {
+    use crate::{EventKind, TraceLog};
+
+    /// No-op twin of the recording tracer (`record` feature off).
+    pub struct PoolTracer;
+
+    /// No-op twin of the recording handle.
+    #[derive(Clone, Copy)]
+    pub struct WorkerRecorder;
+
+    impl PoolTracer {
+        #[inline(always)]
+        pub fn new(_workers: usize, _with_caller: bool) -> Self {
+            PoolTracer
+        }
+
+        #[inline(always)]
+        pub fn with_capacity(_workers: usize, _with_caller: bool, _capacity: usize) -> Self {
+            PoolTracer
+        }
+
+        #[inline(always)]
+        pub fn recorder(&self, _index: usize) -> WorkerRecorder {
+            WorkerRecorder
+        }
+
+        #[inline(always)]
+        pub fn caller_recorder(&self) -> WorkerRecorder {
+            WorkerRecorder
+        }
+
+        #[inline(always)]
+        pub fn take(&self, discipline: &'static str, threads: usize) -> TraceLog {
+            TraceLog::empty(discipline, threads)
+        }
+    }
+
+    impl WorkerRecorder {
+        /// Compiles to nothing: the event is discarded at build time.
+        #[inline(always)]
+        pub fn record(&self, _kind: EventKind) {}
+    }
+}
+
+pub use imp::{PoolTracer, WorkerRecorder};
+
+#[cfg(all(test, feature = "record"))]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    #[test]
+    fn records_in_order_with_timestamps() {
+        let tracer = PoolTracer::new(2, false);
+        let r0 = tracer.recorder(0);
+        let r1 = tracer.recorder(1);
+        r0.record(EventKind::RegionBegin { tasks: 4 });
+        r1.record(EventKind::TaskStart { size: 2 });
+        r1.record(EventKind::TaskFinish);
+        r0.record(EventKind::RegionEnd);
+        let log = tracer.take("test", 2);
+        assert_eq!(log.workers.len(), 2);
+        assert_eq!(log.workers[0].label, "worker-0");
+        assert_eq!(log.workers[0].events.len(), 2);
+        assert_eq!(log.workers[1].events.len(), 2);
+        let w1 = &log.workers[1].events;
+        assert!(w1[0].t_ns <= w1[1].t_ns, "timestamps must be monotone");
+        assert_eq!(w1[0].kind, EventKind::TaskStart { size: 2 });
+    }
+
+    #[test]
+    fn take_drains_only_new_events() {
+        let tracer = PoolTracer::new(1, false);
+        let r = tracer.recorder(0);
+        r.record(EventKind::Park);
+        assert_eq!(tracer.take("test", 1).event_count(), 1);
+        assert_eq!(tracer.take("test", 1).event_count(), 0);
+        r.record(EventKind::Unpark);
+        let log = tracer.take("test", 1);
+        assert_eq!(log.event_count(), 1);
+        assert_eq!(log.workers[0].events[0].kind, EventKind::Unpark);
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_dropped() {
+        let tracer = PoolTracer::with_capacity(1, false, 4);
+        let r = tracer.recorder(0);
+        for i in 0..10u64 {
+            r.record(EventKind::TaskSpawn { size: i });
+        }
+        let log = tracer.take("test", 1);
+        let w = &log.workers[0];
+        assert_eq!(w.events.len(), 4);
+        assert_eq!(w.dropped, 6);
+        assert_eq!(w.events[3].kind, EventKind::TaskSpawn { size: 9 });
+        assert_eq!(w.events[0].kind, EventKind::TaskSpawn { size: 6 });
+    }
+
+    #[test]
+    fn caller_track_is_last_and_labeled() {
+        let tracer = PoolTracer::new(2, true);
+        tracer
+            .caller_recorder()
+            .record(EventKind::RegionBegin { tasks: 1 });
+        let log = tracer.take("test", 2);
+        assert_eq!(log.workers.len(), 3);
+        assert_eq!(log.workers[2].label, "caller");
+        assert_eq!(log.workers[2].events.len(), 1);
+    }
+
+    #[test]
+    fn cross_thread_recording_lands_in_own_tracks() {
+        let tracer = PoolTracer::new(4, false);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let r = tracer.recorder(i);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        r.record(EventKind::TaskStart { size: i as u64 });
+                        r.record(EventKind::TaskFinish);
+                    }
+                });
+            }
+        });
+        let log = tracer.take("test", 4);
+        for (i, w) in log.workers.iter().enumerate() {
+            assert_eq!(w.events.len(), 200);
+            assert!(w.events.iter().all(|e| match e.kind {
+                EventKind::TaskStart { size } => size == i as u64,
+                EventKind::TaskFinish => true,
+                _ => false,
+            }));
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "record")))]
+mod disabled_tests {
+    use super::*;
+    use crate::EventKind;
+
+    #[test]
+    fn disabled_recorder_produces_empty_logs() {
+        let tracer = PoolTracer::new(4, true);
+        let r = tracer.recorder(0);
+        for _ in 0..1000 {
+            r.record(EventKind::TaskStart { size: 1 });
+        }
+        tracer.caller_recorder().record(EventKind::Park);
+        let log = tracer.take("test", 4);
+        assert_eq!(log.event_count(), 0);
+        assert!(log.workers.is_empty());
+        assert!(!crate::enabled());
+        assert_eq!(std::mem::size_of::<PoolTracer>(), 0);
+        assert_eq!(std::mem::size_of::<WorkerRecorder>(), 0);
+    }
+}

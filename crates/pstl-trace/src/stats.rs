@@ -1,0 +1,422 @@
+//! Derived scheduler statistics and stream validation.
+//!
+//! Reduces a [`TraceLog`] to the numbers the paper's Tables 3–4 story
+//! is told in: how busy each worker was, how long steals took, and how
+//! large the executed task blocks were. Also hosts the well-nestedness
+//! validator the tracing test-suite leans on.
+
+use crate::{EventKind, TraceLog, WorkerTrace};
+
+/// Per-worker summary.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    pub label: String,
+    pub events: usize,
+    /// Nanoseconds spent inside task blocks.
+    pub busy_ns: u64,
+    /// `busy_ns` over the capture span.
+    pub utilization: f64,
+    pub tasks: u64,
+    pub steal_attempts: u64,
+    pub steals: u64,
+    pub parks: u64,
+}
+
+/// Distribution of attempt→success steal latencies.
+#[derive(Debug, Clone)]
+pub struct StealLatency {
+    pub samples: usize,
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Full derived-stats report.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    pub discipline: &'static str,
+    pub threads: usize,
+    /// Wall span covered by the capture (first to last event).
+    pub span_ns: u64,
+    pub workers: Vec<WorkerStats>,
+    pub steal_latency: Option<StealLatency>,
+    /// Executed task-block sizes, bucketed by `floor(log2(size))`:
+    /// `(log2_bucket, count)`, ascending, empty buckets omitted.
+    pub task_size_hist: Vec<(u32, u64)>,
+}
+
+/// Summarize a capture.
+pub fn analyze(log: &TraceLog) -> TraceStats {
+    let all_times = log
+        .workers
+        .iter()
+        .flat_map(|w| w.events.iter().map(|e| e.t_ns));
+    let t_min = all_times.clone().min().unwrap_or(0);
+    let t_max = all_times.max().unwrap_or(0);
+    let span_ns = t_max - t_min;
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut hist = std::collections::BTreeMap::<u32, u64>::new();
+    let workers = log
+        .workers
+        .iter()
+        .map(|w| {
+            let mut stats = WorkerStats {
+                label: w.label.clone(),
+                events: w.events.len(),
+                busy_ns: 0,
+                utilization: 0.0,
+                tasks: 0,
+                steal_attempts: 0,
+                steals: 0,
+                parks: 0,
+            };
+            let mut task_starts: Vec<u64> = Vec::new();
+            let mut last_attempt: Option<u64> = None;
+            for e in &w.events {
+                match e.kind {
+                    EventKind::TaskStart { size } => {
+                        stats.tasks += 1;
+                        task_starts.push(e.t_ns);
+                        *hist.entry(63 - size.max(1).leading_zeros()).or_default() += 1;
+                    }
+                    EventKind::TaskFinish => {
+                        if let Some(start) = task_starts.pop() {
+                            // Count only outermost blocks toward busy
+                            // time — nested starts are already covered.
+                            if task_starts.is_empty() {
+                                stats.busy_ns += e.t_ns.saturating_sub(start);
+                            }
+                        }
+                    }
+                    EventKind::StealAttempt { .. } => {
+                        stats.steal_attempts += 1;
+                        last_attempt = Some(e.t_ns);
+                    }
+                    EventKind::StealSuccess { .. } => {
+                        stats.steals += 1;
+                        if let Some(t) = last_attempt.take() {
+                            latencies.push(e.t_ns.saturating_sub(t));
+                        }
+                    }
+                    EventKind::Park => stats.parks += 1,
+                    _ => {}
+                }
+            }
+            if span_ns > 0 {
+                stats.utilization = stats.busy_ns as f64 / span_ns as f64;
+            }
+            stats
+        })
+        .collect();
+
+    latencies.sort_unstable();
+    let steal_latency = (!latencies.is_empty()).then(|| {
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        StealLatency {
+            samples: latencies.len(),
+            p50_ns: pct(0.50),
+            p90_ns: pct(0.90),
+            max_ns: *latencies.last().unwrap(),
+        }
+    });
+
+    TraceStats {
+        discipline: log.discipline,
+        threads: log.threads,
+        span_ns,
+        workers,
+        steal_latency,
+        task_size_hist: hist.into_iter().collect(),
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "trace stats: {} (threads={}, span={:.3} ms)",
+            self.discipline,
+            self.threads,
+            self.span_ns as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "  {:<10} {:>7} {:>10} {:>6} {:>8} {:>7} {:>6}",
+            "track", "events", "busy_ms", "util", "attempts", "steals", "parks"
+        )?;
+        for w in &self.workers {
+            writeln!(
+                f,
+                "  {:<10} {:>7} {:>10.3} {:>5.1}% {:>8} {:>7} {:>6}",
+                w.label,
+                w.events,
+                w.busy_ns as f64 / 1e6,
+                w.utilization * 100.0,
+                w.steal_attempts,
+                w.steals,
+                w.parks
+            )?;
+        }
+        if let Some(sl) = &self.steal_latency {
+            writeln!(
+                f,
+                "  steal latency: n={} p50={}ns p90={}ns max={}ns",
+                sl.samples, sl.p50_ns, sl.p90_ns, sl.max_ns
+            )?;
+        }
+        if !self.task_size_hist.is_empty() {
+            write!(f, "  task sizes:")?;
+            for (bucket, count) in &self.task_size_hist {
+                write!(f, " 2^{bucket}:{count}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Check that one worker's stream is well-nested:
+///
+/// * no `TaskFinish` without a pending `TaskStart` (one leading orphan
+///   `TaskFinish` is tolerated: a worker signals task completion before
+///   recording the finish event, so the matching `TaskStart` may have
+///   been drained by a previous `take`);
+/// * `RegionBegin`/`RegionEnd` balanced, ending at depth zero;
+/// * task depth zero at the end of the stream, or exactly one task
+///   still open provided its `TaskStart` is the last task event (the
+///   drain observed a task in flight);
+/// * `Unpark` only after a pending `Park` (one leading `Unpark` is
+///   tolerated: the matching `Park` may have been drained by a previous
+///   `take`), and at most one trailing open `Park` (the worker may have
+///   gone back to sleep before the drain);
+/// * timestamps non-decreasing.
+///
+/// Streams that overflowed (`dropped > 0`) lost their oldest events and
+/// are skipped — nesting cannot be judged from a suffix.
+pub fn validate_well_nested(w: &WorkerTrace) -> Result<(), String> {
+    if w.dropped > 0 {
+        return Ok(());
+    }
+    let mut task_depth = 0i64;
+    let mut region_depth = 0i64;
+    let mut parked = false;
+    let mut seen_any_park_event = false;
+    let mut seen_task_event = false;
+    let mut last_task_was_start = false;
+    let mut last_t = 0u64;
+    for (i, e) in w.events.iter().enumerate() {
+        if e.t_ns < last_t {
+            return Err(format!(
+                "{}: event {i} goes back in time ({} < {last_t})",
+                w.label, e.t_ns
+            ));
+        }
+        last_t = e.t_ns;
+        match e.kind {
+            EventKind::TaskStart { .. } => {
+                task_depth += 1;
+                seen_task_event = true;
+                last_task_was_start = true;
+            }
+            EventKind::TaskFinish => {
+                task_depth -= 1;
+                if task_depth < 0 {
+                    if seen_task_event {
+                        return Err(format!("{}: TaskFinish without TaskStart at {i}", w.label));
+                    }
+                    // Leading orphan: the start was drained previously.
+                    task_depth = 0;
+                }
+                seen_task_event = true;
+                last_task_was_start = false;
+            }
+            EventKind::RegionBegin { .. } => region_depth += 1,
+            EventKind::RegionEnd => {
+                region_depth -= 1;
+                if region_depth < 0 {
+                    return Err(format!("{}: RegionEnd without RegionBegin at {i}", w.label));
+                }
+            }
+            EventKind::Park => {
+                if parked {
+                    return Err(format!("{}: Park while already parked at {i}", w.label));
+                }
+                parked = true;
+                seen_any_park_event = true;
+            }
+            EventKind::Unpark => {
+                if !parked && seen_any_park_event {
+                    return Err(format!("{}: Unpark without Park at {i}", w.label));
+                }
+                parked = false;
+                seen_any_park_event = true;
+            }
+            _ => {}
+        }
+    }
+    let one_in_flight = task_depth == 1 && last_task_was_start;
+    if task_depth != 0 && !one_in_flight {
+        return Err(format!("{}: {task_depth} unfinished task(s)", w.label));
+    }
+    if region_depth != 0 {
+        return Err(format!("{}: {region_depth} unclosed region(s)", w.label));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn ev(t_ns: u64, kind: EventKind) -> Event {
+        Event { t_ns, kind }
+    }
+
+    fn track(events: Vec<Event>) -> WorkerTrace {
+        WorkerTrace {
+            label: "worker-0".into(),
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn analyze_computes_busy_and_latency() {
+        let log = TraceLog {
+            discipline: "work_stealing",
+            threads: 2,
+            workers: vec![
+                track(vec![
+                    ev(0, EventKind::TaskStart { size: 8 }),
+                    ev(600, EventKind::TaskFinish),
+                ]),
+                track(vec![
+                    ev(100, EventKind::StealAttempt { victim: 0 }),
+                    ev(250, EventKind::StealSuccess { victim: 0 }),
+                    ev(300, EventKind::TaskStart { size: 4 }),
+                    ev(1000, EventKind::TaskFinish),
+                ]),
+            ],
+        };
+        let stats = analyze(&log);
+        assert_eq!(stats.span_ns, 1000);
+        assert_eq!(stats.workers[0].busy_ns, 600);
+        assert!((stats.workers[0].utilization - 0.6).abs() < 1e-9);
+        assert_eq!(stats.workers[1].steals, 1);
+        let sl = stats.steal_latency.as_ref().unwrap();
+        assert_eq!(sl.samples, 1);
+        assert_eq!(sl.p50_ns, 150);
+        // 8 → bucket 3, 4 → bucket 2.
+        assert_eq!(stats.task_size_hist, vec![(2, 1), (3, 1)]);
+        // Display renders without panicking and mentions the backend.
+        assert!(format!("{stats}").contains("work_stealing"));
+    }
+
+    #[test]
+    fn nested_tasks_count_outer_busy_once() {
+        let stats = analyze(&TraceLog {
+            discipline: "task_pool",
+            threads: 1,
+            workers: vec![track(vec![
+                ev(0, EventKind::TaskStart { size: 4 }),
+                ev(100, EventKind::TaskStart { size: 2 }),
+                ev(200, EventKind::TaskFinish),
+                ev(400, EventKind::TaskFinish),
+            ])],
+        });
+        assert_eq!(stats.workers[0].busy_ns, 400);
+        assert_eq!(stats.workers[0].tasks, 2);
+    }
+
+    #[test]
+    fn validator_accepts_well_nested_stream() {
+        let w = track(vec![
+            ev(0, EventKind::RegionBegin { tasks: 2 }),
+            ev(10, EventKind::TaskStart { size: 1 }),
+            ev(20, EventKind::TaskFinish),
+            ev(30, EventKind::RegionEnd),
+            ev(40, EventKind::Park),
+        ]);
+        assert!(validate_well_nested(&w).is_ok());
+    }
+
+    #[test]
+    fn validator_tolerates_drain_boundary_park_states() {
+        // A previous take() consumed the Park; this capture starts with
+        // the matching Unpark.
+        let w = track(vec![
+            ev(0, EventKind::Unpark),
+            ev(10, EventKind::Park),
+            ev(20, EventKind::Unpark),
+        ]);
+        assert!(validate_well_nested(&w).is_ok());
+    }
+
+    #[test]
+    fn validator_tolerates_drain_boundary_task_states() {
+        // A worker signals completion before recording TaskFinish, so a
+        // drain can catch one task in flight (trailing open start) and
+        // the next drain starts with the orphan finish.
+        let in_flight = track(vec![
+            ev(0, EventKind::TaskStart { size: 2 }),
+            ev(10, EventKind::TaskFinish),
+            ev(20, EventKind::TaskStart { size: 2 }),
+        ]);
+        assert!(validate_well_nested(&in_flight).is_ok());
+
+        let orphan_finish = track(vec![
+            ev(0, EventKind::TaskFinish),
+            ev(10, EventKind::TaskStart { size: 2 }),
+            ev(20, EventKind::TaskFinish),
+        ]);
+        assert!(validate_well_nested(&orphan_finish).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_violations() {
+        let unbalanced = track(vec![
+            ev(0, EventKind::TaskStart { size: 1 }),
+            ev(10, EventKind::TaskFinish),
+            ev(20, EventKind::TaskFinish),
+        ]);
+        assert!(validate_well_nested(&unbalanced).is_err());
+
+        // Two tasks still open is beyond the single in-flight tolerance.
+        let two_open = track(vec![
+            ev(0, EventKind::TaskStart { size: 1 }),
+            ev(10, EventKind::TaskStart { size: 1 }),
+        ]);
+        assert!(validate_well_nested(&two_open).is_err());
+
+        // An open task whose last task event is a finish (depth cannot
+        // be explained by an in-flight drain).
+        let open_not_trailing = track(vec![
+            ev(0, EventKind::TaskStart { size: 1 }),
+            ev(10, EventKind::TaskStart { size: 1 }),
+            ev(20, EventKind::TaskFinish),
+        ]);
+        assert!(validate_well_nested(&open_not_trailing).is_err());
+
+        let open_region = track(vec![ev(0, EventKind::RegionBegin { tasks: 1 })]);
+        assert!(validate_well_nested(&open_region).is_err());
+
+        let double_unpark = track(vec![
+            ev(0, EventKind::Park),
+            ev(1, EventKind::Unpark),
+            ev(2, EventKind::Unpark),
+        ]);
+        assert!(validate_well_nested(&double_unpark).is_err());
+
+        let time_travel = track(vec![ev(10, EventKind::Park), ev(5, EventKind::Unpark)]);
+        assert!(validate_well_nested(&time_travel).is_err());
+    }
+
+    #[test]
+    fn validator_skips_overflowed_streams() {
+        let mut w = track(vec![ev(0, EventKind::TaskFinish)]);
+        w.dropped = 3;
+        assert!(validate_well_nested(&w).is_ok());
+    }
+}

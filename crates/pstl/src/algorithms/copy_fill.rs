@@ -241,5 +241,4 @@ mod tests {
         let mut dst = vec![0u8; 2];
         copy(&ExecutionPolicy::seq(), &[1u8, 2, 3], &mut dst);
     }
-
 }

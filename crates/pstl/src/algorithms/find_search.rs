@@ -138,12 +138,7 @@ where
 
 /// Index of the first run of `count` consecutive elements equal to
 /// `value` (`std::search_n`). `count == 0` matches at index 0.
-pub fn search_n<T>(
-    policy: &ExecutionPolicy,
-    data: &[T],
-    count: usize,
-    value: &T,
-) -> Option<usize>
+pub fn search_n<T>(policy: &ExecutionPolicy, data: &[T], count: usize, value: &T) -> Option<usize>
 where
     T: PartialEq + Sync,
 {
@@ -154,7 +149,9 @@ where
         return None;
     }
     let starts = data.len() - count + 1;
-    find_first_index(policy, starts, |i| data[i..i + count].iter().all(|x| x == value))
+    find_first_index(policy, starts, |i| {
+        data[i..i + count].iter().all(|x| x == value)
+    })
 }
 
 /// Index of the *last* occurrence of the subsequence `needle` in

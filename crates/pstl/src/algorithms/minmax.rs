@@ -34,16 +34,19 @@ where
         best
     });
     // Chunk order = index order, so strict less again keeps the first.
-    partials.into_iter().flatten().fold(None, |acc, i| match acc {
-        None => Some(i),
-        Some(b) => {
-            if cmp(&data[i], &data[b]) == Ordering::Less {
-                Some(i)
-            } else {
-                Some(b)
+    partials
+        .into_iter()
+        .flatten()
+        .fold(None, |acc, i| match acc {
+            None => Some(i),
+            Some(b) => {
+                if cmp(&data[i], &data[b]) == Ordering::Less {
+                    Some(i)
+                } else {
+                    Some(b)
+                }
             }
-        }
-    })
+        })
 }
 
 /// Index of the first maximum element, by `Ord`.
@@ -116,7 +119,9 @@ mod tests {
     }
 
     fn scrambled(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 7).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 7)
+            .collect()
     }
 
     #[test]

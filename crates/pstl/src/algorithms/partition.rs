@@ -113,8 +113,14 @@ where
     let tasks = counts.len();
     let total_true: usize = counts.iter().sum();
     let total_false = n - total_true;
-    assert!(total_true <= out_true.len(), "partition_copy: out_true too short");
-    assert!(total_false <= out_false.len(), "partition_copy: out_false too short");
+    assert!(
+        total_true <= out_true.len(),
+        "partition_copy: out_true too short"
+    );
+    assert!(
+        total_false <= out_false.len(),
+        "partition_copy: out_false too short"
+    );
     let mut true_off = Vec::with_capacity(tasks);
     let mut false_off = Vec::with_capacity(tasks);
     let mut t_acc = 0usize;
@@ -157,12 +163,10 @@ where
 {
     match find_first_index(policy, data.len(), |i| !pred(&data[i])) {
         None => true,
-        Some(first_false) => {
-            find_first_index(policy, data.len() - first_false, |k| {
-                pred(&data[first_false + k])
-            })
-            .is_none()
-        }
+        Some(first_false) => find_first_index(policy, data.len() - first_false, |k| {
+            pred(&data[first_false + k])
+        })
+        .is_none(),
     }
 }
 
@@ -213,17 +217,21 @@ mod tests {
             let (ne, no) = partition_copy(&policy, &src, &mut evens, &mut odds, |&x| x % 2 == 0);
             assert_eq!(ne, 5000);
             assert_eq!(no, 5000);
-            assert!(evens[..ne].iter().enumerate().all(|(i, &x)| x == 2 * i as i64));
-            assert!(odds[..no].iter().enumerate().all(|(i, &x)| x == 2 * i as i64 + 1));
+            assert!(evens[..ne]
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == 2 * i as i64));
+            assert!(odds[..no]
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == 2 * i as i64 + 1));
         }
     }
 
     #[test]
     fn is_partitioned_checks() {
         for policy in policies() {
-            let good: Vec<i64> = (0..5000)
-                .map(|i| if i < 2000 { 0 } else { 1 })
-                .collect();
+            let good: Vec<i64> = (0..5000).map(|i| if i < 2000 { 0 } else { 1 }).collect();
             assert!(is_partitioned(&policy, &good, |&x| x == 0));
             let mut bad = good.clone();
             bad[4000] = 0;

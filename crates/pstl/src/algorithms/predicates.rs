@@ -91,8 +91,7 @@ where
     U: Sync,
     F: Fn(&T, &U) -> bool + Sync,
 {
-    a.len() == b.len()
-        && find_first_index(policy, a.len(), |i| !eq(&a[i], &b[i])).is_none()
+    a.len() == b.len() && find_first_index(policy, a.len(), |i| !eq(&a[i], &b[i])).is_none()
 }
 
 /// Lexicographic three-way comparison of two slices.

@@ -30,13 +30,7 @@ where
 
 /// Map each element through `f`, then fold with `op`
 /// (`std::transform_reduce`, unary form).
-pub fn transform_reduce<T, U, R, F>(
-    policy: &ExecutionPolicy,
-    data: &[T],
-    init: U,
-    op: R,
-    f: F,
-) -> U
+pub fn transform_reduce<T, U, R, F>(policy: &ExecutionPolicy, data: &[T], init: U, op: R, f: F) -> U
 where
     T: Sync,
     U: Clone + Send + Sync,
@@ -51,10 +45,7 @@ where
         };
         Some(iter.fold(first, |acc, x| op(acc, f(x))))
     });
-    partials
-        .into_iter()
-        .flatten()
-        .fold(init, op)
+    partials.into_iter().flatten().fold(init, op)
 }
 
 /// Inner-product-style `std::transform_reduce`: folds
@@ -89,10 +80,7 @@ where
         }
         acc
     });
-    partials
-        .into_iter()
-        .flatten()
-        .fold(init, op)
+    partials.into_iter().flatten().fold(init, op)
 }
 
 #[cfg(test)]
@@ -150,7 +138,10 @@ mod tests {
             let data: Vec<f64> = (1..=n).map(|i| i as f64).collect();
             let sum = reduce(&policy, &data, 0.0, |a, b| a + b);
             let exact = (n as f64) * (n as f64 + 1.0) / 2.0;
-            assert!((sum - exact).abs() / exact < 1e-12, "sum={sum} exact={exact}");
+            assert!(
+                (sum - exact).abs() / exact < 1e-12,
+                "sum={sum} exact={exact}"
+            );
         }
     }
 
@@ -169,8 +160,7 @@ mod tests {
         for policy in policies() {
             let a: Vec<i64> = (0..5000).collect();
             let b: Vec<i64> = (0..5000).map(|x| 2 * x).collect();
-            let dot =
-                transform_reduce_binary(&policy, &a, &b, 0i64, |x, y| x + y, |&x, &y| x * y);
+            let dot = transform_reduce_binary(&policy, &a, &b, 0i64, |x, y| x + y, |&x, &y| x * y);
             let expect: i64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
             assert_eq!(dot, expect);
         }

@@ -32,37 +32,51 @@ where
     F: Fn(&T, &T) -> T + Sync,
 {
     assert_eq!(src.len(), out.len(), "inclusive_scan: length mismatch");
-    scan_engine(policy, src.len(), out, &|i| src[i].clone(), &op, None, false);
+    scan_engine(
+        policy,
+        src.len(),
+        out,
+        &|i| src[i].clone(),
+        &op,
+        None,
+        false,
+    );
 }
 
 /// `std::inclusive_scan` with an initial value folded into every prefix.
-pub fn inclusive_scan_init<T, F>(
-    policy: &ExecutionPolicy,
-    src: &[T],
-    out: &mut [T],
-    init: T,
-    op: F,
-) where
+pub fn inclusive_scan_init<T, F>(policy: &ExecutionPolicy, src: &[T], out: &mut [T], init: T, op: F)
+where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T + Sync,
 {
     assert_eq!(src.len(), out.len(), "inclusive_scan: length mismatch");
-    scan_engine(policy, src.len(), out, &|i| src[i].clone(), &op, Some(init), false);
+    scan_engine(
+        policy,
+        src.len(),
+        out,
+        &|i| src[i].clone(),
+        &op,
+        Some(init),
+        false,
+    );
 }
 
 /// `out[i] = init ⊕ src[0] ⊕ … ⊕ src[i-1]` (`std::exclusive_scan`).
-pub fn exclusive_scan<T, F>(
-    policy: &ExecutionPolicy,
-    src: &[T],
-    out: &mut [T],
-    init: T,
-    op: F,
-) where
+pub fn exclusive_scan<T, F>(policy: &ExecutionPolicy, src: &[T], out: &mut [T], init: T, op: F)
+where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T + Sync,
 {
     assert_eq!(src.len(), out.len(), "exclusive_scan: length mismatch");
-    scan_engine(policy, src.len(), out, &|i| src[i].clone(), &op, Some(init), true);
+    scan_engine(
+        policy,
+        src.len(),
+        out,
+        &|i| src[i].clone(),
+        &op,
+        Some(init),
+        true,
+    );
 }
 
 /// `std::transform_inclusive_scan`: scan of `f(&src[i])`.
@@ -78,7 +92,11 @@ pub fn transform_inclusive_scan<T, U, F, G>(
     F: Fn(&U, &U) -> U + Sync,
     G: Fn(&T) -> U + Sync,
 {
-    assert_eq!(src.len(), out.len(), "transform_inclusive_scan: length mismatch");
+    assert_eq!(
+        src.len(),
+        out.len(),
+        "transform_inclusive_scan: length mismatch"
+    );
     scan_engine(policy, src.len(), out, &|i| f(&src[i]), &op, None, false);
 }
 
@@ -96,8 +114,20 @@ pub fn transform_exclusive_scan<T, U, F, G>(
     F: Fn(&U, &U) -> U + Sync,
     G: Fn(&T) -> U + Sync,
 {
-    assert_eq!(src.len(), out.len(), "transform_exclusive_scan: length mismatch");
-    scan_engine(policy, src.len(), out, &|i| f(&src[i]), &op, Some(init), true);
+    assert_eq!(
+        src.len(),
+        out.len(),
+        "transform_exclusive_scan: length mismatch"
+    );
+    scan_engine(
+        policy,
+        src.len(),
+        out,
+        &|i| f(&src[i]),
+        &op,
+        Some(init),
+        true,
+    );
 }
 
 /// In-place inclusive scan. All element accesses go through per-chunk
@@ -335,18 +365,15 @@ mod tests {
             let src: Vec<i32> = (0..3000).collect();
             let mut out = vec![0i64; 3000];
             transform_inclusive_scan(&policy, &src, &mut out, |a, b| a + b, |&x| x as i64 * 2);
-            let expect: Vec<i64> = ref_inclusive(
-                &src.iter().map(|&x| x as u64 * 2).collect::<Vec<_>>(),
-            )
-            .iter()
-            .map(|&x| x as i64)
-            .collect();
+            let expect: Vec<i64> =
+                ref_inclusive(&src.iter().map(|&x| x as u64 * 2).collect::<Vec<_>>())
+                    .iter()
+                    .map(|&x| x as i64)
+                    .collect();
             assert_eq!(out, expect);
 
             let mut out2 = vec![0i64; 3000];
-            transform_exclusive_scan(&policy, &src, &mut out2, 0, |a, b| a + b, |&x| {
-                x as i64 * 2
-            });
+            transform_exclusive_scan(&policy, &src, &mut out2, 0, |a, b| a + b, |&x| x as i64 * 2);
             assert_eq!(out2[0], 0);
             assert_eq!(&out2[1..], &expect[..2999]);
         }
@@ -386,6 +413,8 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn length_mismatch_panics() {
         let mut out = vec![0u64; 2];
-        inclusive_scan(&ExecutionPolicy::seq(), &[1u64, 2, 3], &mut out, |a, b| a + b);
+        inclusive_scan(&ExecutionPolicy::seq(), &[1u64, 2, 3], &mut out, |a, b| {
+            a + b
+        });
     }
 }

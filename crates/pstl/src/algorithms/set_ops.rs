@@ -372,7 +372,9 @@ mod tests {
     fn heavy_duplicates_stress_value_cuts() {
         // Long equal runs must not be split inconsistently.
         let a: Vec<u32> = std::iter::repeat_n(7, 10_000).chain(8..500).collect();
-        let b: Vec<u32> = std::iter::repeat_n(7, 6_000).chain(std::iter::repeat_n(9, 3000)).collect();
+        let b: Vec<u32> = std::iter::repeat_n(7, 6_000)
+            .chain(std::iter::repeat_n(9, 3000))
+            .collect();
         for policy in policies() {
             let expect = reference(SetOp::Union, &a, &b);
             let mut out = vec![0u32; a.len() + b.len()];

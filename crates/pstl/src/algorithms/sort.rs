@@ -469,7 +469,9 @@ mod tests {
     }
 
     fn scrambled(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 3).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 3)
+            .collect()
     }
 
     #[test]
@@ -489,10 +491,10 @@ mod tests {
     fn sort_adversarial_patterns() {
         for policy in policies() {
             for v in [
-                (0..10_000u64).collect::<Vec<_>>(),          // sorted
-                (0..10_000u64).rev().collect::<Vec<_>>(),    // reversed
-                vec![42u64; 10_000],                         // constant
-                (0..10_000u64).map(|i| i % 4).collect(),     // few distinct
+                (0..10_000u64).collect::<Vec<_>>(),       // sorted
+                (0..10_000u64).rev().collect::<Vec<_>>(), // reversed
+                vec![42u64; 10_000],                      // constant
+                (0..10_000u64).map(|i| i % 4).collect(),  // few distinct
             ] {
                 let mut data = v.clone();
                 let mut expect = v;
@@ -506,8 +508,7 @@ mod tests {
     #[test]
     fn stable_sort_preserves_equal_order() {
         for policy in policies() {
-            let mut v: Vec<(u32, usize)> =
-                (0..30_000).map(|i| ((i % 16) as u32, i)).collect();
+            let mut v: Vec<(u32, usize)> = (0..30_000).map(|i| ((i % 16) as u32, i)).collect();
             stable_sort_by(&policy, &mut v, |a, b| a.0.cmp(&b.0));
             for w in v.windows(2) {
                 assert!(w[0].0 <= w[1].0);
@@ -680,7 +681,9 @@ mod partial_sort_copy_tests {
     #[test]
     fn copies_k_smallest_sorted() {
         let policy = ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2));
-        let src: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(48271) % 9973).collect();
+        let src: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(48271) % 9973)
+            .collect();
         let mut expect = src.clone();
         expect.sort_unstable();
         let mut out = vec![0u64; 100];

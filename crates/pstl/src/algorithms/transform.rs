@@ -42,20 +42,19 @@ where
 ///
 /// # Panics
 /// Panics if the three slices differ in length.
-pub fn transform_binary<T, U, V, F>(
-    policy: &ExecutionPolicy,
-    a: &[T],
-    b: &[U],
-    out: &mut [V],
-    f: F,
-) where
+pub fn transform_binary<T, U, V, F>(policy: &ExecutionPolicy, a: &[T], b: &[U], out: &mut [V], f: F)
+where
     T: Sync,
     U: Sync,
     V: Send,
     F: Fn(&T, &U) -> V + Sync,
 {
     assert_eq!(a.len(), b.len(), "transform_binary: input length mismatch");
-    assert_eq!(a.len(), out.len(), "transform_binary: output length mismatch");
+    assert_eq!(
+        a.len(),
+        out.len(),
+        "transform_binary: output length mismatch"
+    );
     let n = a.len();
     let view = SliceView::new(out);
     let view = &view;
@@ -125,7 +124,13 @@ mod tests {
     #[should_panic(expected = "input length mismatch")]
     fn binary_length_mismatch_panics() {
         let mut out = vec![0u8; 2];
-        transform_binary(&ExecutionPolicy::seq(), &[1u8, 2], &[1u8], &mut out, |&x, &y| x + y);
+        transform_binary(
+            &ExecutionPolicy::seq(),
+            &[1u8, 2],
+            &[1u8],
+            &mut out,
+            |&x, &y| x + y,
+        );
     }
 
     #[test]

@@ -12,7 +12,12 @@ use crate::ptr::SliceView;
 
 /// Keep-predicate compaction into a destination slice: writes every
 /// element `i` with `keep(i)` into `dst` in order, returns the count.
-fn compact_into<T, K>(policy: &ExecutionPolicy, src: &[T], dst: &SliceView<'_, T>, keep: &K) -> usize
+fn compact_into<T, K>(
+    policy: &ExecutionPolicy,
+    src: &[T],
+    dst: &SliceView<'_, T>,
+    keep: &K,
+) -> usize
 where
     T: Clone + Send + Sync,
     K: Fn(usize) -> bool + Sync,
@@ -190,7 +195,10 @@ mod tests {
             let mut v: Vec<i64> = (0..20_000).collect();
             let n = remove_if(&policy, &mut v, |&x| x % 2 == 0);
             assert_eq!(n, 10_000);
-            assert!(v[..n].iter().enumerate().all(|(i, &x)| x == 2 * i as i64 + 1));
+            assert!(v[..n]
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == 2 * i as i64 + 1));
         }
     }
 

@@ -53,7 +53,9 @@ pub use algorithms::find_search::{
 };
 pub use algorithms::for_each::{for_each, for_each_mut, for_each_n_mut};
 pub use algorithms::heap::{is_heap, is_heap_until};
-pub use algorithms::merge::{inplace_merge, inplace_merge_by, is_sorted, is_sorted_until, merge, merge_by};
+pub use algorithms::merge::{
+    inplace_merge, inplace_merge_by, is_sorted, is_sorted_until, merge, merge_by,
+};
 pub use algorithms::minmax::{
     max_element, max_element_by, min_element, min_element_by, minmax_element,
 };
@@ -63,16 +65,16 @@ pub use algorithms::predicates::{
 };
 pub use algorithms::reduce::{reduce, transform_reduce, transform_reduce_binary};
 pub use algorithms::reorder::{reverse, reverse_copy, rotate, rotate_copy, swap_ranges};
-pub use algorithms::set_ops::{
-    includes, set_difference, set_intersection, set_symmetric_difference, set_union,
-};
 pub use algorithms::scan::{
     exclusive_scan, inclusive_scan, inclusive_scan_in_place, inclusive_scan_init,
     transform_exclusive_scan, transform_inclusive_scan,
 };
+pub use algorithms::set_ops::{
+    includes, set_difference, set_intersection, set_symmetric_difference, set_union,
+};
 pub use algorithms::sort::{
-    nth_element, partial_sort, partial_sort_copy, sort, sort_by, sort_by_key, sort_multiway, sort_multiway_by,
-    stable_sort, stable_sort_by, stable_sort_by_key,
+    nth_element, partial_sort, partial_sort_copy, sort, sort_by, sort_by_key, sort_multiway,
+    sort_multiway_by, stable_sort, stable_sort_by, stable_sort_by_key,
 };
 pub use algorithms::transform::{transform, transform_binary};
 pub use algorithms::unique_remove::{remove_if, replace, replace_if, unique, unique_copy};

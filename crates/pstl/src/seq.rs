@@ -289,7 +289,9 @@ mod tests {
 
     fn scrambled(n: usize) -> Vec<u64> {
         // Deterministic pseudo-random permutation-ish data.
-        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17)).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17))
+            .collect()
     }
 
     #[test]

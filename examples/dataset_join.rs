@@ -23,7 +23,9 @@ fn synth_ids(n: usize, stride: u64, offset: u64) -> Vec<u64> {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let pool = build_pool(Discipline::WorkStealing, threads);
     let par = ExecutionPolicy::par(Arc::clone(&pool));
 
@@ -67,7 +69,10 @@ fn main() {
     let campaign = synth_ids(100_000, 30, 0);
     let t = Instant::now();
     let covered = pstl::includes(&par, &both[..n_both], &campaign);
-    println!("campaign covered by joint segment: {covered} in {:?}", t.elapsed());
+    println!(
+        "campaign covered by joint segment: {covered} in {:?}",
+        t.elapsed()
+    );
     assert!(covered);
 
     // And a quick sanity pipeline: the joint segment summed in parallel.

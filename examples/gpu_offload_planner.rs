@@ -61,7 +61,11 @@ fn main() {
             gpu.chain_time(&run, calls, false)
         };
         let cpu_total = cpu_time(kernel, n) * calls as f64;
-        let verdict = if gpu_total < cpu_total { "offload" } else { "stay" };
+        let verdict = if gpu_total < cpu_total {
+            "offload"
+        } else {
+            "stay"
+        };
         println!(
             "{:<14} {:>10} {:>8} {:>12.4} {:>12.4} {:>9}",
             kernel.name(),
@@ -80,7 +84,11 @@ fn main() {
 
     // The volatile quirk (§5.8): planning with `double` under the magic
     // k_it would be planning against a deleted loop.
-    for (dtype, k_it) in [(DType::F64, 60_000u32), (DType::F64, 70_000), (DType::F32, 60_000)] {
+    for (dtype, k_it) in [
+        (DType::F64, 60_000u32),
+        (DType::F64, 70_000),
+        (DType::F32, 60_000),
+    ] {
         println!(
             "volatile check: {} k_it={} → loop {}",
             dtype.name(),

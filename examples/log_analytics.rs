@@ -57,7 +57,9 @@ fn synth_events(n: usize) -> Vec<Event> {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let pool = build_pool(Discipline::WorkStealing, threads);
     let par = ExecutionPolicy::par(Arc::clone(&pool));
 
@@ -67,9 +69,13 @@ fn main() {
 
     // 1. Order by time (stable, so equal timestamps keep arrival order).
     let t = Instant::now();
-    pstl::stable_sort_by(&par, &mut events, |a, b| a.timestamp_ms.cmp(&b.timestamp_ms));
+    pstl::stable_sort_by(&par, &mut events, |a, b| {
+        a.timestamp_ms.cmp(&b.timestamp_ms)
+    });
     println!("sorted by timestamp in {:?}", t.elapsed());
-    assert!(events.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
+    assert!(events
+        .windows(2)
+        .all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
 
     // 2. Errors to the front (stable partition keeps time order on both
     //    sides).
@@ -80,8 +86,7 @@ fn main() {
 
     // 3. Rates and totals.
     let not_found = pstl::count_if(&par, &events, |e| e.status == 404);
-    let total_bytes =
-        pstl::transform_reduce(&par, &events, 0u64, |a, b| a + b, |e| e.bytes as u64);
+    let total_bytes = pstl::transform_reduce(&par, &events, 0u64, |a, b| a + b, |e| e.bytes as u64);
     println!(
         "404 rate: {:.2} %, total transfer: {:.2} GiB",
         100.0 * not_found as f64 / n as f64,

@@ -46,7 +46,9 @@ fn estimate_pi(policy: &ExecutionPolicy, indices: &[u64]) -> f64 {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let samples: Vec<u64> = (0..(1u64 << 22)).collect();
     println!(
         "estimating pi from {} samples with {} threads per pool\n",

@@ -17,11 +17,17 @@ use pstl_executor::{build_pool, Discipline};
 fn main() {
     // 1. Pick a backend: a pool + a chunking policy. This is the analog
     //    of compiling against TBB in the paper's study.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let pool = build_pool(Discipline::WorkStealing, threads);
     let par = ExecutionPolicy::par(Arc::clone(&pool));
     let seq = ExecutionPolicy::seq();
-    println!("pool: {} threads, {} discipline\n", threads, pool.discipline().name());
+    println!(
+        "pool: {} threads, {} discipline\n",
+        threads,
+        pool.discipline().name()
+    );
 
     let n = 1 << 22;
     let mut v: Vec<f64> = (1..=n).map(|i| i as f64).collect();
@@ -40,7 +46,11 @@ fn main() {
     let mut prefix = vec![0.0; v.len()];
     let t = Instant::now();
     pstl::inclusive_scan(&par, &v, &mut prefix, |a, b| a + b);
-    println!("inclusive_scan: last prefix = {:.3e} in {:?}", prefix[n - 1], t.elapsed());
+    println!(
+        "inclusive_scan: last prefix = {:.3e} in {:?}",
+        prefix[n - 1],
+        t.elapsed()
+    );
 
     // 5. X::find — early-exit search (first match wins, like C++).
     let needle = v[3 * n / 4];
@@ -63,10 +73,8 @@ fn main() {
     );
     assert!(matches!(gnu_like.plan(512), pstl::Plan::Sequential));
     //    …or HPX-style fine-grained over-decomposition.
-    let hpx_like = ExecutionPolicy::par_with(
-        pool,
-        ParConfig::with_grain(256).max_tasks_per_thread(16),
-    );
+    let hpx_like =
+        ExecutionPolicy::par_with(pool, ParConfig::with_grain(256).max_tasks_per_thread(16));
     println!(
         "\npolicy knobs: gnu_like runs 512 elements inline; hpx_like splits 2^20 into {} tasks",
         hpx_like.tasks_for(1 << 20)

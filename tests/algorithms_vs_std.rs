@@ -17,7 +17,10 @@ fn pools() -> &'static [(Discipline, Arc<dyn Executor>)] {
     POOLS.get_or_init(|| {
         vec![
             (Discipline::ForkJoin, build_pool(Discipline::ForkJoin, 3)),
-            (Discipline::WorkStealing, build_pool(Discipline::WorkStealing, 2)),
+            (
+                Discipline::WorkStealing,
+                build_pool(Discipline::WorkStealing, 2),
+            ),
             (Discipline::TaskPool, build_pool(Discipline::TaskPool, 2)),
         ]
     })
@@ -368,5 +371,34 @@ proptest! {
                 prop_assert!(data[(until - 1) / 2] < data[until]);
             }
         }
+    }
+}
+
+/// Deterministic replay of the shrunken case recorded in
+/// `algorithms_vs_std.proptest-regressions` (a one-element left run
+/// merged with a long unsorted-then-sorted right run). Pinned as a
+/// plain test so the case is exercised on every run, with or without
+/// proptest's persistence replay.
+#[test]
+fn merge_regression_single_element_left_run() {
+    let mut a = vec![22i64];
+    let mut b = vec![
+        40i64, 29, 38, 30, 33, 28, 39, 42, 41, 33, 39, 24, 27, 11, 45, 21, 8, 0, 17, 6, 19, 4, 16,
+        44, 1, 43, 45, 5, 44, 22, 23, 20, 35, 5, 35, 37, 48, 8, 40, 15, 43, 4, 14, 36, 48, 4, 1,
+        47, 25, 6, 22, 5, 45, 49, 1, 12,
+    ];
+    a.sort();
+    b.sort();
+    let mut expect = [a.clone(), b.clone()].concat();
+    expect.sort();
+    for policy in policies() {
+        let mut out = vec![0i64; a.len() + b.len()];
+        pstl::merge(&policy, &a, &b, &mut out);
+        assert_eq!(out, expect, "merge diverged under {policy:?}");
+
+        let mut v = [a.clone(), b.clone()].concat();
+        let mid = a.len();
+        pstl::inplace_merge(&policy, &mut v, mid);
+        assert_eq!(v, expect, "inplace_merge diverged under {policy:?}");
     }
 }

@@ -79,10 +79,9 @@ fn deque_storm_many_thieves() {
     let mut popped = 0usize;
     for i in 0..ITEMS {
         worker.push(i);
-        if i % 2 == 0
-            && worker.pop().is_some() {
-                popped += 1;
-            }
+        if i % 2 == 0 && worker.pop().is_some() {
+            popped += 1;
+        }
     }
     // Drain the rest cooperatively with the thieves.
     while worker.pop().is_some() {

@@ -122,10 +122,8 @@ fn every_experiment_builder_produces_serializable_output() {
 #[test]
 fn umbrella_crate_reexports_work_together() {
     // The root crate's namespaces compose end-to-end.
-    let pool = pstl_bench_rs::executor::build_pool(
-        pstl_bench_rs::executor::Discipline::WorkStealing,
-        2,
-    );
+    let pool =
+        pstl_bench_rs::executor::build_pool(pstl_bench_rs::executor::Discipline::WorkStealing, 2);
     let policy = pstl_bench_rs::pstl::ExecutionPolicy::par(pool);
     let data: Vec<u64> = (0..10_000).collect();
     let sum = pstl_bench_rs::pstl::reduce(&policy, &data, 0, |a, b| a + b);

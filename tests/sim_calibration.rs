@@ -69,7 +69,11 @@ fn ranking_claims_hold_on_every_machine() {
         }
 
         // NVC's scan never beats sequential meaningfully.
-        assert!(s(Backend::NvcOmp, Kernel::InclusiveScan) < 1.1, "{}", machine.name);
+        assert!(
+            s(Backend::NvcOmp, Kernel::InclusiveScan) < 1.1,
+            "{}",
+            machine.name
+        );
     }
 }
 
@@ -105,7 +109,12 @@ fn efficiency_ceiling_is_about_one_numa_node() {
         let mut over_node = 0;
         let mut cells = 0;
         for backend in Backend::paper_cpu_set() {
-            for kernel in [Kernel::Find, Kernel::InclusiveScan, Kernel::Reduce, Kernel::Sort] {
+            for kernel in [
+                Kernel::Find,
+                Kernel::InclusiveScan,
+                Kernel::Reduce,
+                Kernel::Sort,
+            ] {
                 let cap = table6::max_efficient_threads(&machine, backend, kernel);
                 cells += 1;
                 if cap > node {

@@ -1,0 +1,236 @@
+//! In-tree stand-in for the `criterion` benchmarking surface this
+//! workspace uses (offline build — crates.io is unreachable).
+//!
+//! It keeps criterion's structure — groups, `BenchmarkId`, throughput
+//! annotations, `iter`/`iter_batched` — but replaces the statistical
+//! machinery with a single calibrated timing loop per benchmark:
+//! estimate the per-iteration cost, scale the iteration count to the
+//! group's `measurement_time`, run once, and print mean ns/iter (plus
+//! MiB/s when a byte throughput is set). Good enough to compare
+//! backends by eye and to keep `cargo bench` working end to end.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility (the
+/// shim always re-runs setup per iteration, which is `PerIteration`
+/// semantics — conservative and correct for every caller here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Warm-up/calibration: single-iteration passes until the warm-up
+        // budget (capped — the shim favours wall-clock over precision) is
+        // spent, keeping the last pass as the cost estimate.
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_up_budget = self.warm_up_time.min(Duration::from_millis(50));
+        let warm_up_start = Instant::now();
+        f(&mut bencher, input);
+        while warm_up_start.elapsed() < warm_up_budget {
+            f(&mut bencher, input);
+        }
+        let est = bencher.elapsed.max(Duration::from_nanos(1));
+
+        // Scale the measured pass to roughly measurement_time, capped
+        // by sample_size (the shim's proxy for "enough samples").
+        let budget = self.measurement_time.max(Duration::from_millis(1));
+        let iters = (budget.as_nanos() / est.as_nanos()).clamp(1, self.sample_size as u128);
+        bencher.iterations = iters as u64;
+        f(&mut bencher, input);
+
+        let mean_ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                let mibs = b as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+                format!("  {mibs:.1} MiB/s")
+            }
+            Some(Throughput::Elements(e)) => {
+                let eps = e as f64 / (mean_ns / 1e9);
+                format!("  {eps:.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: {:.0} ns/iter ({} iters){}",
+            self.name, id.id, mean_ns, bencher.iterations, rate
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Accepts and ignores harness CLI arguments (`--bench`, filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Group benchmark functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, &n| {
+            b.iter(|| (0..n as u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("batched", 64), &64usize, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_times_benchmarks() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("seq", 16).id, "seq/16");
+        assert_eq!(BenchmarkId::new(String::from("a"), "2^10").id, "a/2^10");
+    }
+}

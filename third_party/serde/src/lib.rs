@@ -1,0 +1,194 @@
+//! In-tree stand-in for the `serde` serialization surface this
+//! workspace uses (offline build — crates.io is unreachable).
+//!
+//! Real serde drives a `Serializer` visitor; every consumer here only
+//! ever feeds `#[derive(Serialize)]` data to `serde_json`, so the
+//! stand-in collapses the contract to one method producing a
+//! [`Content`] tree that the vendored `serde_json` renders. The derive
+//! macro ([`serde_derive`]) follows serde_json's conventions: structs
+//! and struct variants become maps, unit enum variants become their
+//! name as a string (externally tagged).
+
+// The derive expands to `::serde::...` paths; alias ourselves so the
+// macro also works inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A serialized value, structurally equivalent to a JSON document.
+/// Map entries preserve field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// A value that can render itself as a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Pair {
+        left: u32,
+        right: String,
+    }
+
+    #[derive(Serialize)]
+    enum Shape {
+        Dot,
+        Square { side: u32 },
+        Tagged(i64),
+    }
+
+    #[test]
+    fn struct_becomes_ordered_map() {
+        let c = Pair {
+            left: 1,
+            right: "x".into(),
+        }
+        .to_content();
+        assert_eq!(
+            c,
+            Content::Map(vec![
+                ("left".into(), Content::U64(1)),
+                ("right".into(), Content::Str("x".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn enum_variants_are_externally_tagged() {
+        assert_eq!(Shape::Dot.to_content(), Content::Str("Dot".into()));
+        assert_eq!(
+            Shape::Square { side: 3 }.to_content(),
+            Content::Map(vec![(
+                "Square".into(),
+                Content::Map(vec![("side".into(), Content::U64(3))])
+            )])
+        );
+        assert_eq!(
+            Shape::Tagged(-4).to_content(),
+            Content::Map(vec![("Tagged".into(), Content::I64(-4))])
+        );
+    }
+
+    #[test]
+    fn containers_recurse() {
+        let v: Vec<Option<u8>> = vec![Some(1), None];
+        assert_eq!(
+            v.to_content(),
+            Content::Seq(vec![Content::U64(1), Content::Null])
+        );
+        let pair = (String::from("k"), String::from("v"));
+        assert_eq!(
+            pair.to_content(),
+            Content::Seq(vec![Content::Str("k".into()), Content::Str("v".into())])
+        );
+    }
+}

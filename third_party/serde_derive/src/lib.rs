@@ -1,0 +1,230 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! The workspace derives `Serialize` only on plain named-field structs
+//! and on enums with unit / named-field / tuple variants, never with
+//! generics or `#[serde(...)]` attributes, so this macro parses the
+//! token stream directly (no `syn`/`quote` — the build is offline) and
+//! emits an `impl serde::Serialize` that builds a `serde::Content`
+//! tree matching serde_json's externally-tagged conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(crate)`, ...).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize): generic types are not supported by the in-tree shim")
+            }
+            Some(_) => i += 1,
+            None => panic!(
+                "derive(Serialize): `{name}` has no braced body (tuple/unit types unsupported)"
+            ),
+        }
+    };
+
+    let src = match kind.as_str() {
+        "struct" => gen_struct(&name, &body.stream()),
+        "enum" => gen_enum(&name, &body.stream()),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+    src.parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Field names of a named-field body, in declaration order.
+fn field_names(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Angle brackets
+        // are not token groups, so track their depth to ignore commas
+        // inside e.g. `HashMap<String, u64>`.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-variant paren group.
+fn tuple_arity(group: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1usize;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        arity -= 1;
+    }
+    arity
+}
+
+fn map_entries(fields: &[String], value_of: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| format!("(::std::string::String::from(\"{f}\"), {}),", value_of(f)))
+        .collect()
+}
+
+fn gen_struct(name: &str, body: &TokenStream) -> String {
+    let entries = map_entries(&field_names(body), |f| {
+        format!("::serde::Serialize::to_content(&self.{f})")
+    });
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum(name: &str, body: &TokenStream) -> String {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut arms = String::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let variant = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                // Struct variant: externally tagged {"Variant": {fields}}.
+                let fields = field_names(&g.stream());
+                let binders = fields.join(", ");
+                let entries =
+                    map_entries(&fields, |f| format!("::serde::Serialize::to_content({f})"));
+                arms.push_str(&format!(
+                    "{name}::{variant} {{ {binders} }} => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{variant}\"), \
+                          ::serde::Content::Map(::std::vec![{entries}])),\
+                     ]),\n"
+                ));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Tuple variant: newtype → {"Variant": value}, wider →
+                // {"Variant": [values]}.
+                let arity = tuple_arity(&g.stream());
+                let binders: Vec<String> = (0..arity).map(|k| format!("__f{k}")).collect();
+                let value = if arity == 1 {
+                    "::serde::Serialize::to_content(__f0)".to_string()
+                } else {
+                    let items: String = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                        .collect();
+                    format!("::serde::Content::Seq(::std::vec![{items}])")
+                };
+                arms.push_str(&format!(
+                    "{name}::{variant}({}) => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{variant}\"), {value}),\
+                     ]),\n",
+                    binders.join(", ")
+                ));
+                i += 1;
+            }
+            _ => {
+                // Unit variant: just the name, like serde_json.
+                arms.push_str(&format!(
+                    "{name}::{variant} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{variant}\")),\n"
+                ));
+            }
+        }
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}"
+    )
+}
