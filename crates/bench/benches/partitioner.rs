@@ -1,0 +1,92 @@
+//! Criterion bench comparing the partitioner modes on the real
+//! work-stealing pool (the bench-side companion of
+//! `results/BENCH_partitioner.json`).
+//!
+//! Two groups:
+//!
+//! * `partitioner_dispatch` — uniform near-empty `for_each`: the cost of
+//!   each mode's decomposition machinery when the work itself is free.
+//!   Adaptive must stay in the same league as static here (TBB's
+//!   `auto_partitioner` promise: no over-decomposition without demand).
+//! * `partitioner_skew` — the skewed sleep workload of
+//!   `ext_skewed_real`, scaled down: a heavy front cluster the static
+//!   plan cannot rebalance. Guided/adaptive should win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::bench_threads;
+use pstl::{for_each, ExecutionPolicy, ParConfig, Partitioner};
+use pstl_executor::{build_pool, Discipline, Executor};
+
+const MODES: [(&str, Partitioner); 3] = [
+    ("static", Partitioner::Static),
+    ("guided", Partitioner::Guided),
+    ("adaptive", Partitioner::Adaptive),
+];
+
+fn pool() -> Arc<dyn Executor> {
+    build_pool(Discipline::WorkStealing, bench_threads())
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let pool = pool();
+    let mut group = c.benchmark_group("partitioner_dispatch");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_millis(300));
+    for n in [1usize << 10, 1 << 16] {
+        let data = vec![1u64; n];
+        for (label, mode) in MODES {
+            let policy = ExecutionPolicy::par_with(
+                Arc::clone(&pool),
+                ParConfig::with_grain(256)
+                    .max_tasks_per_thread(8)
+                    .partitioner(mode),
+            );
+            let sink = AtomicU64::new(0);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    for_each(&policy, &data, |v| {
+                        sink.fetch_add(*v, Ordering::Relaxed);
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_skew(c: &mut Criterion) {
+    let pool = pool();
+    // Scaled-down ext_skewed_real: 128 sleeps, first 3/8 heavy at 10x.
+    let n = 128;
+    let costs: Vec<u64> = (0..n)
+        .map(|i| if i < n * 3 / 8 { 100 } else { 10 })
+        .collect();
+    let mut group = c.benchmark_group("partitioner_skew");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(50));
+    group.measurement_time(Duration::from_millis(200));
+    for (label, mode) in MODES {
+        let policy = ExecutionPolicy::par_with(
+            Arc::clone(&pool),
+            ParConfig::with_grain(4)
+                .max_tasks_per_thread(1)
+                .partitioner(mode),
+        );
+        group.bench_with_input(BenchmarkId::new(label, "10x_front"), &n, |b, _| {
+            b.iter(|| {
+                for_each(&policy, &costs, |us| {
+                    std::thread::sleep(Duration::from_micros(*us))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_skew);
+criterion_main!(benches);

@@ -63,6 +63,8 @@ struct FjShared {
     signal: WorkSignal,
     shutdown: ShutdownFlag,
     metrics: PoolMetrics,
+    /// Workers currently parked between runs (the idle hint).
+    idle: std::sync::atomic::AtomicUsize,
     /// One track per team member; the master (caller) is track 0.
     tracer: PoolTracer,
 }
@@ -79,8 +81,10 @@ pub struct ForkJoinPool {
 /// `threads` (balanced to within one index).
 pub fn static_partition(tasks: usize, threads: usize, worker: usize) -> std::ops::Range<usize> {
     debug_assert!(worker < threads);
-    let lo = tasks * worker / threads;
-    let hi = tasks * (worker + 1) / threads;
+    // Widened intermediate: `tasks * worker` can overflow usize for
+    // pathological task counts (same bug class as pstl's chunk_range).
+    let lo = (tasks as u128 * worker as u128 / threads as u128) as usize;
+    let hi = (tasks as u128 * (worker as u128 + 1) / threads as u128) as usize;
     lo..hi
 }
 
@@ -95,6 +99,7 @@ impl ForkJoinPool {
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
             metrics: PoolMetrics::new(),
+            idle: std::sync::atomic::AtomicUsize::new(0),
             tracer: PoolTracer::new(threads, false),
         });
         let handles = (1..threads)
@@ -136,9 +141,12 @@ fn worker_loop(shared: &FjShared, worker: usize) {
                 job.latch.count_down(1);
             }
             _ => {
+                use std::sync::atomic::Ordering;
                 shared.metrics.record_park();
                 rec.record(EventKind::Park);
+                shared.idle.fetch_add(1, Ordering::Relaxed);
                 shared.signal.sleep_unless_changed(seen);
+                shared.idle.fetch_sub(1, Ordering::Relaxed);
                 rec.record(EventKind::Unpark);
             }
         }
@@ -197,6 +205,14 @@ impl Executor for ForkJoinPool {
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
+    }
+
+    fn idle_workers(&self) -> usize {
+        self.shared.idle.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn record_split(&self, _size: u64) {
+        self.shared.metrics.record_split();
     }
 
     fn discipline(&self) -> Discipline {

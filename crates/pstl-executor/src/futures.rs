@@ -214,6 +214,14 @@ impl Executor for FuturesPool {
         }
     }
 
+    fn idle_workers(&self) -> usize {
+        self.inner.idle_workers()
+    }
+
+    fn record_split(&self, _size: u64) {
+        self.inner.metrics_handle().record_split();
+    }
+
     fn discipline(&self) -> Discipline {
         Discipline::Futures
     }

@@ -61,6 +61,38 @@ pub trait Executor: Send + Sync {
     /// Execute `body(i)` for all `i in 0..tasks`; blocks until done.
     fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync));
 
+    /// Dynamic-dispatch entry point for adaptive partitioners: execute
+    /// `body(i)` for all `i in 0..initial`, where `initial` is a *small*
+    /// seed count (≈ one per worker) and each body is a long-running
+    /// self-scheduling loop rather than a fixed chunk.
+    ///
+    /// The contract is the same as [`run`](Self::run); the distinction is
+    /// a scheduling hint. Pools that normally over-decompose their index
+    /// space (the work-stealing pool splits ranges binarily down to single
+    /// indices) should dispatch each index as one indivisible task here,
+    /// because the *caller* owns granularity decisions during a dynamic
+    /// region. The default falls back to plain static `run`.
+    fn run_dynamic(&self, initial: usize, body: &(dyn Fn(usize) + Sync)) {
+        self.run(initial, body);
+    }
+
+    /// Best-effort count of pool workers currently parked with nothing to
+    /// do — the pool-side steal-pressure hint adaptive partitioners may
+    /// consult in addition to their own participant-level demand signal.
+    /// Racy by nature; `0` (the default) means "no pressure visible".
+    fn idle_workers(&self) -> usize {
+        0
+    }
+
+    /// Record that a caller-level range of `size` elements was split off
+    /// and made available to other participants. Pools with metrics fold
+    /// this into their `splits` counter (and the work-stealing pool also
+    /// emits a [`pstl_trace::EventKind::RangeSplit`] trace event); the
+    /// default is a no-op.
+    fn record_split(&self, size: u64) {
+        let _ = size;
+    }
+
     /// Short human-readable name of the scheduling discipline.
     fn discipline(&self) -> Discipline;
 

@@ -15,6 +15,7 @@ pub struct PoolMetrics {
     steals: AtomicU64,
     steal_attempts: AtomicU64,
     parks: AtomicU64,
+    splits: AtomicU64,
 }
 
 /// A point-in-time copy of a pool's counters.
@@ -32,6 +33,10 @@ pub struct MetricsSnapshot {
     pub steal_attempts: u64,
     /// Times a worker gave up finding work and went to sleep.
     pub parks: u64,
+    /// Range splits: a running task handed off part of its work in
+    /// response to demand (work-stealing binary splits and the adaptive
+    /// partitioner's lazy splits both count here).
+    pub splits: u64,
 }
 
 impl MetricsSnapshot {
@@ -53,6 +58,7 @@ impl MetricsSnapshot {
             steals: self.steals - earlier.steals,
             steal_attempts: self.steal_attempts - earlier.steal_attempts,
             parks: self.parks - earlier.parks,
+            splits: self.splits - earlier.splits,
         }
     }
 }
@@ -88,6 +94,11 @@ impl PoolMetrics {
         self.parks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a range split (demand-driven work handoff).
+    pub fn record_split(&self) {
+        self.splits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the current values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -96,6 +107,7 @@ impl PoolMetrics {
             steals: self.steals.load(Ordering::Relaxed),
             steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
         }
     }
 }
@@ -114,12 +126,15 @@ mod tests {
         m.record_steal_attempt();
         m.record_steal_attempt();
         m.record_park();
+        m.record_split();
+        m.record_split();
         let s = m.snapshot();
         assert_eq!(s.runs, 1);
         assert_eq!(s.tasks_executed, 15);
         assert_eq!(s.steals, 1);
         assert_eq!(s.steal_attempts, 2);
         assert_eq!(s.parks, 1);
+        assert_eq!(s.splits, 2);
     }
 
     #[test]

@@ -41,6 +41,8 @@ struct TpShared {
     signal: WorkSignal,
     shutdown: ShutdownFlag,
     metrics: PoolMetrics,
+    /// Workers currently parked on an empty queue (the idle hint).
+    idle: std::sync::atomic::AtomicUsize,
     /// One track per thread; the `run`-calling thread is track 0
     /// (serialized by `run_lock`).
     tracer: PoolTracer,
@@ -64,6 +66,7 @@ impl TaskPool {
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
             metrics: PoolMetrics::new(),
+            idle: std::sync::atomic::AtomicUsize::new(0),
             tracer: PoolTracer::new(threads, false),
         });
         let handles = (1..threads)
@@ -281,7 +284,13 @@ fn worker_loop(shared: &TpShared, index: usize) {
         }
         shared.metrics.record_park();
         rec.record(EventKind::Park);
+        shared
+            .idle
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         shared.signal.sleep_unless_changed(seen);
+        shared
+            .idle
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         rec.record(EventKind::Unpark);
     }
 }
@@ -327,6 +336,14 @@ impl Executor for TaskPool {
             .wait_while_helping(|| self.try_run_one(Some(&rec)));
         rec.record(EventKind::RegionEnd);
         job.resume_if_panicked();
+    }
+
+    fn idle_workers(&self) -> usize {
+        self.shared.idle.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn record_split(&self, _size: u64) {
+        self.shared.metrics.record_split();
     }
 
     fn discipline(&self) -> Discipline {

@@ -13,6 +13,7 @@
 //! fork-join at low intensity, but dynamically load-balanced.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -36,9 +37,16 @@ struct WsShared {
     signal: WorkSignal,
     shutdown: ShutdownFlag,
     metrics: PoolMetrics,
+    /// Workers currently parked with nothing to do (the steal-pressure
+    /// hint surfaced through [`Executor::idle_workers`]).
+    idle: AtomicUsize,
     /// One track per participant; the caller is track 0 (serialized by
-    /// the caller-deque lock).
+    /// the caller-deque lock), plus a shared `splitter` track for
+    /// adaptive-partitioner split events.
     tracer: PoolTracer,
+    /// Serialized handle to the splitter track: splits originate from
+    /// arbitrary participants, but the ring is single-producer.
+    split_rec: Mutex<WorkerRecorder>,
 }
 
 /// Work-stealing pool with binary range splitting.
@@ -62,6 +70,8 @@ impl WorkStealingPool {
             workers.push(w);
             stealers.push(s);
         }
+        let tracer = PoolTracer::with_splitter_track(threads, false);
+        let split_rec = Mutex::new(tracer.splitter_recorder());
         let shared = Arc::new(WsShared {
             threads,
             injector: Injector::new(),
@@ -69,7 +79,9 @@ impl WorkStealingPool {
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
             metrics: PoolMetrics::new(),
-            tracer: PoolTracer::new(threads, false),
+            idle: AtomicUsize::new(0),
+            tracer,
+            split_rec,
         });
         let caller_deque = Mutex::new(workers.remove(0));
         let handles = workers
@@ -107,6 +119,7 @@ fn execute_task(
     });
     while range.len() > 1 {
         let mid = range.start + range.len() / 2;
+        shared.metrics.record_split();
         rec.record(EventKind::TaskSpawn {
             size: (range.end - mid) as u64,
         });
@@ -181,7 +194,9 @@ fn worker_loop(shared: &WsShared, local: Worker<Task>, index: usize) {
         }
         shared.metrics.record_park();
         rec.record(EventKind::Park);
+        shared.idle.fetch_add(1, Ordering::Relaxed);
         shared.signal.sleep_unless_changed(seen);
+        shared.idle.fetch_sub(1, Ordering::Relaxed);
         rec.record(EventKind::Unpark);
     }
 }
@@ -232,6 +247,57 @@ impl Executor for WorkStealingPool {
         debug_assert!(local.is_empty(), "run finished with caller-deque residue");
         rec.record(EventKind::RegionEnd);
         job.resume_if_panicked();
+    }
+
+    fn run_dynamic(&self, initial: usize, body: &(dyn Fn(usize) + Sync)) {
+        if initial == 0 {
+            return;
+        }
+        let local = self.caller_deque.lock();
+        if self.shared.threads == 1 {
+            for i in 0..initial {
+                body(i);
+            }
+            return;
+        }
+        self.shared.metrics.record_run();
+        let rec = self.shared.tracer.recorder(0);
+        rec.record(EventKind::RegionBegin {
+            tasks: initial as u64,
+        });
+        let job = Job::new(body, initial);
+        // One indivisible unit task per seed index: during a dynamic
+        // region the partitioner owns granularity, so the pool must not
+        // re-split the (already per-worker) seed ranges.
+        self.shared
+            .injector
+            .push_batch((0..initial).map(|i| (Arc::clone(&job), i..i + 1)));
+        self.shared.signal.notify_all();
+
+        let mut rng = XorShift64::new(0x9E37_79B9);
+        job.latch().wait_while_helping(|| {
+            if let Some((job, range)) = find_task(&self.shared, &local, &rec, 0, &mut rng) {
+                execute_task(&self.shared, &local, &rec, job, range);
+                true
+            } else {
+                false
+            }
+        });
+        debug_assert!(local.is_empty(), "run finished with caller-deque residue");
+        rec.record(EventKind::RegionEnd);
+        job.resume_if_panicked();
+    }
+
+    fn idle_workers(&self) -> usize {
+        self.shared.idle.load(Ordering::Relaxed)
+    }
+
+    fn record_split(&self, size: u64) {
+        self.shared.metrics.record_split();
+        self.shared
+            .split_rec
+            .lock()
+            .record(EventKind::RangeSplit { size });
     }
 
     fn discipline(&self) -> Discipline {

@@ -91,6 +91,9 @@ pub struct SchedDelta {
     pub steal_attempts: u64,
     /// Worker parks.
     pub parks: u64,
+    /// Range splits (work-stealing binary splits and the adaptive
+    /// partitioner's lazy splits).
+    pub splits: u64,
 }
 
 impl From<MetricsSnapshot> for SchedDelta {
@@ -101,6 +104,7 @@ impl From<MetricsSnapshot> for SchedDelta {
             steals: s.steals,
             steal_attempts: s.steal_attempts,
             parks: s.parks,
+            splits: s.splits,
         }
     }
 }
@@ -366,11 +370,13 @@ mod tests {
                 steals: 3,
                 steal_attempts: 7,
                 parks: 2,
+                splits: 5,
             }),
         };
         let json = report::to_json(&m);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["sched"]["tasks_executed"].as_u64(), Some(42));
         assert_eq!(v["sched"]["steals"].as_u64(), Some(3));
+        assert_eq!(v["sched"]["splits"].as_u64(), Some(5));
     }
 }

@@ -17,7 +17,16 @@
 //!   (OpenMP `dynamic` / the HPX task pool): each grab pays an overhead;
 //! * [`SimDiscipline::WorkStealing`] — TBB-style: initial static
 //!   distribution, idle workers steal the *remaining half* of the most
-//!   loaded worker's queue for a steal cost.
+//!   loaded worker's queue for a steal cost;
+//! * [`SimDiscipline::Guided`] — OpenMP `schedule(guided)`: the
+//!   earliest-free worker claims `remaining / (2·workers)` tasks (never
+//!   below `min_chunk`) off a shared cursor, paying `overhead` per claim
+//!   — the cost curve of `pstl`'s `Partitioner::Guided`;
+//! * [`SimDiscipline::AdaptiveSplit`] — lazy binary splitting (TBB
+//!   `auto_partitioner` / `pstl`'s `Partitioner::Adaptive`): like work
+//!   stealing, but a victim's range is only divisible while it holds
+//!   more than `grain` tasks, so uniform work generates no runtime
+//!   traffic at all.
 
 use serde::Serialize;
 
@@ -39,6 +48,22 @@ pub enum SimDiscipline {
     WorkStealing {
         /// Cost of one successful steal, time units.
         steal_cost: f64,
+    },
+    /// Shared-cursor self-scheduling with geometrically shrinking claims
+    /// (OpenMP `schedule(guided)`).
+    Guided {
+        /// Smallest claim, tasks.
+        min_chunk: usize,
+        /// Cost of one claim (cursor `fetch_add` + dispatch), time units.
+        overhead: f64,
+    },
+    /// Static start + demand-driven binary splitting with a divisibility
+    /// floor (TBB `auto_partitioner`).
+    AdaptiveSplit {
+        /// A range holding at most this many tasks is indivisible.
+        grain: usize,
+        /// Cost of one split handoff, time units.
+        split_cost: f64,
     },
 }
 
@@ -69,7 +94,14 @@ impl SchedSim {
                 self.makespan_dynamic(durations, chunk.max(1), overhead)
             }
             SimDiscipline::WorkStealing { steal_cost } => {
-                self.makespan_stealing(durations, steal_cost)
+                self.makespan_splitting(durations, steal_cost, 1)
+            }
+            SimDiscipline::Guided {
+                min_chunk,
+                overhead,
+            } => self.makespan_guided(durations, min_chunk.max(1), overhead),
+            SimDiscipline::AdaptiveSplit { grain, split_cost } => {
+                self.makespan_splitting(durations, split_cost, grain.max(1))
             }
         }
     }
@@ -111,10 +143,40 @@ impl SchedSim {
         makespan
     }
 
-    fn makespan_stealing(&self, durations: &[f64], steal_cost: f64) -> f64 {
+    /// Guided self-scheduling: the earliest-free worker claims
+    /// `remaining / (2·workers)` tasks (floored at `min_chunk`) off a
+    /// shared cursor, paying `overhead` per claim.
+    fn makespan_guided(&self, durations: &[f64], min_chunk: usize, overhead: f64) -> f64 {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = durations.len();
+        let mut free: BinaryHeap<Reverse<Time>> =
+            (0..self.workers).map(|_| Reverse(Time(0.0))).collect();
+        let mut makespan = 0.0f64;
+        let mut cursor = 0usize;
+        while cursor < n {
+            let size = ((n - cursor) / (2 * self.workers)).max(min_chunk);
+            let hi = (cursor + size).min(n);
+            let work: f64 = durations[cursor..hi].iter().sum();
+            cursor = hi;
+            let Reverse(Time(t)) = free.pop().expect("worker heap never empty");
+            let done = t + overhead + work;
+            makespan = makespan.max(done);
+            free.push(Reverse(Time(done)));
+        }
+        makespan
+    }
+
+    /// Shared event simulation for work stealing and adaptive lazy
+    /// splitting: with `grain == 1` every queue is divisible down to
+    /// single tasks (classic steal-half); a larger grain makes short
+    /// queues indivisible, which is exactly TBB's `auto_partitioner`
+    /// contrast with task-granularity stealing.
+    fn makespan_splitting(&self, durations: &[f64], handoff_cost: f64, grain: usize) -> f64 {
         // Event simulation at task granularity: workers start with the
-        // static partition as double-ended queues; an idle worker steals
-        // the back half of the most-loaded victim's queue.
+        // static partition as double-ended queues; an idle worker takes
+        // the back half of the most-loaded divisible victim's queue.
         let n = durations.len();
         let mut queues: Vec<std::collections::VecDeque<f64>> = (0..self.workers)
             .map(|w| {
@@ -146,9 +208,10 @@ impl SchedSim {
                     clock[w] += d;
                 }
                 Some(w) => {
-                    // Steal half from the victim with the most queued work.
+                    // Take half from the divisible victim with the most
+                    // queued work.
                     let victim = (0..self.workers)
-                        .filter(|v| *v != w && queues[*v].len() > 1)
+                        .filter(|v| *v != w && queues[*v].len() > grain)
                         .max_by(|a, b| {
                             let wa: f64 = queues[*a].iter().sum();
                             let wb: f64 = queues[*b].iter().sum();
@@ -156,18 +219,18 @@ impl SchedSim {
                         });
                     match victim {
                         Some(v) => {
-                            // The steal cannot complete before the victim
+                            // The handoff cannot complete before the victim
                             // has published the work.
-                            let at = clock[w].max(clock[v]) + steal_cost;
+                            let at = clock[w].max(clock[v]) + handoff_cost;
                             clock[w] = at;
                             let keep = queues[v].len().div_ceil(2);
                             let stolen: Vec<f64> = queues[v].drain(keep..).collect();
                             queues[w].extend(stolen);
                         }
                         None => {
-                            // Nothing left to steal anywhere: this worker
-                            // is done; park it at infinity.
-                            if queues.iter().all(|q| q.len() <= 1) {
+                            // Nothing divisible anywhere: this worker is
+                            // done; park it at infinity.
+                            if queues.iter().all(|q| q.len() <= grain) {
                                 // Run out the stragglers.
                                 for (v, q) in queues.iter_mut().enumerate() {
                                     while let Some(d) = q.pop_front() {
@@ -228,13 +291,21 @@ pub fn skewed_durations(n: usize, heavy_every: usize, heavy_factor: f64) -> Vec<
 mod tests {
     use super::*;
 
-    const DISCIPLINES: [SimDiscipline; 3] = [
+    const DISCIPLINES: [SimDiscipline; 5] = [
         SimDiscipline::Static,
         SimDiscipline::Dynamic {
             chunk: 4,
             overhead: 0.01,
         },
         SimDiscipline::WorkStealing { steal_cost: 0.05 },
+        SimDiscipline::Guided {
+            min_chunk: 4,
+            overhead: 0.01,
+        },
+        SimDiscipline::AdaptiveSplit {
+            grain: 4,
+            split_cost: 0.05,
+        },
     ];
 
     #[test]
@@ -333,6 +404,92 @@ mod tests {
                 prev = m;
             }
         }
+    }
+
+    #[test]
+    fn guided_balances_front_loaded_skew() {
+        // Heavy cluster at the front: the big first claims are absorbed
+        // because later claims shrink, and idle workers keep claiming.
+        let sim = SchedSim::new(8);
+        let mut work = vec![1.0; 4096];
+        for d in work.iter_mut().take(512) {
+            *d = 20.0;
+        }
+        let stat = sim.makespan(&work, SimDiscipline::Static);
+        let guided = sim.makespan(
+            &work,
+            SimDiscipline::Guided {
+                min_chunk: 16,
+                overhead: 0.1,
+            },
+        );
+        // The first claim still grabs `n / (2·workers)` heavy tasks, so
+        // guided roughly halves the static makespan rather than crushing
+        // it — the front-chunk weakness the mode's docs call out.
+        assert!(
+            guided < stat * 0.6,
+            "guided {guided} must beat static {stat} on front-loaded skew"
+        );
+    }
+
+    #[test]
+    fn adaptive_split_balances_skew_and_matches_stealing_at_grain_one() {
+        let sim = SchedSim::new(8);
+        let mut work = vec![1.0; 4096];
+        for d in work.iter_mut().take(512) {
+            *d = 20.0;
+        }
+        let stat = sim.makespan(&work, SimDiscipline::Static);
+        let adaptive = sim.makespan(
+            &work,
+            SimDiscipline::AdaptiveSplit {
+                grain: 8,
+                split_cost: 0.5,
+            },
+        );
+        assert!(
+            adaptive < stat / 2.0,
+            "adaptive {adaptive} must crush static {stat} on skew"
+        );
+        // grain = 1 is exactly the work-stealing model.
+        let steal = sim.makespan(&work, SimDiscipline::WorkStealing { steal_cost: 0.5 });
+        let grain1 = sim.makespan(
+            &work,
+            SimDiscipline::AdaptiveSplit {
+                grain: 1,
+                split_cost: 0.5,
+            },
+        );
+        assert!((steal - grain1).abs() < 1e-9, "steal {steal} vs {grain1}");
+    }
+
+    #[test]
+    fn adaptive_grain_bounds_tail_imbalance() {
+        // A coarser grain leaves a longer indivisible tail, so makespan
+        // under skew is monotone (within noise) in the grain.
+        let sim = SchedSim::new(4);
+        let mut work = vec![1.0; 1024];
+        for d in work.iter_mut().take(64) {
+            *d = 30.0;
+        }
+        let fine = sim.makespan(
+            &work,
+            SimDiscipline::AdaptiveSplit {
+                grain: 2,
+                split_cost: 0.05,
+            },
+        );
+        let coarse = sim.makespan(
+            &work,
+            SimDiscipline::AdaptiveSplit {
+                grain: 256,
+                split_cost: 0.05,
+            },
+        );
+        assert!(
+            fine <= coarse,
+            "finer grain {fine} must not lose to coarse {coarse} under skew"
+        );
     }
 
     #[test]

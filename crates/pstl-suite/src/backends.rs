@@ -3,18 +3,18 @@
 //! Each C++ compiler/backend combination the paper studies corresponds to
 //! a scheduling discipline plus a chunking policy in our library:
 //!
-//! | paper backend | discipline | policy quirks |
-//! |---|---|---|
-//! | GCC-SEQ | inline sequential | — |
-//! | GCC-TBB / ICC-TBB | work stealing | dynamic splitting, 8 chunks/thread |
-//! | GCC-GNU | static fork-join | sequential below 2¹⁰ (§5.2/§5.3) |
-//! | GCC-HPX | central task pool | fine grains, 16 chunks/thread |
-//! | NVC-OMP | static fork-join | one chunk per thread, no fallback |
-//! | NVC-CUDA | — (GPU; simulated only) | — |
+//! | paper backend | discipline | partitioner | policy quirks |
+//! |---|---|---|---|
+//! | GCC-SEQ | inline sequential | — | — |
+//! | GCC-TBB / ICC-TBB | work stealing | adaptive (lazy splitting) | `auto_partitioner` analog |
+//! | GCC-GNU | static fork-join | static | sequential below 2¹⁰ (§5.2/§5.3) |
+//! | GCC-HPX | central task pool | guided | fine grains, self-scheduling |
+//! | NVC-OMP | static fork-join | static | one chunk per thread, no fallback |
+//! | NVC-CUDA | — (GPU; simulated only) | — | — |
 
 use std::sync::Arc;
 
-use pstl::{ExecutionPolicy, ParConfig};
+use pstl::{ExecutionPolicy, ParConfig, Partitioner};
 use pstl_executor::{build_pool, Discipline, Executor};
 use pstl_sim::Backend;
 
@@ -50,7 +50,9 @@ impl BackendHost {
             Backend::GccSeq => ExecutionPolicy::seq(),
             Backend::GccTbb | Backend::IccTbb => ExecutionPolicy::par_with(
                 Arc::clone(&self.work_stealing),
-                ParConfig::with_grain(2048).max_tasks_per_thread(8),
+                ParConfig::with_grain(2048)
+                    .max_tasks_per_thread(8)
+                    .partitioner(Partitioner::Adaptive),
             ),
             Backend::GccGnu => ExecutionPolicy::par_with(
                 Arc::clone(&self.fork_join),
@@ -60,7 +62,9 @@ impl BackendHost {
             ),
             Backend::GccHpx => ExecutionPolicy::par_with(
                 Arc::clone(&self.task_pool),
-                ParConfig::with_grain(512).max_tasks_per_thread(16),
+                ParConfig::with_grain(512)
+                    .max_tasks_per_thread(16)
+                    .partitioner(Partitioner::Guided),
             ),
             Backend::NvcOmp => ExecutionPolicy::par_with(
                 Arc::clone(&self.fork_join),
@@ -128,6 +132,20 @@ mod tests {
         assert_eq!(disc(Backend::GccGnu), Some(Discipline::ForkJoin));
         assert_eq!(disc(Backend::NvcOmp), Some(Discipline::ForkJoin));
         assert_eq!(disc(Backend::GccHpx), Some(Discipline::TaskPool));
+    }
+
+    #[test]
+    fn partitioners_match_design_table() {
+        let host = BackendHost::new(2);
+        let part = |b: Backend| match host.policy_for(b).unwrap() {
+            ExecutionPolicy::Seq => None,
+            ExecutionPolicy::Par { cfg, .. } => Some(cfg.partitioner),
+        };
+        assert_eq!(part(Backend::GccTbb), Some(Partitioner::Adaptive));
+        assert_eq!(part(Backend::IccTbb), Some(Partitioner::Adaptive));
+        assert_eq!(part(Backend::GccHpx), Some(Partitioner::Guided));
+        assert_eq!(part(Backend::GccGnu), Some(Partitioner::Static));
+        assert_eq!(part(Backend::NvcOmp), Some(Partitioner::Static));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Extension experiment: partitioner modes under real skewed work on the
+//! real work-stealing pool (see `experiments::skew_real`). Writes the
+//! figure JSON plus the `BENCH_partitioner.json` baseline.
+
+use pstl_suite::experiments::skew_real;
+use pstl_suite::output::results_dir;
+
+fn main() {
+    let bench = skew_real::bench();
+    let fig = skew_real::build_figure(&bench);
+    print!("{}", fig.render());
+
+    println!("\nuniform dispatch (n = 2^16, grain 1024):");
+    for d in &bench.uniform_dispatch {
+        println!(
+            "  {:<9} planned {:>3} tasks, executed {:>3} fragments, {:>2} splits",
+            d.mode, d.planned_tasks, d.executed_tasks, d.splits
+        );
+    }
+    println!("\nspeedup vs static:");
+    for (label, s) in &bench.speedup_vs_static {
+        let cols: Vec<String> = bench
+            .factors
+            .iter()
+            .zip(s)
+            .map(|(f, v)| format!("{f}x: {v:.2}"))
+            .collect();
+        println!("  {:<9} {}", label, cols.join("  "));
+    }
+
+    match fig.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+    let bench_path = results_dir().join("BENCH_partitioner.json");
+    match serde_json::to_string_pretty(&bench)
+        .map_err(std::io::Error::other)
+        .and_then(|s| std::fs::write(&bench_path, s + "\n"))
+    {
+        Ok(()) => println!("wrote {}", bench_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", bench_path.display()),
+    }
+}

@@ -15,6 +15,7 @@ fn main() {
         exp::fig9::build(),
         exp::weak_scaling::build(),
         exp::skew::build(),
+        exp::skew_real::build_figure(&exp::skew_real::bench()),
         exp::roofline::build(),
     ];
     let tables = [

@@ -19,6 +19,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod roofline;
 pub mod skew;
+pub mod skew_real;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -41,7 +41,7 @@ fn clustered(factor: f64) -> Vec<f64> {
 /// discipline, across skew factors.
 pub fn build() -> Figure {
     let sim = SchedSim::new(WORKERS);
-    let disciplines: [(&str, SimDiscipline); 3] = [
+    let disciplines: [(&str, SimDiscipline); 5] = [
         ("static (GNU/NVC)", SimDiscipline::Static),
         (
             "dynamic chunks (HPX-ish)",
@@ -53,6 +53,20 @@ pub fn build() -> Figure {
         (
             "work stealing (TBB)",
             SimDiscipline::WorkStealing { steal_cost: 0.2 },
+        ),
+        (
+            "guided (Partitioner::Guided)",
+            SimDiscipline::Guided {
+                min_chunk: 16,
+                overhead: 0.05,
+            },
+        ),
+        (
+            "adaptive split (Partitioner::Adaptive)",
+            SimDiscipline::AdaptiveSplit {
+                grain: 16,
+                split_cost: 0.2,
+            },
         ),
     ];
     let xs: Vec<f64> = FACTORS.to_vec();
@@ -139,6 +153,30 @@ mod tests {
                 y.last().unwrap()
             );
         }
+    }
+
+    #[test]
+    fn adaptive_split_stays_near_bound() {
+        let fig = build();
+        let y = series_y(&fig, "adaptive split");
+        assert!(
+            *y.last().unwrap() < 1.6,
+            "adaptive split at 50x skew: {}",
+            y.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn guided_beats_static_under_heavy_skew() {
+        let fig = build();
+        let stat = series_y(&fig, "static (GNU/NVC)");
+        let guided = series_y(&fig, "guided");
+        assert!(
+            *guided.last().unwrap() < *stat.last().unwrap(),
+            "guided {} must beat static {} at 50x skew",
+            guided.last().unwrap(),
+            stat.last().unwrap()
+        );
     }
 
     #[test]

@@ -89,6 +89,10 @@ fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<String> {
                 r#"{{"name":"steal","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
                 us(e.t_ns)
             )),
+            EventKind::RangeSplit { size } => out.push(format!(
+                r#"{{"name":"split","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"size":{size}}}}}"#,
+                us(e.t_ns)
+            )),
             EventKind::Park => parks.push(e.t_ns),
             EventKind::Unpark => {
                 if let Some(start) = parks.pop() {

@@ -56,6 +56,9 @@ pub enum EventKind {
     Park,
     /// The worker woke up.
     Unpark,
+    /// A running range was split in response to steal pressure (lazy
+    /// binary splitting); `size` is the number of elements handed off.
+    RangeSplit { size: u64 },
 }
 
 // The packed encoding is exercised only by the ring recorder, which the
@@ -73,6 +76,7 @@ mod encoding {
     const TAG_STEAL_SUCCESS: u64 = 6;
     const TAG_PARK: u64 = 7;
     const TAG_UNPARK: u64 = 8;
+    const TAG_RANGE_SPLIT: u64 = 9;
 
     const PAYLOAD_BITS: u32 = 56;
     const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
@@ -90,6 +94,7 @@ mod encoding {
                 EventKind::StealSuccess { victim } => (TAG_STEAL_SUCCESS, victim),
                 EventKind::Park => (TAG_PARK, 0),
                 EventKind::Unpark => (TAG_UNPARK, 0),
+                EventKind::RangeSplit { size } => (TAG_RANGE_SPLIT, size),
             };
             (tag << PAYLOAD_BITS) | (payload & PAYLOAD_MASK)
         }
@@ -105,6 +110,7 @@ mod encoding {
                 TAG_STEAL_ATTEMPT => EventKind::StealAttempt { victim: payload },
                 TAG_STEAL_SUCCESS => EventKind::StealSuccess { victim: payload },
                 TAG_PARK => EventKind::Park,
+                TAG_RANGE_SPLIT => EventKind::RangeSplit { size: payload },
                 _ => EventKind::Unpark,
             }
         }
@@ -174,6 +180,7 @@ mod tests {
             EventKind::StealSuccess { victim: 0 },
             EventKind::Park,
             EventKind::Unpark,
+            EventKind::RangeSplit { size: 4096 },
         ] {
             assert_eq!(EventKind::decode(kind.encode()), kind);
         }

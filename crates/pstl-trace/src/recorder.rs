@@ -91,6 +91,7 @@ mod imp {
     pub struct PoolTracer {
         rings: Vec<Arc<Ring>>,
         with_caller: bool,
+        with_splitter: bool,
     }
 
     /// Cheap per-worker handle; cloned into worker threads.
@@ -113,7 +114,19 @@ mod imp {
             PoolTracer {
                 rings: (0..tracks).map(|_| Arc::new(Ring::new(capacity))).collect(),
                 with_caller,
+                with_splitter: false,
             }
+        }
+
+        /// As [`new`](Self::new), with one extra shared `splitter` track
+        /// appended after all other tracks. Adaptive-partitioning pools
+        /// funnel cross-worker [`EventKind::RangeSplit`] events there
+        /// (serialized by the pool, since the ring is single-producer).
+        pub fn with_splitter_track(workers: usize, with_caller: bool) -> Self {
+            let mut tracer = Self::new(workers, with_caller);
+            tracer.rings.push(Arc::new(Ring::new(DEFAULT_CAPACITY)));
+            tracer.with_splitter = true;
+            tracer
         }
 
         /// Recorder for worker track `index` (the caller track, if any,
@@ -128,6 +141,14 @@ mod imp {
         /// tracer was built without one.
         pub fn caller_recorder(&self) -> WorkerRecorder {
             assert!(self.with_caller, "tracer has no caller track");
+            self.recorder(self.rings.len() - 1 - usize::from(self.with_splitter))
+        }
+
+        /// Recorder for the shared splitter track. Panics if the tracer
+        /// was built without one. Callers must serialize access — the
+        /// ring is single-producer.
+        pub fn splitter_recorder(&self) -> WorkerRecorder {
+            assert!(self.with_splitter, "tracer has no splitter track");
             self.recorder(self.rings.len() - 1)
         }
 
@@ -140,7 +161,13 @@ mod imp {
                 .enumerate()
                 .map(|(i, ring)| {
                     let (events, dropped) = ring.drain();
-                    let label = if self.with_caller && i == self.rings.len() - 1 {
+                    let splitter_at = self.with_splitter.then(|| self.rings.len() - 1);
+                    let caller_at = self
+                        .with_caller
+                        .then(|| self.rings.len() - 1 - usize::from(self.with_splitter));
+                    let label = if splitter_at == Some(i) {
+                        "splitter".to_string()
+                    } else if caller_at == Some(i) {
                         "caller".to_string()
                     } else {
                         format!("worker-{i}")
@@ -192,12 +219,22 @@ mod imp {
         }
 
         #[inline(always)]
+        pub fn with_splitter_track(_workers: usize, _with_caller: bool) -> Self {
+            PoolTracer
+        }
+
+        #[inline(always)]
         pub fn recorder(&self, _index: usize) -> WorkerRecorder {
             WorkerRecorder
         }
 
         #[inline(always)]
         pub fn caller_recorder(&self) -> WorkerRecorder {
+            WorkerRecorder
+        }
+
+        #[inline(always)]
+        pub fn splitter_recorder(&self) -> WorkerRecorder {
             WorkerRecorder
         }
 

@@ -20,6 +20,9 @@ pub struct WorkerStats {
     pub steal_attempts: u64,
     pub steals: u64,
     pub parks: u64,
+    /// Lazy range splits published from this track (the adaptive
+    /// partitioner's shared `splitter` track carries all of them).
+    pub splits: u64,
 }
 
 /// Distribution of attempt→success steal latencies.
@@ -70,6 +73,7 @@ pub fn analyze(log: &TraceLog) -> TraceStats {
                 steal_attempts: 0,
                 steals: 0,
                 parks: 0,
+                splits: 0,
             };
             let mut task_starts: Vec<u64> = Vec::new();
             let mut last_attempt: Option<u64> = None;
@@ -100,6 +104,7 @@ pub fn analyze(log: &TraceLog) -> TraceStats {
                         }
                     }
                     EventKind::Park => stats.parks += 1,
+                    EventKind::RangeSplit { .. } => stats.splits += 1,
                     _ => {}
                 }
             }
@@ -142,20 +147,21 @@ impl std::fmt::Display for TraceStats {
         )?;
         writeln!(
             f,
-            "  {:<10} {:>7} {:>10} {:>6} {:>8} {:>7} {:>6}",
-            "track", "events", "busy_ms", "util", "attempts", "steals", "parks"
+            "  {:<10} {:>7} {:>10} {:>6} {:>8} {:>7} {:>6} {:>6}",
+            "track", "events", "busy_ms", "util", "attempts", "steals", "parks", "splits"
         )?;
         for w in &self.workers {
             writeln!(
                 f,
-                "  {:<10} {:>7} {:>10.3} {:>5.1}% {:>8} {:>7} {:>6}",
+                "  {:<10} {:>7} {:>10.3} {:>5.1}% {:>8} {:>7} {:>6} {:>6}",
                 w.label,
                 w.events,
                 w.busy_ns as f64 / 1e6,
                 w.utilization * 100.0,
                 w.steal_attempts,
                 w.steals,
-                w.parks
+                w.parks,
+                w.splits
             )?;
         }
         if let Some(sl) = &self.steal_latency {

@@ -1,6 +1,6 @@
 //! `copy` / `fill` / `generate` family.
 
-use crate::algorithms::{map_chunks, run_chunks, run_chunks_indexed};
+use crate::algorithms::{map_ranges, run_chunks, run_over_ranges};
 use crate::policy::ExecutionPolicy;
 use crate::ptr::SliceView;
 
@@ -48,12 +48,15 @@ where
     F: Fn(&T) -> bool + Sync,
 {
     let n = src.len();
-    // Phase 1: matches per chunk.
-    let counts = map_chunks(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
+    // Phase 1: matches per chunk, with the chunk geometry recorded so
+    // phase 3 replays the same ranges under any partitioner.
+    let parts = map_ranges(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
     // Phase 2: exclusive prefix of chunk offsets (tiny, sequential).
-    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut ranges = Vec::with_capacity(parts.len());
+    let mut offsets = Vec::with_capacity(parts.len() + 1);
     let mut acc = 0usize;
-    for &c in &counts {
+    for (r, c) in parts {
+        ranges.push(r);
         offsets.push(acc);
         acc += c;
     }
@@ -64,7 +67,7 @@ where
     let view = SliceView::new(dst);
     let view = &view;
     let offsets_ref = &offsets;
-    run_chunks_indexed(policy, n, &|i, r| {
+    run_over_ranges(policy, &ranges, &|i, r| {
         let mut at = offsets_ref[i];
         for x in src[r].iter().filter(|x| pred(x)) {
             // SAFETY: chunks write disjoint output windows

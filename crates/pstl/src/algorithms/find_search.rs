@@ -10,7 +10,7 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::chunk::chunk_range;
+use crate::algorithms::run_chunks;
 use crate::policy::{ExecutionPolicy, Plan};
 
 /// Elements scanned between cancellation checks.
@@ -25,14 +25,13 @@ where
 {
     match policy.plan(n) {
         Plan::Sequential => (0..n).find(|&i| pred_at(i)),
-        Plan::Parallel { exec, tasks } => {
+        Plan::Parallel { .. } => {
+            // The cancellation protocol only needs each body call to know
+            // its own range, so any partitioner geometry works.
             let best = AtomicUsize::new(usize::MAX);
             let best = &best;
             let pred_at = &pred_at;
-            exec.run(tasks, &|t| {
-                let r = chunk_range(n, tasks, t);
-                scan_chunk(r, best, pred_at);
-            });
+            run_chunks(policy, n, &|r| scan_chunk(r, best, pred_at));
             let b = best.load(Ordering::Relaxed);
             (b != usize::MAX).then_some(b)
         }

@@ -56,7 +56,7 @@ where
     let n = out.len();
     match policy.plan(n) {
         Plan::Sequential => seq::merge_into(a, b, out, &cmp),
-        Plan::Parallel { exec, tasks } => {
+        Plan::Parallel { exec, tasks, .. } => {
             // Segment boundaries in output space → input splits.
             let cmp_ref: Cmp<T> = &cmp;
             let splits: Vec<(usize, usize)> = (0..=tasks)

@@ -2,9 +2,11 @@
 //!
 //! Every algorithm follows the same template: plan the invocation with
 //! [`ExecutionPolicy::plan`], run a plain sequential implementation for
-//! [`Plan::Sequential`], and otherwise decompose the index space into
-//! balanced chunks (see [`crate::chunk`]) executed through the policy's
-//! pool. Shared decomposition helpers live here.
+//! [`Plan::Sequential`], and otherwise decompose the index space through
+//! the policy's pool. How the decomposition happens is the policy's
+//! [`Partitioner`]: balanced plan-time chunks (see [`crate::chunk`]) for
+//! `Static`, or the run-time engines in [`crate::splitter`] for `Guided`
+//! and `Adaptive`. Shared decomposition helpers live here.
 
 pub mod adjacent;
 pub mod copy_fill;
@@ -23,71 +25,135 @@ pub mod sort;
 pub mod transform;
 pub mod unique_remove;
 
+use std::mem::MaybeUninit;
 use std::ops::Range;
+use std::sync::Mutex;
 
 use crate::chunk::chunk_range;
-use crate::policy::{ExecutionPolicy, Plan};
+use crate::policy::{ExecutionPolicy, Partitioner, Plan};
 use crate::ptr::SliceView;
+use crate::splitter;
 
-/// Map every balanced chunk of `0..n` through `map`, collecting the
-/// per-chunk results in chunk order. Sequential plans produce a single
-/// chunk covering the whole range.
+/// Map every claimed sub-range of `0..n` through `map`, collecting
+/// `(range, result)` pairs **sorted by range start**. The ranges are
+/// disjoint, contiguous, and tile `0..n` exactly, whatever the policy's
+/// partitioner; sequential plans produce a single pair covering the whole
+/// range.
 ///
 /// This is the workhorse of the reduction-shaped algorithms (`reduce`,
-/// `count`, `min_element`, scan phase 1): each task writes its partial into
-/// a dedicated slot, so no atomics or locks are involved and the combine
-/// step is deterministic.
-pub(crate) fn map_chunks<R, F>(policy: &ExecutionPolicy, n: usize, map: &F) -> Vec<R>
+/// `count`, `min_element`, scan phase 1) and the geometry record that
+/// multi-phase algorithms replay through [`run_over_ranges`]: dynamic
+/// partitioners decide chunk boundaries at run time, so later phases must
+/// work from the recorded ranges rather than re-deriving them.
+pub(crate) fn map_ranges<R, F>(
+    policy: &ExecutionPolicy,
+    n: usize,
+    map: &F,
+) -> Vec<(Range<usize>, R)>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
     match policy.plan(n) {
-        Plan::Sequential => vec![map(0..n)],
-        Plan::Parallel { exec, tasks } => {
-            let mut partials: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
-            let view = SliceView::new(&mut partials);
-            let view = &view;
-            exec.run(tasks, &|i| {
-                let r = chunk_range(n, tasks, i);
-                // SAFETY: each task index writes exactly its own slot.
-                unsafe { view.write(i, Some(map(r))) };
-            });
-            partials
-                .into_iter()
-                .map(|o| o.expect("executor skipped a task index"))
-                .collect()
-        }
+        Plan::Sequential => vec![(0..n, map(0..n))],
+        Plan::Parallel { exec, tasks, cfg } => match cfg.partitioner {
+            Partitioner::Static => {
+                let mut slots: Vec<MaybeUninit<(Range<usize>, R)>> = Vec::with_capacity(tasks);
+                slots.resize_with(tasks, MaybeUninit::uninit);
+                let view = SliceView::new(&mut slots);
+                let view = &view;
+                exec.run(tasks, &|i| {
+                    let r = chunk_range(n, tasks, i);
+                    let value = (r.clone(), map(r));
+                    // SAFETY: each task index writes exactly its own slot.
+                    unsafe { view.write(i, MaybeUninit::new(value)) };
+                });
+                // SAFETY: `run` returns only once every index executed, so
+                // every slot is initialized. If a task panicked, `run`
+                // propagates before this point and the `MaybeUninit` vec
+                // leaks the written results — a leak, never a read of
+                // uninitialized memory.
+                slots
+                    .into_iter()
+                    .map(|s| unsafe { s.assume_init() })
+                    .collect()
+            }
+            _ => {
+                let out: Mutex<Vec<(Range<usize>, R)>> = Mutex::new(Vec::new());
+                splitter::run_partitioned(exec, n, &cfg, &|r| {
+                    let value = (r.clone(), map(r));
+                    out.lock().unwrap().push(value);
+                });
+                let mut parts = out.into_inner().unwrap();
+                parts.sort_by_key(|(r, _)| r.start);
+                parts
+            }
+        },
     }
 }
 
-/// Run `body(range)` over every balanced chunk of `0..n` purely for
+/// [`map_ranges`] without the geometry: per-chunk results in range order.
+pub(crate) fn map_chunks<R, F>(policy: &ExecutionPolicy, n: usize, map: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    map_ranges(policy, n, map)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
+}
+
+/// Run `body(range)` over disjoint sub-ranges tiling `0..n` purely for
 /// effects (the map-shaped algorithms: `for_each`, `transform`, `fill`,
-/// `copy`…).
+/// `copy`…). Chunk boundaries depend on the policy's partitioner.
 pub(crate) fn run_chunks<F>(policy: &ExecutionPolicy, n: usize, body: &F)
 where
     F: Fn(Range<usize>) + Sync,
 {
     match policy.plan(n) {
         Plan::Sequential => body(0..n),
-        Plan::Parallel { exec, tasks } => {
-            exec.run(tasks, &|i| body(chunk_range(n, tasks, i)));
-        }
+        Plan::Parallel { exec, tasks, cfg } => match cfg.partitioner {
+            Partitioner::Static => {
+                exec.run(tasks, &|i| body(chunk_range(n, tasks, i)));
+            }
+            _ => splitter::run_partitioned(exec, n, &cfg, body),
+        },
     }
 }
 
-/// Like [`run_chunks`], but `body` also receives the chunk index. The
-/// chunk count equals what a [`map_chunks`] call with the same policy and
-/// `n` produced (plans are deterministic), so multi-phase algorithms can
-/// line up per-chunk metadata between phases.
-pub(crate) fn run_chunks_indexed<F>(policy: &ExecutionPolicy, n: usize, body: &F)
+/// Run `body(i, ranges[i])` for every range recorded by a preceding
+/// [`map_ranges`] call with the same policy. Whole ranges are grouped
+/// statically onto pool tasks, so the index/range pairing of the
+/// recording phase is preserved exactly — this is what lets multi-phase
+/// algorithms (scatter phases, scan phase 3) line up per-chunk metadata
+/// between phases even under run-time partitioning.
+pub(crate) fn run_over_ranges<F>(policy: &ExecutionPolicy, ranges: &[Range<usize>], body: &F)
 where
     F: Fn(usize, Range<usize>) + Sync,
 {
-    match policy.plan(n) {
-        Plan::Sequential => body(0, 0..n),
-        Plan::Parallel { exec, tasks } => {
-            exec.run(tasks, &|i| body(i, chunk_range(n, tasks, i)));
+    let m = ranges.len();
+    if m == 0 {
+        return;
+    }
+    if m == 1 {
+        body(0, ranges[0].clone());
+        return;
+    }
+    match policy {
+        ExecutionPolicy::Seq => {
+            for (i, r) in ranges.iter().enumerate() {
+                body(i, r.clone());
+            }
+        }
+        ExecutionPolicy::Par { exec, cfg } => {
+            let cap = exec.num_threads() * cfg.max_tasks_per_thread.max(1);
+            let groups = m.min(cap.max(1));
+            exec.run(groups, &|g| {
+                for i in chunk_range(m, groups, g) {
+                    body(i, ranges[i].clone());
+                }
+            });
         }
     }
 }
@@ -95,15 +161,23 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::ParConfig;
     use pstl_executor::{build_pool, Discipline};
 
     fn policies() -> Vec<ExecutionPolicy> {
-        vec![
+        let mut out = vec![
             ExecutionPolicy::seq(),
             ExecutionPolicy::par(build_pool(Discipline::ForkJoin, 3)),
             ExecutionPolicy::par(build_pool(Discipline::WorkStealing, 2)),
             ExecutionPolicy::par(build_pool(Discipline::TaskPool, 2)),
-        ]
+        ];
+        for mode in [Partitioner::Guided, Partitioner::Adaptive] {
+            out.push(ExecutionPolicy::par_with(
+                build_pool(Discipline::WorkStealing, 2),
+                ParConfig::with_grain(64).partitioner(mode),
+            ));
+        }
+        out
     }
 
     #[test]
@@ -112,7 +186,21 @@ mod tests {
             let ranges = map_chunks(&policy, 10_000, &|r| r);
             let mut end = 0;
             for r in &ranges {
-                assert_eq!(r.start, end);
+                assert_eq!(r.start, end, "{policy:?}");
+                end = r.end;
+            }
+            assert_eq!(end, 10_000);
+        }
+    }
+
+    #[test]
+    fn map_ranges_records_true_geometry() {
+        for policy in policies() {
+            let parts = map_ranges(&policy, 10_000, &|r| r.len());
+            let mut end = 0;
+            for (r, len) in &parts {
+                assert_eq!(r.start, end, "{policy:?}");
+                assert_eq!(r.len(), *len);
                 end = r.end;
             }
             assert_eq!(end, 10_000);
@@ -139,6 +227,21 @@ mod tests {
                 }
             });
             assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn run_over_ranges_replays_recorded_geometry() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for policy in policies() {
+            let parts = map_ranges(&policy, 8192, &|r| r.len());
+            let ranges: Vec<_> = parts.iter().map(|(r, _)| r.clone()).collect();
+            let hits: Vec<AtomicUsize> = (0..ranges.len()).map(|_| AtomicUsize::new(0)).collect();
+            run_over_ranges(&policy, &ranges, &|i, r| {
+                assert_eq!(r, ranges[i], "{policy:?}");
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         }
     }
 }

@@ -6,7 +6,7 @@
 //! guarantee than `std::partition`, matching `std::stable_partition`).
 
 use crate::algorithms::find_search::find_first_index;
-use crate::algorithms::{map_chunks, run_chunks, run_chunks_indexed};
+use crate::algorithms::{map_ranges, run_chunks, run_over_ranges};
 use crate::policy::ExecutionPolicy;
 use crate::ptr::SliceView;
 
@@ -32,21 +32,23 @@ where
     if n == 0 {
         return 0;
     }
-    // Phase 1: per-chunk true-counts.
-    let counts = map_chunks(policy, n, &|r| data[r].iter().filter(|x| pred(x)).count());
-    let tasks = counts.len();
+    // Phase 1: per-chunk true-counts, with the geometry recorded for the
+    // scatter phase.
+    let parts = map_ranges(policy, n, &|r| data[r].iter().filter(|x| pred(x)).count());
     // Phase 2: offsets. True elements pack to the front, false to the back
     // half starting at total_true.
-    let total_true: usize = counts.iter().sum();
-    let mut true_off = Vec::with_capacity(tasks);
-    let mut false_off = Vec::with_capacity(tasks);
+    let total_true: usize = parts.iter().map(|(_, c)| c).sum();
+    let mut ranges = Vec::with_capacity(parts.len());
+    let mut true_off = Vec::with_capacity(parts.len());
+    let mut false_off = Vec::with_capacity(parts.len());
     let mut t_acc = 0usize;
     let mut f_acc = total_true;
-    for (i, &c) in counts.iter().enumerate() {
+    for (r, c) in parts {
         true_off.push(t_acc);
         false_off.push(f_acc);
         t_acc += c;
-        f_acc += crate::chunk::chunk_range(n, tasks, i).len() - c;
+        f_acc += r.len() - c;
+        ranges.push(r);
     }
     // Phase 3: scatter into scratch, then copy back.
     let mut scratch: Vec<T> = data.to_vec();
@@ -56,7 +58,7 @@ where
         let data_ref: &[T] = data;
         let true_off = &true_off;
         let false_off = &false_off;
-        run_chunks_indexed(policy, n, &|i, r| {
+        run_over_ranges(policy, &ranges, &|i, r| {
             let mut t = true_off[i];
             let mut f = false_off[i];
             for x in &data_ref[r] {
@@ -109,9 +111,8 @@ where
     F: Fn(&T) -> bool + Sync,
 {
     let n = src.len();
-    let counts = map_chunks(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
-    let tasks = counts.len();
-    let total_true: usize = counts.iter().sum();
+    let parts = map_ranges(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
+    let total_true: usize = parts.iter().map(|(_, c)| c).sum();
     let total_false = n - total_true;
     assert!(
         total_true <= out_true.len(),
@@ -121,15 +122,17 @@ where
         total_false <= out_false.len(),
         "partition_copy: out_false too short"
     );
-    let mut true_off = Vec::with_capacity(tasks);
-    let mut false_off = Vec::with_capacity(tasks);
+    let mut ranges = Vec::with_capacity(parts.len());
+    let mut true_off = Vec::with_capacity(parts.len());
+    let mut false_off = Vec::with_capacity(parts.len());
     let mut t_acc = 0usize;
     let mut f_acc = 0usize;
-    for (i, &c) in counts.iter().enumerate() {
+    for (r, c) in parts {
         true_off.push(t_acc);
         false_off.push(f_acc);
         t_acc += c;
-        f_acc += crate::chunk::chunk_range(n, tasks, i).len() - c;
+        f_acc += r.len() - c;
+        ranges.push(r);
     }
     let vt = SliceView::new(out_true);
     let vf = SliceView::new(out_false);
@@ -137,7 +140,7 @@ where
     let vf = &vf;
     let true_off = &true_off;
     let false_off = &false_off;
-    run_chunks_indexed(policy, n, &|i, r| {
+    run_over_ranges(policy, &ranges, &|i, r| {
         let mut t = true_off[i];
         let mut f = false_off[i];
         for x in &src[r] {

@@ -6,7 +6,7 @@
 //! each traverse the data once, which is why the paper finds scan's
 //! speedup capped near `bandwidth_ratio / 2` on all machines.
 
-use crate::chunk::chunk_range;
+use crate::algorithms::{map_ranges, run_over_ranges};
 use crate::policy::{ExecutionPolicy, Plan};
 use crate::ptr::SliceView;
 
@@ -145,16 +145,12 @@ where
                 data[i] = op(&data[i - 1], &data[i]);
             }
         }
-        Plan::Parallel { exec, tasks } => {
+        Plan::Parallel { .. } => {
             let view = SliceView::new(data);
             let view = &view;
-            // Phase 1: chunk totals.
-            let mut sums: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
-            let sums_view = SliceView::new(&mut sums);
-            let sums_view = &sums_view;
-            exec.run(tasks, &|t| {
-                let r = chunk_range(n, tasks, t);
-                // SAFETY: each task reads only its own chunk.
+            // Phase 1: chunk totals, geometry recorded for phase 3.
+            let parts = map_ranges(policy, n, &|r| {
+                // SAFETY: each body call reads only its own chunk.
                 let chunk = unsafe { view.range(r) };
                 let mut total: Option<T> = None;
                 for x in chunk {
@@ -163,16 +159,16 @@ where
                         None => x.clone(),
                     });
                 }
-                // SAFETY: one write per task slot.
-                unsafe { sums_view.write(t, total) };
+                total
             });
+            let (ranges, sums): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
             // Phase 2: offsets.
             let offsets = exclusive_offsets(&sums, None, &op);
             let offsets = &offsets;
-            // Phase 3: rescan chunks with offsets.
-            exec.run(tasks, &|t| {
-                let r = chunk_range(n, tasks, t);
-                // SAFETY: each task mutates only its own chunk.
+            // Phase 3: rescan the recorded chunks with their offsets.
+            run_over_ranges(policy, &ranges, &|t, r| {
+                // SAFETY: recorded ranges are disjoint; each body call
+                // mutates only its own chunk.
                 let chunk = unsafe { view.range_mut(r) };
                 let mut running = offsets[t].clone();
                 for x in chunk.iter_mut() {
@@ -234,13 +230,10 @@ fn scan_engine<U, G, F>(
         Plan::Sequential => {
             scan_range_into(out, 0..n, get, op, init, exclusive);
         }
-        Plan::Parallel { exec, tasks } => {
-            // Phase 1: chunk totals of the *inputs* (init excluded).
-            let mut sums: Vec<Option<U>> = (0..tasks).map(|_| None).collect();
-            let sums_view = SliceView::new(&mut sums);
-            let sums_view = &sums_view;
-            exec.run(tasks, &|t| {
-                let r = chunk_range(n, tasks, t);
+        Plan::Parallel { .. } => {
+            // Phase 1: chunk totals of the *inputs* (init excluded), with
+            // the chunk geometry recorded for phase 3.
+            let parts = map_ranges(policy, n, &|r| {
                 let mut acc: Option<U> = None;
                 for i in r {
                     let x = get(i);
@@ -249,18 +242,18 @@ fn scan_engine<U, G, F>(
                         None => x,
                     });
                 }
-                // SAFETY: one write per task slot.
-                unsafe { sums_view.write(t, acc) };
+                acc
             });
-            // Phase 2: offsets (sequential, `tasks` elements).
+            let (ranges, sums): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
+            // Phase 2: offsets (sequential, one element per chunk).
             let offsets = exclusive_offsets(&sums, init, op);
             let offsets = &offsets;
-            // Phase 3: per-chunk scan seeded with the offset.
+            // Phase 3: per-chunk scan seeded with the offset, replaying
+            // the recorded geometry.
             let view = SliceView::new(out);
             let view = &view;
-            exec.run(tasks, &|t| {
-                let r = chunk_range(n, tasks, t);
-                // SAFETY: disjoint chunk ranges.
+            run_over_ranges(policy, &ranges, &|t, r| {
+                // SAFETY: recorded ranges are disjoint.
                 let dst = unsafe { view.range_mut(r.clone()) };
                 scan_range_into(dst, r, get, op, offsets[t].clone(), exclusive);
             });

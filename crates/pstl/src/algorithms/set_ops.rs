@@ -121,7 +121,7 @@ where
             });
             at
         }
-        Plan::Parallel { exec, tasks } => {
+        Plan::Parallel { exec, tasks, .. } => {
             let (ca, cb) = value_cuts(a, b, tasks);
             // Pass 1: per-segment output sizes.
             let mut counts = vec![0usize; tasks];
@@ -240,7 +240,7 @@ where
     let total = haystack.len() + needles.len();
     match policy.plan(total) {
         Plan::Sequential => seq_includes(haystack, needles),
-        Plan::Parallel { exec, tasks } => {
+        Plan::Parallel { exec, tasks, .. } => {
             let (ch, cn) = value_cuts(haystack, needles, tasks);
             let failed = std::sync::atomic::AtomicBool::new(false);
             let failed = &failed;

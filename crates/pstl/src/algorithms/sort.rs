@@ -78,7 +78,7 @@ where
     }
     match policy.plan(n) {
         Plan::Sequential => leaf_sort(data, cmp, stable),
-        Plan::Parallel { exec, tasks } => {
+        Plan::Parallel { exec, tasks, .. } => {
             let tasks = tasks.min(n).max(1);
             if tasks == 1 {
                 // Still dispatch through the pool so small inputs pay the
@@ -259,7 +259,7 @@ where
             seq::introsort(data, &cmp);
             return;
         }
-        Plan::Parallel { exec, tasks } => (exec, exec.num_threads().min(tasks).min(n).max(1)),
+        Plan::Parallel { exec, tasks, .. } => (exec, exec.num_threads().min(tasks).min(n).max(1)),
     };
     if p == 1 {
         seq::introsort(data, &cmp);

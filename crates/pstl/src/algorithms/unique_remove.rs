@@ -6,7 +6,7 @@
 //! past it keep their pre-call values (C++ leaves them unspecified).
 
 use crate::algorithms::for_each::for_each_mut;
-use crate::algorithms::{map_chunks, run_chunks, run_chunks_indexed};
+use crate::algorithms::{map_ranges, run_chunks, run_over_ranges};
 use crate::policy::ExecutionPolicy;
 use crate::ptr::SliceView;
 
@@ -23,17 +23,19 @@ where
     K: Fn(usize) -> bool + Sync,
 {
     let n = src.len();
-    let counts = map_chunks(policy, n, &|r| r.filter(|&i| keep(i)).count());
-    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let parts = map_ranges(policy, n, &|r| r.filter(|&i| keep(i)).count());
+    let mut ranges = Vec::with_capacity(parts.len());
+    let mut offsets = Vec::with_capacity(parts.len() + 1);
     let mut acc = 0usize;
-    for &c in &counts {
+    for (r, c) in parts {
+        ranges.push(r);
         offsets.push(acc);
         acc += c;
     }
     offsets.push(acc);
     assert!(acc <= dst.len(), "compaction destination too short");
     let offsets = &offsets;
-    run_chunks_indexed(policy, n, &|ci, r| {
+    run_over_ranges(policy, &ranges, &|ci, r| {
         let mut at = offsets[ci];
         for i in r {
             if keep(i) {

@@ -9,8 +9,11 @@ use std::ops::Range;
 #[inline]
 pub fn chunk_range(n: usize, tasks: usize, i: usize) -> Range<usize> {
     debug_assert!(i < tasks);
-    let lo = n * i / tasks;
-    let hi = n * (i + 1) / tasks;
+    // Widen the intermediate product: `n * i` overflows usize once
+    // n × tasks exceeds the address space (e.g. a near-usize::MAX range
+    // split many ways), silently mis-chunking on release builds.
+    let lo = (n as u128 * i as u128 / tasks as u128) as usize;
+    let hi = (n as u128 * (i as u128 + 1) / tasks as u128) as usize;
     lo..hi
 }
 
@@ -47,6 +50,23 @@ mod tests {
         let min = lens.iter().min().unwrap();
         let max = lens.iter().max().unwrap();
         assert!(max - min <= 1, "{lens:?}");
+    }
+
+    #[test]
+    fn huge_n_does_not_overflow() {
+        // Regression: with the old `n * i / tasks` arithmetic this
+        // overflowed (panicking in debug, mis-chunking in release) for
+        // any i ≥ 2 once n is near usize::MAX.
+        let n = usize::MAX - 7;
+        let tasks = 64;
+        let mut end = 0;
+        for i in 0..tasks {
+            let r = chunk_range(n, tasks, i);
+            assert_eq!(r.start, end);
+            assert!(r.end >= r.start);
+            end = r.end;
+        }
+        assert_eq!(end, n);
     }
 
     #[test]

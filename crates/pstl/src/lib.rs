@@ -41,8 +41,9 @@ pub mod chunk;
 pub mod policy;
 pub mod ptr;
 pub mod seq;
+mod splitter;
 
-pub use policy::{ExecutionPolicy, ParConfig, Plan};
+pub use policy::{ExecutionPolicy, ParConfig, Partitioner, Plan};
 
 pub use algorithms::adjacent::{adjacent_difference, adjacent_find, adjacent_find_by};
 pub use algorithms::copy_fill::{
@@ -81,7 +82,7 @@ pub use algorithms::unique_remove::{remove_if, replace, replace_if, unique, uniq
 
 /// One-line import of the policy types and all algorithms.
 pub mod prelude {
-    pub use crate::policy::{ExecutionPolicy, ParConfig};
+    pub use crate::policy::{ExecutionPolicy, ParConfig, Partitioner};
 
     pub use crate::algorithms::adjacent::*;
     pub use crate::algorithms::copy_fill::*;

@@ -4,6 +4,49 @@ use std::sync::Arc;
 
 use pstl_executor::Executor;
 
+/// How the element range of one algorithm invocation is carved into
+/// pool tasks — the paper's central axis of backend contrast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partitioner {
+    /// Fixed plan-time chunking: `tasks_for(n)` balanced contiguous
+    /// chunks, decided before dispatch (OpenMP `schedule(static)`, the
+    /// GNU/NVC backends). The historical behaviour and the default.
+    #[default]
+    Static,
+    /// Guided self-scheduling: a shared atomic cursor hands out
+    /// geometrically shrinking chunks (never below `grain`) to whichever
+    /// participant asks next (OpenMP `schedule(guided)`). Cheap — no
+    /// steal signal needed — but the front chunks are large, so
+    /// front-loaded skew still hurts.
+    Guided,
+    /// TBB-`auto_partitioner`-style lazy binary splitting: start from
+    /// ~one range per worker and split a running range in half only
+    /// while other participants are hungry and the range is above
+    /// `grain`; run-to-completion otherwise. Fewest dispatched tasks on
+    /// uniform input, near-greedy makespan under skew.
+    Adaptive,
+}
+
+impl Partitioner {
+    /// Stable lowercase name, used in bench labels and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Partitioner::Static => "static",
+            Partitioner::Guided => "guided",
+            Partitioner::Adaptive => "adaptive",
+        }
+    }
+
+    /// All modes, in documentation order.
+    pub fn all() -> [Partitioner; 3] {
+        [
+            Partitioner::Static,
+            Partitioner::Guided,
+            Partitioner::Adaptive,
+        ]
+    }
+}
+
 /// Tuning knobs of a parallel policy.
 ///
 /// These encode the per-backend chunking behaviours the paper observes:
@@ -24,6 +67,8 @@ pub struct ParConfig {
     /// the fallback: even 1-element inputs pay the dispatch overhead,
     /// which is what the paper measures for TBB and HPX.
     pub seq_threshold: usize,
+    /// How the element range is decomposed into tasks at run time.
+    pub partitioner: Partitioner,
 }
 
 impl Default for ParConfig {
@@ -32,6 +77,7 @@ impl Default for ParConfig {
             grain: 1024,
             max_tasks_per_thread: 8,
             seq_threshold: 0,
+            partitioner: Partitioner::Static,
         }
     }
 }
@@ -60,6 +106,12 @@ impl ParConfig {
     /// Builder-style setter for the grain.
     pub fn grain(mut self, grain: usize) -> Self {
         self.grain = grain.max(1);
+        self
+    }
+
+    /// Builder-style setter for the run-time partitioner.
+    pub fn partitioner(mut self, partitioner: Partitioner) -> Self {
+        self.partitioner = partitioner;
         self
     }
 }
@@ -103,8 +155,13 @@ pub enum Plan<'a> {
     Parallel {
         /// The pool to dispatch to.
         exec: &'a Arc<dyn Executor>,
-        /// Number of task indices to schedule (≥ 1).
+        /// Number of task indices a *static* decomposition would
+        /// schedule (≥ 1). Dynamic partitioners treat this as the upper
+        /// bound on useful decomposition and seed far fewer tasks.
         tasks: usize,
+        /// The policy's chunking behaviour, for partitioner-aware
+        /// helpers (grain, partitioner mode).
+        cfg: ParConfig,
     },
 }
 
@@ -170,6 +227,7 @@ impl ExecutionPolicy {
                     Plan::Parallel {
                         exec,
                         tasks: self.tasks_for(n),
+                        cfg: *cfg,
                     }
                 }
             }
