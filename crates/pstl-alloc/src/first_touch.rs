@@ -27,7 +27,7 @@ unsafe impl<T: Send> Sync for RawParts<T> {}
 /// (the benchmarks measure its cost).
 pub fn alloc_init<T, F>(exec: &Arc<dyn Executor>, n: usize, init: F) -> Vec<T>
 where
-    T: Send + 'static,
+    T: Send,
     F: Fn(usize) -> T + Sync,
 {
     if n == 0 {
@@ -103,7 +103,7 @@ impl FirstTouchAllocator {
     /// Parallel first-touch allocation.
     pub fn alloc<T, F>(&self, n: usize, init: F) -> Vec<T>
     where
-        T: Send + 'static,
+        T: Send,
         F: Fn(usize) -> T + Sync,
     {
         alloc_init(&self.exec, n, init)

@@ -55,7 +55,11 @@ impl Placement {
 
 /// Number of pages spanned by `n` elements of size `elem_size`.
 pub fn pages_for(n: usize, elem_size: usize) -> usize {
-    (n * elem_size).div_ceil(PAGE_SIZE)
+    // Widened intermediate: `n * elem_size` wraps usize for byte counts
+    // near usize::MAX (same bug class as chunk_range / static_partition).
+    ((n as u128 * elem_size as u128).div_ceil(PAGE_SIZE as u128))
+        .try_into()
+        .unwrap_or(usize::MAX)
 }
 
 /// Convenience: allocate `[1, 2, .., n]` as `f64` with the given placement
@@ -83,6 +87,19 @@ mod tests {
         assert_eq!(pages_for(512, 8), 1); // exactly one page of f64
         assert_eq!(pages_for(513, 8), 2);
         assert_eq!(pages_for(1024, 8), 2);
+    }
+
+    #[test]
+    fn pages_for_does_not_overflow_near_usize_max() {
+        // Regression: `n * elem_size` used to wrap, reporting ~0 pages
+        // for huge logical buffers.
+        assert_eq!(pages_for(usize::MAX, 1), usize::MAX / PAGE_SIZE + 1);
+        assert_eq!(
+            pages_for(usize::MAX / 8, 8),
+            (usize::MAX / 8 * 8).div_ceil(PAGE_SIZE)
+        );
+        // Product beyond usize::MAX saturates instead of wrapping.
+        assert_eq!(pages_for(usize::MAX, usize::MAX), usize::MAX);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Recording which logical worker touches which page.
+//! Recording which logical worker — and which NUMA node — touches which
+//! page.
 //!
 //! On real NUMA hardware the kernel records first touch implicitly in the
 //! page tables. To make the allocator's *placement pattern* observable
 //! (for tests, and as the bridge to the `pstl-sim` memory model), this
 //! module computes the page→toucher map implied by a placement policy,
 //! using the same contiguous static partition as
-//! [`alloc_init`](crate::alloc_init).
+//! [`alloc_init`](crate::alloc_init), and projects it through a
+//! [`Topology`] onto nodes so placement is verifiable per node.
+
+use pstl_executor::Topology;
 
 use crate::{pages_for, Placement};
 
@@ -14,16 +18,32 @@ use crate::{pages_for, Placement};
 pub struct TouchMap {
     /// `toucher[p]` is the index of the thread that first touches page `p`.
     pub toucher: Vec<usize>,
+    /// `node[p]` is the NUMA node that page `p` lands on — the node of
+    /// its toucher under the topology the map was computed against.
+    pub node: Vec<usize>,
     /// Threads participating in the touch pass.
     pub threads: usize,
+    /// Nodes spanned by the topology.
+    pub nodes: usize,
 }
 
 impl TouchMap {
     /// The map produced by allocating `n` elements of `elem_size` bytes
-    /// under `placement` with `threads` threads.
+    /// under `placement` with `threads` threads, all on one node.
     pub fn compute(placement: Placement, n: usize, elem_size: usize, threads: usize) -> Self {
+        TouchMap::compute_on(placement, n, elem_size, &Topology::flat(threads))
+    }
+
+    /// As [`compute`](Self::compute), but against an explicit worker →
+    /// node topology, so the per-node placement is observable.
+    pub fn compute_on(
+        placement: Placement,
+        n: usize,
+        elem_size: usize,
+        topology: &Topology,
+    ) -> Self {
         let pages = pages_for(n, elem_size);
-        let threads = threads.max(1);
+        let threads = topology.threads();
         let toucher = match placement {
             Placement::Default => vec![0; pages],
             Placement::FirstTouch => {
@@ -38,7 +58,13 @@ impl TouchMap {
                 t
             }
         };
-        TouchMap { toucher, threads }
+        let node = toucher.iter().map(|&w| topology.node_of(w)).collect();
+        TouchMap {
+            toucher,
+            node,
+            threads,
+            nodes: topology.nodes(),
+        }
     }
 
     /// Number of pages.
@@ -55,6 +81,15 @@ impl TouchMap {
         counts
     }
 
+    /// Count of pages landing on each node.
+    pub fn pages_per_node(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes];
+        for &nd in &self.node {
+            counts[nd] += 1;
+        }
+        counts
+    }
+
     /// Fraction of pages on the thread-0 side — 1.0 under `Default`
     /// placement, ≈ `1/threads` under `FirstTouch`.
     pub fn thread0_fraction(&self) -> f64 {
@@ -63,6 +98,17 @@ impl TouchMap {
         }
         let zero = self.toucher.iter().filter(|&&t| t == 0).count();
         zero as f64 / self.toucher.len() as f64
+    }
+
+    /// Fraction of pages on node 0 — 1.0 under `Default` placement (the
+    /// allocating thread's node holds everything), ≈ `1/nodes` under
+    /// `FirstTouch` on a balanced multi-node topology.
+    pub fn node0_fraction(&self) -> f64 {
+        if self.node.is_empty() {
+            return 0.0;
+        }
+        let zero = self.node.iter().filter(|&&nd| nd == 0).count();
+        zero as f64 / self.node.len() as f64
     }
 }
 
@@ -75,6 +121,7 @@ mod tests {
         let m = TouchMap::compute(Placement::Default, 1 << 20, 8, 16);
         assert!(m.toucher.iter().all(|&t| t == 0));
         assert_eq!(m.thread0_fraction(), 1.0);
+        assert_eq!(m.node0_fraction(), 1.0);
     }
 
     #[test]
@@ -87,6 +134,33 @@ mod tests {
         assert!(max - min <= 1, "uneven touch distribution: {counts:?}");
         let f = m.thread0_fraction();
         assert!((f - 1.0 / 16.0).abs() < 0.01, "thread0 fraction {f}");
+        // Flat topology: every page is on the single node.
+        assert_eq!(m.pages_per_node(), vec![m.pages()]);
+    }
+
+    #[test]
+    fn first_touch_spreads_across_nodes() {
+        // 16 threads on 4 nodes, fill-first: first-touch placement must
+        // put ~1/4 of the pages on each node.
+        let topo = Topology::grouped(16, 4);
+        let m = TouchMap::compute_on(Placement::FirstTouch, 1 << 20, 8, &topo);
+        assert_eq!(m.nodes, 4);
+        let counts = m.pages_per_node();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max - min <= 4, "uneven node distribution: {counts:?}");
+        let f = m.node0_fraction();
+        assert!((f - 0.25).abs() < 0.01, "node0 fraction {f}");
+    }
+
+    #[test]
+    fn default_placement_lands_on_touching_thread_node() {
+        // Default placement pins every page to thread 0's node even on a
+        // multi-node topology.
+        let topo = Topology::grouped(8, 2);
+        let m = TouchMap::compute_on(Placement::Default, 1 << 16, 8, &topo);
+        assert_eq!(m.node0_fraction(), 1.0);
+        assert_eq!(m.pages_per_node(), vec![m.pages(), 0, 0, 0]);
     }
 
     #[test]
@@ -100,6 +174,7 @@ mod tests {
         let a = TouchMap::compute(Placement::Default, 5000, 8, 1);
         let b = TouchMap::compute(Placement::FirstTouch, 5000, 8, 1);
         assert_eq!(a.toucher, b.toucher);
+        assert_eq!(a.node, b.node);
     }
 
     #[test]
@@ -107,5 +182,6 @@ mod tests {
         let m = TouchMap::compute(Placement::FirstTouch, 0, 8, 4);
         assert_eq!(m.pages(), 0);
         assert_eq!(m.thread0_fraction(), 0.0);
+        assert_eq!(m.node0_fraction(), 0.0);
     }
 }

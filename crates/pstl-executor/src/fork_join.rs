@@ -21,6 +21,7 @@ use crate::job::BodyPtr;
 use crate::latch::CountLatch;
 use crate::metrics::PoolMetrics;
 use crate::sync::{ShutdownFlag, WorkSignal};
+use crate::topology::Topology;
 use crate::{Discipline, Executor};
 
 #[derive(Clone)]
@@ -59,6 +60,12 @@ fn run_partition(job: &FjJob, range: std::ops::Range<usize>) {
 
 struct FjShared {
     threads: usize,
+    /// Worker → node map the partition ranks are derived from.
+    topology: Topology,
+    /// Node-sorted rank of each worker ([`Topology::partition_rank`]):
+    /// worker `w` executes partition `rank[w]`, which makes the chunks
+    /// owned by one node's workers contiguous in the index space.
+    rank: Vec<usize>,
     job: Mutex<Option<FjJob>>,
     signal: WorkSignal,
     shutdown: ShutdownFlag,
@@ -92,9 +99,18 @@ impl ForkJoinPool {
     /// A pool where `threads` threads (including the caller) execute each
     /// run. `threads - 1` worker threads are spawned eagerly.
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
+        ForkJoinPool::with_topology(Topology::flat(threads))
+    }
+
+    /// A pool whose static partitions are laid out node-contiguously
+    /// according to `topology`.
+    pub fn with_topology(topology: Topology) -> Self {
+        let threads = topology.threads();
+        let rank = topology.partition_rank();
         let shared = Arc::new(FjShared {
             threads,
+            topology,
+            rank,
             job: Mutex::new(None),
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
@@ -131,7 +147,7 @@ fn worker_loop(shared: &FjShared, worker: usize) {
         match job {
             Some(job) if job.epoch != last_epoch => {
                 last_epoch = job.epoch;
-                let range = static_partition(job.tasks, shared.threads, worker);
+                let range = static_partition(job.tasks, shared.threads, shared.rank[worker]);
                 shared.metrics.record_tasks(1);
                 rec.record(EventKind::TaskStart {
                     size: range.len() as u64,
@@ -191,9 +207,9 @@ impl Executor for ForkJoinPool {
             *slot = Some(master_job.clone());
         }
         self.shared.signal.notify_all();
-        // Master executes partition 0 while the team works.
+        // Master executes its ranked partition while the team works.
         self.shared.metrics.record_tasks(1);
-        let partition = static_partition(tasks, self.shared.threads, 0);
+        let partition = static_partition(tasks, self.shared.threads, self.shared.rank[0]);
         rec.record(EventKind::TaskStart {
             size: partition.len() as u64,
         });
@@ -217,6 +233,10 @@ impl Executor for ForkJoinPool {
 
     fn discipline(&self) -> Discipline {
         Discipline::ForkJoin
+    }
+
+    fn topology(&self) -> Topology {
+        self.shared.topology.clone()
     }
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
@@ -332,6 +352,19 @@ mod tests {
             }
         });
         assert_eq!(same_thread.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn interleaved_topology_still_covers_index_space() {
+        // Ranks permute which partition each worker runs; coverage and
+        // exactly-once execution must be unaffected.
+        let pool = ForkJoinPool::with_topology(Topology::from_nodes(vec![0, 1, 0, 1]));
+        assert_eq!(pool.topology().nodes(), 2);
+        let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(1000, &|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

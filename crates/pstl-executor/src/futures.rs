@@ -21,6 +21,7 @@ use pstl_trace::EventKind;
 
 use crate::job::BodyPtr;
 use crate::task_pool::TaskPool;
+use crate::topology::Topology;
 use crate::{Discipline, Executor};
 
 struct Oneshot<T> {
@@ -143,8 +144,14 @@ impl FuturesPool {
     /// A pool where `threads` threads (including the caller during `run`)
     /// execute block futures.
     pub fn new(threads: usize) -> Self {
+        FuturesPool::with_topology(Topology::flat(threads))
+    }
+
+    /// A pool carrying an explicit worker → node [`Topology`], forwarded
+    /// to the inner task pool.
+    pub fn with_topology(topology: Topology) -> Self {
         FuturesPool {
-            inner: TaskPool::new(threads.max(1)),
+            inner: TaskPool::with_topology(topology),
             run_lock: Mutex::new(()),
         }
     }
@@ -224,6 +231,10 @@ impl Executor for FuturesPool {
 
     fn discipline(&self) -> Discipline {
         Discipline::Futures
+    }
+
+    fn topology(&self) -> Topology {
+        self.inner.topology()
     }
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {

@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod seq;
 pub mod sync;
 pub mod task_pool;
+pub mod topology;
 pub mod work_stealing;
 
 use std::sync::Arc;
@@ -40,6 +41,7 @@ pub use latch::CountLatch;
 pub use metrics::{MetricsSnapshot, PoolMetrics};
 pub use seq::SequentialExecutor;
 pub use task_pool::{Scope, TaskPool};
+pub use topology::Topology;
 pub use work_stealing::WorkStealingPool;
 
 /// A parallel index-space executor.
@@ -96,6 +98,13 @@ pub trait Executor: Send + Sync {
     /// Short human-readable name of the scheduling discipline.
     fn discipline(&self) -> Discipline;
 
+    /// The worker → NUMA-node map this executor schedules against. The
+    /// default is the single-node topology; pools built through
+    /// [`build_pool_on`] report the topology they were given.
+    fn topology(&self) -> Topology {
+        Topology::flat(self.num_threads())
+    }
+
     /// Scheduling counters accumulated since pool creation, if the
     /// implementation tracks them (the real pools do; the sequential
     /// executor has nothing to schedule).
@@ -149,12 +158,19 @@ impl Discipline {
 /// thread count is ignored.
 pub fn build_pool(discipline: Discipline, threads: usize) -> Arc<dyn Executor> {
     let threads = threads.max(1);
+    build_pool_on(discipline, Topology::flat(threads))
+}
+
+/// Build a pool of the given discipline on an explicit worker → node
+/// [`Topology`]; the thread count is the topology's. For
+/// [`Discipline::Sequential`] the topology is ignored.
+pub fn build_pool_on(discipline: Discipline, topology: Topology) -> Arc<dyn Executor> {
     match discipline {
         Discipline::Sequential => Arc::new(SequentialExecutor::new()),
-        Discipline::ForkJoin => Arc::new(ForkJoinPool::new(threads)),
-        Discipline::WorkStealing => Arc::new(WorkStealingPool::new(threads)),
-        Discipline::TaskPool => Arc::new(TaskPool::new(threads)),
-        Discipline::Futures => Arc::new(FuturesPool::new(threads)),
+        Discipline::ForkJoin => Arc::new(ForkJoinPool::with_topology(topology)),
+        Discipline::WorkStealing => Arc::new(WorkStealingPool::with_topology(topology)),
+        Discipline::TaskPool => Arc::new(TaskPool::with_topology(topology)),
+        Discipline::Futures => Arc::new(FuturesPool::with_topology(topology)),
     }
 }
 

@@ -13,6 +13,8 @@ pub struct PoolMetrics {
     runs: AtomicU64,
     tasks_executed: AtomicU64,
     steals: AtomicU64,
+    local_steals: AtomicU64,
+    remote_steals: AtomicU64,
     steal_attempts: AtomicU64,
     parks: AtomicU64,
     splits: AtomicU64,
@@ -29,6 +31,12 @@ pub struct MetricsSnapshot {
     pub tasks_executed: u64,
     /// Successful steals from another participant's deque.
     pub steals: u64,
+    /// Steals whose victim shared the thief's NUMA node. Together with
+    /// `remote_steals` this partitions `steals` exactly.
+    pub local_steals: u64,
+    /// Steals that crossed NUMA nodes (always 0 on single-node
+    /// topologies).
+    pub remote_steals: u64,
     /// Steal attempts, including empty and contended ones.
     pub steal_attempts: u64,
     /// Times a worker gave up finding work and went to sleep.
@@ -56,6 +64,8 @@ impl MetricsSnapshot {
             runs: self.runs - earlier.runs,
             tasks_executed: self.tasks_executed - earlier.tasks_executed,
             steals: self.steals - earlier.steals,
+            local_steals: self.local_steals - earlier.local_steals,
+            remote_steals: self.remote_steals - earlier.remote_steals,
             steal_attempts: self.steal_attempts - earlier.steal_attempts,
             parks: self.parks - earlier.parks,
             splits: self.splits - earlier.splits,
@@ -79,9 +89,15 @@ impl PoolMetrics {
         self.tasks_executed.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Record a successful steal.
-    pub fn record_steal(&self) {
+    /// Record a successful steal, classified by victim locality:
+    /// `local` means the victim shared the thief's NUMA node.
+    pub fn record_steal(&self, local: bool) {
         self.steals.fetch_add(1, Ordering::Relaxed);
+        if local {
+            self.local_steals.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.remote_steals.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Record a steal attempt (successful or not).
@@ -105,6 +121,8 @@ impl PoolMetrics {
             runs: self.runs.load(Ordering::Relaxed),
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            local_steals: self.local_steals.load(Ordering::Relaxed),
+            remote_steals: self.remote_steals.load(Ordering::Relaxed),
             steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
@@ -122,7 +140,8 @@ mod tests {
         m.record_run();
         m.record_tasks(10);
         m.record_tasks(5);
-        m.record_steal();
+        m.record_steal(true);
+        m.record_steal(false);
         m.record_steal_attempt();
         m.record_steal_attempt();
         m.record_park();
@@ -131,7 +150,10 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.runs, 1);
         assert_eq!(s.tasks_executed, 15);
-        assert_eq!(s.steals, 1);
+        assert_eq!(s.steals, 2);
+        assert_eq!(s.local_steals, 1);
+        assert_eq!(s.remote_steals, 1);
+        assert_eq!(s.steals, s.local_steals + s.remote_steals);
         assert_eq!(s.steal_attempts, 2);
         assert_eq!(s.parks, 1);
         assert_eq!(s.splits, 2);

@@ -23,6 +23,7 @@ use crate::job::Job;
 use crate::latch::WaitGroup;
 use crate::metrics::PoolMetrics;
 use crate::sync::{ShutdownFlag, WorkSignal};
+use crate::topology::Topology;
 use crate::{Discipline, Executor};
 
 type BoxTask = Box<dyn FnOnce() + Send>;
@@ -37,6 +38,10 @@ struct QueuedTask {
 
 struct TpShared {
     threads: usize,
+    /// Worker → node map, reported through [`Executor::topology`]. The
+    /// central queue itself is locality-blind (that *is* the HPX-style
+    /// cost this pool models), so the topology only affects accounting.
+    topology: Topology,
     queue: Injector<QueuedTask>,
     signal: WorkSignal,
     shutdown: ShutdownFlag,
@@ -59,9 +64,16 @@ impl TaskPool {
     /// A pool where `threads` threads (including the caller during `run`)
     /// execute tasks.
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
+        TaskPool::with_topology(Topology::flat(threads))
+    }
+
+    /// A pool carrying an explicit worker → node [`Topology`] (reported,
+    /// not scheduled on — see [`TpShared::topology`]).
+    pub fn with_topology(topology: Topology) -> Self {
+        let threads = topology.threads();
         let shared = Arc::new(TpShared {
             threads,
+            topology,
             queue: Injector::new(),
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
@@ -348,6 +360,10 @@ impl Executor for TaskPool {
 
     fn discipline(&self) -> Discipline {
         Discipline::TaskPool
+    }
+
+    fn topology(&self) -> Topology {
+        self.shared.topology.clone()
     }
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {

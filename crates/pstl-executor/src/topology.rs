@@ -1,0 +1,158 @@
+//! Worker → NUMA-node topology.
+//!
+//! The paper's scalability cliffs are NUMA cliffs (its Table 6
+//! efficiency collapse starts exactly where a second node joins), so
+//! the pools need to know which node each participant lives on. A
+//! [`Topology`] is that map: one node id per worker index, with worker
+//! 0 being the calling thread under the "master participates"
+//! convention. On this reproduction's host every pool is physically
+//! single-node — the topology is a *logical* assignment that drives
+//! victim ordering, partition layout, and placement accounting, all of
+//! which are testable without real NUMA hardware.
+
+/// Map from worker index to NUMA node, shared by a pool's participants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    node_of: Vec<usize>,
+    nodes: usize,
+}
+
+impl Topology {
+    /// Single-node topology: every worker on node 0 (the default for
+    /// pools built without an explicit topology).
+    pub fn flat(threads: usize) -> Self {
+        Topology {
+            node_of: vec![0; threads.max(1)],
+            nodes: 1,
+        }
+    }
+
+    /// Fill-first grouping: worker `w` lives on node `w / cores_per_node`,
+    /// matching how the paper's machines are filled core-by-core before
+    /// spilling onto the next node (OMP_PLACES=cores, close binding).
+    pub fn grouped(threads: usize, cores_per_node: usize) -> Self {
+        let threads = threads.max(1);
+        let per = cores_per_node.max(1);
+        Topology::from_nodes((0..threads).map(|w| w / per).collect())
+    }
+
+    /// Explicit per-worker node ids (arbitrary layouts, e.g. interleaved
+    /// test topologies). Node ids need not be dense; `nodes()` reports
+    /// `max(id) + 1`. An empty vector degenerates to one worker on
+    /// node 0.
+    pub fn from_nodes(node_of: Vec<usize>) -> Self {
+        if node_of.is_empty() {
+            return Topology::flat(1);
+        }
+        let nodes = node_of.iter().copied().max().unwrap_or(0) + 1;
+        Topology { node_of, nodes }
+    }
+
+    /// Number of participating workers.
+    pub fn threads(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of NUMA nodes spanned (`max(node id) + 1`).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Node id of worker `w`.
+    pub fn node_of(&self, w: usize) -> usize {
+        self.node_of[w]
+    }
+
+    /// Whether workers `a` and `b` share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of[a] == self.node_of[b]
+    }
+
+    /// Fellow workers on `w`'s node, excluding `w` itself.
+    pub fn local_peers(&self, w: usize) -> Vec<usize> {
+        (0..self.threads())
+            .filter(|&v| v != w && self.same_node(v, w))
+            .collect()
+    }
+
+    /// Workers on other nodes than `w`'s.
+    pub fn remote_peers(&self, w: usize) -> Vec<usize> {
+        (0..self.threads())
+            .filter(|&v| !self.same_node(v, w))
+            .collect()
+    }
+
+    /// Stable node-sorted rank of each worker: workers sorted by
+    /// `(node, index)`, so consecutive ranks share a node wherever
+    /// possible. Fork-join partitioning indexes its contiguous chunks by
+    /// this rank, which makes the chunks of one node's workers adjacent
+    /// in the element space — node-contiguous ranges — even under
+    /// interleaved worker→node layouts. Under fill-first layouts
+    /// ([`Topology::flat`], [`Topology::grouped`]) the rank is the
+    /// identity.
+    pub fn partition_rank(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.threads()).collect();
+        order.sort_by_key(|&w| (self.node_of[w], w));
+        let mut rank = vec![0; self.threads()];
+        for (r, &w) in order.iter().enumerate() {
+            rank[w] = r;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_single_node() {
+        let t = Topology::flat(4);
+        assert_eq!(t.threads(), 4);
+        assert_eq!(t.nodes(), 1);
+        assert!(t.same_node(0, 3));
+        assert!(t.remote_peers(0).is_empty());
+        assert_eq!(t.local_peers(0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn grouped_fills_first_node_before_next() {
+        let t = Topology::grouped(6, 2);
+        assert_eq!(t.nodes(), 3);
+        assert_eq!(
+            (0..6).map(|w| t.node_of(w)).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1, 2, 2]
+        );
+        assert_eq!(t.local_peers(2), vec![3]);
+        assert_eq!(t.remote_peers(2), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Topology::flat(0).threads(), 1);
+        assert_eq!(Topology::grouped(0, 0).threads(), 1);
+        assert_eq!(Topology::from_nodes(vec![]).threads(), 1);
+    }
+
+    #[test]
+    fn partition_rank_is_identity_for_fill_first() {
+        let t = Topology::grouped(8, 4);
+        assert_eq!(t.partition_rank(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_rank_groups_interleaved_nodes() {
+        // Round-robin layout 0,1,0,1: node 0's workers {0,2} must get
+        // adjacent ranks, likewise node 1's workers {1,3}.
+        let t = Topology::from_nodes(vec![0, 1, 0, 1]);
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.partition_rank(), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn sparse_node_ids_report_max_plus_one() {
+        let t = Topology::from_nodes(vec![0, 3]);
+        assert_eq!(t.nodes(), 4);
+        assert!(!t.same_node(0, 1));
+    }
+}

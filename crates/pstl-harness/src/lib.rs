@@ -87,6 +87,11 @@ pub struct SchedDelta {
     pub tasks_executed: u64,
     /// Successful steals.
     pub steals: u64,
+    /// Steals whose victim shared the thief's NUMA node (partitions
+    /// `steals` together with `remote_steals`).
+    pub local_steals: u64,
+    /// Steals that crossed NUMA nodes.
+    pub remote_steals: u64,
     /// Steal attempts (successful or not).
     pub steal_attempts: u64,
     /// Worker parks.
@@ -102,6 +107,8 @@ impl From<MetricsSnapshot> for SchedDelta {
             runs: s.runs,
             tasks_executed: s.tasks_executed,
             steals: s.steals,
+            local_steals: s.local_steals,
+            remote_steals: s.remote_steals,
             steal_attempts: s.steal_attempts,
             parks: s.parks,
             splits: s.splits,
@@ -368,6 +375,8 @@ mod tests {
                 runs: 1,
                 tasks_executed: 42,
                 steals: 3,
+                local_steals: 2,
+                remote_steals: 1,
                 steal_attempts: 7,
                 parks: 2,
                 splits: 5,
@@ -377,6 +386,8 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["sched"]["tasks_executed"].as_u64(), Some(42));
         assert_eq!(v["sched"]["steals"].as_u64(), Some(3));
+        assert_eq!(v["sched"]["local_steals"].as_u64(), Some(2));
+        assert_eq!(v["sched"]["remote_steals"].as_u64(), Some(1));
         assert_eq!(v["sched"]["splits"].as_u64(), Some(5));
     }
 }

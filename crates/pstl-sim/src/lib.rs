@@ -40,5 +40,5 @@ pub use exec::{CpuSim, RunParams};
 pub use gpu::{GpuRun, GpuSim};
 pub use kernels::{DType, Kernel};
 pub use machine::{Machine, MachineId};
-pub use memory::{MemorySystem, PagePlacement};
-pub use sched_sim::{SchedSim, SimDiscipline};
+pub use memory::{MemorySystem, PagePlacement, REMOTE_DRAM_FACTOR};
+pub use sched_sim::{SchedSim, SimDiscipline, SplitStats, VictimOrder};

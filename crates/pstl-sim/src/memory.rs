@@ -38,6 +38,13 @@ impl PagePlacement {
 /// 135 / (67.5 + 0.25·67.5) ≈ 1.6.
 const XLINK_FRACTION: f64 = 0.25;
 
+/// Fraction of local-DRAM bandwidth that a remote (cross-node) access
+/// stream achieves — the node-distance penalty of Table 2's two-hop
+/// DRAM. Its reciprocal is the slowdown of processing a page whose home
+/// is another node, which is what the NUMA steal simulation charges as
+/// its `remote_exec_factor`.
+pub const REMOTE_DRAM_FACTOR: f64 = 0.7;
+
 /// Per-core L2 streaming bandwidth, GB/s (order-of-magnitude; only the
 /// in-cache vs DRAM contrast matters for the figures).
 const L2_BW_PER_CORE_GBS: f64 = 48.0;
@@ -87,7 +94,7 @@ impl MemorySystem {
             // of the pages are local; the rest cross the interconnect.
             let local_frac = process_nodes as f64 / page_nodes as f64;
             let base = self.dram_bandwidth(threads, PagePlacement::Spread);
-            return base * (local_frac + (1.0 - local_frac) * 0.7);
+            return base * (local_frac + (1.0 - local_frac) * REMOTE_DRAM_FACTOR);
         }
         self.dram_bandwidth(threads, placement)
     }
@@ -120,7 +127,8 @@ impl MemorySystem {
                 let local_bw = (local as f64 * per_thread).min(node_bw);
                 // Remote threads add traffic over the interconnect but the
                 // pages' home node caps the total.
-                let remote_bw = (remote as f64 * per_thread * 0.7).min(node_bw * XLINK_FRACTION);
+                let remote_bw =
+                    (remote as f64 * per_thread * REMOTE_DRAM_FACTOR).min(node_bw * XLINK_FRACTION);
                 local_bw + remote_bw
             }
         }

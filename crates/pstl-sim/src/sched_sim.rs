@@ -255,6 +255,192 @@ impl SchedSim {
     }
 }
 
+/// Victim-selection order of the NUMA-aware stealing simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum VictimOrder {
+    /// Topology-blind: steal from the most-loaded divisible victim
+    /// anywhere. The real executor randomizes its victim order; over a
+    /// run that averages to node-proportional victim choice, which this
+    /// deterministic rule models.
+    Blind,
+    /// Two-tier: steal from the most-loaded divisible victim on the
+    /// thief's own node, and go off-node only when no local victim is
+    /// divisible — the executor's locality-aware order.
+    LocalFirst,
+}
+
+impl VictimOrder {
+    /// Stable lowercase name for labels and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimOrder::Blind => "blind",
+            VictimOrder::LocalFirst => "local_first",
+        }
+    }
+}
+
+/// Outcome of one [`SchedSim::numa_split_stats`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SplitStats {
+    /// Time until the last task finishes.
+    pub makespan: f64,
+    /// Successful steals whose victim shared the thief's node.
+    pub local_steals: u64,
+    /// Successful steals that crossed nodes.
+    pub remote_steals: u64,
+}
+
+impl SplitStats {
+    /// `local / (local + remote)`; 1.0 when nothing was stolen (no steal
+    /// ever left a node).
+    pub fn local_fraction(&self) -> f64 {
+        let total = self.local_steals + self.remote_steals;
+        if total == 0 {
+            return 1.0;
+        }
+        self.local_steals as f64 / total as f64
+    }
+}
+
+impl SchedSim {
+    /// Node-distance-aware variant of the splitting simulation.
+    ///
+    /// Workers are laid out fill-first over nodes of `cores_per_node`
+    /// cores (the [`crate::machine::Machine`] convention). Each task's
+    /// *home node* is the node of its initial static owner — where its
+    /// pages landed under first touch. Three topology costs apply:
+    ///
+    /// * a steal within a node costs `local_steal_cost`, one that crosses
+    ///   nodes costs `remote_steal_cost` (cross-link latency, Table 2);
+    /// * executing a task away from its home node multiplies its duration
+    ///   by `remote_exec_factor` (remote DRAM vs local DRAM bandwidth);
+    /// * `order` picks the victim-selection rule under test.
+    ///
+    /// The topology-free [`makespan`](Self::makespan) path is untouched:
+    /// with one node, `remote_exec_factor == 1`, and equal steal costs
+    /// this reduces to [`SimDiscipline::AdaptiveSplit`]'s model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn numa_split_stats(
+        &self,
+        durations: &[f64],
+        grain: usize,
+        cores_per_node: usize,
+        local_steal_cost: f64,
+        remote_steal_cost: f64,
+        remote_exec_factor: f64,
+        order: VictimOrder,
+    ) -> SplitStats {
+        let n = durations.len();
+        let grain = grain.max(1);
+        let per = cores_per_node.max(1);
+        let node_of = |w: usize| w / per;
+        let mut stats = SplitStats {
+            makespan: 0.0,
+            local_steals: 0,
+            remote_steals: 0,
+        };
+        if n == 0 {
+            return stats;
+        }
+        // Queues of (duration, home node); home = initial owner's node.
+        let mut queues: Vec<std::collections::VecDeque<(f64, usize)>> = (0..self.workers)
+            .map(|w| {
+                let lo = n * w / self.workers;
+                let hi = n * (w + 1) / self.workers;
+                durations[lo..hi].iter().map(|&d| (d, node_of(w))).collect()
+            })
+            .collect();
+        let mut clock = vec![0.0f64; self.workers];
+        let exec_cost = |d: f64, home: usize, w: usize| {
+            if home == node_of(w) {
+                d
+            } else {
+                d * remote_exec_factor
+            }
+        };
+        loop {
+            let idle = clock
+                .iter()
+                .enumerate()
+                .filter(|(w, _)| queues[*w].is_empty())
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(w, _)| w);
+            match idle {
+                None => {
+                    let w = (0..self.workers)
+                        .filter(|w| !queues[*w].is_empty())
+                        .min_by(|a, b| clock[*a].total_cmp(&clock[*b]))
+                        .expect("some queue non-empty or loop ended");
+                    let (d, home) = queues[w].pop_front().expect("non-empty");
+                    clock[w] += exec_cost(d, home, w);
+                }
+                Some(w) => {
+                    let most_loaded = |candidates: &mut dyn Iterator<Item = usize>| {
+                        candidates.max_by(|a, b| {
+                            let wa: f64 = queues[*a].iter().map(|(d, _)| d).sum();
+                            let wb: f64 = queues[*b].iter().map(|(d, _)| d).sum();
+                            wa.total_cmp(&wb)
+                        })
+                    };
+                    let divisible = |v: usize, w: usize| v != w && queues[v].len() > grain;
+                    let victim = match order {
+                        VictimOrder::Blind => {
+                            most_loaded(&mut (0..self.workers).filter(|&v| divisible(v, w)))
+                        }
+                        VictimOrder::LocalFirst => most_loaded(
+                            &mut (0..self.workers)
+                                .filter(|&v| divisible(v, w) && node_of(v) == node_of(w)),
+                        )
+                        .or_else(|| {
+                            most_loaded(&mut (0..self.workers).filter(|&v| divisible(v, w)))
+                        }),
+                    };
+                    match victim {
+                        Some(v) => {
+                            let local = node_of(v) == node_of(w);
+                            let cost = if local {
+                                local_steal_cost
+                            } else {
+                                remote_steal_cost
+                            };
+                            if local {
+                                stats.local_steals += 1;
+                            } else {
+                                stats.remote_steals += 1;
+                            }
+                            let at = clock[w].max(clock[v]) + cost;
+                            clock[w] = at;
+                            let keep = queues[v].len().div_ceil(2);
+                            let stolen: Vec<(f64, usize)> = queues[v].drain(keep..).collect();
+                            queues[w].extend(stolen);
+                        }
+                        None => {
+                            if queues.iter().all(|q| q.len() <= grain) {
+                                for (v, q) in queues.iter_mut().enumerate() {
+                                    while let Some((d, home)) = q.pop_front() {
+                                        clock[v] += exec_cost(d, home, v);
+                                    }
+                                }
+                                stats.makespan = clock.iter().cloned().fold(0.0, f64::max);
+                                return stats;
+                            }
+                            clock[w] = f64::INFINITY;
+                        }
+                    }
+                }
+            }
+            if queues.iter().all(|q| q.is_empty()) {
+                stats.makespan = clock
+                    .iter()
+                    .cloned()
+                    .filter(|t| t.is_finite())
+                    .fold(0.0, f64::max);
+                return stats;
+            }
+        }
+    }
+}
+
 /// Total-ordered f64 wrapper for the scheduling heap.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Time(f64);
@@ -490,6 +676,96 @@ mod tests {
             fine <= coarse,
             "finer grain {fine} must not lose to coarse {coarse} under skew"
         );
+    }
+
+    #[test]
+    fn numa_single_node_matches_adaptive_split() {
+        // One node, unit exec factor, equal steal costs: the NUMA loop
+        // must reduce exactly to the topology-free splitting model.
+        let sim = SchedSim::new(8);
+        let mut work = vec![1.0; 2048];
+        for d in work.iter_mut().take(256) {
+            *d = 15.0;
+        }
+        let plain = sim.makespan(
+            &work,
+            SimDiscipline::AdaptiveSplit {
+                grain: 4,
+                split_cost: 0.5,
+            },
+        );
+        for order in [VictimOrder::Blind, VictimOrder::LocalFirst] {
+            let stats = sim.numa_split_stats(&work, 4, 8, 0.5, 0.5, 1.0, order);
+            assert!(
+                (stats.makespan - plain).abs() < 1e-9,
+                "{order:?}: {} vs {plain}",
+                stats.makespan
+            );
+            assert_eq!(stats.remote_steals, 0, "{order:?} crossed a node of 1");
+        }
+    }
+
+    #[test]
+    fn numa_local_first_raises_local_steal_fraction() {
+        // 8 workers on 2 nodes, heavy skew on node 0's partitions: the
+        // two-tier order must keep a larger share of steals on-node than
+        // the topology-blind order.
+        let sim = SchedSim::new(8);
+        let mut work = vec![1.0; 4096];
+        for d in work.iter_mut().take(1024) {
+            *d = 20.0;
+        }
+        let blind = sim.numa_split_stats(&work, 4, 4, 0.1, 1.0, 1.4, VictimOrder::Blind);
+        let local = sim.numa_split_stats(&work, 4, 4, 0.1, 1.0, 1.4, VictimOrder::LocalFirst);
+        assert!(
+            blind.local_steals + blind.remote_steals > 0,
+            "skewed run must steal"
+        );
+        assert!(
+            local.local_fraction() >= blind.local_fraction(),
+            "local-first fraction {} below blind {}",
+            local.local_fraction(),
+            blind.local_fraction()
+        );
+        assert!(
+            local.local_fraction() > 0.5,
+            "local-first fraction {} not majority-local",
+            local.local_fraction()
+        );
+    }
+
+    #[test]
+    fn numa_remote_execution_costs_show_in_makespan() {
+        // Same schedule shape, dearer remote execution: makespan can only
+        // grow (stolen remote-home tasks run slower).
+        let sim = SchedSim::new(8);
+        let mut work = vec![1.0; 2048];
+        for d in work.iter_mut().take(512) {
+            *d = 20.0;
+        }
+        let cheap = sim.numa_split_stats(&work, 4, 4, 0.1, 0.1, 1.0, VictimOrder::Blind);
+        let dear = sim.numa_split_stats(&work, 4, 4, 0.1, 0.1, 2.0, VictimOrder::Blind);
+        assert!(
+            dear.makespan >= cheap.makespan,
+            "remote factor 2 makespan {} below factor-1 {}",
+            dear.makespan,
+            cheap.makespan
+        );
+    }
+
+    #[test]
+    fn numa_empty_input_is_zero() {
+        let sim = SchedSim::new(4);
+        let stats = sim.numa_split_stats(&[], 1, 2, 0.1, 1.0, 1.4, VictimOrder::LocalFirst);
+        assert_eq!(stats.makespan, 0.0);
+        assert_eq!(stats.local_steals + stats.remote_steals, 0);
+        assert_eq!(stats.local_fraction(), 1.0);
+    }
+
+    #[test]
+    fn victim_order_names_are_stable() {
+        assert_eq!(VictimOrder::Blind.name(), "blind");
+        assert_eq!(VictimOrder::LocalFirst.name(), "local_first");
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Extension experiment: the NUMA topology sweep (see
+//! `experiments::numa_real`) — steal locality, first-touch placement,
+//! and allocator gain per Table-2 machine, plus the real pool's two-tier
+//! steal counters. Writes the table JSON plus the `BENCH_numa.json`
+//! baseline.
+
+use pstl_suite::experiments::numa_real;
+use pstl_suite::output::results_dir;
+
+fn main() {
+    let bench = numa_real::bench();
+    let table = numa_real::build_table(&bench);
+    print!("{}", table.render());
+
+    println!(
+        "\nsimulated steal mix (skewed work, grain {}):",
+        bench.sim_grain
+    );
+    for m in &bench.machines {
+        for s in &m.steal_mix {
+            println!(
+                "  {:<18} {:<12} makespan {:>8.1}  local {:>5}  remote {:>5}  ({:.0}% local)",
+                m.machine,
+                s.order,
+                s.makespan,
+                s.local_steals,
+                s.remote_steals,
+                s.local_fraction * 100.0
+            );
+        }
+    }
+    let p = &bench.pool;
+    println!(
+        "\nreal WS pool ({} threads, {} nodes): steals {} = local {} + remote {}; flat remote {}",
+        p.threads, p.nodes, p.steals, p.local_steals, p.remote_steals, p.flat_remote_steals
+    );
+
+    match table.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+    let bench_path = results_dir().join("BENCH_numa.json");
+    match serde_json::to_string_pretty(&bench)
+        .map_err(std::io::Error::other)
+        .and_then(|s| std::fs::write(&bench_path, s + "\n"))
+    {
+        Ok(()) => println!("wrote {}", bench_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", bench_path.display()),
+    }
+}

@@ -33,6 +33,7 @@ fn main() {
         exp::ablations::build_placement(),
         exp::ablations::build_arm_prediction(),
         exp::crossover::build(),
+        exp::numa_real::build_table(&exp::numa_real::bench()),
     ];
     for t in &tables {
         println!("{}", t.render());

@@ -89,6 +89,14 @@ fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<String> {
                 r#"{{"name":"steal","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
                 us(e.t_ns)
             )),
+            EventKind::LocalSteal { victim } => out.push(format!(
+                r#"{{"name":"steal_local","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
+                us(e.t_ns)
+            )),
+            EventKind::RemoteSteal { victim } => out.push(format!(
+                r#"{{"name":"steal_remote","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
+                us(e.t_ns)
+            )),
             EventKind::RangeSplit { size } => out.push(format!(
                 r#"{{"name":"split","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"size":{size}}}}}"#,
                 us(e.t_ns)
@@ -149,6 +157,7 @@ mod tests {
                     events: vec![
                         ev(150, EventKind::StealAttempt { victim: 0 }),
                         ev(200, EventKind::StealSuccess { victim: 0 }),
+                        ev(205, EventKind::LocalSteal { victim: 0 }),
                         ev(210, EventKind::TaskStart { size: 4 }),
                         ev(300, EventKind::TaskSpawn { size: 2 }),
                         ev(800, EventKind::TaskFinish),
@@ -168,6 +177,7 @@ mod tests {
         assert!(json.contains(r#""tid":0"#));
         assert!(json.contains(r#""tid":1"#));
         assert!(json.contains(r#""name":"steal""#));
+        assert!(json.contains(r#""name":"steal_local""#));
         assert!(json.contains(r#""name":"park""#));
         // Task X event carries microsecond dur: 800 ns → 0.800 us.
         assert!(json.contains(r#""dur":0.800"#));

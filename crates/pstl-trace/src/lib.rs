@@ -52,6 +52,11 @@ pub enum EventKind {
     StealAttempt { victim: u64 },
     /// The steal from `victim` succeeded.
     StealSuccess { victim: u64 },
+    /// The successful steal took work from a victim on the thief's own
+    /// NUMA node (always follows a [`EventKind::StealSuccess`]).
+    LocalSteal { victim: u64 },
+    /// The successful steal crossed NUMA nodes.
+    RemoteSteal { victim: u64 },
     /// The worker went to sleep waiting for work.
     Park,
     /// The worker woke up.
@@ -77,6 +82,8 @@ mod encoding {
     const TAG_PARK: u64 = 7;
     const TAG_UNPARK: u64 = 8;
     const TAG_RANGE_SPLIT: u64 = 9;
+    const TAG_LOCAL_STEAL: u64 = 10;
+    const TAG_REMOTE_STEAL: u64 = 11;
 
     const PAYLOAD_BITS: u32 = 56;
     const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
@@ -95,6 +102,8 @@ mod encoding {
                 EventKind::Park => (TAG_PARK, 0),
                 EventKind::Unpark => (TAG_UNPARK, 0),
                 EventKind::RangeSplit { size } => (TAG_RANGE_SPLIT, size),
+                EventKind::LocalSteal { victim } => (TAG_LOCAL_STEAL, victim),
+                EventKind::RemoteSteal { victim } => (TAG_REMOTE_STEAL, victim),
             };
             (tag << PAYLOAD_BITS) | (payload & PAYLOAD_MASK)
         }
@@ -111,6 +120,8 @@ mod encoding {
                 TAG_STEAL_SUCCESS => EventKind::StealSuccess { victim: payload },
                 TAG_PARK => EventKind::Park,
                 TAG_RANGE_SPLIT => EventKind::RangeSplit { size: payload },
+                TAG_LOCAL_STEAL => EventKind::LocalSteal { victim: payload },
+                TAG_REMOTE_STEAL => EventKind::RemoteSteal { victim: payload },
                 _ => EventKind::Unpark,
             }
         }
@@ -181,6 +192,8 @@ mod tests {
             EventKind::Park,
             EventKind::Unpark,
             EventKind::RangeSplit { size: 4096 },
+            EventKind::LocalSteal { victim: 7 },
+            EventKind::RemoteSteal { victim: 63 },
         ] {
             assert_eq!(EventKind::decode(kind.encode()), kind);
         }

@@ -19,6 +19,10 @@ pub struct WorkerStats {
     pub tasks: u64,
     pub steal_attempts: u64,
     pub steals: u64,
+    /// Successful steals from a victim on the thief's own NUMA node.
+    pub local_steals: u64,
+    /// Successful steals that crossed NUMA nodes.
+    pub remote_steals: u64,
     pub parks: u64,
     /// Lazy range splits published from this track (the adaptive
     /// partitioner's shared `splitter` track carries all of them).
@@ -72,6 +76,8 @@ pub fn analyze(log: &TraceLog) -> TraceStats {
                 tasks: 0,
                 steal_attempts: 0,
                 steals: 0,
+                local_steals: 0,
+                remote_steals: 0,
                 parks: 0,
                 splits: 0,
             };
@@ -103,6 +109,8 @@ pub fn analyze(log: &TraceLog) -> TraceStats {
                             latencies.push(e.t_ns.saturating_sub(t));
                         }
                     }
+                    EventKind::LocalSteal { .. } => stats.local_steals += 1,
+                    EventKind::RemoteSteal { .. } => stats.remote_steals += 1,
                     EventKind::Park => stats.parks += 1,
                     EventKind::RangeSplit { .. } => stats.splits += 1,
                     _ => {}

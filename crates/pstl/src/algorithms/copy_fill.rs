@@ -1,6 +1,6 @@
 //! `copy` / `fill` / `generate` family.
 
-use crate::algorithms::{map_ranges, run_chunks, run_over_ranges};
+use crate::algorithms::{map_ranges, run_chunks, run_over_ranges, scratch_filled};
 use crate::policy::ExecutionPolicy;
 use crate::ptr::SliceView;
 
@@ -53,14 +53,14 @@ where
     let parts = map_ranges(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
     // Phase 2: exclusive prefix of chunk offsets (tiny, sequential).
     let mut ranges = Vec::with_capacity(parts.len());
-    let mut offsets = Vec::with_capacity(parts.len() + 1);
+    let mut offsets = scratch_filled(policy, parts.len() + 1, 0usize);
     let mut acc = 0usize;
-    for (r, c) in parts {
+    for (i, (r, c)) in parts.into_iter().enumerate() {
         ranges.push(r);
-        offsets.push(acc);
+        offsets[i] = acc;
         acc += c;
     }
-    offsets.push(acc);
+    *offsets.last_mut().expect("offsets never empty") = acc;
     let total = acc;
     assert!(total <= dst.len(), "copy_if: destination too short");
     // Phase 3: scatter each chunk's matches at its offset.

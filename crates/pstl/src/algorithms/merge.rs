@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 
 use crate::algorithms::find_search::find_adjacent;
+use crate::algorithms::scratch_clone;
 use crate::chunk::chunk_range;
 use crate::policy::{ExecutionPolicy, Plan};
 use crate::ptr::SliceView;
@@ -127,7 +128,7 @@ where
     if mid == 0 || mid == data.len() {
         return;
     }
-    let mut scratch: Vec<T> = data.to_vec();
+    let mut scratch: Vec<T> = scratch_clone(policy, data);
     {
         let (a, b) = data.split_at(mid);
         merge_by(policy, a, b, &mut scratch, &cmp);

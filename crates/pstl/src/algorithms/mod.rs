@@ -29,6 +29,8 @@ use std::mem::MaybeUninit;
 use std::ops::Range;
 use std::sync::Mutex;
 
+use pstl_alloc::Placement;
+
 use crate::chunk::chunk_range;
 use crate::policy::{ExecutionPolicy, Partitioner, Plan};
 use crate::ptr::SliceView;
@@ -155,6 +157,46 @@ where
                 }
             });
         }
+    }
+}
+
+/// Clone `src` into a scratch buffer, routing the allocation through
+/// `pstl-alloc` parallel first touch when the policy's
+/// [`Placement`] asks for it.
+///
+/// This is the single allocation entry point for the algorithms'
+/// whole-input scratch/output buffers (`sort` merge scratch, `partition`
+/// copies, `inplace_merge`, `unique`…). Under [`Placement::Default`] it is
+/// a plain `to_vec()` — every page first-touched by the calling thread,
+/// the paper's "default allocator" baseline. Under
+/// [`Placement::FirstTouch`] pages are touched and initialized with the
+/// policy's own pool, so on a NUMA machine they land on the nodes of the
+/// threads that will process them (paper §3.3).
+pub(crate) fn scratch_clone<T>(policy: &ExecutionPolicy, src: &[T]) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+{
+    match policy {
+        ExecutionPolicy::Par { exec, cfg } if cfg.placement == Placement::FirstTouch => {
+            pstl_alloc::alloc_init(exec, src.len(), |i| src[i].clone())
+        }
+        _ => src.to_vec(),
+    }
+}
+
+/// A length-`n` buffer filled with clones of `value`, placement-routed
+/// like [`scratch_clone`]. Used for the per-chunk offset/count control
+/// buffers of the scatter-shaped algorithms (`copy_if`, `partition`,
+/// `set_*`, scans); their contents are then computed in place.
+pub(crate) fn scratch_filled<T>(policy: &ExecutionPolicy, n: usize, value: T) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+{
+    match policy {
+        ExecutionPolicy::Par { exec, cfg } if cfg.placement == Placement::FirstTouch => {
+            pstl_alloc::alloc_init(exec, n, |_| value.clone())
+        }
+        _ => vec![value; n],
     }
 }
 

@@ -6,7 +6,7 @@
 //! guarantee than `std::partition`, matching `std::stable_partition`).
 
 use crate::algorithms::find_search::find_first_index;
-use crate::algorithms::{map_ranges, run_chunks, run_over_ranges};
+use crate::algorithms::{map_ranges, run_chunks, run_over_ranges, scratch_clone, scratch_filled};
 use crate::policy::ExecutionPolicy;
 use crate::ptr::SliceView;
 
@@ -39,19 +39,19 @@ where
     // half starting at total_true.
     let total_true: usize = parts.iter().map(|(_, c)| c).sum();
     let mut ranges = Vec::with_capacity(parts.len());
-    let mut true_off = Vec::with_capacity(parts.len());
-    let mut false_off = Vec::with_capacity(parts.len());
+    let mut true_off = scratch_filled(policy, parts.len(), 0usize);
+    let mut false_off = scratch_filled(policy, parts.len(), 0usize);
     let mut t_acc = 0usize;
     let mut f_acc = total_true;
-    for (r, c) in parts {
-        true_off.push(t_acc);
-        false_off.push(f_acc);
+    for (i, (r, c)) in parts.into_iter().enumerate() {
+        true_off[i] = t_acc;
+        false_off[i] = f_acc;
         t_acc += c;
         f_acc += r.len() - c;
         ranges.push(r);
     }
     // Phase 3: scatter into scratch, then copy back.
-    let mut scratch: Vec<T> = data.to_vec();
+    let mut scratch: Vec<T> = scratch_clone(policy, data);
     {
         let view = SliceView::new(&mut scratch);
         let view = &view;
@@ -123,13 +123,13 @@ where
         "partition_copy: out_false too short"
     );
     let mut ranges = Vec::with_capacity(parts.len());
-    let mut true_off = Vec::with_capacity(parts.len());
-    let mut false_off = Vec::with_capacity(parts.len());
+    let mut true_off = scratch_filled(policy, parts.len(), 0usize);
+    let mut false_off = scratch_filled(policy, parts.len(), 0usize);
     let mut t_acc = 0usize;
     let mut f_acc = 0usize;
-    for (r, c) in parts {
-        true_off.push(t_acc);
-        false_off.push(f_acc);
+    for (i, (r, c)) in parts.into_iter().enumerate() {
+        true_off[i] = t_acc;
+        false_off[i] = f_acc;
         t_acc += c;
         f_acc += r.len() - c;
         ranges.push(r);

@@ -6,7 +6,7 @@
 //! each traverse the data once, which is why the paper finds scan's
 //! speedup capped near `bandwidth_ratio / 2` on all machines.
 
-use crate::algorithms::{map_ranges, run_over_ranges};
+use crate::algorithms::{map_ranges, run_over_ranges, scratch_filled};
 use crate::policy::{ExecutionPolicy, Plan};
 use crate::ptr::SliceView;
 
@@ -163,7 +163,7 @@ where
             });
             let (ranges, sums): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
             // Phase 2: offsets.
-            let offsets = exclusive_offsets(&sums, None, &op);
+            let offsets = exclusive_offsets(policy, &sums, None, &op);
             let offsets = &offsets;
             // Phase 3: rescan the recorded chunks with their offsets.
             run_over_ranges(policy, &ranges, &|t, r| {
@@ -186,15 +186,20 @@ where
 
 /// Exclusive scan of per-chunk totals: `offsets[t]` is the value every
 /// prefix in chunk `t` must be seeded with (`None` = nothing before it).
-fn exclusive_offsets<T, F>(sums: &[Option<T>], init: Option<T>, op: &F) -> Vec<Option<T>>
+fn exclusive_offsets<T, F>(
+    policy: &ExecutionPolicy,
+    sums: &[Option<T>],
+    init: Option<T>,
+    op: &F,
+) -> Vec<Option<T>>
 where
-    T: Clone,
+    T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T,
 {
-    let mut offsets = Vec::with_capacity(sums.len());
+    let mut offsets = scratch_filled(policy, sums.len(), None::<T>);
     let mut running = init;
-    for s in sums {
-        offsets.push(running.clone());
+    for (i, s) in sums.iter().enumerate() {
+        offsets[i] = running.clone();
         running = match (&running, s) {
             (Some(r), Some(s)) => Some(op(r, s)),
             (None, Some(s)) => Some(s.clone()),
@@ -246,7 +251,7 @@ fn scan_engine<U, G, F>(
             });
             let (ranges, sums): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
             // Phase 2: offsets (sequential, one element per chunk).
-            let offsets = exclusive_offsets(&sums, init, op);
+            let offsets = exclusive_offsets(policy, &sums, init, op);
             let offsets = &offsets;
             // Phase 3: per-chunk scan seeded with the offset, replaying
             // the recorded geometry.

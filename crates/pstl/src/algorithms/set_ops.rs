@@ -13,6 +13,7 @@
 use std::cmp::Ordering;
 
 use crate::algorithms::merge::co_rank;
+use crate::algorithms::scratch_filled;
 use crate::policy::{ExecutionPolicy, Plan};
 use crate::ptr::SliceView;
 use crate::seq;
@@ -68,13 +69,16 @@ fn walk<T: Ord>(op: SetOp, a: &[T], b: &[T], mut emit: impl FnMut(&T)) {
 
 /// Cut `a` and `b` into `parts` aligned segment pairs at value
 /// boundaries. Returns `parts + 1` cut positions per input.
-fn value_cuts<T: Ord>(a: &[T], b: &[T], parts: usize) -> (Vec<usize>, Vec<usize>) {
+fn value_cuts<T: Ord>(
+    policy: &ExecutionPolicy,
+    a: &[T],
+    b: &[T],
+    parts: usize,
+) -> (Vec<usize>, Vec<usize>) {
     let total = a.len() + b.len();
     let cmp: seq::Cmp<T> = &|x, y| x.cmp(y);
-    let mut ca = Vec::with_capacity(parts + 1);
-    let mut cb = Vec::with_capacity(parts + 1);
-    ca.push(0);
-    cb.push(0);
+    let mut ca = scratch_filled(policy, parts + 1, 0usize);
+    let mut cb = scratch_filled(policy, parts + 1, 0usize);
     for s in 1..parts {
         let k = total * s / parts;
         let (i, j) = co_rank(a, b, k, cmp);
@@ -95,11 +99,11 @@ fn value_cuts<T: Ord>(a: &[T], b: &[T], parts: usize) -> (Vec<usize>, Vec<usize>
         };
         // Keep cuts monotone (snapping can move left past the previous
         // cut on pathological duplicate distributions).
-        ca.push(i.max(*ca.last().unwrap()));
-        cb.push(j.max(*cb.last().unwrap()));
+        ca[s] = i.max(ca[s - 1]);
+        cb[s] = j.max(cb[s - 1]);
     }
-    ca.push(a.len());
-    cb.push(b.len());
+    ca[parts] = a.len();
+    cb[parts] = b.len();
     (ca, cb)
 }
 
@@ -122,9 +126,9 @@ where
             at
         }
         Plan::Parallel { exec, tasks, .. } => {
-            let (ca, cb) = value_cuts(a, b, tasks);
+            let (ca, cb) = value_cuts(policy, a, b, tasks);
             // Pass 1: per-segment output sizes.
-            let mut counts = vec![0usize; tasks];
+            let mut counts = scratch_filled(policy, tasks, 0usize);
             {
                 let view = SliceView::new(&mut counts);
                 let view = &view;
@@ -137,13 +141,13 @@ where
                 });
             }
             // Pass 2: offsets + write.
-            let mut offsets = Vec::with_capacity(tasks + 1);
+            let mut offsets = scratch_filled(policy, tasks + 1, 0usize);
             let mut acc = 0usize;
-            for &c in &counts {
-                offsets.push(acc);
+            for (s, &c) in counts.iter().enumerate() {
+                offsets[s] = acc;
                 acc += c;
             }
-            offsets.push(acc);
+            offsets[tasks] = acc;
             assert!(acc <= out.len(), "set operation: output too short");
             let view = SliceView::new(out);
             let view = &view;
@@ -241,7 +245,7 @@ where
     match policy.plan(total) {
         Plan::Sequential => seq_includes(haystack, needles),
         Plan::Parallel { exec, tasks, .. } => {
-            let (ch, cn) = value_cuts(haystack, needles, tasks);
+            let (ch, cn) = value_cuts(policy, haystack, needles, tasks);
             let failed = std::sync::atomic::AtomicBool::new(false);
             let failed = &failed;
             let (ch, cn) = (&ch, &cn);

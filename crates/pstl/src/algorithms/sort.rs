@@ -17,6 +17,7 @@
 
 use std::cmp::Ordering;
 
+use crate::algorithms::scratch_clone;
 use crate::chunk::chunk_range;
 use crate::policy::{ExecutionPolicy, Plan};
 use crate::ptr::SliceView;
@@ -91,7 +92,7 @@ where
                 });
                 return;
             }
-            let mut scratch: Vec<T> = data.to_vec();
+            let mut scratch: Vec<T> = scratch_clone(policy, data);
             let bounds: Vec<usize> = (0..=tasks).map(|i| n * i / tasks).collect();
 
             let data_view = SliceView::new(data);
@@ -321,7 +322,7 @@ where
     debug_assert_eq!(offsets[p], n);
 
     // Phase 5: k-way merge each bucket into scratch.
-    let mut scratch: Vec<T> = data_view_clone_contents(data_view, n);
+    let mut scratch: Vec<T> = data_view_clone_contents(policy, data_view, n);
     let scratch_view = SliceView::new(&mut scratch);
     {
         let scratch_view = &scratch_view;
@@ -355,11 +356,15 @@ where
     }
 }
 
-/// Clone the current contents of a view into a fresh Vec (helper for the
-/// scratch buffer; sequential).
-fn data_view_clone_contents<T: Clone>(view: &SliceView<'_, T>, n: usize) -> Vec<T> {
+/// Clone the current contents of a view into a fresh Vec (the multiway
+/// scratch buffer), placement-routed like [`scratch_clone`].
+fn data_view_clone_contents<T: Clone + Send + Sync>(
+    policy: &ExecutionPolicy,
+    view: &SliceView<'_, T>,
+    n: usize,
+) -> Vec<T> {
     // SAFETY: no concurrent writers at the call sites.
-    unsafe { view.range(0..n) }.to_vec()
+    scratch_clone(policy, unsafe { view.range(0..n) })
 }
 
 /// k-way merge of sorted `runs` into `out` using a binary heap of run
@@ -666,7 +671,7 @@ where
         return src.len();
     }
     // Select the k smallest in a scratch copy, then sort them into out.
-    let mut scratch = src.to_vec();
+    let mut scratch = scratch_clone(policy, src);
     seq::quickselect(&mut scratch, k - 1, &|a: &T, b: &T| a.cmp(b));
     out[..k].clone_from_slice(&scratch[..k]);
     sort(policy, &mut out[..k]);

@@ -6,7 +6,7 @@
 //! past it keep their pre-call values (C++ leaves them unspecified).
 
 use crate::algorithms::for_each::for_each_mut;
-use crate::algorithms::{map_ranges, run_chunks, run_over_ranges};
+use crate::algorithms::{map_ranges, run_chunks, run_over_ranges, scratch_clone, scratch_filled};
 use crate::policy::ExecutionPolicy;
 use crate::ptr::SliceView;
 
@@ -25,14 +25,14 @@ where
     let n = src.len();
     let parts = map_ranges(policy, n, &|r| r.filter(|&i| keep(i)).count());
     let mut ranges = Vec::with_capacity(parts.len());
-    let mut offsets = Vec::with_capacity(parts.len() + 1);
+    let mut offsets = scratch_filled(policy, parts.len() + 1, 0usize);
     let mut acc = 0usize;
-    for (r, c) in parts {
+    for (i, (r, c)) in parts.into_iter().enumerate() {
         ranges.push(r);
-        offsets.push(acc);
+        offsets[i] = acc;
         acc += c;
     }
-    offsets.push(acc);
+    *offsets.last_mut().expect("offsets never empty") = acc;
     assert!(acc <= dst.len(), "compaction destination too short");
     let offsets = &offsets;
     run_over_ranges(policy, &ranges, &|ci, r| {
@@ -78,7 +78,7 @@ where
     if n < 2 {
         return n;
     }
-    let mut scratch: Vec<T> = data.to_vec();
+    let mut scratch: Vec<T> = scratch_clone(policy, data);
     let kept = {
         let view = SliceView::new(&mut scratch);
         let src: &[T] = data;
@@ -99,7 +99,7 @@ where
     if n == 0 {
         return 0;
     }
-    let mut scratch: Vec<T> = data.to_vec();
+    let mut scratch: Vec<T> = scratch_clone(policy, data);
     let kept = {
         let view = SliceView::new(&mut scratch);
         let src: &[T] = data;

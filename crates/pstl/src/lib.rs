@@ -45,6 +45,8 @@ mod splitter;
 
 pub use policy::{ExecutionPolicy, ParConfig, Partitioner, Plan};
 
+pub use pstl_alloc::Placement;
+
 pub use algorithms::adjacent::{adjacent_difference, adjacent_find, adjacent_find_by};
 pub use algorithms::copy_fill::{
     copy, copy_if, copy_n, fill, fill_n, generate, generate_index, generate_n,
@@ -83,6 +85,7 @@ pub use algorithms::unique_remove::{remove_if, replace, replace_if, unique, uniq
 /// One-line import of the policy types and all algorithms.
 pub mod prelude {
     pub use crate::policy::{ExecutionPolicy, ParConfig, Partitioner};
+    pub use pstl_alloc::Placement;
 
     pub use crate::algorithms::adjacent::*;
     pub use crate::algorithms::copy_fill::*;

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use pstl_alloc::Placement;
 use pstl_executor::Executor;
 
 /// How the element range of one algorithm invocation is carved into
@@ -69,6 +70,13 @@ pub struct ParConfig {
     pub seq_threshold: usize,
     /// How the element range is decomposed into tasks at run time.
     pub partitioner: Partitioner,
+    /// How the algorithms' temporary/output buffers are page-placed:
+    /// [`Placement::Default`] allocates them with plain `Vec` (all pages
+    /// first-touched by the calling thread), [`Placement::FirstTouch`]
+    /// routes them through `pstl-alloc` so pages are first-touched with
+    /// the same parallel distribution that later processes them — the
+    /// paper's §3.3 custom-allocator axis.
+    pub placement: Placement,
 }
 
 impl Default for ParConfig {
@@ -78,6 +86,7 @@ impl Default for ParConfig {
             max_tasks_per_thread: 8,
             seq_threshold: 0,
             partitioner: Partitioner::Static,
+            placement: Placement::Default,
         }
     }
 }
@@ -112,6 +121,12 @@ impl ParConfig {
     /// Builder-style setter for the run-time partitioner.
     pub fn partitioner(mut self, partitioner: Partitioner) -> Self {
         self.partitioner = partitioner;
+        self
+    }
+
+    /// Builder-style setter for the temporary-buffer placement policy.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 }

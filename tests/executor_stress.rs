@@ -8,7 +8,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use pstl_executor::deque::{deque, Steal};
-use pstl_executor::{build_pool, Discipline, TaskPool};
+use pstl_executor::{build_pool, build_pool_on, Discipline, FuturesPool, TaskPool, Topology};
 
 #[test]
 fn thousand_small_runs_per_discipline() {
@@ -16,6 +16,7 @@ fn thousand_small_runs_per_discipline() {
         Discipline::ForkJoin,
         Discipline::WorkStealing,
         Discipline::TaskPool,
+        Discipline::Futures,
     ] {
         let pool = build_pool(discipline, 4);
         let total = AtomicUsize::new(0);
@@ -103,6 +104,66 @@ fn futures_fan_out_fan_in() {
     for (i, f) in futures.into_iter().enumerate() {
         assert_eq!(f.wait(), (0..=i as u64).sum::<u64>());
     }
+}
+
+#[test]
+fn futures_pool_storm_with_promise_handoff() {
+    // The futures discipline under the same storm as the other pools,
+    // plus a cross-thread promise handoff per round.
+    use pstl_executor::{future_promise, Executor};
+    let pool = FuturesPool::with_topology(Topology::grouped(4, 2));
+    for round in 0..200 {
+        let tasks = round % 23;
+        let total = AtomicUsize::new(0);
+        let (future, promise) = future_promise::<usize>();
+        pool.run(tasks, &|i| {
+            total.fetch_add(1, Ordering::Relaxed);
+            std::hint::black_box(i);
+        });
+        std::thread::spawn(move || promise.set(tasks));
+        assert_eq!(future.wait(), tasks);
+        assert_eq!(total.load(Ordering::Relaxed), tasks, "round {round}");
+    }
+}
+
+/// Uneven per-task work so idle workers actually go stealing.
+fn provoke_steals(pool: &dyn pstl_executor::Executor) {
+    for _ in 0..8 {
+        pool.run(64, &|i| {
+            if i % 8 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+    }
+}
+
+#[test]
+fn two_tier_steal_counters_partition_total() {
+    // Invariant from the topology refactor: every steal is classified as
+    // exactly one of local/remote, so the two counters partition `steals`.
+    let pool = build_pool_on(Discipline::WorkStealing, Topology::grouped(4, 2));
+    provoke_steals(pool.as_ref());
+    let m = pool.metrics().expect("work-stealing pool exposes metrics");
+    assert_eq!(
+        m.steals,
+        m.local_steals + m.remote_steals,
+        "steals {} != local {} + remote {}",
+        m.steals,
+        m.local_steals,
+        m.remote_steals
+    );
+}
+
+#[test]
+fn flat_topology_never_steals_remotely() {
+    // A single-node (flat) topology has no remote peers, so remote
+    // steals are impossible no matter how contended the pool gets.
+    let pool = build_pool(Discipline::WorkStealing, 4);
+    assert_eq!(pool.topology().nodes(), 1);
+    provoke_steals(pool.as_ref());
+    let m = pool.metrics().expect("work-stealing pool exposes metrics");
+    assert_eq!(m.remote_steals, 0, "flat topology recorded remote steals");
+    assert_eq!(m.steals, m.local_steals);
 }
 
 #[test]

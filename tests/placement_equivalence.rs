@@ -1,0 +1,221 @@
+//! Property tests: [`Placement::FirstTouch`] is *observationally
+//! equivalent* to [`Placement::Default`] for every allocating algorithm,
+//! on every pool discipline. Routing scratch/temp buffers through the
+//! parallel first-touch allocator changes which worker writes each page
+//! first — never the values an algorithm produces.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use pstl::prelude::*;
+use pstl_executor::{build_pool, Discipline, Executor};
+
+/// One pool per discipline, shared across proptest cases.
+fn pools() -> &'static [(Discipline, Arc<dyn Executor>)] {
+    use std::sync::OnceLock;
+    static POOLS: OnceLock<Vec<(Discipline, Arc<dyn Executor>)>> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        vec![
+            (
+                Discipline::Sequential,
+                build_pool(Discipline::Sequential, 1),
+            ),
+            (Discipline::ForkJoin, build_pool(Discipline::ForkJoin, 3)),
+            (
+                Discipline::WorkStealing,
+                build_pool(Discipline::WorkStealing, 2),
+            ),
+            (Discipline::TaskPool, build_pool(Discipline::TaskPool, 2)),
+        ]
+    })
+}
+
+/// The (default, first-touch) policy pairs compared per case, with a
+/// small grain so short inputs still split into parallel tasks.
+fn policy_pairs() -> Vec<(ExecutionPolicy, ExecutionPolicy)> {
+    pools()
+        .iter()
+        .map(|(_, pool)| {
+            let cfg = ParConfig::with_grain(7).max_tasks_per_thread(4);
+            (
+                ExecutionPolicy::par_with(Arc::clone(pool), cfg),
+                ExecutionPolicy::par_with(Arc::clone(pool), cfg.placement(Placement::FirstTouch)),
+            )
+        })
+        .collect()
+}
+
+fn vec_i64() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-50i64..50, 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sorts_are_identical(data in vec_i64()) {
+        for (def, ft) in policy_pairs() {
+            let (mut a, mut b) = (data.clone(), data.clone());
+            pstl::sort(&def, &mut a);
+            pstl::sort(&ft, &mut b);
+            prop_assert_eq!(&a, &b);
+
+            let (mut a, mut b) = (data.clone(), data.clone());
+            pstl::stable_sort(&def, &mut a);
+            pstl::stable_sort(&ft, &mut b);
+            prop_assert_eq!(&a, &b);
+
+            let (mut a, mut b) = (data.clone(), data.clone());
+            pstl::sort_multiway(&def, &mut a);
+            pstl::sort_multiway(&ft, &mut b);
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn partial_sort_copy_is_identical(data in vec_i64(), k in 0usize..64) {
+        for (def, ft) in policy_pairs() {
+            let k = k.min(data.len());
+            let mut a = vec![0i64; k];
+            let mut b = vec![0i64; k];
+            let na = pstl::partial_sort_copy(&def, &data, &mut a);
+            let nb = pstl::partial_sort_copy(&ft, &data, &mut b);
+            prop_assert_eq!(na, nb);
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn partitions_are_identical(data in vec_i64()) {
+        let pred = |x: &i64| x % 3 == 0;
+        for (def, ft) in policy_pairs() {
+            let (mut a, mut b) = (data.clone(), data.clone());
+            let na = pstl::partition(&def, &mut a, pred);
+            let nb = pstl::partition(&ft, &mut b, pred);
+            prop_assert_eq!(na, nb);
+            // `partition` is not stable; compare the halves as multisets.
+            a[..na].sort_unstable();
+            b[..nb].sort_unstable();
+            a[na..].sort_unstable();
+            b[nb..].sort_unstable();
+            prop_assert_eq!(&a, &b);
+
+            let mut t1 = vec![0i64; data.len()];
+            let mut f1 = vec![0i64; data.len()];
+            let mut t2 = vec![0i64; data.len()];
+            let mut f2 = vec![0i64; data.len()];
+            let ca = pstl::partition_copy(&def, &data, &mut t1, &mut f1, pred);
+            let cb = pstl::partition_copy(&ft, &data, &mut t2, &mut f2, pred);
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(&t1, &t2);
+            prop_assert_eq!(&f1, &f2);
+
+            let (mut a, mut b) = (data.clone(), data.clone());
+            let na = pstl::stable_partition(&def, &mut a, pred);
+            let nb = pstl::stable_partition(&ft, &mut b, pred);
+            prop_assert_eq!(na, nb);
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn unique_and_remove_are_identical(data in vec_i64()) {
+        for (def, ft) in policy_pairs() {
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+
+            let (mut a, mut b) = (sorted.clone(), sorted.clone());
+            let na = pstl::unique(&def, &mut a);
+            let nb = pstl::unique(&ft, &mut b);
+            prop_assert_eq!(na, nb);
+            prop_assert_eq!(&a[..na], &b[..nb]);
+
+            let mut d1 = vec![0i64; sorted.len()];
+            let mut d2 = vec![0i64; sorted.len()];
+            let ca = pstl::unique_copy(&def, &sorted, &mut d1);
+            let cb = pstl::unique_copy(&ft, &sorted, &mut d2);
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(&d1[..ca], &d2[..cb]);
+
+            let (mut a, mut b) = (data.clone(), data.clone());
+            let na = pstl::remove_if(&def, &mut a, |x| x % 2 == 0);
+            let nb = pstl::remove_if(&ft, &mut b, |x| x % 2 == 0);
+            prop_assert_eq!(na, nb);
+            prop_assert_eq!(&a[..na], &b[..nb]);
+        }
+    }
+
+    #[test]
+    fn copy_if_is_identical(data in vec_i64()) {
+        for (def, ft) in policy_pairs() {
+            let mut d1 = vec![0i64; data.len()];
+            let mut d2 = vec![0i64; data.len()];
+            let ca = pstl::copy_if(&def, &data, &mut d1, |x| *x > 0);
+            let cb = pstl::copy_if(&ft, &data, &mut d2, |x| *x > 0);
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(&d1[..ca], &d2[..cb]);
+        }
+    }
+
+    #[test]
+    fn inplace_merge_is_identical(data in vec_i64(), cut in 0usize..300) {
+        for (def, ft) in policy_pairs() {
+            let mid = cut.min(data.len());
+            let mut base = data.clone();
+            base[..mid].sort_unstable();
+            base[mid..].sort_unstable();
+            let (mut a, mut b) = (base.clone(), base.clone());
+            pstl::inplace_merge(&def, &mut a, mid);
+            pstl::inplace_merge(&ft, &mut b, mid);
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn scans_are_identical(data in vec_i64(), init in -50i64..50) {
+        for (def, ft) in policy_pairs() {
+            let mut a = vec![0i64; data.len()];
+            let mut b = vec![0i64; data.len()];
+            pstl::inclusive_scan(&def, &data, &mut a, |x, y| x.wrapping_add(*y));
+            pstl::inclusive_scan(&ft, &data, &mut b, |x, y| x.wrapping_add(*y));
+            prop_assert_eq!(&a, &b);
+
+            pstl::exclusive_scan(&def, &data, &mut a, init, |x, y| x.wrapping_add(*y));
+            pstl::exclusive_scan(&ft, &data, &mut b, init, |x, y| x.wrapping_add(*y));
+            prop_assert_eq!(&a, &b);
+
+            let (mut a, mut b) = (data.clone(), data.clone());
+            pstl::inclusive_scan_in_place(&def, &mut a, |x, y| x.wrapping_add(*y));
+            pstl::inclusive_scan_in_place(&ft, &mut b, |x, y| x.wrapping_add(*y));
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn set_ops_are_identical(xs in vec_i64(), ys in vec_i64()) {
+        let mut xs = xs;
+        let mut ys = ys;
+        xs.sort_unstable();
+        ys.sort_unstable();
+        for (def, ft) in policy_pairs() {
+            let cap = xs.len() + ys.len();
+            for op in [
+                pstl::set_union as fn(&ExecutionPolicy, &[i64], &[i64], &mut [i64]) -> usize,
+                pstl::set_intersection,
+                pstl::set_difference,
+                pstl::set_symmetric_difference,
+            ] {
+                let mut d1 = vec![0i64; cap];
+                let mut d2 = vec![0i64; cap];
+                let ca = op(&def, &xs, &ys, &mut d1);
+                let cb = op(&ft, &xs, &ys, &mut d2);
+                prop_assert_eq!(ca, cb);
+                prop_assert_eq!(&d1[..ca], &d2[..cb]);
+            }
+            prop_assert_eq!(
+                pstl::includes(&def, &xs, &ys),
+                pstl::includes(&ft, &xs, &ys)
+            );
+        }
+    }
+}
