@@ -43,7 +43,14 @@ where
     // the processing loop will be (contiguous static partition over
     // elements, as the paper's allocator does via std::for_each).
     let elems_per_page = (PAGE_SIZE / std::mem::size_of::<T>().max(1)).max(1);
-    let pages = n.div_ceil(elems_per_page);
+    // Zero-sized elements occupy no memory: the Vec's pointer is
+    // dangling, so there are no pages to touch (writing through it
+    // would be UB).
+    let pages = if std::mem::size_of::<T>() == 0 {
+        0
+    } else {
+        n.div_ceil(elems_per_page)
+    };
     let threads = exec.num_threads();
     let raw = &raw; // capture the Sync wrapper, not its raw-pointer field
     exec.run(threads, &|w| {
@@ -62,6 +69,22 @@ where
     });
 
     // Pass 2: initialize all elements in parallel, same distribution.
+    // For types with drop glue, each worker publishes a high-water mark
+    // so that if `init` panics, the drop guard below can destroy exactly
+    // the elements that were written (the panicking worker's prefix plus
+    // every other worker's completed range) instead of leaking them.
+    // For plain-data types (the benchmark's element types) the tracking
+    // compiles out: no per-element store, no guard work.
+    let track = std::mem::needs_drop::<T>();
+    let done: Vec<std::sync::atomic::AtomicUsize> = (0..threads)
+        .map(|w| std::sync::atomic::AtomicUsize::new(n * w / threads))
+        .collect();
+    let guard = PartialInitGuard {
+        ptr: raw.ptr,
+        n,
+        threads,
+        done: &done,
+    };
     exec.run(threads, &|w| {
         let lo = n * w / threads;
         let hi = n * (w + 1) / threads;
@@ -69,12 +92,43 @@ where
             // SAFETY: disjoint element ranges per task; each element is
             // written exactly once before set_len.
             unsafe { raw.ptr.add(i).write(init(i)) };
+            if track {
+                done[w].store(i + 1, std::sync::atomic::Ordering::Release);
+            }
         }
     });
 
+    std::mem::forget(guard);
     // SAFETY: all n elements were initialized by pass 2.
     unsafe { v.set_len(n) };
     v
+}
+
+/// Drop guard for [`alloc_init`] pass 2: on an unwind, destroys every
+/// element recorded as written by the per-worker watermarks. Forgotten
+/// on the success path (where `set_len` hands ownership to the `Vec`).
+/// Declared after the `Vec` in `alloc_init`, so on unwind it drops the
+/// elements *before* the `Vec` frees the buffer.
+struct PartialInitGuard<'a, T> {
+    ptr: *mut T,
+    n: usize,
+    threads: usize,
+    done: &'a [std::sync::atomic::AtomicUsize],
+}
+
+impl<T> Drop for PartialInitGuard<'_, T> {
+    fn drop(&mut self) {
+        for w in 0..self.threads {
+            let lo = self.n * w / self.threads;
+            let hi = self.done[w].load(std::sync::atomic::Ordering::Acquire);
+            for i in lo..hi {
+                // SAFETY: watermarks only ever cover fully written
+                // elements (the Release store happens after the write),
+                // and each element belongs to exactly one worker range.
+                unsafe { std::ptr::drop_in_place(self.ptr.add(i)) };
+            }
+        }
+    }
 }
 
 /// Sequential allocation + initialization: the "default allocator"
@@ -166,6 +220,36 @@ mod tests {
         assert_eq!(alloc.executor().num_threads(), 2);
         let v: Vec<u32> = alloc.alloc(100, |i| i as u32);
         assert_eq!(v.iter().sum::<u32>(), (0..100).sum());
+    }
+
+    #[test]
+    fn panicking_init_drops_written_elements_exactly_once() {
+        use std::sync::atomic::{AtomicIsize, Ordering};
+        static LIVE: AtomicIsize = AtomicIsize::new(0);
+        struct Tracked(#[allow(dead_code)] u64);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        for exec in pools() {
+            let before = LIVE.load(Ordering::SeqCst);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _: Vec<Tracked> = alloc_init(&exec, 10_000, |i| {
+                    if i == 7_777 {
+                        panic!("init boom");
+                    }
+                    LIVE.fetch_add(1, Ordering::SeqCst);
+                    Tracked(i as u64)
+                });
+            }));
+            assert!(result.is_err(), "init panic must propagate");
+            assert_eq!(
+                LIVE.load(Ordering::SeqCst),
+                before,
+                "every constructed element must be dropped exactly once"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 use pstl_trace::{EventKind, PoolTracer};
 
+use crate::fault::{self, FaultHook, FaultInjector, FaultPlan};
 use crate::job::BodyPtr;
 use crate::latch::CountLatch;
 use crate::metrics::PoolMetrics;
@@ -38,6 +39,9 @@ struct FjJob {
     /// Strictly increasing run identifier so a worker never re-executes a
     /// job it has already finished.
     epoch: usize,
+    /// Fault-injection handle, consulted per index (no-op unless the
+    /// `fault` feature is on and a plan is installed).
+    faults: FaultHook,
 }
 
 /// Run `range` of the job's partition, capturing a panic into the job's
@@ -45,6 +49,7 @@ struct FjJob {
 fn run_partition(job: &FjJob, range: std::ops::Range<usize>) {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         for i in range {
+            job.faults.on_task();
             // SAFETY: the master blocks on `latch` until every worker
             // counts down, so the body borrow is live.
             unsafe { job.body.call(i) };
@@ -74,6 +79,9 @@ struct FjShared {
     idle: std::sync::atomic::AtomicUsize,
     /// One track per team member; the master (caller) is track 0.
     tracer: PoolTracer,
+    /// Installed fault-injection plan (zero-sized when the feature is
+    /// off).
+    faults: FaultInjector,
 }
 
 /// Fork-join pool with static contiguous partitioning.
@@ -105,6 +113,42 @@ impl ForkJoinPool {
     /// A pool whose static partitions are laid out node-contiguously
     /// according to `topology`.
     pub fn with_topology(topology: Topology) -> Self {
+        Self::with_topology_faulted(topology, FaultPlan::none())
+    }
+
+    /// As [`with_topology`](Self::with_topology), with a fault plan
+    /// active from construction onwards (spawn faults fire here).
+    ///
+    /// Worker threads that fail to spawn — really or by injection — do
+    /// not abort construction: the partial team is torn down and the
+    /// pool is rebuilt with the surviving prefix of the topology, so
+    /// the caller always gets a working (possibly smaller) pool. Each
+    /// failure is logged and counted in the `spawn_failures` metric.
+    pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
+        let mut topology = topology;
+        let mut failures = 0u64;
+        loop {
+            match Self::try_build(topology.clone(), &plan) {
+                Ok(pool) => {
+                    pool.shared.metrics.record_spawn_failures(failures);
+                    pool.shared.faults.install(plan);
+                    return pool;
+                }
+                Err((reached, err)) => {
+                    failures += 1;
+                    eprintln!(
+                        "pstl-executor: failed to spawn fork-join worker {reached} ({err}); \
+                         falling back to {reached} threads"
+                    );
+                    topology = topology.truncated(reached);
+                }
+            }
+        }
+    }
+
+    /// Spawn the team; on the first spawn failure tear the partial team
+    /// down and report how many threads (caller included) are viable.
+    fn try_build(topology: Topology, plan: &FaultPlan) -> Result<Self, (usize, String)> {
         let threads = topology.threads();
         let rank = topology.partition_rank();
         let shared = Arc::new(FjShared {
@@ -117,21 +161,35 @@ impl ForkJoinPool {
             metrics: PoolMetrics::new(),
             idle: std::sync::atomic::AtomicUsize::new(0),
             tracer: PoolTracer::new(threads, false),
+            faults: FaultInjector::new(),
         });
-        let handles = (1..threads)
-            .map(|w| {
+        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        for w in 1..threads {
+            let spawned = if fault::spawn_should_fail(plan, w) {
+                Err(std::io::Error::other(fault::INJECTED_PANIC))
+            } else {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("pstl-fj-{w}"))
                     .spawn(move || worker_loop(&shared, w))
-                    .expect("failed to spawn fork-join worker")
-            })
-            .collect();
-        ForkJoinPool {
+            };
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    shared.shutdown.trigger();
+                    shared.signal.notify_all();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err((w, err.to_string()));
+                }
+            }
+        }
+        Ok(ForkJoinPool {
             shared,
             run_lock: Mutex::new(0),
             handles,
-        }
+        })
     }
 }
 
@@ -180,7 +238,9 @@ impl Executor for ForkJoinPool {
         }
         let mut epoch_guard = self.run_lock.lock();
         if self.shared.threads == 1 {
+            let faults = self.shared.faults.hook();
             for i in 0..tasks {
+                faults.on_task();
                 body(i);
             }
             return;
@@ -201,6 +261,7 @@ impl Executor for ForkJoinPool {
             latch: Arc::clone(&latch),
             panic: Arc::clone(&panic),
             epoch: *epoch_guard,
+            faults: self.shared.faults.hook(),
         };
         {
             let mut slot = self.shared.job.lock();
@@ -219,7 +280,12 @@ impl Executor for ForkJoinPool {
         rec.record(EventKind::RegionEnd);
         let payload = panic.lock().take();
         if let Some(payload) = payload {
-            std::panic::resume_unwind(payload);
+            // Re-throwing during an unwind already in flight on this
+            // thread would abort the process (double panic); dropping
+            // the payload is the only safe choice then.
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 
@@ -229,6 +295,23 @@ impl Executor for ForkJoinPool {
 
     fn record_split(&self, _size: u64) {
         self.shared.metrics.record_split();
+    }
+
+    fn record_cancel(&self, checks: u64, cancelled: u64) {
+        self.shared.metrics.record_cancel(checks, cancelled);
+        if cancelled > 0 {
+            // Track 0 is the master's; holding `run_lock` serializes us
+            // with `run` callers, preserving the single-producer ring.
+            let _guard = self.run_lock.lock();
+            self.shared
+                .tracer
+                .recorder(0)
+                .record(EventKind::Cancel { tasks: cancelled });
+        }
+    }
+
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        self.shared.faults.install(plan);
     }
 
     fn discipline(&self) -> Discipline {

@@ -19,10 +19,26 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 use pstl_trace::EventKind;
 
+use crate::fault::FaultPlan;
 use crate::job::BodyPtr;
 use crate::task_pool::TaskPool;
 use crate::topology::Topology;
 use crate::{Discipline, Executor};
+
+/// The producer of a one-shot future went away without fulfilling it —
+/// typically because the closure backing the promise panicked and the
+/// promise was dropped during its unwind. Returned by
+/// [`Future::try_wait`]; [`Future::wait`] turns it into a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokenPromise;
+
+impl std::fmt::Display for BrokenPromise {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("promise dropped without fulfilling the future")
+    }
+}
+
+impl std::error::Error for BrokenPromise {}
 
 struct Oneshot<T> {
     ready: AtomicBool,
@@ -90,28 +106,45 @@ impl<T> Future<T> {
     /// Panics if the value was already taken by a previous `wait`/`try_take`
     /// (one-shot semantics) or if the promise was dropped unfulfilled.
     pub fn wait(self) -> T {
+        match self.try_wait() {
+            Ok(v) => v,
+            Err(broken) => panic!("{broken}"),
+        }
+    }
+
+    /// Block until the value is available and take it, reporting a
+    /// producer that disappeared without fulfilling the promise as
+    /// [`BrokenPromise`] instead of panicking. This is how a pool
+    /// surfaces a spawned closure that panicked: the worker contains the
+    /// panic and drops the promise, and the waiter gets `Err` here.
+    ///
+    /// # Panics
+    /// Panics if the value was already taken by a previous
+    /// `wait`/`try_take` (one-shot semantics — a caller bug, not a
+    /// runtime fault).
+    pub fn try_wait(self) -> Result<T, BrokenPromise> {
         // Bounded spin first — pool tasks are typically short.
         for _ in 0..128 {
             if self.is_ready() {
-                return self
+                return Ok(self
                     .shared
                     .slot
                     .lock()
                     .take()
-                    .expect("one-shot future value already taken");
+                    .expect("one-shot future value already taken"));
             }
             std::hint::spin_loop();
         }
         let mut slot = self.shared.slot.lock();
         loop {
             if let Some(v) = slot.take() {
-                return v;
+                return Ok(v);
             }
             if self.is_ready() {
                 panic!("one-shot future value already taken");
             }
             if Arc::strong_count(&self.shared) == 1 {
-                panic!("promise dropped without fulfilling the future");
+                return Err(BrokenPromise);
             }
             self.shared
                 .cond
@@ -150,8 +183,16 @@ impl FuturesPool {
     /// A pool carrying an explicit worker → node [`Topology`], forwarded
     /// to the inner task pool.
     pub fn with_topology(topology: Topology) -> Self {
+        Self::with_topology_faulted(topology, FaultPlan::none())
+    }
+
+    /// As [`with_topology`](Self::with_topology), with a fault plan
+    /// active from construction onwards. Spawn faults fire inside the
+    /// inner task pool's constructor (same fewer-workers fallback);
+    /// task faults fire inside this pool's block bodies.
+    pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
         FuturesPool {
-            inner: TaskPool::with_topology(topology),
+            inner: TaskPool::with_topology_faulted(topology, plan),
             run_lock: Mutex::new(()),
         }
     }
@@ -169,7 +210,9 @@ impl Executor for FuturesPool {
         let _guard = self.run_lock.lock();
         let threads = self.inner.num_threads();
         if threads == 1 {
+            let faults = self.inner.fault_injector().hook();
             for i in 0..tasks {
+                faults.on_task();
                 body(i);
             }
             return;
@@ -188,11 +231,13 @@ impl Executor for FuturesPool {
                 rec.record(EventKind::TaskSpawn {
                     size: (hi - lo) as u64,
                 });
+                let faults = self.inner.fault_injector().hook();
                 // The panic is caught inside the block future (a worker
                 // must never unwind) and re-thrown on this thread below.
                 self.inner.spawn_sized((hi - lo) as u64, move || {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         for i in lo..hi {
+                            faults.on_task();
                             // SAFETY: this `run` call blocks until every
                             // block future resolves, keeping the body
                             // borrow live.
@@ -210,14 +255,27 @@ impl Executor for FuturesPool {
             }
         }
         rec.record(EventKind::RegionEnd);
-        let mut first_panic = None;
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
         for f in futures {
-            if let Err(payload) = f.wait() {
-                first_panic.get_or_insert(payload);
+            match f.try_wait() {
+                Ok(Ok(())) => {}
+                Ok(Err(payload)) => {
+                    first_panic.get_or_insert(payload);
+                }
+                // Unreachable through this path (blocks catch their own
+                // panics), but a broken block promise must still fail
+                // the region rather than hang or vanish.
+                Err(broken) => {
+                    first_panic.get_or_insert(Box::new(broken));
+                }
             }
         }
         if let Some(payload) = first_panic {
-            std::panic::resume_unwind(payload);
+            // Never re-throw while this thread is already unwinding —
+            // that aborts the process.
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 
@@ -227,6 +285,22 @@ impl Executor for FuturesPool {
 
     fn record_split(&self, _size: u64) {
         self.inner.metrics_handle().record_split();
+    }
+
+    fn record_cancel(&self, checks: u64, cancelled: u64) {
+        self.inner.metrics_handle().record_cancel(checks, cancelled);
+        if cancelled > 0 {
+            // `run_lock` serializes us with `run` callers, preserving
+            // the caller track's single-producer contract.
+            let _guard = self.run_lock.lock();
+            self.inner
+                .caller_trace_recorder()
+                .record(EventKind::Cancel { tasks: cancelled });
+        }
+    }
+
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        self.inner.fault_injector().install(plan);
     }
 
     fn discipline(&self) -> Discipline {
@@ -282,6 +356,34 @@ mod tests {
         let (f, p) = future_promise::<u32>();
         drop(p);
         f.wait();
+    }
+
+    #[test]
+    fn dropped_promise_is_a_typed_error_via_try_wait() {
+        let (f, p) = future_promise::<u32>();
+        drop(p);
+        assert_eq!(f.try_wait(), Err(BrokenPromise));
+    }
+
+    #[test]
+    fn try_wait_returns_value_when_fulfilled() {
+        let (f, p) = future_promise();
+        let t = std::thread::spawn(move || f.try_wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        p.set(9);
+        assert_eq!(t.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn panicking_spawn_breaks_promise_without_killing_worker() {
+        let pool = TaskPool::new(2);
+        let f = pool.spawn(|| -> u32 { panic!("spawn boom") });
+        // The worker contains the panic and drops the promise; the
+        // waiter sees the typed error instead of a hang.
+        assert_eq!(f.try_wait(), Err(BrokenPromise));
+        // The worker thread survived and still executes tasks.
+        let g = pool.spawn(|| 7);
+        assert_eq!(g.wait(), 7);
     }
 }
 

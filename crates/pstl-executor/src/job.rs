@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use crate::fault::FaultHook;
 use crate::latch::CountLatch;
 
 /// A lifetime-erased `&(dyn Fn(usize) + Sync)`.
@@ -54,15 +55,31 @@ pub struct Job {
     body: BodyPtr,
     latch: Arc<CountLatch>,
     panic: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    faults: FaultHook,
 }
 
 impl Job {
     /// Create a job covering `tasks` indices.
+    // `FaultHook` is a unit struct only with the `fault` feature off;
+    // `default()` is the one spelling that works for both variants.
+    #[allow(clippy::default_constructed_unit_structs)]
     pub fn new(body: &(dyn Fn(usize) + Sync), tasks: usize) -> Arc<Self> {
+        Self::with_faults(body, tasks, FaultHook::default())
+    }
+
+    /// As [`new`](Self::new), with a fault-injection hook consulted at
+    /// every body execution (a no-op handle unless the `fault` feature
+    /// is on and a plan is installed).
+    pub fn with_faults(
+        body: &(dyn Fn(usize) + Sync),
+        tasks: usize,
+        faults: FaultHook,
+    ) -> Arc<Self> {
         Arc::new(Job {
             body: BodyPtr::new(body),
             latch: Arc::new(CountLatch::new(tasks)),
             panic: parking_lot::Mutex::new(None),
+            faults,
         })
     }
 
@@ -78,7 +95,10 @@ impl Job {
     /// See [`BodyPtr::call`]; additionally each index must be executed at
     /// most once across all threads.
     pub unsafe fn execute_index(&self, i: usize) {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.body.call(i)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.faults.on_task();
+            self.body.call(i)
+        }));
         if let Err(payload) = result {
             let mut slot = self.panic.lock();
             if slot.is_none() {
@@ -90,8 +110,15 @@ impl Job {
 
     /// Re-throw a stored worker panic on the calling thread. Call after
     /// waiting on the latch.
+    ///
+    /// If the calling thread is itself already unwinding, the stored
+    /// payload is dropped instead of re-thrown: a second `resume_unwind`
+    /// during an unwind would abort the process (double panic).
     pub fn resume_if_panicked(&self) {
         if let Some(payload) = self.panic.lock().take() {
+            if std::thread::panicking() {
+                return;
+            }
             std::panic::resume_unwind(payload);
         }
     }

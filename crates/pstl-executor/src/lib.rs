@@ -20,7 +20,9 @@
 //! thread acts as worker 0, so `threads == 1` means strictly inline
 //! execution with no cross-thread traffic.
 
+pub mod cancel;
 pub mod deque;
+pub mod fault;
 pub mod fork_join;
 pub mod futures;
 pub mod injector;
@@ -35,8 +37,10 @@ pub mod work_stealing;
 
 use std::sync::Arc;
 
+pub use cancel::{CancelToken, Cancelled};
+pub use fault::{FaultPlan, StealDelay};
 pub use fork_join::ForkJoinPool;
-pub use futures::{future_promise, Future, FuturesPool, Promise};
+pub use futures::{future_promise, BrokenPromise, Future, FuturesPool, Promise};
 pub use latch::CountLatch;
 pub use metrics::{MetricsSnapshot, PoolMetrics};
 pub use seq::SequentialExecutor;
@@ -120,6 +124,76 @@ pub trait Executor: Send + Sync {
     fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
         None
     }
+
+    /// Record the outcome of a cancellable region: `checks`
+    /// cancellation polls, of which `cancelled` found the token tripped
+    /// and skipped their work. Pools fold this into their
+    /// `cancel_checks`/`cancelled_tasks` counters and emit a
+    /// [`pstl_trace::EventKind::Cancel`] event when `cancelled > 0`;
+    /// the default is a no-op. Called between runs (never while this
+    /// executor is inside `run`), like [`take_trace`](Self::take_trace).
+    fn record_cancel(&self, checks: u64, cancelled: u64) {
+        let _ = (checks, cancelled);
+    }
+
+    /// Execute `body(i)` for `i in 0..tasks` unless `token` trips
+    /// first. Cancellation is cooperative with *skip* semantics: the
+    /// token is polled immediately before each task body, and once it
+    /// trips the remaining bodies return without running, so the region
+    /// completes, the pool drains normally and stays reusable — the
+    /// extra latency after tripping is bounded by the bodies already in
+    /// flight (one chunk per worker), never by the remaining work.
+    ///
+    /// Returns `Err(Cancelled)` if the token was tripped (even on the
+    /// very last body), `Ok(())` if every body ran.
+    fn run_cancellable(
+        &self,
+        tasks: usize,
+        body: &(dyn Fn(usize) + Sync),
+        token: &CancelToken,
+    ) -> Result<(), Cancelled> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let checks = AtomicU64::new(0);
+        let skipped = AtomicU64::new(0);
+        self.run(tasks, &|i| {
+            checks.fetch_add(1, Ordering::Relaxed);
+            if token.is_cancelled() {
+                skipped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            body(i);
+        });
+        self.record_cancel(
+            checks.load(Ordering::Relaxed),
+            skipped.load(Ordering::Relaxed),
+        );
+        if token.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// [`run_cancellable`](Self::run_cancellable) against a fresh
+    /// deadline token: abandon the region once `timeout` elapses
+    /// instead of blocking until every body has run.
+    fn run_with_deadline(
+        &self,
+        tasks: usize,
+        body: &(dyn Fn(usize) + Sync),
+        timeout: std::time::Duration,
+    ) -> Result<(), Cancelled> {
+        let token = CancelToken::with_deadline(timeout);
+        self.run_cancellable(tasks, body, &token)
+    }
+
+    /// Install a fault-injection plan for subsequent runs (see
+    /// [`fault`]). No-op by default and in builds without the `fault`
+    /// feature; spawn faults cannot be installed here — they happen at
+    /// construction time.
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        let _ = plan;
+    }
 }
 
 /// The scheduling disciplines implemented by this crate, named after the
@@ -165,12 +239,28 @@ pub fn build_pool(discipline: Discipline, threads: usize) -> Arc<dyn Executor> {
 /// [`Topology`]; the thread count is the topology's. For
 /// [`Discipline::Sequential`] the topology is ignored.
 pub fn build_pool_on(discipline: Discipline, topology: Topology) -> Arc<dyn Executor> {
+    build_pool_faulted(discipline, topology, FaultPlan::none())
+}
+
+/// As [`build_pool_on`], with a [`FaultPlan`] injected from
+/// construction onwards. This is the only way to inject spawn faults
+/// (they fire while the pool is being built); task/steal faults can
+/// also be installed later via
+/// [`Executor::install_fault_plan`]. With the `fault` feature off the
+/// plan is ignored entirely.
+pub fn build_pool_faulted(
+    discipline: Discipline,
+    topology: Topology,
+    plan: FaultPlan,
+) -> Arc<dyn Executor> {
     match discipline {
         Discipline::Sequential => Arc::new(SequentialExecutor::new()),
-        Discipline::ForkJoin => Arc::new(ForkJoinPool::with_topology(topology)),
-        Discipline::WorkStealing => Arc::new(WorkStealingPool::with_topology(topology)),
-        Discipline::TaskPool => Arc::new(TaskPool::with_topology(topology)),
-        Discipline::Futures => Arc::new(FuturesPool::with_topology(topology)),
+        Discipline::ForkJoin => Arc::new(ForkJoinPool::with_topology_faulted(topology, plan)),
+        Discipline::WorkStealing => {
+            Arc::new(WorkStealingPool::with_topology_faulted(topology, plan))
+        }
+        Discipline::TaskPool => Arc::new(TaskPool::with_topology_faulted(topology, plan)),
+        Discipline::Futures => Arc::new(FuturesPool::with_topology_faulted(topology, plan)),
     }
 }
 

@@ -18,6 +18,9 @@ pub struct PoolMetrics {
     steal_attempts: AtomicU64,
     parks: AtomicU64,
     splits: AtomicU64,
+    cancel_checks: AtomicU64,
+    cancelled_tasks: AtomicU64,
+    spawn_failures: AtomicU64,
 }
 
 /// A point-in-time copy of a pool's counters.
@@ -45,6 +48,15 @@ pub struct MetricsSnapshot {
     /// response to demand (work-stealing binary splits and the adaptive
     /// partitioner's lazy splits both count here).
     pub splits: u64,
+    /// Cancellation-point polls observed by cancellable regions (task
+    /// bodies, chunk boundaries, partitioner claim points).
+    pub cancel_checks: u64,
+    /// Task bodies or chunks skipped/aborted because a cancellation
+    /// token had tripped.
+    pub cancelled_tasks: u64,
+    /// Worker threads the pool failed to spawn at construction and
+    /// compensated for by running with a smaller team.
+    pub spawn_failures: u64,
 }
 
 impl MetricsSnapshot {
@@ -69,6 +81,9 @@ impl MetricsSnapshot {
             steal_attempts: self.steal_attempts - earlier.steal_attempts,
             parks: self.parks - earlier.parks,
             splits: self.splits - earlier.splits,
+            cancel_checks: self.cancel_checks - earlier.cancel_checks,
+            cancelled_tasks: self.cancelled_tasks - earlier.cancelled_tasks,
+            spawn_failures: self.spawn_failures - earlier.spawn_failures,
         }
     }
 }
@@ -115,6 +130,18 @@ impl PoolMetrics {
         self.splits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `checks` cancellation polls, of which `cancelled` found
+    /// the token tripped and skipped/aborted their work.
+    pub fn record_cancel(&self, checks: u64, cancelled: u64) {
+        self.cancel_checks.fetch_add(checks, Ordering::Relaxed);
+        self.cancelled_tasks.fetch_add(cancelled, Ordering::Relaxed);
+    }
+
+    /// Record `n` worker-spawn failures the pool degraded around.
+    pub fn record_spawn_failures(&self, n: u64) {
+        self.spawn_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copy the current values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -126,6 +153,9 @@ impl PoolMetrics {
             steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
+            cancel_checks: self.cancel_checks.load(Ordering::Relaxed),
+            cancelled_tasks: self.cancelled_tasks.load(Ordering::Relaxed),
+            spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,6 +177,8 @@ mod tests {
         m.record_park();
         m.record_split();
         m.record_split();
+        m.record_cancel(5, 2);
+        m.record_spawn_failures(1);
         let s = m.snapshot();
         assert_eq!(s.runs, 1);
         assert_eq!(s.tasks_executed, 15);
@@ -157,6 +189,9 @@ mod tests {
         assert_eq!(s.steal_attempts, 2);
         assert_eq!(s.parks, 1);
         assert_eq!(s.splits, 2);
+        assert_eq!(s.cancel_checks, 5);
+        assert_eq!(s.cancelled_tasks, 2);
+        assert_eq!(s.spawn_failures, 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 use pstl_trace::{EventKind, PoolTracer, WorkerRecorder};
 
+use crate::fault::{self, FaultInjector, FaultPlan};
 use crate::futures::{future_promise, Future};
 use crate::injector::Injector;
 use crate::job::Job;
@@ -51,6 +52,9 @@ struct TpShared {
     /// One track per thread; the `run`-calling thread is track 0
     /// (serialized by `run_lock`).
     tracer: PoolTracer,
+    /// Installed fault-injection plan (zero-sized when the feature is
+    /// off).
+    faults: FaultInjector,
 }
 
 /// Central-queue task pool with one boxed task per index.
@@ -70,6 +74,38 @@ impl TaskPool {
     /// A pool carrying an explicit worker → node [`Topology`] (reported,
     /// not scheduled on — see [`TpShared::topology`]).
     pub fn with_topology(topology: Topology) -> Self {
+        Self::with_topology_faulted(topology, FaultPlan::none())
+    }
+
+    /// As [`with_topology`](Self::with_topology), with a fault plan
+    /// active from construction onwards (spawn faults fire here). A
+    /// worker thread that fails to spawn does not abort construction:
+    /// the partial team is torn down and the pool rebuilt on the
+    /// surviving prefix of the topology (logged, and counted in the
+    /// `spawn_failures` metric).
+    pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
+        let mut topology = topology;
+        let mut failures = 0u64;
+        loop {
+            match Self::try_build(topology.clone(), &plan) {
+                Ok(pool) => {
+                    pool.shared.metrics.record_spawn_failures(failures);
+                    pool.shared.faults.install(plan);
+                    return pool;
+                }
+                Err((reached, err)) => {
+                    failures += 1;
+                    eprintln!(
+                        "pstl-executor: failed to spawn task-pool worker {reached} ({err}); \
+                         falling back to {reached} threads"
+                    );
+                    topology = topology.truncated(reached);
+                }
+            }
+        }
+    }
+
+    fn try_build(topology: Topology, plan: &FaultPlan) -> Result<Self, (usize, String)> {
         let threads = topology.threads();
         let shared = Arc::new(TpShared {
             threads,
@@ -80,21 +116,35 @@ impl TaskPool {
             metrics: PoolMetrics::new(),
             idle: std::sync::atomic::AtomicUsize::new(0),
             tracer: PoolTracer::new(threads, false),
+            faults: FaultInjector::new(),
         });
-        let handles = (1..threads)
-            .map(|w| {
+        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        for w in 1..threads {
+            let spawned = if fault::spawn_should_fail(plan, w) {
+                Err(std::io::Error::other(fault::INJECTED_PANIC))
+            } else {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("pstl-tp-{w}"))
                     .spawn(move || worker_loop(&shared, w))
-                    .expect("failed to spawn task-pool worker")
-            })
-            .collect();
-        TaskPool {
+            };
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    shared.shutdown.trigger();
+                    shared.signal.notify_all();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err((w, err.to_string()));
+                }
+            }
+        }
+        Ok(TaskPool {
             shared,
             run_lock: Mutex::new(()),
             handles,
-        }
+        })
     }
 
     /// Submit an arbitrary closure; returns a future for its result.
@@ -140,15 +190,21 @@ impl TaskPool {
                 self.shared.metrics.record_tasks(1);
                 if let Some(rec) = rec {
                     rec.record(EventKind::TaskStart { size: task.size });
-                    (task.run)();
+                    run_queued(task);
                     rec.record(EventKind::TaskFinish);
                 } else {
-                    (task.run)();
+                    run_queued(task);
                 }
                 true
             }
             None => false,
         }
+    }
+
+    /// Fault-injection state shared with fronting executors (the
+    /// futures pool injects into its block bodies through this).
+    pub(crate) fn fault_injector(&self) -> &FaultInjector {
+        &self.shared.faults
     }
 
     /// The pool's metric counters (for the futures pool, which fronts
@@ -195,17 +251,32 @@ impl TaskPool {
             wg: Arc::new(WaitGroup::new()),
             panic: Mutex::new(None),
         };
-        let result = op(&scope);
+        // Catch a panicking `op`: tasks it already spawned hold pointers
+        // into this stack frame, so the scope MUST drain before the
+        // unwind continues past it — letting the panic through here
+        // would free the frame under still-running tasks.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&scope)));
         // Help-drain the queue until every spawned task (including ones
         // spawned by tasks) has finished. No trace recorder here: scopes
         // are not serialized against each other, so the caller track's
         // single-producer contract would not hold.
         scope.wg.wait_while_helping(|| self.try_run_one(None));
-        let payload = scope.panic.lock().take();
-        if let Some(payload) = payload {
-            std::panic::resume_unwind(payload);
+        let task_payload = scope.panic.lock().take();
+        match result {
+            // `op`'s own panic wins; a concurrent task panic is dropped
+            // (re-throwing both is impossible).
+            Err(op_payload) => std::panic::resume_unwind(op_payload),
+            Ok(value) => {
+                if let Some(payload) = task_payload {
+                    // Never re-throw while this thread is already
+                    // unwinding — that aborts the process.
+                    if !std::thread::panicking() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+                value
+            }
         }
-        result
     }
 }
 
@@ -280,6 +351,17 @@ impl<'scope> Scope<'scope> {
     }
 }
 
+/// Execute a queued closure, containing any panic it lets escape.
+///
+/// `run`/`scope` tasks catch panics internally (first-panic-wins), so
+/// this outer catch only fires for raw [`TaskPool::spawn`] closures —
+/// without it, one panicking spawn would unwind and permanently kill a
+/// worker thread. The payload is dropped: the task's promise is dropped
+/// unfulfilled, which its waiter observes as a broken promise.
+fn run_queued(task: QueuedTask) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.run));
+}
+
 fn worker_loop(shared: &TpShared, index: usize) {
     let rec = shared.tracer.recorder(index);
     loop {
@@ -287,7 +369,7 @@ fn worker_loop(shared: &TpShared, index: usize) {
         if let Some(task) = shared.queue.pop() {
             shared.metrics.record_tasks(1);
             rec.record(EventKind::TaskStart { size: task.size });
-            (task.run)();
+            run_queued(task);
             rec.record(EventKind::TaskFinish);
             continue;
         }
@@ -318,7 +400,9 @@ impl Executor for TaskPool {
         }
         let _guard = self.run_lock.lock();
         if self.shared.threads == 1 {
+            let faults = self.shared.faults.hook();
             for i in 0..tasks {
+                faults.on_task();
                 body(i);
             }
             return;
@@ -329,7 +413,7 @@ impl Executor for TaskPool {
         rec.record(EventKind::RegionBegin {
             tasks: tasks as u64,
         });
-        let job = Job::new(body, tasks);
+        let job = Job::with_faults(body, tasks, self.shared.faults.hook());
         // One boxed task per index: HPX-grade scheduling overhead, by
         // design. The batch push takes the queue lock once, but each task
         // still pays its own allocation and pop.
@@ -356,6 +440,23 @@ impl Executor for TaskPool {
 
     fn record_split(&self, _size: u64) {
         self.shared.metrics.record_split();
+    }
+
+    fn record_cancel(&self, checks: u64, cancelled: u64) {
+        self.shared.metrics.record_cancel(checks, cancelled);
+        if cancelled > 0 {
+            // Track 0 is the run-caller track; `run_lock` serializes us
+            // with `run` callers, preserving the single-producer ring.
+            let _guard = self.run_lock.lock();
+            self.shared
+                .tracer
+                .recorder(0)
+                .record(EventKind::Cancel { tasks: cancelled });
+        }
+    }
+
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        self.shared.faults.install(plan);
     }
 
     fn discipline(&self) -> Discipline {

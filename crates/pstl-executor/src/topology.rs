@@ -82,6 +82,16 @@ impl Topology {
             .collect()
     }
 
+    /// The same layout restricted to the first `threads` workers
+    /// (clamped to at least one — the caller is always a participant).
+    /// Pool constructors fall back to this when a worker thread fails
+    /// to spawn: the surviving team keeps its original node
+    /// assignments, just with the tail cut off.
+    pub fn truncated(&self, threads: usize) -> Self {
+        let keep = threads.clamp(1, self.threads());
+        Topology::from_nodes(self.node_of[..keep].to_vec())
+    }
+
     /// Stable node-sorted rank of each worker: workers sorted by
     /// `(node, index)`, so consecutive ranks share a node wherever
     /// possible. Fork-join partitioning indexes its contiguous chunks by
@@ -147,6 +157,19 @@ mod tests {
         let t = Topology::from_nodes(vec![0, 1, 0, 1]);
         assert_eq!(t.nodes(), 2);
         assert_eq!(t.partition_rank(), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix_assignments() {
+        let t = Topology::grouped(6, 2);
+        let cut = t.truncated(3);
+        assert_eq!(cut.threads(), 3);
+        assert_eq!(
+            (0..3).map(|w| cut.node_of(w)).collect::<Vec<_>>(),
+            vec![0, 0, 1]
+        );
+        assert_eq!(t.truncated(0).threads(), 1, "caller always participates");
+        assert_eq!(t.truncated(99), t, "never grows");
     }
 
     #[test]

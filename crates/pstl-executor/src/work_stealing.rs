@@ -26,6 +26,7 @@ use parking_lot::Mutex;
 use pstl_trace::{EventKind, PoolTracer, WorkerRecorder};
 
 use crate::deque::{deque, Steal, Stealer, Worker};
+use crate::fault::{self, FaultInjector, FaultPlan};
 use crate::injector::Injector;
 use crate::job::Job;
 use crate::metrics::PoolMetrics;
@@ -59,6 +60,9 @@ struct WsShared {
     /// Serialized handle to the splitter track: splits originate from
     /// arbitrary participants, but the ring is single-producer.
     split_rec: Mutex<WorkerRecorder>,
+    /// Installed fault-injection plan (zero-sized when the feature is
+    /// off).
+    faults: FaultInjector,
 }
 
 /// Work-stealing pool with binary range splitting.
@@ -80,6 +84,38 @@ impl WorkStealingPool {
     /// A pool whose participants are mapped onto NUMA nodes by
     /// `topology`; victim selection steals same-node first.
     pub fn with_topology(topology: Topology) -> Self {
+        Self::with_topology_faulted(topology, FaultPlan::none())
+    }
+
+    /// As [`with_topology`](Self::with_topology), with a fault plan
+    /// active from construction onwards (spawn faults fire here). A
+    /// worker thread that fails to spawn does not abort construction:
+    /// the partial team is torn down and the pool is rebuilt on the
+    /// surviving prefix of the topology (logged, and counted in the
+    /// `spawn_failures` metric).
+    pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
+        let mut topology = topology;
+        let mut failures = 0u64;
+        loop {
+            match Self::try_build(topology.clone(), &plan) {
+                Ok(pool) => {
+                    pool.shared.metrics.record_spawn_failures(failures);
+                    pool.shared.faults.install(plan);
+                    return pool;
+                }
+                Err((reached, err)) => {
+                    failures += 1;
+                    eprintln!(
+                        "pstl-executor: failed to spawn work-stealing worker {reached} ({err}); \
+                         falling back to {reached} threads"
+                    );
+                    topology = topology.truncated(reached);
+                }
+            }
+        }
+    }
+
+    fn try_build(topology: Topology, plan: &FaultPlan) -> Result<Self, (usize, String)> {
         let threads = topology.threads();
         let local_victims: Vec<Vec<usize>> =
             (0..threads).map(|w| topology.local_peers(w)).collect();
@@ -107,25 +143,37 @@ impl WorkStealingPool {
             idle: AtomicUsize::new(0),
             tracer,
             split_rec,
+            faults: FaultInjector::new(),
         });
         let caller_deque = Mutex::new(workers.remove(0));
-        let handles = workers
-            .into_iter()
-            .enumerate()
-            .map(|(i, worker)| {
+        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        for (i, worker) in workers.into_iter().enumerate() {
+            let index = i + 1;
+            let spawned = if fault::spawn_should_fail(plan, index) {
+                Err(std::io::Error::other(fault::INJECTED_PANIC))
+            } else {
                 let shared = Arc::clone(&shared);
-                let index = i + 1;
                 std::thread::Builder::new()
                     .name(format!("pstl-ws-{index}"))
                     .spawn(move || worker_loop(&shared, worker, index))
-                    .expect("failed to spawn work-stealing worker")
-            })
-            .collect();
-        WorkStealingPool {
+            };
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    shared.shutdown.trigger();
+                    shared.signal.notify_all();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err((index, err.to_string()));
+                }
+            }
+        }
+        Ok(WorkStealingPool {
             shared,
             caller_deque,
             handles,
-        }
+        })
     }
 }
 
@@ -176,6 +224,9 @@ fn find_task(
     if shared.stealers.len() <= 1 {
         return None;
     }
+    // Fault hook: a planned steal-round delay makes `me` yield here,
+    // modelling a slow or preempted worker entering its steal phase.
+    shared.faults.on_steal_round(me);
     for (victims, is_local_tier) in [
         (&shared.local_victims[me], true),
         (&shared.remote_victims[me], false),
@@ -252,7 +303,9 @@ impl Executor for WorkStealingPool {
         }
         let local = self.caller_deque.lock();
         if self.shared.threads == 1 {
+            let faults = self.shared.faults.hook();
             for i in 0..tasks {
+                faults.on_task();
                 body(i);
             }
             return;
@@ -264,7 +317,7 @@ impl Executor for WorkStealingPool {
         rec.record(EventKind::RegionBegin {
             tasks: tasks as u64,
         });
-        let job = Job::new(body, tasks);
+        let job = Job::with_faults(body, tasks, self.shared.faults.hook());
         // Seed the injector with one contiguous root range per thread.
         let roots = self.shared.threads.min(tasks);
         self.shared.injector.push_batch((0..roots).map(|w| {
@@ -295,7 +348,9 @@ impl Executor for WorkStealingPool {
         }
         let local = self.caller_deque.lock();
         if self.shared.threads == 1 {
+            let faults = self.shared.faults.hook();
             for i in 0..initial {
+                faults.on_task();
                 body(i);
             }
             return;
@@ -305,7 +360,7 @@ impl Executor for WorkStealingPool {
         rec.record(EventKind::RegionBegin {
             tasks: initial as u64,
         });
-        let job = Job::new(body, initial);
+        let job = Job::with_faults(body, initial, self.shared.faults.hook());
         // One indivisible unit task per seed index: during a dynamic
         // region the partitioner owns granularity, so the pool must not
         // re-split the (already per-worker) seed ranges.
@@ -338,6 +393,23 @@ impl Executor for WorkStealingPool {
             .split_rec
             .lock()
             .record(EventKind::RangeSplit { size });
+    }
+
+    fn record_cancel(&self, checks: u64, cancelled: u64) {
+        self.shared.metrics.record_cancel(checks, cancelled);
+        if cancelled > 0 {
+            // The splitter track is the pool's shared serialized track;
+            // cancel events originate from arbitrary callers like
+            // splits do.
+            self.shared
+                .split_rec
+                .lock()
+                .record(EventKind::Cancel { tasks: cancelled });
+        }
+    }
+
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        self.shared.faults.install(plan);
     }
 
     fn discipline(&self) -> Discipline {

@@ -99,6 +99,13 @@ pub struct SchedDelta {
     /// Range splits (work-stealing binary splits and the adaptive
     /// partitioner's lazy splits).
     pub splits: u64,
+    /// Cooperative cancellation polls observed by the executor.
+    pub cancel_checks: u64,
+    /// Tasks skipped or bailed out because a cancellation token tripped.
+    pub cancelled_tasks: u64,
+    /// Worker threads that failed to spawn (the pool fell back to fewer
+    /// workers).
+    pub spawn_failures: u64,
 }
 
 impl From<MetricsSnapshot> for SchedDelta {
@@ -112,6 +119,9 @@ impl From<MetricsSnapshot> for SchedDelta {
             steal_attempts: s.steal_attempts,
             parks: s.parks,
             splits: s.splits,
+            cancel_checks: s.cancel_checks,
+            cancelled_tasks: s.cancelled_tasks,
+            spawn_failures: s.spawn_failures,
         }
     }
 }
@@ -132,6 +142,12 @@ pub struct Measurement {
     /// Scheduler-counter deltas over the measured iterations, when a
     /// metrics source was attached ([`Bench::metrics_source`]).
     pub sched: Option<SchedDelta>,
+    /// Iterations discarded and re-run because they overran the
+    /// watchdog limit ([`Bench::watchdog`]).
+    pub retries: u64,
+    /// Iterations that overran the watchdog limit (including ones kept
+    /// because the retry budget was exhausted).
+    pub watchdog_timeouts: u64,
 }
 
 impl Measurement {
@@ -154,6 +170,8 @@ pub struct Bench {
     bytes_per_iter: Option<u64>,
     items_per_iter: Option<u64>,
     metrics_source: Option<Arc<dyn Executor>>,
+    watchdog: Option<Duration>,
+    max_retries: u64,
 }
 
 impl Bench {
@@ -165,6 +183,8 @@ impl Bench {
             bytes_per_iter: None,
             items_per_iter: None,
             metrics_source: None,
+            watchdog: None,
+            max_retries: 2,
         }
     }
 
@@ -196,6 +216,26 @@ impl Bench {
         self
     }
 
+    /// Arm a per-iteration watchdog: a measured iteration whose reported
+    /// duration exceeds `limit` is counted as a timeout and — while the
+    /// retry budget lasts — its sample is discarded and the iteration
+    /// re-run, so one scheduler hiccup (a descheduled worker, a paging
+    /// stall) does not poison a whole measurement. Once the budget is
+    /// exhausted, overlong samples are kept so the loop still
+    /// terminates. Both counts are reported on the measurement
+    /// ([`Measurement::retries`], [`Measurement::watchdog_timeouts`]).
+    pub fn watchdog(mut self, limit: Duration) -> Self {
+        self.watchdog = Some(limit);
+        self
+    }
+
+    /// Cap the number of discarded-and-re-run iterations per
+    /// measurement (default 2).
+    pub fn max_retries(mut self, retries: u64) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
     /// Run with wall-clock timing of the whole closure.
     pub fn run<F: FnMut()>(self, mut f: F) -> Measurement {
         self.run_manual(|| {
@@ -217,10 +257,24 @@ impl Bench {
         let mut samples: Vec<f64> = Vec::new();
         let mut accumulated = Duration::ZERO;
         let mut iterations = 0u64;
+        let mut retries = 0u64;
+        let mut watchdog_timeouts = 0u64;
         while (accumulated < self.config.min_time || iterations < self.config.min_iterations)
             && iterations < self.config.max_iterations
         {
             let d = f();
+            if let Some(limit) = self.watchdog {
+                if d > limit {
+                    watchdog_timeouts += 1;
+                    if retries < self.max_retries {
+                        // Discard the sample and re-run the iteration;
+                        // the bounded budget keeps the loop terminating
+                        // even if every iteration overruns.
+                        retries += 1;
+                        continue;
+                    }
+                }
+            }
             accumulated += d;
             samples.push(d.as_secs_f64());
             iterations += 1;
@@ -236,6 +290,8 @@ impl Bench {
             bytes_per_iter: self.bytes_per_iter,
             items_per_iter: self.items_per_iter,
             sched,
+            retries,
+            watchdog_timeouts,
         }
     }
 }
@@ -380,7 +436,12 @@ mod tests {
                 steal_attempts: 7,
                 parks: 2,
                 splits: 5,
+                cancel_checks: 11,
+                cancelled_tasks: 4,
+                spawn_failures: 1,
             }),
+            retries: 1,
+            watchdog_timeouts: 2,
         };
         let json = report::to_json(&m);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
@@ -389,5 +450,66 @@ mod tests {
         assert_eq!(v["sched"]["local_steals"].as_u64(), Some(2));
         assert_eq!(v["sched"]["remote_steals"].as_u64(), Some(1));
         assert_eq!(v["sched"]["splits"].as_u64(), Some(5));
+        assert_eq!(v["sched"]["cancel_checks"].as_u64(), Some(11));
+        assert_eq!(v["sched"]["cancelled_tasks"].as_u64(), Some(4));
+        assert_eq!(v["sched"]["spawn_failures"].as_u64(), Some(1));
+        assert_eq!(v["retries"].as_u64(), Some(1));
+        assert_eq!(v["watchdog_timeouts"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn watchdog_discards_and_retries_slow_iterations() {
+        // First two reported durations overrun the 1 ms limit and are
+        // discarded (retry budget 2); the remaining iterations are fast.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = AtomicU64::new(0);
+        let m = Bench::new("wd")
+            .config(BenchConfig {
+                min_time: Duration::ZERO,
+                warmup_iterations: 0,
+                min_iterations: 3,
+                max_iterations: 3,
+            })
+            .watchdog(Duration::from_millis(1))
+            .run_manual(|| {
+                let c = calls.fetch_add(1, Ordering::Relaxed);
+                if c < 2 {
+                    Duration::from_millis(50)
+                } else {
+                    Duration::from_micros(10)
+                }
+            });
+        assert_eq!(m.iterations, 3);
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.watchdog_timeouts, 2);
+        assert!(m.stats.max < 1e-3, "slow samples were discarded");
+    }
+
+    #[test]
+    fn watchdog_keeps_samples_once_retry_budget_exhausted() {
+        // Every iteration overruns: the loop must still terminate, the
+        // over-limit samples being kept after max_retries discards.
+        let m = Bench::new("wd_exhaust")
+            .config(BenchConfig {
+                min_time: Duration::ZERO,
+                warmup_iterations: 0,
+                min_iterations: 2,
+                max_iterations: 2,
+            })
+            .watchdog(Duration::from_nanos(1))
+            .max_retries(3)
+            .run_manual(|| Duration::from_micros(100));
+        assert_eq!(m.iterations, 2);
+        assert_eq!(m.retries, 3);
+        assert_eq!(m.watchdog_timeouts, 5, "3 discarded + 2 kept");
+    }
+
+    #[test]
+    fn no_watchdog_means_no_timeouts() {
+        let m = Bench::new("plain")
+            .config(BenchConfig::quick())
+            .run_manual(|| Duration::from_secs(0));
+        assert_eq!(m.retries, 0);
+        assert_eq!(m.watchdog_timeouts, 0);
     }
 }

@@ -106,6 +106,33 @@ impl SchedSim {
         }
     }
 
+    /// [`makespan`](Self::makespan) under a task-failure model: each
+    /// task whose index appears in `failed` runs to its failure point
+    /// (modeled as the full duration — a panic caught at the end of the
+    /// chunk), pays `retry_cost` of recovery dispatch, then re-executes,
+    /// so a failed task costs `2·d + retry_cost` in place of `d`. The
+    /// inflated duration list is then scheduled normally, modeling
+    /// in-place retry on whichever worker holds the task — the cost
+    /// shape of the executor's catch-and-rerun fault handling. Indices
+    /// outside `durations` are ignored; listing an index twice does not
+    /// inflate it twice.
+    pub fn makespan_with_failures(
+        &self,
+        durations: &[f64],
+        failed: &[usize],
+        retry_cost: f64,
+        discipline: SimDiscipline,
+    ) -> f64 {
+        debug_assert!(retry_cost >= 0.0);
+        let mut inflated: Vec<f64> = durations.to_vec();
+        for &i in failed {
+            if let Some(d) = durations.get(i) {
+                inflated[i] = 2.0 * d + retry_cost;
+            }
+        }
+        self.makespan(&inflated, discipline)
+    }
+
     /// Lower bound on any schedule: max(total/workers, longest task).
     pub fn lower_bound(&self, durations: &[f64]) -> f64 {
         let total: f64 = durations.iter().sum();
@@ -766,6 +793,43 @@ mod tests {
     fn victim_order_names_are_stable() {
         assert_eq!(VictimOrder::Blind.name(), "blind");
         assert_eq!(VictimOrder::LocalFirst.name(), "local_first");
+    }
+
+    #[test]
+    fn failures_inflate_makespan_by_retry_shape() {
+        let sim = SchedSim::new(1);
+        let work = vec![2.0, 3.0, 5.0];
+        // Serial sum makes the cost model exactly checkable: a failed
+        // task re-runs (2·d) plus the retry dispatch.
+        let base = sim.makespan_with_failures(&work, &[], 0.5, SimDiscipline::Static);
+        assert!((base - 10.0).abs() < 1e-9);
+        let failed = sim.makespan_with_failures(&work, &[1], 0.5, SimDiscipline::Static);
+        assert!((failed - (10.0 + 3.0 + 0.5)).abs() < 1e-9, "{failed}");
+    }
+
+    #[test]
+    fn failures_never_shrink_makespan_on_any_discipline() {
+        let sim = SchedSim::new(4);
+        let work = skewed_durations(512, 17, 10.0);
+        let failed: Vec<usize> = (0..512).step_by(31).collect();
+        for d in DISCIPLINES {
+            let clean = sim.makespan(&work, d);
+            let faulty = sim.makespan_with_failures(&work, &failed, 0.2, d);
+            assert!(
+                faulty >= clean * 0.999,
+                "{d:?}: faulty {faulty} below clean {clean}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_indices_are_deduplicated_and_bounds_checked() {
+        let sim = SchedSim::new(1);
+        let work = vec![1.0; 10];
+        // Duplicate and out-of-range entries: task 3 fails once, 999 is
+        // ignored.
+        let m = sim.makespan_with_failures(&work, &[3, 3, 999], 0.25, SimDiscipline::Static);
+        assert!((m - (10.0 + 1.0 + 0.25)).abs() < 1e-9, "{m}");
     }
 
     #[test]

@@ -101,6 +101,10 @@ fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<String> {
                 r#"{{"name":"split","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"size":{size}}}}}"#,
                 us(e.t_ns)
             )),
+            EventKind::Cancel { tasks } => out.push(format!(
+                r#"{{"name":"cancel","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"tasks":{tasks}}}}}"#,
+                us(e.t_ns)
+            )),
             EventKind::Park => parks.push(e.t_ns),
             EventKind::Unpark => {
                 if let Some(start) = parks.pop() {

@@ -64,6 +64,9 @@ pub enum EventKind {
     /// A running range was split in response to steal pressure (lazy
     /// binary splitting); `size` is the number of elements handed off.
     RangeSplit { size: u64 },
+    /// A cancellable region observed its token cancelled; `tasks` is the
+    /// number of task bodies skipped because of it.
+    Cancel { tasks: u64 },
 }
 
 // The packed encoding is exercised only by the ring recorder, which the
@@ -84,6 +87,7 @@ mod encoding {
     const TAG_RANGE_SPLIT: u64 = 9;
     const TAG_LOCAL_STEAL: u64 = 10;
     const TAG_REMOTE_STEAL: u64 = 11;
+    const TAG_CANCEL: u64 = 12;
 
     const PAYLOAD_BITS: u32 = 56;
     const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
@@ -104,6 +108,7 @@ mod encoding {
                 EventKind::RangeSplit { size } => (TAG_RANGE_SPLIT, size),
                 EventKind::LocalSteal { victim } => (TAG_LOCAL_STEAL, victim),
                 EventKind::RemoteSteal { victim } => (TAG_REMOTE_STEAL, victim),
+                EventKind::Cancel { tasks } => (TAG_CANCEL, tasks),
             };
             (tag << PAYLOAD_BITS) | (payload & PAYLOAD_MASK)
         }
@@ -122,6 +127,7 @@ mod encoding {
                 TAG_RANGE_SPLIT => EventKind::RangeSplit { size: payload },
                 TAG_LOCAL_STEAL => EventKind::LocalSteal { victim: payload },
                 TAG_REMOTE_STEAL => EventKind::RemoteSteal { victim: payload },
+                TAG_CANCEL => EventKind::Cancel { tasks: payload },
                 _ => EventKind::Unpark,
             }
         }
@@ -194,6 +200,7 @@ mod tests {
             EventKind::RangeSplit { size: 4096 },
             EventKind::LocalSteal { victim: 7 },
             EventKind::RemoteSteal { victim: 63 },
+            EventKind::Cancel { tasks: 12 },
         ] {
             assert_eq!(EventKind::decode(kind.encode()), kind);
         }

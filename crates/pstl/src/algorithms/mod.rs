@@ -25,15 +25,14 @@ pub mod sort;
 pub mod transform;
 pub mod unique_remove;
 
-use std::mem::MaybeUninit;
 use std::ops::Range;
 use std::sync::Mutex;
 
 use pstl_alloc::Placement;
 
 use crate::chunk::chunk_range;
+use crate::guard::{CancelCtx, CancelReport, GuardedSlots};
 use crate::policy::{ExecutionPolicy, Partitioner, Plan};
-use crate::ptr::SliceView;
 use crate::splitter;
 
 /// Map every claimed sub-range of `0..n` through `map`, collecting
@@ -58,39 +57,43 @@ where
 {
     match policy.plan(n) {
         Plan::Sequential => vec![(0..n, map(0..n))],
-        Plan::Parallel { exec, tasks, cfg } => match cfg.partitioner {
-            Partitioner::Static => {
-                let mut slots: Vec<MaybeUninit<(Range<usize>, R)>> = Vec::with_capacity(tasks);
-                slots.resize_with(tasks, MaybeUninit::uninit);
-                let view = SliceView::new(&mut slots);
-                let view = &view;
-                exec.run(tasks, &|i| {
-                    let r = chunk_range(n, tasks, i);
-                    let value = (r.clone(), map(r));
-                    // SAFETY: each task index writes exactly its own slot.
-                    unsafe { view.write(i, MaybeUninit::new(value)) };
-                });
-                // SAFETY: `run` returns only once every index executed, so
-                // every slot is initialized. If a task panicked, `run`
-                // propagates before this point and the `MaybeUninit` vec
-                // leaks the written results — a leak, never a read of
-                // uninitialized memory.
-                slots
-                    .into_iter()
-                    .map(|s| unsafe { s.assume_init() })
-                    .collect()
+        Plan::Parallel {
+            exec,
+            tasks,
+            cfg,
+            cancel,
+        } => {
+            let cancel = CancelCtx::new(cancel);
+            let _report = CancelReport::new(exec, &cancel);
+            match cfg.partitioner {
+                Partitioner::Static => {
+                    let slots: GuardedSlots<(Range<usize>, R)> = GuardedSlots::new(tasks);
+                    let slots_ref = &slots;
+                    let cancel = &cancel;
+                    exec.run(tasks, &|i| {
+                        cancel.check();
+                        let r = chunk_range(n, tasks, i);
+                        let value = (r.clone(), map(r));
+                        // SAFETY: each task index writes exactly its own
+                        // slot. If a task panics (or a cancellation
+                        // bails), `run` propagates before `into_values`
+                        // and the guard drops exactly the written slots.
+                        unsafe { slots_ref.write(i, value) };
+                    });
+                    slots.into_values()
+                }
+                _ => {
+                    let out: Mutex<Vec<(Range<usize>, R)>> = Mutex::new(Vec::new());
+                    splitter::run_partitioned(exec, n, &cfg, &cancel, &|r| {
+                        let value = (r.clone(), map(r));
+                        out.lock().unwrap().push(value);
+                    });
+                    let mut parts = out.into_inner().unwrap();
+                    parts.sort_by_key(|(r, _)| r.start);
+                    parts
+                }
             }
-            _ => {
-                let out: Mutex<Vec<(Range<usize>, R)>> = Mutex::new(Vec::new());
-                splitter::run_partitioned(exec, n, &cfg, &|r| {
-                    let value = (r.clone(), map(r));
-                    out.lock().unwrap().push(value);
-                });
-                let mut parts = out.into_inner().unwrap();
-                parts.sort_by_key(|(r, _)| r.start);
-                parts
-            }
-        },
+        }
     }
 }
 
@@ -115,12 +118,25 @@ where
 {
     match policy.plan(n) {
         Plan::Sequential => body(0..n),
-        Plan::Parallel { exec, tasks, cfg } => match cfg.partitioner {
-            Partitioner::Static => {
-                exec.run(tasks, &|i| body(chunk_range(n, tasks, i)));
+        Plan::Parallel {
+            exec,
+            tasks,
+            cfg,
+            cancel,
+        } => {
+            let cancel = CancelCtx::new(cancel);
+            let _report = CancelReport::new(exec, &cancel);
+            match cfg.partitioner {
+                Partitioner::Static => {
+                    let cancel = &cancel;
+                    exec.run(tasks, &|i| {
+                        cancel.check();
+                        body(chunk_range(n, tasks, i));
+                    });
+                }
+                _ => splitter::run_partitioned(exec, n, &cfg, &cancel, body),
             }
-            _ => splitter::run_partitioned(exec, n, &cfg, body),
-        },
+        }
     }
 }
 
@@ -148,10 +164,14 @@ where
                 body(i, r.clone());
             }
         }
-        ExecutionPolicy::Par { exec, cfg } => {
+        ExecutionPolicy::Par { exec, cfg, cancel } => {
+            let cancel = CancelCtx::new(cancel.as_ref());
+            let _report = CancelReport::new(exec, &cancel);
+            let cancel = &cancel;
             let cap = exec.num_threads() * cfg.max_tasks_per_thread.max(1);
             let groups = m.min(cap.max(1));
             exec.run(groups, &|g| {
+                cancel.check();
                 for i in chunk_range(m, groups, g) {
                     body(i, ranges[i].clone());
                 }
@@ -177,7 +197,7 @@ where
     T: Clone + Send + Sync,
 {
     match policy {
-        ExecutionPolicy::Par { exec, cfg } if cfg.placement == Placement::FirstTouch => {
+        ExecutionPolicy::Par { exec, cfg, .. } if cfg.placement == Placement::FirstTouch => {
             pstl_alloc::alloc_init(exec, src.len(), |i| src[i].clone())
         }
         _ => src.to_vec(),
@@ -193,7 +213,7 @@ where
     T: Clone + Send + Sync,
 {
     match policy {
-        ExecutionPolicy::Par { exec, cfg } if cfg.placement == Placement::FirstTouch => {
+        ExecutionPolicy::Par { exec, cfg, .. } if cfg.placement == Placement::FirstTouch => {
             pstl_alloc::alloc_init(exec, n, |_| value.clone())
         }
         _ => vec![value; n],

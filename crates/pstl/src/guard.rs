@@ -1,0 +1,236 @@
+//! Unwind-safety guards and cancellation bookkeeping shared by the
+//! algorithm dispatch helpers.
+//!
+//! Two concerns live here, both about what happens when a parallel
+//! region unwinds mid-flight:
+//!
+//! * [`GuardedSlots`] is the panic-safe replacement for the bare
+//!   `Vec<MaybeUninit<_>>` scatter buffers: it tracks which slots were
+//!   written and drops exactly those on unwind, so a panicking chunk
+//!   body (or a cancellation bail-out) never leaks the other chunks'
+//!   results.
+//! * [`CancelCtx`] / [`CancelReport`] carry a region's cooperative
+//!   cancellation state: chunk bodies and partitioner claim loops call
+//!   [`CancelCtx::check`], and the report (a drop guard, so it runs on
+//!   the unwind path too) folds the counts into the pool's metrics via
+//!   [`Executor::record_cancel`] once the region is over.
+
+use std::cell::UnsafeCell;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pstl_executor::{CancelToken, Cancelled, Executor};
+
+/// A fixed-size slot buffer for scatter-style parallel writes (each task
+/// index writes exactly its own slot), safe against mid-region unwinds:
+/// every written slot is flagged, and dropping the buffer drops exactly
+/// the flagged slots. [`into_values`](Self::into_values) consumes the
+/// buffer on the success path.
+pub(crate) struct GuardedSlots<T> {
+    slots: Vec<UnsafeCell<MaybeUninit<T>>>,
+    init: Vec<AtomicBool>,
+}
+
+// SAFETY: concurrent access is scatter-only — disjoint slots, each
+// written at most once (the `write` contract) — so sharing across
+// threads is sound for any sendable payload.
+unsafe impl<T: Send> Sync for GuardedSlots<T> {}
+
+impl<T> GuardedSlots<T> {
+    pub(crate) fn new(n: usize) -> Self {
+        GuardedSlots {
+            slots: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            init: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Write slot `i`.
+    ///
+    /// # Safety
+    /// Each slot index must be written by at most one task, and no slot
+    /// may be read while tasks are still writing (upheld by the
+    /// one-task-one-slot dispatch and the pool's completion barrier).
+    pub(crate) unsafe fn write(&self, i: usize, value: T) {
+        unsafe { (*self.slots[i].get()).write(value) };
+        self.init[i].store(true, Ordering::Release);
+    }
+
+    /// Consume the buffer, returning every slot's value in index order.
+    /// Only called after the dispatching `run` returned cleanly, which
+    /// guarantees all slots were written.
+    pub(crate) fn into_values(self) -> Vec<T> {
+        let mut this = ManuallyDrop::new(self);
+        let slots = std::mem::take(&mut this.slots);
+        drop(std::mem::take(&mut this.init));
+        slots
+            .into_iter()
+            .map(|c| {
+                // SAFETY: the completed run wrote every slot.
+                unsafe { c.into_inner().assume_init() }
+            })
+            .collect()
+    }
+}
+
+impl<T> Drop for GuardedSlots<T> {
+    fn drop(&mut self) {
+        // Unwind path: drop exactly the slots that were written. The
+        // Acquire load pairs with the Release store in `write`, making
+        // the written value visible to this (joining) thread.
+        for (cell, flag) in self.slots.iter_mut().zip(&self.init) {
+            if flag.load(Ordering::Acquire) {
+                unsafe { cell.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Per-region cancellation state: the (cloned) token plus the check and
+/// trip counters that [`CancelReport`] later folds into the pool.
+pub(crate) struct CancelCtx {
+    token: Option<CancelToken>,
+    checks: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+impl CancelCtx {
+    pub(crate) fn new(token: Option<&CancelToken>) -> Self {
+        CancelCtx {
+            token: token.cloned(),
+            checks: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+        }
+    }
+
+    /// Cooperative cancellation point. With no token this is a single
+    /// branch; with one it polls the flag and unwinds with a
+    /// [`Cancelled`] payload once tripped — the payload rides the
+    /// pool's first-panic-wins propagation and is converted back to
+    /// `Err(Cancelled)` by [`Cancelled::catch`] at the API boundary.
+    #[inline]
+    pub(crate) fn check(&self) {
+        let Some(token) = &self.token else { return };
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if token.is_cancelled() {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+            std::panic::panic_any(Cancelled);
+        }
+    }
+
+    /// Non-unwinding poll, for loops that must exit by returning rather
+    /// than panicking (e.g. the adaptive partitioner's work-search spin,
+    /// where the unwind is raised by a participant that still holds a
+    /// range).
+    #[inline]
+    pub(crate) fn is_tripped(&self) -> bool {
+        let Some(token) = &self.token else {
+            return false;
+        };
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        token.is_cancelled()
+    }
+}
+
+/// Folds a region's cancellation counters into the executor once the
+/// region is over. A drop guard rather than a tail call so it also runs
+/// when the region unwinds — which is precisely how cancelled regions
+/// exit. Dropped strictly after the dispatching `run` returned (normally
+/// or by unwinding through it), satisfying `record_cancel`'s
+/// between-runs contract.
+pub(crate) struct CancelReport<'a> {
+    exec: &'a Arc<dyn Executor>,
+    ctx: &'a CancelCtx,
+}
+
+impl<'a> CancelReport<'a> {
+    pub(crate) fn new(exec: &'a Arc<dyn Executor>, ctx: &'a CancelCtx) -> Self {
+        CancelReport { exec, ctx }
+    }
+}
+
+impl Drop for CancelReport<'_> {
+    fn drop(&mut self) {
+        let checks = self.ctx.checks.load(Ordering::Relaxed);
+        let cancelled = self.ctx.cancelled.load(Ordering::Relaxed);
+        if checks > 0 || cancelled > 0 {
+            self.exec.record_cancel(checks, cancelled);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicIsize;
+
+    static LIVE: AtomicIsize = AtomicIsize::new(0);
+
+    struct Tracked;
+    impl Tracked {
+        fn new() -> Self {
+            LIVE.fetch_add(1, Ordering::SeqCst);
+            Tracked
+        }
+    }
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn partially_written_slots_drop_cleanly() {
+        let before = LIVE.load(Ordering::SeqCst);
+        let slots = GuardedSlots::new(8);
+        unsafe {
+            slots.write(1, Tracked::new());
+            slots.write(6, Tracked::new());
+        }
+        drop(slots);
+        assert_eq!(
+            LIVE.load(Ordering::SeqCst),
+            before,
+            "partial drop must balance"
+        );
+    }
+
+    #[test]
+    fn into_values_transfers_ownership_without_leak_or_double_drop() {
+        let before = LIVE.load(Ordering::SeqCst);
+        let slots = GuardedSlots::new(3);
+        unsafe {
+            for i in 0..3 {
+                slots.write(i, Tracked::new());
+            }
+        }
+        let values = slots.into_values();
+        assert_eq!(values.len(), 3);
+        assert_eq!(LIVE.load(Ordering::SeqCst), before + 3);
+        drop(values);
+        assert_eq!(LIVE.load(Ordering::SeqCst), before);
+    }
+
+    #[test]
+    fn check_without_token_is_inert() {
+        let ctx = CancelCtx::new(None);
+        for _ in 0..100 {
+            ctx.check();
+        }
+        assert_eq!(ctx.checks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn check_counts_and_bails_once_tripped() {
+        let token = CancelToken::new();
+        let ctx = CancelCtx::new(Some(&token));
+        ctx.check();
+        token.cancel();
+        let bail = Cancelled::catch(|| ctx.check());
+        assert_eq!(bail, Err(Cancelled));
+        assert_eq!(ctx.checks.load(Ordering::Relaxed), 2);
+        assert_eq!(ctx.cancelled.load(Ordering::Relaxed), 1);
+    }
+}

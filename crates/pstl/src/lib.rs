@@ -38,6 +38,7 @@
 
 pub mod algorithms;
 pub mod chunk;
+mod guard;
 pub mod policy;
 pub mod ptr;
 pub mod seq;
@@ -46,6 +47,10 @@ mod splitter;
 pub use policy::{ExecutionPolicy, ParConfig, Partitioner, Plan};
 
 pub use pstl_alloc::Placement;
+// Cooperative cancellation: attach a token with
+// `ExecutionPolicy::with_cancel` and wrap the algorithm call in
+// `Cancelled::catch` to observe `Err(Cancelled)` instead of the unwind.
+pub use pstl_executor::{CancelToken, Cancelled};
 
 pub use algorithms::adjacent::{adjacent_difference, adjacent_find, adjacent_find_by};
 pub use algorithms::copy_fill::{
@@ -86,6 +91,7 @@ pub use algorithms::unique_remove::{remove_if, replace, replace_if, unique, uniq
 pub mod prelude {
     pub use crate::policy::{ExecutionPolicy, ParConfig, Partitioner};
     pub use pstl_alloc::Placement;
+    pub use pstl_executor::{CancelToken, Cancelled};
 
     pub use crate::algorithms::adjacent::*;
     pub use crate::algorithms::copy_fill::*;

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use pstl_alloc::Placement;
-use pstl_executor::Executor;
+use pstl_executor::{CancelToken, Executor};
 
 /// How the element range of one algorithm invocation is carved into
 /// pool tasks — the paper's central axis of backend contrast.
@@ -144,6 +144,11 @@ pub enum ExecutionPolicy {
         exec: Arc<dyn Executor>,
         /// Chunking behaviour.
         cfg: ParConfig,
+        /// Cooperative cancellation token, polled at chunk boundaries
+        /// and partitioner claim points (see
+        /// [`with_cancel`](ExecutionPolicy::with_cancel)). `None` (the
+        /// default) compiles the checks down to a single branch.
+        cancel: Option<CancelToken>,
     },
 }
 
@@ -151,11 +156,12 @@ impl std::fmt::Debug for ExecutionPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecutionPolicy::Seq => write!(f, "ExecutionPolicy::Seq"),
-            ExecutionPolicy::Par { exec, cfg } => f
+            ExecutionPolicy::Par { exec, cfg, cancel } => f
                 .debug_struct("ExecutionPolicy::Par")
                 .field("discipline", &exec.discipline().name())
                 .field("threads", &exec.num_threads())
                 .field("cfg", cfg)
+                .field("cancellable", &cancel.is_some())
                 .finish(),
         }
     }
@@ -177,6 +183,8 @@ pub enum Plan<'a> {
         /// The policy's chunking behaviour, for partitioner-aware
         /// helpers (grain, partitioner mode).
         cfg: ParConfig,
+        /// The policy's cancellation token, if any.
+        cancel: Option<&'a CancelToken>,
     },
 }
 
@@ -191,12 +199,41 @@ impl ExecutionPolicy {
         ExecutionPolicy::Par {
             exec,
             cfg: ParConfig::default(),
+            cancel: None,
         }
     }
 
     /// Parallel policy with explicit chunking behaviour.
     pub fn par_with(exec: Arc<dyn Executor>, cfg: ParConfig) -> Self {
-        ExecutionPolicy::Par { exec, cfg }
+        ExecutionPolicy::Par {
+            exec,
+            cfg,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cooperative cancellation token: parallel regions under
+    /// this policy poll the token at chunk boundaries and partitioner
+    /// claim points and, once it trips, unwind with a
+    /// [`Cancelled`](pstl_executor::Cancelled) payload. Wrap the
+    /// algorithm call in [`pstl_executor::Cancelled::catch`] to receive
+    /// `Err(Cancelled)` instead of the unwind. Pools drain and stay
+    /// reusable after a cancelled region, exactly as after a body panic.
+    /// No-op on the sequential policy (there is nothing to cancel
+    /// between: the single inline call *is* the region).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        if let ExecutionPolicy::Par { cancel, .. } = &mut self {
+            *cancel = Some(token);
+        }
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        match self {
+            ExecutionPolicy::Seq => None,
+            ExecutionPolicy::Par { cancel, .. } => cancel.as_ref(),
+        }
     }
 
     /// Threads participating under this policy.
@@ -217,7 +254,7 @@ impl ExecutionPolicy {
     pub fn tasks_for(&self, n: usize) -> usize {
         match self {
             ExecutionPolicy::Seq => 1,
-            ExecutionPolicy::Par { exec, cfg } => {
+            ExecutionPolicy::Par { exec, cfg, .. } => {
                 let by_grain = n.div_ceil(cfg.grain.max(1)).max(1);
                 let cap = exec.num_threads() * cfg.max_tasks_per_thread.max(1);
                 by_grain.min(cap).max(1)
@@ -235,7 +272,7 @@ impl ExecutionPolicy {
     pub fn plan(&self, n: usize) -> Plan<'_> {
         match self {
             ExecutionPolicy::Seq => Plan::Sequential,
-            ExecutionPolicy::Par { exec, cfg } => {
+            ExecutionPolicy::Par { exec, cfg, cancel } => {
                 if n == 0 || n <= cfg.seq_threshold {
                     Plan::Sequential
                 } else {
@@ -243,6 +280,7 @@ impl ExecutionPolicy {
                         exec,
                         tasks: self.tasks_for(n),
                         cfg: *cfg,
+                        cancel: cancel.as_ref(),
                     }
                 }
             }

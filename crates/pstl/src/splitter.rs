@@ -25,12 +25,16 @@ use std::sync::{Arc, Mutex};
 use pstl_executor::Executor;
 
 use crate::chunk::chunk_range;
+use crate::guard::CancelCtx;
 use crate::policy::{ParConfig, Partitioner};
 
 /// Dispatch `body` over every claimed sub-range of `0..n` using the
 /// run-time partitioner selected in `cfg`. Every index in `0..n` is
 /// covered by exactly one `body` call; ranges are disjoint but arrive in
-/// no particular order and on no particular thread.
+/// no particular order and on no particular thread. `cancel` is polled
+/// at every claim point; once tripped, every participant unwinds with a
+/// `Cancelled` payload (tokenless contexts make the poll a single
+/// branch).
 ///
 /// `Static` is normally handled by the caller at plan-chunk granularity;
 /// routing it here degrades to guided, the closest dynamic equivalent.
@@ -38,6 +42,7 @@ pub(crate) fn run_partitioned(
     exec: &Arc<dyn Executor>,
     n: usize,
     cfg: &ParConfig,
+    cancel: &CancelCtx,
     body: &(dyn Fn(Range<usize>) + Sync),
 ) {
     if n == 0 {
@@ -45,8 +50,8 @@ pub(crate) fn run_partitioned(
     }
     let grain = cfg.grain.max(1);
     match cfg.partitioner {
-        Partitioner::Guided | Partitioner::Static => run_guided(exec, n, grain, body),
-        Partitioner::Adaptive => run_adaptive(exec, n, grain, body),
+        Partitioner::Guided | Partitioner::Static => run_guided(exec, n, grain, cancel, body),
+        Partitioner::Adaptive => run_adaptive(exec, n, grain, cancel, body),
     }
 }
 
@@ -65,6 +70,7 @@ pub(crate) fn run_guided(
     exec: &Arc<dyn Executor>,
     n: usize,
     grain: usize,
+    cancel: &CancelCtx,
     body: &(dyn Fn(Range<usize>) + Sync),
 ) {
     let initial = participants(exec, n, grain);
@@ -72,6 +78,8 @@ pub(crate) fn run_guided(
     let cursor = &cursor;
     let shrink = 2 * exec.num_threads().max(1);
     exec.run_dynamic(initial, &|_| loop {
+        // Claim point: one cancellation poll per claimed chunk.
+        cancel.check();
         let seen = cursor.load(Ordering::Relaxed);
         if seen >= n {
             return;
@@ -102,6 +110,7 @@ struct AdaptiveShared<'a> {
     /// reaches zero on this path.
     poisoned: AtomicBool,
     grain: usize,
+    cancel: &'a CancelCtx,
     body: &'a (dyn Fn(Range<usize>) + Sync),
 }
 
@@ -126,6 +135,12 @@ impl AdaptiveShared<'_> {
             {
                 break None;
             }
+            // A cancelled region may never drive `remaining` to zero
+            // (every participant abandons its range), so spinners must
+            // poll the token too or they would spin forever.
+            if self.cancel.is_tripped() {
+                break None;
+            }
             std::thread::yield_now();
         };
         self.hungry.fetch_sub(1, Ordering::SeqCst);
@@ -139,6 +154,8 @@ impl AdaptiveShared<'_> {
     fn run_participant(&self, exec: &dyn Executor, mut range: Range<usize>, pool_hint: bool) {
         loop {
             while !range.is_empty() {
+                // Claim point: one poll per stride/split decision.
+                self.cancel.check();
                 if range.len() > self.grain && self.pressure(exec, pool_hint) {
                     let mid = range.start + range.len() / 2;
                     let back = mid..range.end;
@@ -175,6 +192,7 @@ pub(crate) fn run_adaptive(
     exec: &Arc<dyn Executor>,
     n: usize,
     grain: usize,
+    cancel: &CancelCtx,
     body: &(dyn Fn(Range<usize>) + Sync),
 ) {
     let initial = participants(exec, n, grain);
@@ -184,6 +202,7 @@ pub(crate) fn run_adaptive(
         hungry: AtomicUsize::new(0),
         poisoned: AtomicBool::new(false),
         grain,
+        cancel,
         body,
     };
     let shared = &shared;
@@ -216,7 +235,7 @@ mod tests {
 
     fn assert_exact_cover(pool: &Arc<dyn Executor>, cfg: &ParConfig, n: usize) {
         let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        run_partitioned(pool, n, cfg, &|r| {
+        run_partitioned(pool, n, cfg, &CancelCtx::new(None), &|r| {
             for i in r {
                 counts[i].fetch_add(1, Ordering::Relaxed);
             }
@@ -260,7 +279,9 @@ mod tests {
         for pool in pools() {
             for mode in [Partitioner::Guided, Partitioner::Adaptive] {
                 let cfg = ParConfig::with_grain(8).partitioner(mode);
-                run_partitioned(&pool, 0, &cfg, &|_| panic!("body must not run"));
+                run_partitioned(&pool, 0, &cfg, &CancelCtx::new(None), &|_| {
+                    panic!("body must not run")
+                });
             }
         }
     }
@@ -270,7 +291,7 @@ mod tests {
         let pool = build_pool(Discipline::WorkStealing, 2);
         let cfg = ParConfig::with_grain(4).partitioner(Partitioner::Adaptive);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_partitioned(&pool, 1000, &cfg, &|r| {
+            run_partitioned(&pool, 1000, &cfg, &CancelCtx::new(None), &|r| {
                 if r.contains(&500) {
                     panic!("boom in body");
                 }
@@ -287,7 +308,7 @@ mod tests {
         let pool = build_pool(Discipline::ForkJoin, 2);
         let cfg = ParConfig::with_grain(4).partitioner(Partitioner::Guided);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_partitioned(&pool, 1000, &cfg, &|r| {
+            run_partitioned(&pool, 1000, &cfg, &CancelCtx::new(None), &|r| {
                 if r.contains(&500) {
                     panic!("boom in body");
                 }
@@ -306,7 +327,7 @@ mod tests {
         let before = pool.metrics().expect("ws pool reports metrics");
         let cfg = ParConfig::with_grain(8).partitioner(Partitioner::Adaptive);
         let n = 512;
-        run_partitioned(&pool, n, &cfg, &|r| {
+        run_partitioned(&pool, n, &cfg, &CancelCtx::new(None), &|r| {
             for i in r {
                 if i < n / 2 {
                     std::thread::sleep(std::time::Duration::from_micros(50));

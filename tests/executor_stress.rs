@@ -182,6 +182,40 @@ fn pools_survive_panicking_free_spawns() {
     assert_eq!(hits.load(Ordering::Relaxed), 100);
 }
 
+#[test]
+fn panic_storm_keeps_every_pool_alive() {
+    // 60 consecutive panicking runs per discipline, panic site rotating
+    // through the index space, each followed by a clean full-coverage
+    // run: no wedged workers, no lost indices, no double panics.
+    for discipline in [
+        Discipline::ForkJoin,
+        Discipline::WorkStealing,
+        Discipline::TaskPool,
+        Discipline::Futures,
+    ] {
+        let pool = build_pool(discipline, 4);
+        for round in 0..60usize {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(32, &|i| {
+                    if i == round % 32 {
+                        panic!("storm {round}");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "{discipline:?} round {round}");
+            let hits = AtomicUsize::new(0);
+            pool.run(97, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                97,
+                "{discipline:?} round {round}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
