@@ -1,0 +1,95 @@
+//! Criterion bench for the early-exit search family (the bench-side
+//! companion of `results/BENCH_find.json`).
+//!
+//! Two groups:
+//!
+//! * `search_position` — `find` with the match planted at {front ≈ 1%,
+//!   middle, back ≈ 99%, absent}, per partitioner mode on the real
+//!   work-stealing pool. The front row should sit far below the absent
+//!   (drain-everything) row: that gap *is* the early-exit engine.
+//! * `search_family` — `any_of`, `find_first_of`, and `mismatch` at one
+//!   size, all routed through the same engine, so a regression in the
+//!   shared scan/poll loop shows up in every row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::bench_threads;
+use pstl::{any_of, find, find_first_of, mismatch, ExecutionPolicy, ParConfig, Partitioner};
+use pstl_executor::{build_pool, Discipline, Executor};
+
+const MODES: [(&str, Partitioner); 3] = [
+    ("static", Partitioner::Static),
+    ("guided", Partitioner::Guided),
+    ("adaptive", Partitioner::Adaptive),
+];
+
+fn pool() -> Arc<dyn Executor> {
+    build_pool(Discipline::WorkStealing, bench_threads())
+}
+
+fn policy_with(pool: &Arc<dyn Executor>, mode: Partitioner) -> ExecutionPolicy {
+    ExecutionPolicy::par_with(
+        Arc::clone(pool),
+        ParConfig::with_grain(4096).partitioner(mode),
+    )
+}
+
+fn bench_position(c: &mut Criterion) {
+    let pool = pool();
+    let n = 1usize << 20;
+    let positions: [(&str, Option<usize>); 4] = [
+        ("front", Some(n / 100)),
+        ("middle", Some(n / 2)),
+        ("back", Some(n - n / 100)),
+        ("absent", None),
+    ];
+    let mut group = c.benchmark_group("search_position");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_millis(300));
+    for (pos_label, index) in positions {
+        let mut data = vec![0u32; n];
+        if let Some(i) = index {
+            data[i] = 1;
+        }
+        for (mode_label, mode) in MODES {
+            let policy = policy_with(&pool, mode);
+            group.bench_with_input(BenchmarkId::new(mode_label, pos_label), &n, |b, _| {
+                b.iter(|| {
+                    let got = find(&policy, &data, &1u32);
+                    assert_eq!(got, index);
+                    got
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_family(c: &mut Criterion) {
+    let pool = pool();
+    let n = 1usize << 20;
+    let data: Vec<u32> = (0..n as u32).collect();
+    let mut other = data.clone();
+    other[n / 2] = 0; // mismatch in the middle
+    let policy = policy_with(&pool, Partitioner::Adaptive);
+    let mut group = c.benchmark_group("search_family");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_millis(300));
+    group.bench_with_input(BenchmarkId::new("any_of", n), &n, |b, _| {
+        b.iter(|| any_of(&policy, &data, |&x| x == n as u32 / 2))
+    });
+    group.bench_with_input(BenchmarkId::new("find_first_of", n), &n, |b, _| {
+        b.iter(|| find_first_of(&policy, &data, &[n as u32 / 2, n as u32 - 1]))
+    });
+    group.bench_with_input(BenchmarkId::new("mismatch", n), &n, |b, _| {
+        b.iter(|| mismatch(&policy, &data, &other))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_position, bench_family);
+criterion_main!(benches);

@@ -299,6 +299,20 @@ impl Executor for FuturesPool {
         }
     }
 
+    fn record_search(&self, early_exits: u64, wasted: u64) {
+        self.inner
+            .metrics_handle()
+            .record_search(early_exits, wasted);
+        if early_exits > 0 {
+            // `run_lock` serializes us with `run` callers, preserving
+            // the caller track's single-producer contract.
+            let _guard = self.run_lock.lock();
+            self.inner
+                .caller_trace_recorder()
+                .record(EventKind::EarlyExit { wasted });
+        }
+    }
+
     fn install_fault_plan(&self, plan: FaultPlan) {
         self.inner.fault_injector().install(plan);
     }

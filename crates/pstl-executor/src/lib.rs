@@ -136,6 +136,19 @@ pub trait Executor: Send + Sync {
         let _ = (checks, cancelled);
     }
 
+    /// Record the outcome of an early-exit search region: `early_exits`
+    /// is 1 when the region returned before draining its range because a
+    /// match was published, and `wasted` counts the dispatched
+    /// chunks/claims that were skipped or aborted past the match. Pools
+    /// fold this into their `early_exits`/`wasted_chunks` counters and
+    /// emit a [`pstl_trace::EventKind::EarlyExit`] event when
+    /// `early_exits > 0`; the default is a no-op. Called between runs
+    /// (never while this executor is inside `run`), like
+    /// [`take_trace`](Self::take_trace).
+    fn record_search(&self, early_exits: u64, wasted: u64) {
+        let _ = (early_exits, wasted);
+    }
+
     /// Execute `body(i)` for `i in 0..tasks` unless `token` trips
     /// first. Cancellation is cooperative with *skip* semantics: the
     /// token is polled immediately before each task body, and once it

@@ -21,6 +21,8 @@ pub struct PoolMetrics {
     cancel_checks: AtomicU64,
     cancelled_tasks: AtomicU64,
     spawn_failures: AtomicU64,
+    early_exits: AtomicU64,
+    wasted_chunks: AtomicU64,
 }
 
 /// A point-in-time copy of a pool's counters.
@@ -57,6 +59,12 @@ pub struct MetricsSnapshot {
     /// Worker threads the pool failed to spawn at construction and
     /// compensated for by running with a smaller team.
     pub spawn_failures: u64,
+    /// Search regions that returned before draining their range because
+    /// a match was published (find-family early exit).
+    pub early_exits: u64,
+    /// Chunks/claims a search region dispatched but skipped or aborted
+    /// because they lay past an already-published match.
+    pub wasted_chunks: u64,
 }
 
 impl MetricsSnapshot {
@@ -84,6 +92,8 @@ impl MetricsSnapshot {
             cancel_checks: self.cancel_checks - earlier.cancel_checks,
             cancelled_tasks: self.cancelled_tasks - earlier.cancelled_tasks,
             spawn_failures: self.spawn_failures - earlier.spawn_failures,
+            early_exits: self.early_exits - earlier.early_exits,
+            wasted_chunks: self.wasted_chunks - earlier.wasted_chunks,
         }
     }
 }
@@ -142,6 +152,13 @@ impl PoolMetrics {
         self.spawn_failures.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `early_exits` search regions that returned before draining
+    /// their range, skipping or aborting `wasted` dispatched chunks.
+    pub fn record_search(&self, early_exits: u64, wasted: u64) {
+        self.early_exits.fetch_add(early_exits, Ordering::Relaxed);
+        self.wasted_chunks.fetch_add(wasted, Ordering::Relaxed);
+    }
+
     /// Copy the current values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -156,6 +173,8 @@ impl PoolMetrics {
             cancel_checks: self.cancel_checks.load(Ordering::Relaxed),
             cancelled_tasks: self.cancelled_tasks.load(Ordering::Relaxed),
             spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
+            early_exits: self.early_exits.load(Ordering::Relaxed),
+            wasted_chunks: self.wasted_chunks.load(Ordering::Relaxed),
         }
     }
 }
@@ -179,6 +198,8 @@ mod tests {
         m.record_split();
         m.record_cancel(5, 2);
         m.record_spawn_failures(1);
+        m.record_search(1, 3);
+        m.record_search(1, 4);
         let s = m.snapshot();
         assert_eq!(s.runs, 1);
         assert_eq!(s.tasks_executed, 15);
@@ -192,6 +213,8 @@ mod tests {
         assert_eq!(s.cancel_checks, 5);
         assert_eq!(s.cancelled_tasks, 2);
         assert_eq!(s.spawn_failures, 1);
+        assert_eq!(s.early_exits, 2);
+        assert_eq!(s.wasted_chunks, 7);
     }
 
     #[test]

@@ -455,6 +455,19 @@ impl Executor for TaskPool {
         }
     }
 
+    fn record_search(&self, early_exits: u64, wasted: u64) {
+        self.shared.metrics.record_search(early_exits, wasted);
+        if early_exits > 0 {
+            // Track 0 is the run-caller track; `run_lock` serializes us
+            // with `run` callers, preserving the single-producer ring.
+            let _guard = self.run_lock.lock();
+            self.shared
+                .tracer
+                .recorder(0)
+                .record(EventKind::EarlyExit { wasted });
+        }
+    }
+
     fn install_fault_plan(&self, plan: FaultPlan) {
         self.shared.faults.install(plan);
     }

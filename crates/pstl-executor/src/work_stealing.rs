@@ -408,6 +408,17 @@ impl Executor for WorkStealingPool {
         }
     }
 
+    fn record_search(&self, early_exits: u64, wasted: u64) {
+        self.shared.metrics.record_search(early_exits, wasted);
+        if early_exits > 0 {
+            // Same shared serialized track as splits and cancels.
+            self.shared
+                .split_rec
+                .lock()
+                .record(EventKind::EarlyExit { wasted });
+        }
+    }
+
     fn install_fault_plan(&self, plan: FaultPlan) {
         self.shared.faults.install(plan);
     }

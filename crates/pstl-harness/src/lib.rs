@@ -106,6 +106,12 @@ pub struct SchedDelta {
     /// Worker threads that failed to spawn (the pool fell back to fewer
     /// workers).
     pub spawn_failures: u64,
+    /// Search regions that returned before draining their range (a match
+    /// was published and later chunks were skipped).
+    pub early_exits: u64,
+    /// Chunks a search region dispatched but skipped or aborted because
+    /// they lay past an already-published match.
+    pub wasted_chunks: u64,
 }
 
 impl From<MetricsSnapshot> for SchedDelta {
@@ -122,6 +128,8 @@ impl From<MetricsSnapshot> for SchedDelta {
             cancel_checks: s.cancel_checks,
             cancelled_tasks: s.cancelled_tasks,
             spawn_failures: s.spawn_failures,
+            early_exits: s.early_exits,
+            wasted_chunks: s.wasted_chunks,
         }
     }
 }
@@ -439,6 +447,8 @@ mod tests {
                 cancel_checks: 11,
                 cancelled_tasks: 4,
                 spawn_failures: 1,
+                early_exits: 1,
+                wasted_chunks: 6,
             }),
             retries: 1,
             watchdog_timeouts: 2,
@@ -453,6 +463,8 @@ mod tests {
         assert_eq!(v["sched"]["cancel_checks"].as_u64(), Some(11));
         assert_eq!(v["sched"]["cancelled_tasks"].as_u64(), Some(4));
         assert_eq!(v["sched"]["spawn_failures"].as_u64(), Some(1));
+        assert_eq!(v["sched"]["early_exits"].as_u64(), Some(1));
+        assert_eq!(v["sched"]["wasted_chunks"].as_u64(), Some(6));
         assert_eq!(v["retries"].as_u64(), Some(1));
         assert_eq!(v["watchdog_timeouts"].as_u64(), Some(2));
     }

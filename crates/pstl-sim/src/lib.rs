@@ -41,4 +41,4 @@ pub use gpu::{GpuRun, GpuSim};
 pub use kernels::{DType, Kernel};
 pub use machine::{Machine, MachineId};
 pub use memory::{MemorySystem, PagePlacement, REMOTE_DRAM_FACTOR};
-pub use sched_sim::{SchedSim, SimDiscipline, SplitStats, VictimOrder};
+pub use sched_sim::{SchedSim, SearchCost, SimDiscipline, SplitStats, VictimOrder};

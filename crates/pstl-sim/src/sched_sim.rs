@@ -282,6 +282,226 @@ impl SchedSim {
     }
 }
 
+/// Outcome of one [`SchedSim::search_cost`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SearchCost {
+    /// Time until the last participant stops (elements are unit cost).
+    pub makespan: f64,
+    /// Elements actually scanned across all participants — the model's
+    /// "expected work" as a function of match position.
+    pub scanned: f64,
+    /// Chunks or claims dispatched but skipped at entry or aborted at a
+    /// poll boundary — the analogue of the executor's `wasted_chunks`
+    /// counter.
+    pub wasted_chunks: u64,
+}
+
+impl SchedSim {
+    /// Cost model of one cooperative early-exit search region.
+    ///
+    /// The search scans `n` unit-cost elements for a match at
+    /// `match_pos` (`None`, or a position `>= n`, models an absent
+    /// value). Participants poll the shared exit flag every
+    /// `poll_period` elements (the engine's `POLL_BLOCK`), and a
+    /// published match becomes visible to the other participants after
+    /// `propagation` time units (cancellation broadcast latency). Per
+    /// the engine's determinism rule, participants positioned *before*
+    /// the match keep scanning to the end of their range — a lower
+    /// match could still appear there — while participants positioned
+    /// past it abort at the next poll boundary, or decline their claim
+    /// outright.
+    ///
+    /// [`SimDiscipline::WorkStealing`] and
+    /// [`SimDiscipline::AdaptiveSplit`] scan the same elements as
+    /// [`SimDiscipline::Static`] — the work *before* the match must
+    /// complete either way — but their abort-freed workers steal or
+    /// split into the pre-match region, so the makespan is the
+    /// perfect-redistribution bound `scanned / workers` instead of the
+    /// heaviest contiguous range.
+    pub fn search_cost(
+        &self,
+        n: usize,
+        match_pos: Option<usize>,
+        poll_period: usize,
+        propagation: f64,
+        discipline: SimDiscipline,
+    ) -> SearchCost {
+        debug_assert!(propagation >= 0.0);
+        let match_pos = match_pos.filter(|&p| p < n);
+        if n == 0 {
+            return SearchCost {
+                makespan: 0.0,
+                scanned: 0.0,
+                wasted_chunks: 0,
+            };
+        }
+        let poll = poll_period.max(1);
+        match discipline {
+            SimDiscipline::Static => self.search_static_like(n, match_pos, poll, propagation),
+            SimDiscipline::WorkStealing { .. } | SimDiscipline::AdaptiveSplit { .. } => {
+                let mut cost = self.search_static_like(n, match_pos, poll, propagation);
+                cost.makespan = cost.scanned / self.workers as f64;
+                cost
+            }
+            SimDiscipline::Dynamic { chunk, overhead } => {
+                self.search_claims(n, match_pos, poll, propagation, overhead, |_| chunk.max(1))
+            }
+            SimDiscipline::Guided {
+                min_chunk,
+                overhead,
+            } => {
+                let shrink = 2 * self.workers;
+                self.search_claims(n, match_pos, poll, propagation, overhead, |remaining| {
+                    (remaining / shrink).max(min_chunk.max(1))
+                })
+            }
+        }
+    }
+
+    /// Contiguous pre-partitioned search: one range per worker, all
+    /// scans start at time zero.
+    fn search_static_like(
+        &self,
+        n: usize,
+        match_pos: Option<usize>,
+        poll: usize,
+        propagation: f64,
+    ) -> SearchCost {
+        let mut cost = SearchCost {
+            makespan: 0.0,
+            scanned: 0.0,
+            wasted_chunks: 0,
+        };
+        // Ranges ascend in index order, so the owner of the match fixes
+        // the visibility horizon before any past-match range is costed.
+        let mut t_visible = f64::INFINITY;
+        for w in 0..self.workers {
+            let lo = n * w / self.workers;
+            let hi = n * (w + 1) / self.workers;
+            if lo == hi {
+                continue;
+            }
+            let (ran, aborted) = Self::chunk_run(
+                lo,
+                hi - lo,
+                0.0,
+                match_pos,
+                poll,
+                &mut t_visible,
+                propagation,
+            );
+            cost.scanned += ran as f64;
+            if aborted {
+                cost.wasted_chunks += 1;
+            }
+            cost.makespan = cost.makespan.max(ran as f64);
+        }
+        cost
+    }
+
+    /// Claim-based search (central queue / guided cursor): the
+    /// earliest-free worker claims the next chunk off a shared cursor,
+    /// paying `overhead` per claim; once the match is visible, a claim
+    /// positioned past it is declined and the worker leaves the region.
+    fn search_claims<F>(
+        &self,
+        n: usize,
+        match_pos: Option<usize>,
+        poll: usize,
+        propagation: f64,
+        overhead: f64,
+        size_of: F,
+    ) -> SearchCost
+    where
+        F: Fn(usize) -> usize,
+    {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut free: BinaryHeap<Reverse<Time>> =
+            (0..self.workers).map(|_| Reverse(Time(0.0))).collect();
+        let mut cost = SearchCost {
+            makespan: 0.0,
+            scanned: 0.0,
+            wasted_chunks: 0,
+        };
+        let mut t_visible = f64::INFINITY;
+        let mut cursor = 0usize;
+        while cursor < n {
+            let Reverse(Time(t)) = match free.pop() {
+                Some(t) => t,
+                None => break, // every worker declined; rest is skipped
+            };
+            if let Some(p) = match_pos {
+                if t >= t_visible && cursor > p {
+                    // Declined at the past-match claim check: counts as
+                    // one wasted claim, and the worker leaves.
+                    cost.wasted_chunks += 1;
+                    cost.makespan = cost.makespan.max(t);
+                    continue;
+                }
+            }
+            let s = cursor;
+            let e = (s + size_of(n - s)).min(n);
+            cursor = e;
+            let scan_start = t + overhead;
+            let (ran, aborted) = Self::chunk_run(
+                s,
+                e - s,
+                scan_start,
+                match_pos,
+                poll,
+                &mut t_visible,
+                propagation,
+            );
+            cost.scanned += ran as f64;
+            if aborted {
+                cost.wasted_chunks += 1;
+            }
+            let done = scan_start + ran as f64;
+            cost.makespan = cost.makespan.max(done);
+            free.push(Reverse(Time(done)));
+        }
+        cost
+    }
+
+    /// Elements actually scanned by a chunk `[s, s + len)` whose scan
+    /// begins at `scan_start`. The chunk holding the match publishes it
+    /// (setting the visibility horizon `t_visible`) and returns; a
+    /// chunk past the match stops at the first poll boundary after the
+    /// horizon; everything else scans fully. Returns
+    /// `(elements scanned, aborted?)`.
+    fn chunk_run(
+        s: usize,
+        len: usize,
+        scan_start: f64,
+        match_pos: Option<usize>,
+        poll: usize,
+        t_visible: &mut f64,
+        propagation: f64,
+    ) -> (usize, bool) {
+        match match_pos {
+            Some(p) if s <= p && p < s + len => {
+                let hit = p - s + 1;
+                *t_visible = (*t_visible).min(scan_start + hit as f64 + propagation);
+                (hit, false)
+            }
+            Some(p) if s > p => {
+                // The cursor hands out chunks in index order, so the
+                // horizon is already fixed by the time this runs.
+                if scan_start >= *t_visible {
+                    return (0, true); // entry check: skip the whole chunk
+                }
+                let before_cancel = *t_visible - scan_start;
+                let blocks = (before_cancel / poll as f64).ceil() as usize;
+                let stop = (blocks * poll).min(len);
+                (stop, stop < len)
+            }
+            _ => (len, false), // before the match, or no match at all
+        }
+    }
+}
+
 /// Victim-selection order of the NUMA-aware stealing simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum VictimOrder {
@@ -830,6 +1050,119 @@ mod tests {
         // ignored.
         let m = sim.makespan_with_failures(&work, &[3, 3, 999], 0.25, SimDiscipline::Static);
         assert!((m - (10.0 + 1.0 + 0.25)).abs() < 1e-9, "{m}");
+    }
+
+    #[test]
+    fn search_absent_match_scans_everything() {
+        let sim = SchedSim::new(8);
+        for d in DISCIPLINES {
+            let cost = sim.search_cost(4096, None, 64, 0.5, d);
+            assert_eq!(cost.scanned, 4096.0, "{d:?}");
+            assert_eq!(cost.wasted_chunks, 0, "{d:?}");
+            assert!(cost.makespan >= 4096.0 / 8.0, "{d:?}: {}", cost.makespan);
+        }
+        // Out-of-range match positions model the absent case too.
+        let oob = sim.search_cost(4096, Some(9999), 64, 0.5, SimDiscipline::Static);
+        assert_eq!(oob.scanned, 4096.0);
+    }
+
+    #[test]
+    fn search_front_match_skips_most_work_on_every_discipline() {
+        let sim = SchedSim::new(8);
+        let n = 1 << 16;
+        for d in DISCIPLINES {
+            let cost = sim.search_cost(n, Some(40), 64, 1.0, d);
+            assert!(
+                cost.scanned < (n / 4) as f64,
+                "{d:?}: scanned {} of {n}",
+                cost.scanned
+            );
+            assert!(cost.wasted_chunks >= 1, "{d:?}: nothing was cut short");
+            assert!(
+                cost.makespan < (n / 8) as f64,
+                "{d:?}: makespan {} vs full drain {}",
+                cost.makespan,
+                n / 8
+            );
+        }
+    }
+
+    #[test]
+    fn search_scanned_work_grows_with_match_position() {
+        let sim = SchedSim::new(8);
+        let n = 1 << 14;
+        for d in DISCIPLINES {
+            let mut prev = 0.0f64;
+            for p in [n / 100, n / 2, n - n / 100] {
+                let cost = sim.search_cost(n, Some(p), 64, 1.0, d);
+                assert!(
+                    cost.scanned >= prev,
+                    "{d:?}: scanned {} at p={p} below {prev}",
+                    cost.scanned
+                );
+                prev = cost.scanned;
+            }
+            let absent = sim.search_cost(n, None, 64, 1.0, d);
+            assert!(absent.scanned >= prev, "{d:?}: absent below back match");
+        }
+    }
+
+    #[test]
+    fn search_poll_period_bounds_the_overrun() {
+        // Match at the very front, zero propagation: every other static
+        // range scans exactly one poll block before noticing.
+        let sim = SchedSim::new(8);
+        let n = 1 << 15;
+        let fine = sim.search_cost(n, Some(0), 64, 0.0, SimDiscipline::Static);
+        let coarse = sim.search_cost(n, Some(0), 512, 0.0, SimDiscipline::Static);
+        assert_eq!(fine.scanned, 1.0 + 7.0 * 64.0);
+        assert_eq!(coarse.scanned, 1.0 + 7.0 * 512.0);
+        assert_eq!(fine.wasted_chunks, 7);
+    }
+
+    #[test]
+    fn search_propagation_latency_costs_scanned_work() {
+        let sim = SchedSim::new(8);
+        let n = 1 << 15;
+        let instant = sim.search_cost(n, Some(5), 1, 0.0, SimDiscipline::Static);
+        let laggy = sim.search_cost(n, Some(5), 1, 1000.0, SimDiscipline::Static);
+        assert!(
+            laggy.scanned > instant.scanned,
+            "propagation {} vs {}",
+            laggy.scanned,
+            instant.scanned
+        );
+    }
+
+    #[test]
+    fn search_guided_declines_claims_past_the_match() {
+        let sim = SchedSim::new(8);
+        let n = 1 << 16;
+        let d = SimDiscipline::Guided {
+            min_chunk: 64,
+            overhead: 0.1,
+        };
+        let cost = sim.search_cost(n, Some(100), 1024, 1.0, d);
+        assert!(cost.wasted_chunks >= 1, "no claim declined or aborted");
+        // Each worker wastes at most one aborted chunk plus one declined
+        // claim before leaving the region.
+        assert!(
+            cost.wasted_chunks <= 2 * 8,
+            "wasted {} exceeds the per-worker bound",
+            cost.wasted_chunks
+        );
+        assert!(cost.scanned < (n / 4) as f64, "scanned {}", cost.scanned);
+    }
+
+    #[test]
+    fn search_empty_input_is_zero() {
+        let sim = SchedSim::new(4);
+        for d in DISCIPLINES {
+            let cost = sim.search_cost(0, Some(0), 64, 1.0, d);
+            assert_eq!(cost.makespan, 0.0, "{d:?}");
+            assert_eq!(cost.scanned, 0.0, "{d:?}");
+            assert_eq!(cost.wasted_chunks, 0, "{d:?}");
+        }
     }
 
     #[test]

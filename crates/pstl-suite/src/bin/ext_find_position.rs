@@ -1,0 +1,36 @@
+//! Extension experiment: early-exit `find` vs match position on the real
+//! work-stealing pool, with the `SchedSim::search_cost` model alongside
+//! (see `experiments::find_position`). Writes the figure JSON plus the
+//! `BENCH_find.json` baseline.
+
+use pstl_suite::experiments::find_position;
+use pstl_suite::output::results_dir;
+
+fn main() {
+    let bench = find_position::bench();
+    let fig = find_position::build_figure(&bench);
+    print!("{}", fig.render());
+
+    println!("\ncounter deltas per position:");
+    for sweep in &bench.real {
+        for p in &sweep.points {
+            println!(
+                "  {:<9} {:<7} {:>8.3} ms ({:.3}x absent), {} early exits, {:>3} wasted chunks",
+                sweep.mode, p.position, p.time_ms, p.time_vs_absent, p.early_exits, p.wasted_chunks
+            );
+        }
+    }
+
+    match fig.save() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+    let bench_path = results_dir().join("BENCH_find.json");
+    match serde_json::to_string_pretty(&bench)
+        .map_err(std::io::Error::other)
+        .and_then(|s| std::fs::write(&bench_path, s + "\n"))
+    {
+        Ok(()) => println!("wrote {}", bench_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", bench_path.display()),
+    }
+}

@@ -16,6 +16,7 @@ fn main() {
         exp::weak_scaling::build(),
         exp::skew::build(),
         exp::skew_real::build_figure(&exp::skew_real::bench()),
+        exp::find_position::build_figure(&exp::find_position::bench()),
         exp::roofline::build(),
     ];
     let tables = [

@@ -17,6 +17,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod find_position;
 pub mod numa_real;
 pub mod roofline;
 pub mod skew;

@@ -105,6 +105,10 @@ fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<String> {
                 r#"{{"name":"cancel","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"tasks":{tasks}}}}}"#,
                 us(e.t_ns)
             )),
+            EventKind::EarlyExit { wasted } => out.push(format!(
+                r#"{{"name":"early_exit","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"wasted":{wasted}}}}}"#,
+                us(e.t_ns)
+            )),
             EventKind::Park => parks.push(e.t_ns),
             EventKind::Unpark => {
                 if let Some(start) = parks.pop() {

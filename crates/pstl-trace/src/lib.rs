@@ -67,6 +67,10 @@ pub enum EventKind {
     /// A cancellable region observed its token cancelled; `tasks` is the
     /// number of task bodies skipped because of it.
     Cancel { tasks: u64 },
+    /// A search region returned before draining its range because a
+    /// match was published; `wasted` is the number of chunks/claims that
+    /// were dispatched but skipped or aborted past the match.
+    EarlyExit { wasted: u64 },
 }
 
 // The packed encoding is exercised only by the ring recorder, which the
@@ -88,6 +92,7 @@ mod encoding {
     const TAG_LOCAL_STEAL: u64 = 10;
     const TAG_REMOTE_STEAL: u64 = 11;
     const TAG_CANCEL: u64 = 12;
+    const TAG_EARLY_EXIT: u64 = 13;
 
     const PAYLOAD_BITS: u32 = 56;
     const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
@@ -109,6 +114,7 @@ mod encoding {
                 EventKind::LocalSteal { victim } => (TAG_LOCAL_STEAL, victim),
                 EventKind::RemoteSteal { victim } => (TAG_REMOTE_STEAL, victim),
                 EventKind::Cancel { tasks } => (TAG_CANCEL, tasks),
+                EventKind::EarlyExit { wasted } => (TAG_EARLY_EXIT, wasted),
             };
             (tag << PAYLOAD_BITS) | (payload & PAYLOAD_MASK)
         }
@@ -128,6 +134,7 @@ mod encoding {
                 TAG_LOCAL_STEAL => EventKind::LocalSteal { victim: payload },
                 TAG_REMOTE_STEAL => EventKind::RemoteSteal { victim: payload },
                 TAG_CANCEL => EventKind::Cancel { tasks: payload },
+                TAG_EARLY_EXIT => EventKind::EarlyExit { wasted: payload },
                 _ => EventKind::Unpark,
             }
         }
@@ -201,6 +208,7 @@ mod tests {
             EventKind::LocalSteal { victim: 7 },
             EventKind::RemoteSteal { victim: 63 },
             EventKind::Cancel { tasks: 12 },
+            EventKind::EarlyExit { wasted: 17 },
         ] {
             assert_eq!(EventKind::decode(kind.encode()), kind);
         }

@@ -1,63 +1,19 @@
 //! `find` family — the paper's linear-search benchmark (§5.3).
 //!
-//! Parallel strategy: balanced chunks scan left-to-right in cancellation
-//! blocks; the smallest matching index is folded through a shared
-//! `AtomicUsize` with `fetch_min`, and chunks positioned after an already
-//! published match abort. This reproduces both C++ semantics (the *first*
-//! match is returned) and the synchronization pattern whose cost the paper
-//! measures.
+//! All searches here dispatch through the cooperative early-exit engine
+//! in [`crate::search`]: partitioner-aware chunks/claims scan
+//! left-to-right in poll blocks, the smallest matching index is folded
+//! through a shared min-CAS, and work positioned past a published match
+//! is skipped at claim points or aborted at the next poll. This
+//! reproduces both C++ semantics (the *first* match is returned,
+//! deterministically by position) and the stop-early behaviour whose
+//! scalability the paper's Fig. 4 measures.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::algorithms::run_chunks;
-use crate::policy::{ExecutionPolicy, Plan};
+pub(crate) use crate::search::find_first_index;
 
-/// Elements scanned between cancellation checks.
-const CANCEL_BLOCK: usize = 4096;
-
-/// Smallest index `i in 0..n` with `pred_at(i)`, scanning chunks in
-/// parallel with early exit. The building block of every search in this
-/// module.
-pub(crate) fn find_first_index<F>(policy: &ExecutionPolicy, n: usize, pred_at: F) -> Option<usize>
-where
-    F: Fn(usize) -> bool + Sync,
-{
-    match policy.plan(n) {
-        Plan::Sequential => (0..n).find(|&i| pred_at(i)),
-        Plan::Parallel { .. } => {
-            // The cancellation protocol only needs each body call to know
-            // its own range, so any partitioner geometry works.
-            let best = AtomicUsize::new(usize::MAX);
-            let best = &best;
-            let pred_at = &pred_at;
-            run_chunks(policy, n, &|r| scan_chunk(r, best, pred_at));
-            let b = best.load(Ordering::Relaxed);
-            (b != usize::MAX).then_some(b)
-        }
-    }
-}
-
-fn scan_chunk<F>(r: Range<usize>, best: &AtomicUsize, pred_at: &F)
-where
-    F: Fn(usize) -> bool + Sync,
-{
-    let mut i = r.start;
-    while i < r.end {
-        // A match before our chunk makes everything here irrelevant.
-        if best.load(Ordering::Relaxed) < r.start {
-            return;
-        }
-        let block_end = (i + CANCEL_BLOCK).min(r.end);
-        for j in i..block_end {
-            if pred_at(j) {
-                best.fetch_min(j, Ordering::Relaxed);
-                return;
-            }
-        }
-        i = block_end;
-    }
-}
+use crate::policy::ExecutionPolicy;
 
 /// Index of the first element equal to `value` (`std::find`).
 /// # Examples

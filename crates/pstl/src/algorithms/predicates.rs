@@ -66,11 +66,15 @@ where
 }
 
 /// Index of the first position where `a` and `b` differ, or `None` if they
-/// agree over `min(a.len(), b.len())` elements (`std::mismatch`).
+/// agree over `min(a.len(), b.len())` elements (`std::mismatch`; like the
+/// two-iterator overload, comparison stops at the shorter slice).
 pub fn mismatch<T>(policy: &ExecutionPolicy, a: &[T], b: &[T]) -> Option<usize>
 where
     T: PartialEq + Sync,
 {
+    if policy.is_seq() {
+        return crate::seq::seq_mismatch(a, b);
+    }
     let n = a.len().min(b.len());
     find_first_index(policy, n, |i| a[i] != b[i])
 }
@@ -81,6 +85,9 @@ pub fn equal<T>(policy: &ExecutionPolicy, a: &[T], b: &[T]) -> bool
 where
     T: PartialEq + Sync,
 {
+    if policy.is_seq() {
+        return crate::seq::seq_equal(a, b);
+    }
     a.len() == b.len() && mismatch(policy, a, b).is_none()
 }
 

@@ -41,6 +41,7 @@ pub mod chunk;
 mod guard;
 pub mod policy;
 pub mod ptr;
+pub mod search;
 pub mod seq;
 mod splitter;
 

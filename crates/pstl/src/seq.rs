@@ -251,6 +251,22 @@ pub fn upper_bound<T>(data: &[T], value: &T, cmp: Cmp<T>) -> usize {
     partition_point(data, |x| cmp(x, value) != Ordering::Greater)
 }
 
+/// Sequential `std::mismatch`: index of the first position where `a` and
+/// `b` differ, or `None` if one is a prefix of the other (including equal
+/// slices). Like the C++ two-iterator overload, comparison stops at the
+/// *shorter* length — unequal lengths are a prefix question, never an
+/// out-of-bounds read.
+pub fn seq_mismatch<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    (0..n).find(|&i| a[i] != b[i])
+}
+
+/// Sequential `std::equal` on slices: equal lengths and element-wise
+/// equality. The fallback/oracle of the parallel [`crate::equal`].
+pub fn seq_equal<T: PartialEq>(a: &[T], b: &[T]) -> bool {
+    a.len() == b.len() && seq_mismatch(a, b).is_none()
+}
+
 /// In-place quickselect: after the call, `data[k]` holds the element that
 /// would be at position `k` after a full sort; smaller elements precede
 /// it, larger follow (in arbitrary order).
@@ -395,6 +411,44 @@ mod tests {
                 "upper {probe}"
             );
         }
+    }
+
+    #[test]
+    fn mismatch_stops_at_the_shorter_slice() {
+        // Regression: unequal lengths must be answered at the shorter
+        // length (like `std`'s two-iterator overload / `Iterator::zip`),
+        // never by reading past the short slice.
+        let long = [1, 2, 3, 4, 5];
+        let prefix = [1, 2, 3];
+        assert_eq!(seq_mismatch(&long, &prefix), None);
+        assert_eq!(seq_mismatch(&prefix, &long), None);
+        let diverges = [1, 9, 3];
+        assert_eq!(seq_mismatch(&long, &diverges), Some(1));
+        assert_eq!(seq_mismatch(&diverges, &long), Some(1));
+        let empty: [i32; 0] = [];
+        assert_eq!(seq_mismatch(&long, &empty), None);
+        assert_eq!(seq_mismatch(&empty, &empty), None);
+    }
+
+    #[test]
+    fn mismatch_matches_std_zip_oracle() {
+        let a = scrambled(500);
+        let mut b = a.clone();
+        b[137] ^= 1;
+        b.truncate(300);
+        let oracle = a.iter().zip(b.iter()).position(|(x, y)| x != y);
+        assert_eq!(seq_mismatch(&a, &b), oracle);
+        assert_eq!(oracle, Some(137));
+    }
+
+    #[test]
+    fn equal_requires_equal_lengths() {
+        let v = [1, 2, 3];
+        assert!(seq_equal(&v, &[1, 2, 3]));
+        assert!(!seq_equal(&v, &[1, 2]), "prefix is not equality");
+        assert!(!seq_equal(&v, &[1, 2, 4]));
+        let empty: [i32; 0] = [];
+        assert!(seq_equal(&empty, &empty));
     }
 
     #[test]

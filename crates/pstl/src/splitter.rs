@@ -56,8 +56,9 @@ pub(crate) fn run_partitioned(
 }
 
 /// Seed-task count: one per pool thread, fewer when the range is small
-/// enough that a thread's share would drop below the grain.
-fn participants(exec: &Arc<dyn Executor>, n: usize, grain: usize) -> usize {
+/// enough that a thread's share would drop below the grain. Shared with
+/// the early-exit search engine, which replicates both dispatch shapes.
+pub(crate) fn participants(exec: &Arc<dyn Executor>, n: usize, grain: usize) -> usize {
     n.div_ceil(grain).min(exec.num_threads()).max(1)
 }
 

@@ -212,6 +212,52 @@ fn deadline_token_cancels_algorithm_level_region() {
 }
 
 #[test]
+fn search_regions_bail_under_every_pool_and_partitioner() {
+    // Matchless haystack: only the token can stop the scan, so the
+    // early-exit engine must surface `Err(Cancelled)` from its poll
+    // points rather than returning a bogus `None`.
+    for d in REAL_POOLS {
+        let pool = build_pool(d, 3);
+        let data: Vec<u64> = vec![0; 200_000];
+        let token = CancelToken::new();
+        token.cancel();
+        for policy in cancellable_policies(&pool, &token) {
+            let result = Cancelled::catch(|| pstl::find(&policy, &data, &1));
+            assert_eq!(result, Err(Cancelled), "{d:?} / {policy:?}");
+            let result = Cancelled::catch(|| pstl::any_of(&policy, &data, |&x| x == 1));
+            assert_eq!(result, Err(Cancelled), "{d:?} / {policy:?}");
+        }
+        let m = pool.metrics().expect("real pools track metrics");
+        assert!(m.cancel_checks > 0, "{d:?}: search polled no token");
+        assert_reusable(&pool);
+    }
+}
+
+#[test]
+fn deadline_mid_search_cancels_and_pool_stays_reusable() {
+    // The deadline trips while the search is scanning; in-flight poll
+    // blocks finish and every later chunk bails at its entry check.
+    let pool = build_pool(Discipline::WorkStealing, 4);
+    let policy = ExecutionPolicy::par_with(Arc::clone(&pool), ParConfig::with_grain(64))
+        .with_cancel(CancelToken::with_deadline(Duration::from_millis(5)));
+    let data: Vec<u64> = vec![0; 100_000];
+    let result = Cancelled::catch(|| {
+        pstl::find_if(&policy, &data, |_| {
+            std::thread::sleep(Duration::from_micros(20));
+            false
+        })
+    });
+    assert_eq!(result, Err(Cancelled));
+    assert_reusable(&pool);
+
+    // The same pool still searches correctly afterwards.
+    let clean = ExecutionPolicy::par(Arc::clone(&pool));
+    let mut v = vec![0u64; 50_000];
+    v[31_337] = 1;
+    assert_eq!(pstl::find(&clean, &v, &1), Some(31_337));
+}
+
+#[test]
 fn seq_policy_ignores_cancellation_builder() {
     // `with_cancel` documents itself as a no-op on sequential policies.
     let policy = ExecutionPolicy::seq().with_cancel(CancelToken::new());

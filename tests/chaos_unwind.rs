@@ -196,6 +196,31 @@ fn injected_op_panics_never_unbalance_drops() {
                     x.0 % 3 == 0
                 });
             });
+            chaos_case(&format!("{name}/find_if"), site, trip, || {
+                // Matchless predicate: the injected panic is the only
+                // exit, and it must unwind through the early-exit
+                // engine's static/guided/adaptive dispatch paths.
+                let v = elems(N);
+                pstl::find_if(p, &v, |x| {
+                    trip.poke();
+                    x.0 == u64::MAX
+                });
+            });
+            chaos_case(&format!("{name}/any_of"), site, trip, || {
+                let v = elems(N);
+                pstl::any_of(p, &v, |x| {
+                    trip.poke();
+                    x.0 == u64::MAX
+                });
+            });
+            chaos_case(&format!("{name}/equal_by"), site, trip, || {
+                let a = elems(N);
+                let b = elems(N);
+                pstl::equal_by(p, &a, &b, |x, y| {
+                    trip.poke();
+                    x.0 == y.0
+                });
+            });
             chaos_case(&format!("{name}/set_union"), site, trip, || {
                 let mut a = elems(N);
                 let mut b = elems(N);
@@ -244,11 +269,29 @@ fn pools_rerun_cleanly_after_chaos() {
             }));
             assert!(boom.is_err(), "{d:?} round {round}");
 
+            // A panic mid-search must not wedge the pool either: the
+            // early-exit engine's drop guards run on the unwind path.
+            let boom = catch_unwind(AssertUnwindSafe(|| {
+                let v: Vec<u64> = (0..4_000).collect();
+                pstl::find_if(&policy, &v, |&x| {
+                    if x == round * 97 {
+                        panic!("search boom round {round}");
+                    }
+                    false
+                });
+            }));
+            assert!(boom.is_err(), "{d:?} search round {round}");
+
             let mut v: Vec<u64> = (0..4_000).rev().collect();
             pstl::sort(&policy, &mut v);
             assert!(v.windows(2).all(|w| w[0] <= w[1]), "{d:?} round {round}");
             let sum = pstl::reduce(&policy, &v, 0u64, |a, b| a + b);
             assert_eq!(sum, 3_999 * 4_000 / 2, "{d:?} round {round}");
+            assert_eq!(
+                pstl::find(&policy, &v, &(round * 3)),
+                Some((round * 3) as usize),
+                "{d:?} round {round}: search must work after chaos"
+            );
         }
     }
 }
