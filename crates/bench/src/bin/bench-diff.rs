@@ -1,0 +1,64 @@
+//! `bench-diff` — the CI perf gate.
+//!
+//! ```text
+//! bench-diff <baseline.json> <candidate.json> [--noise 0.25] [--ratios-only]
+//! ```
+//!
+//! Compares two `results/BENCH_*.json` files key by key (see
+//! `bench::diff` for the whitelist and direction rules) and exits
+//! non-zero when any performance key regressed beyond the noise band:
+//! exit 0 = within budget, 1 = regression, 2 = usage or I/O error.
+//! `--ratios-only` restricts the comparison to machine-independent keys
+//! (utilizations, fractions, normalized times) for diffing against a
+//! baseline committed from different hardware.
+
+use bench::diff::{diff, has_regression, render};
+
+fn usage() -> ! {
+    eprintln!("usage: bench-diff <baseline.json> <candidate.json> [--noise 0.25] [--ratios-only]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench-diff: {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut noise = 0.25f64;
+    let mut ratios_only = false;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--noise" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => noise = v,
+                _ => usage(),
+            },
+            "--ratios-only" => ratios_only = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        usage();
+    }
+    let baseline = load(&files[0]);
+    let candidate = load(&files[1]);
+    let lines = diff(&baseline, &candidate, noise, ratios_only);
+    print!("{}", render(&lines, noise));
+    if lines.is_empty() {
+        println!("warning: no comparable performance keys found");
+    }
+    if has_regression(&lines) {
+        std::process::exit(1);
+    }
+}

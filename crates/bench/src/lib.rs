@@ -8,6 +8,8 @@
 //! inputs, the task pool pays the highest dispatch overhead, the GNU
 //! flavor's threshold skips the dispatch entirely).
 
+pub mod diff;
+
 use pstl::ExecutionPolicy;
 use pstl_sim::Backend;
 use pstl_suite::BackendHost;

@@ -20,7 +20,7 @@ use pstl_trace::{EventKind, PoolTracer};
 use crate::fault::{self, FaultHook, FaultInjector, FaultPlan};
 use crate::job::BodyPtr;
 use crate::latch::CountLatch;
-use crate::metrics::PoolMetrics;
+use crate::metrics::MetricsSink;
 use crate::sync::{ShutdownFlag, WorkSignal};
 use crate::topology::Topology;
 use crate::{Discipline, Executor};
@@ -74,7 +74,7 @@ struct FjShared {
     job: Mutex<Option<FjJob>>,
     signal: WorkSignal,
     shutdown: ShutdownFlag,
-    metrics: PoolMetrics,
+    metrics: MetricsSink,
     /// Workers currently parked between runs (the idle hint).
     idle: std::sync::atomic::AtomicUsize,
     /// One track per team member; the master (caller) is track 0.
@@ -158,7 +158,7 @@ impl ForkJoinPool {
             job: Mutex::new(None),
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
-            metrics: PoolMetrics::new(),
+            metrics: MetricsSink::new(),
             idle: std::sync::atomic::AtomicUsize::new(0),
             tracer: PoolTracer::new(threads, false),
             faults: FaultInjector::new(),
@@ -206,12 +206,13 @@ fn worker_loop(shared: &FjShared, worker: usize) {
             Some(job) if job.epoch != last_epoch => {
                 last_epoch = job.epoch;
                 let range = static_partition(job.tasks, shared.threads, shared.rank[worker]);
-                shared.metrics.record_tasks(1);
+                let timer = shared.metrics.task_timer(range.len() as u64);
                 rec.record(EventKind::TaskStart {
                     size: range.len() as u64,
                 });
                 run_partition(&job, range);
                 rec.record(EventKind::TaskFinish);
+                timer.finish();
                 job.latch.count_down(1);
             }
             _ => {
@@ -269,13 +270,14 @@ impl Executor for ForkJoinPool {
         }
         self.shared.signal.notify_all();
         // Master executes its ranked partition while the team works.
-        self.shared.metrics.record_tasks(1);
         let partition = static_partition(tasks, self.shared.threads, self.shared.rank[0]);
+        let timer = self.shared.metrics.task_timer(partition.len() as u64);
         rec.record(EventKind::TaskStart {
             size: partition.len() as u64,
         });
         run_partition(&master_job, partition);
         rec.record(EventKind::TaskFinish);
+        timer.finish();
         latch.wait();
         rec.record(EventKind::RegionEnd);
         let payload = panic.lock().take();
@@ -337,6 +339,16 @@ impl Executor for ForkJoinPool {
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
         Some(self.shared.metrics.snapshot())
+    }
+
+    fn hist_snapshot(&self) -> Option<crate::metrics::HistSet> {
+        Some(self.shared.metrics.hist_snapshot())
+    }
+
+    fn record_claim(&self, size: u64) {
+        self.shared
+            .metrics
+            .observe(crate::metrics::HistKind::ClaimSize, size);
     }
 
     fn take_trace(&self) -> Option<pstl_trace::TraceLog> {

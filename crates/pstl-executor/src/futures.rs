@@ -329,6 +329,16 @@ impl Executor for FuturesPool {
         Some(self.inner.metrics_handle().snapshot())
     }
 
+    fn hist_snapshot(&self) -> Option<crate::metrics::HistSet> {
+        Some(self.inner.metrics_handle().hist_snapshot())
+    }
+
+    fn record_claim(&self, size: u64) {
+        self.inner
+            .metrics_handle()
+            .observe(crate::metrics::HistKind::ClaimSize, size);
+    }
+
     fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
         Some(self.inner.take_trace_as(Discipline::Futures.name()))
     }

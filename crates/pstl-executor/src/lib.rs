@@ -42,7 +42,7 @@ pub use fault::{FaultPlan, StealDelay};
 pub use fork_join::ForkJoinPool;
 pub use futures::{future_promise, BrokenPromise, Future, FuturesPool, Promise};
 pub use latch::CountLatch;
-pub use metrics::{MetricsSnapshot, PoolMetrics};
+pub use metrics::{HistKind, HistSet, MetricsSink, MetricsSnapshot, PoolMetrics};
 pub use seq::SequentialExecutor;
 pub use task_pool::{Scope, TaskPool};
 pub use topology::Topology;
@@ -114,6 +114,25 @@ pub trait Executor: Send + Sync {
     /// executor has nothing to schedule).
     fn metrics(&self) -> Option<metrics::MetricsSnapshot> {
         None
+    }
+
+    /// Streaming distribution metrics (task durations, steal latencies,
+    /// claim sizes — see [`metrics::HistKind`]) accumulated since pool
+    /// creation. The real pools return `Some`; the histograms only carry
+    /// samples when this crate is built with the `trace` feature
+    /// (otherwise the set is structurally valid but empty). `None` means
+    /// the executor records no metrics at all (the sequential executor).
+    fn hist_snapshot(&self) -> Option<metrics::HistSet> {
+        None
+    }
+
+    /// Record that a self-scheduling participant claimed a chunk of
+    /// `size` indices from a shared source (the guided partitioner's
+    /// cursor, the adaptive partitioner's split queue). Pools with
+    /// metrics feed their [`metrics::HistKind::ClaimSize`] histogram;
+    /// the default is a no-op.
+    fn record_claim(&self, size: u64) {
+        let _ = size;
     }
 
     /// Drain and return the per-worker event trace recorded since the

@@ -4,8 +4,18 @@
 //! chunks". These counters make that management directly observable on
 //! the real pools: how many tasks were created, how often work was
 //! stolen, how often workers went to sleep.
+//!
+//! Pools do not hold [`PoolMetrics`] directly any more: they embed one
+//! [`MetricsSink`], which bundles the counters with a set of streaming
+//! [`Histogram`]s ([`HistKind`]) recording task durations, steal
+//! latencies, and claim sizes. Adding a new distribution metric means
+//! adding a `HistKind` variant and a hook *here* — the four pool files
+//! only ever talk to the sink.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use pstl_trace::hist::{HistSnapshot, Histogram};
 
 /// Internal atomic counters, embedded in each pool.
 #[derive(Debug, Default)]
@@ -176,6 +186,245 @@ impl PoolMetrics {
             early_exits: self.early_exits.load(Ordering::Relaxed),
             wasted_chunks: self.wasted_chunks.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// The distribution metrics every pool records, all in one place so a
+/// new one needs no pool-file edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistKind {
+    /// Wall time of one executed task/chunk body, in nanoseconds.
+    TaskDuration,
+    /// Wall time from a steal attempt round starting to a successful
+    /// steal, in nanoseconds.
+    StealLatency,
+    /// Number of indices in an executed task/claimed chunk.
+    ClaimSize,
+}
+
+impl HistKind {
+    /// Every kind, in stable report order.
+    pub const ALL: [HistKind; 3] = [
+        HistKind::TaskDuration,
+        HistKind::StealLatency,
+        HistKind::ClaimSize,
+    ];
+
+    /// Stable snake_case name used as the JSON report key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistKind::TaskDuration => "task_duration_ns",
+            HistKind::StealLatency => "steal_latency_ns",
+            HistKind::ClaimSize => "claim_size",
+        }
+    }
+
+    fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// A drained copy of every [`HistKind`] histogram — the distribution
+/// analog of [`MetricsSnapshot`]. Always available (empty when the
+/// `trace` feature is off).
+#[derive(Debug, Clone)]
+pub struct HistSet {
+    hists: Vec<HistSnapshot>,
+}
+
+impl Default for HistSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistSet {
+    /// An empty set (one empty histogram per kind).
+    pub fn new() -> Self {
+        HistSet {
+            hists: HistKind::ALL.iter().map(|_| HistSnapshot::new()).collect(),
+        }
+    }
+
+    /// The histogram for `kind`.
+    pub fn get(&self, kind: HistKind) -> &HistSnapshot {
+        &self.hists[kind.index()]
+    }
+
+    /// Kind-wise interval delta (see [`HistSnapshot::since`]).
+    pub fn since(&self, before: &HistSet) -> HistSet {
+        HistSet {
+            hists: HistKind::ALL
+                .iter()
+                .map(|k| self.get(*k).since(before.get(*k)))
+                .collect(),
+        }
+    }
+
+    /// Fold another set in, kind-wise.
+    pub fn merge(&mut self, other: &HistSet) {
+        for k in HistKind::ALL {
+            self.hists[k.index()].merge(other.get(k));
+        }
+    }
+
+    /// True when no kind recorded any sample.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(HistSnapshot::is_empty)
+    }
+}
+
+/// Times one task body; created by [`MetricsSink::task_timer`], closed
+/// by [`finish`](TaskTimer::finish) *after* the pool's panic-containing
+/// execute path returns, so panicking bodies still record a duration.
+/// Dropping without `finish` loses the duration sample only.
+#[must_use = "call finish() after the task body to record its duration"]
+pub struct TaskTimer<'a> {
+    sink: &'a MetricsSink,
+    start: Option<Instant>,
+}
+
+impl TaskTimer<'_> {
+    /// Record the elapsed task duration.
+    pub fn finish(self) {
+        if let Some(start) = self.start {
+            self.sink
+                .observe(HistKind::TaskDuration, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Times one steal search; created by [`MetricsSink::steal_timer`] when
+/// a worker starts probing victims. [`success`](StealTimer::success)
+/// folds the old `record_steal` call and the latency sample into one;
+/// dropping the timer without success records nothing (the attempts
+/// themselves are counted per probe via `record_steal_attempt`).
+#[must_use = "call success(local) when the steal lands, or drop on failure"]
+pub struct StealTimer<'a> {
+    sink: &'a MetricsSink,
+    start: Option<Instant>,
+}
+
+impl StealTimer<'_> {
+    /// The steal landed: count it (classified by victim locality) and
+    /// record the attempt→success latency.
+    pub fn success(self, local: bool) {
+        self.sink.counters.record_steal(local);
+        if let Some(start) = self.start {
+            self.sink
+                .observe(HistKind::StealLatency, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// The one metrics hook a pool embeds: counters plus per-kind streaming
+/// histograms. Every `record_*` of [`PoolMetrics`] is mirrored here so
+/// swapping the pool field type is the whole migration; new metrics are
+/// added to this type only.
+#[derive(Default)]
+pub struct MetricsSink {
+    counters: PoolMetrics,
+    hists: [Histogram; HistKind::ALL.len()],
+}
+
+impl MetricsSink {
+    /// Fresh zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample into the `kind` histogram (no-op without the
+    /// `trace` feature — the histograms are ZSTs then).
+    #[inline]
+    pub fn observe(&self, kind: HistKind, value: u64) {
+        self.hists[kind.index()].record(value);
+    }
+
+    /// Start timing a task body of `size` indices: counts the task,
+    /// records its claim size, and (when tracing is compiled in) stamps
+    /// the start time for [`TaskTimer::finish`].
+    #[inline]
+    pub fn task_timer(&self, size: u64) -> TaskTimer<'_> {
+        self.counters.record_tasks(1);
+        self.observe(HistKind::ClaimSize, size);
+        TaskTimer {
+            sink: self,
+            start: pstl_trace::enabled().then(Instant::now),
+        }
+    }
+
+    /// Start timing a steal search (call when probing begins, after the
+    /// local fast paths missed).
+    #[inline]
+    pub fn steal_timer(&self) -> StealTimer<'_> {
+        StealTimer {
+            sink: self,
+            start: pstl_trace::enabled().then(Instant::now),
+        }
+    }
+
+    /// Drain every histogram into a plain [`HistSet`].
+    pub fn hist_snapshot(&self) -> HistSet {
+        HistSet {
+            hists: self.hists.iter().map(Histogram::snapshot).collect(),
+        }
+    }
+
+    // ---- counter delegates (same contracts as PoolMetrics) ----
+
+    /// See [`PoolMetrics::record_run`].
+    pub fn record_run(&self) {
+        self.counters.record_run();
+    }
+
+    /// See [`PoolMetrics::record_tasks`]. Prefer [`task_timer`]
+    /// (which also feeds the distributions) on per-task paths; this
+    /// stays for bulk/inline accounting.
+    ///
+    /// [`task_timer`]: Self::task_timer
+    pub fn record_tasks(&self, n: u64) {
+        self.counters.record_tasks(n);
+    }
+
+    /// See [`PoolMetrics::record_steal`]. Prefer
+    /// [`steal_timer`](Self::steal_timer) on the worker loop.
+    pub fn record_steal(&self, local: bool) {
+        self.counters.record_steal(local);
+    }
+
+    /// See [`PoolMetrics::record_steal_attempt`].
+    pub fn record_steal_attempt(&self) {
+        self.counters.record_steal_attempt();
+    }
+
+    /// See [`PoolMetrics::record_park`].
+    pub fn record_park(&self) {
+        self.counters.record_park();
+    }
+
+    /// See [`PoolMetrics::record_split`].
+    pub fn record_split(&self) {
+        self.counters.record_split();
+    }
+
+    /// See [`PoolMetrics::record_cancel`].
+    pub fn record_cancel(&self, checks: u64, cancelled: u64) {
+        self.counters.record_cancel(checks, cancelled);
+    }
+
+    /// See [`PoolMetrics::record_spawn_failures`].
+    pub fn record_spawn_failures(&self, n: u64) {
+        self.counters.record_spawn_failures(n);
+    }
+
+    /// See [`PoolMetrics::record_search`].
+    pub fn record_search(&self, early_exits: u64, wasted: u64) {
+        self.counters.record_search(early_exits, wasted);
+    }
+
+    /// See [`PoolMetrics::snapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.counters.snapshot()
     }
 }
 

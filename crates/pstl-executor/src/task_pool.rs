@@ -22,7 +22,7 @@ use crate::futures::{future_promise, Future};
 use crate::injector::Injector;
 use crate::job::Job;
 use crate::latch::WaitGroup;
-use crate::metrics::PoolMetrics;
+use crate::metrics::MetricsSink;
 use crate::sync::{ShutdownFlag, WorkSignal};
 use crate::topology::Topology;
 use crate::{Discipline, Executor};
@@ -46,7 +46,7 @@ struct TpShared {
     queue: Injector<QueuedTask>,
     signal: WorkSignal,
     shutdown: ShutdownFlag,
-    metrics: PoolMetrics,
+    metrics: MetricsSink,
     /// Workers currently parked on an empty queue (the idle hint).
     idle: std::sync::atomic::AtomicUsize,
     /// One track per thread; the `run`-calling thread is track 0
@@ -113,7 +113,7 @@ impl TaskPool {
             queue: Injector::new(),
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
-            metrics: PoolMetrics::new(),
+            metrics: MetricsSink::new(),
             idle: std::sync::atomic::AtomicUsize::new(0),
             tracer: PoolTracer::new(threads, false),
             faults: FaultInjector::new(),
@@ -187,7 +187,7 @@ impl TaskPool {
     pub(crate) fn try_run_one(&self, rec: Option<&WorkerRecorder>) -> bool {
         match self.shared.queue.pop() {
             Some(task) => {
-                self.shared.metrics.record_tasks(1);
+                let timer = self.shared.metrics.task_timer(task.size);
                 if let Some(rec) = rec {
                     rec.record(EventKind::TaskStart { size: task.size });
                     run_queued(task);
@@ -195,6 +195,7 @@ impl TaskPool {
                 } else {
                     run_queued(task);
                 }
+                timer.finish();
                 true
             }
             None => false,
@@ -207,9 +208,9 @@ impl TaskPool {
         &self.shared.faults
     }
 
-    /// The pool's metric counters (for the futures pool, which fronts
+    /// The pool's metrics sink (for the futures pool, which fronts
     /// this pool but reports its own parallel regions).
-    pub(crate) fn metrics_handle(&self) -> &PoolMetrics {
+    pub(crate) fn metrics_handle(&self) -> &MetricsSink {
         &self.shared.metrics
     }
 
@@ -367,10 +368,11 @@ fn worker_loop(shared: &TpShared, index: usize) {
     loop {
         let seen = shared.signal.epoch();
         if let Some(task) = shared.queue.pop() {
-            shared.metrics.record_tasks(1);
+            let timer = shared.metrics.task_timer(task.size);
             rec.record(EventKind::TaskStart { size: task.size });
             run_queued(task);
             rec.record(EventKind::TaskFinish);
+            timer.finish();
             continue;
         }
         if shared.shutdown.is_triggered() {
@@ -482,6 +484,16 @@ impl Executor for TaskPool {
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
         Some(self.shared.metrics.snapshot())
+    }
+
+    fn hist_snapshot(&self) -> Option<crate::metrics::HistSet> {
+        Some(self.shared.metrics.hist_snapshot())
+    }
+
+    fn record_claim(&self, size: u64) {
+        self.shared
+            .metrics
+            .observe(crate::metrics::HistKind::ClaimSize, size);
     }
 
     fn take_trace(&self) -> Option<pstl_trace::TraceLog> {

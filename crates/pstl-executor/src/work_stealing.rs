@@ -29,7 +29,7 @@ use crate::deque::{deque, Steal, Stealer, Worker};
 use crate::fault::{self, FaultInjector, FaultPlan};
 use crate::injector::Injector;
 use crate::job::Job;
-use crate::metrics::PoolMetrics;
+use crate::metrics::MetricsSink;
 use crate::sync::{ShutdownFlag, WorkSignal, XorShift64};
 use crate::topology::Topology;
 use crate::{Discipline, Executor};
@@ -49,7 +49,7 @@ struct WsShared {
     stealers: Vec<Stealer<Task>>,
     signal: WorkSignal,
     shutdown: ShutdownFlag,
-    metrics: PoolMetrics,
+    metrics: MetricsSink,
     /// Workers currently parked with nothing to do (the steal-pressure
     /// hint surfaced through [`Executor::idle_workers`]).
     idle: AtomicUsize,
@@ -139,7 +139,7 @@ impl WorkStealingPool {
             stealers,
             signal: WorkSignal::new(),
             shutdown: ShutdownFlag::new(),
-            metrics: PoolMetrics::new(),
+            metrics: MetricsSink::new(),
             idle: AtomicUsize::new(0),
             tracer,
             split_rec,
@@ -186,7 +186,7 @@ fn execute_task(
     job: Arc<Job>,
     mut range: Range<usize>,
 ) {
-    shared.metrics.record_tasks(1);
+    let timer = shared.metrics.task_timer(range.len() as u64);
     rec.record(EventKind::TaskStart {
         size: range.len() as u64,
     });
@@ -203,6 +203,7 @@ fn execute_task(
     // borrow live; each index reaches exactly one execute_task leaf.
     unsafe { job.execute_index(range.start) };
     rec.record(EventKind::TaskFinish);
+    timer.finish();
 }
 
 /// Find work for participant `me`: own deque, then injector, then two
@@ -227,6 +228,7 @@ fn find_task(
     // Fault hook: a planned steal-round delay makes `me` yield here,
     // modelling a slow or preempted worker entering its steal phase.
     shared.faults.on_steal_round(me);
+    let steal_timer = shared.metrics.steal_timer();
     for (victims, is_local_tier) in [
         (&shared.local_victims[me], true),
         (&shared.remote_victims[me], false),
@@ -246,7 +248,7 @@ fn find_task(
                     });
                     match shared.stealers[victim].steal() {
                         Steal::Success(task) => {
-                            shared.metrics.record_steal(is_local_tier);
+                            steal_timer.success(is_local_tier);
                             rec.record(EventKind::StealSuccess {
                                 victim: victim as u64,
                             });
@@ -433,6 +435,16 @@ impl Executor for WorkStealingPool {
 
     fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
         Some(self.shared.metrics.snapshot())
+    }
+
+    fn hist_snapshot(&self) -> Option<crate::metrics::HistSet> {
+        Some(self.shared.metrics.hist_snapshot())
+    }
+
+    fn record_claim(&self, size: u64) {
+        self.shared
+            .metrics
+            .observe(crate::metrics::HistKind::ClaimSize, size);
     }
 
     fn take_trace(&self) -> Option<pstl_trace::TraceLog> {

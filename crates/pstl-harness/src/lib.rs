@@ -22,7 +22,9 @@ pub mod stats;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pstl_executor::{Executor, MetricsSnapshot};
+use pstl_executor::{Executor, HistKind, HistSet, MetricsSnapshot};
+use pstl_trace::analyze;
+use pstl_trace::hist::HistSnapshot;
 use serde::Serialize;
 
 pub use report::{print_table, to_json, Report};
@@ -134,6 +136,122 @@ impl From<MetricsSnapshot> for SchedDelta {
     }
 }
 
+/// Percentile summary of one streaming histogram, in the histogram's
+/// native unit (nanoseconds for durations and latencies, indices for
+/// claim sizes). Percentiles are the log-bucket upper bounds, so each
+/// is within 25% of the exact sample quantile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    /// Samples observed.
+    pub count: u64,
+    /// Arithmetic mean (exact — from the histogram's running sum).
+    pub mean: f64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// 99.9th-percentile upper bound.
+    pub p999: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    fn from_snapshot(h: &HistSnapshot) -> Option<Self> {
+        if h.is_empty() {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+            max: h.max,
+        })
+    }
+}
+
+/// Streaming-histogram deltas attributed to one measurement: how the
+/// executor's latency/size distributions moved across the measured
+/// iterations (warmup excluded). Populated only when the executor was
+/// built with the `trace` feature — otherwise the histograms never
+/// move and the whole delta stays `None`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LatencyDelta {
+    /// Per-task execution time, nanoseconds.
+    pub task_duration_ns: Option<HistogramSummary>,
+    /// Steal-attempt-to-success latency, nanoseconds.
+    pub steal_latency_ns: Option<HistogramSummary>,
+    /// Chunk sizes claimed from shared sources (guided cursor,
+    /// adaptive split queue), in indices.
+    pub claim_size: Option<HistogramSummary>,
+}
+
+impl LatencyDelta {
+    fn from_hists(delta: &HistSet) -> Option<Self> {
+        let d = LatencyDelta {
+            task_duration_ns: HistogramSummary::from_snapshot(delta.get(HistKind::TaskDuration)),
+            steal_latency_ns: HistogramSummary::from_snapshot(delta.get(HistKind::StealLatency)),
+            claim_size: HistogramSummary::from_snapshot(delta.get(HistKind::ClaimSize)),
+        };
+        if d.task_duration_ns.is_none() && d.steal_latency_ns.is_none() && d.claim_size.is_none() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+}
+
+/// Trace-derived execution profile of the measured iterations: where
+/// the time went, how long the critical path was, and which bottleneck
+/// the shape of the trace suggests. A flattened [`analyze::Analysis`]
+/// suitable for the JSON reports (see [`Bench::profile`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileSummary {
+    /// Wall span of the capture, nanoseconds.
+    pub span_ns: u64,
+    /// Outermost task intervals executed.
+    pub tasks: u64,
+    /// Average pool utilization over the span (0..=1).
+    pub utilization: f64,
+    /// Utilization of the least busy track that executed tasks.
+    pub util_min: f64,
+    /// Utilization of the busiest track.
+    pub util_max: f64,
+    /// Greedy backward-chained critical path, nanoseconds.
+    pub critical_path_ns: u64,
+    /// Intervals on the critical path.
+    pub critical_path_tasks: u64,
+    /// `critical_path_ns / span_ns`.
+    pub critical_path_fraction: f64,
+    /// Fraction of the span with at most one task in flight.
+    pub serial_fraction: f64,
+    /// Non-task scheduler events per executed task.
+    pub sched_events_per_task: f64,
+    /// Bottleneck classification (`balanced`, `imbalance`,
+    /// `scheduling_overhead`, `serialized`).
+    pub bottleneck: String,
+}
+
+impl ProfileSummary {
+    fn from_analysis(a: &analyze::Analysis) -> Self {
+        ProfileSummary {
+            span_ns: a.span_ns,
+            tasks: a.tasks,
+            utilization: a.utilization,
+            util_min: a.util_min,
+            util_max: a.util_max,
+            critical_path_ns: a.critical_path_ns,
+            critical_path_tasks: a.critical_path_tasks as u64,
+            critical_path_fraction: a.critical_path_fraction,
+            serial_fraction: a.serial_fraction,
+            sched_events_per_task: a.sched_events_per_task,
+            bottleneck: a.bottleneck.name().to_string(),
+        }
+    }
+}
+
 /// One benchmark's result.
 #[derive(Debug, Clone, Serialize)]
 pub struct Measurement {
@@ -150,6 +268,14 @@ pub struct Measurement {
     /// Scheduler-counter deltas over the measured iterations, when a
     /// metrics source was attached ([`Bench::metrics_source`]).
     pub sched: Option<SchedDelta>,
+    /// Streaming-histogram deltas (task-duration / steal-latency /
+    /// claim-size percentiles) over the measured iterations, when the
+    /// attached metrics source collects them (`trace` feature).
+    pub latency: Option<LatencyDelta>,
+    /// Trace-derived utilization / critical-path profile of the
+    /// measured iterations, when profiling was requested
+    /// ([`Bench::profile`]) and the executor traces.
+    pub profile: Option<ProfileSummary>,
     /// Iterations discarded and re-run because they overran the
     /// watchdog limit ([`Bench::watchdog`]).
     pub retries: u64,
@@ -180,6 +306,7 @@ pub struct Bench {
     metrics_source: Option<Arc<dyn Executor>>,
     watchdog: Option<Duration>,
     max_retries: u64,
+    profile: bool,
 }
 
 impl Bench {
@@ -193,6 +320,7 @@ impl Bench {
             metrics_source: None,
             watchdog: None,
             max_retries: 2,
+            profile: false,
         }
     }
 
@@ -244,6 +372,19 @@ impl Bench {
         self
     }
 
+    /// Request a trace-derived profile ([`Measurement::profile`]): the
+    /// runner drains the metrics source's event trace after warmup,
+    /// drains it again after the measured loop, and runs the analysis
+    /// engine over the measured-iterations capture (utilization,
+    /// critical path, bottleneck classification). Requires
+    /// [`Bench::metrics_source`]; yields `None` unless the executor was
+    /// built with the `trace` feature. Tracing rings are bounded, so
+    /// very long measured loops profile the most recent events.
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// Run with wall-clock timing of the whole closure.
     pub fn run<F: FnMut()>(self, mut f: F) -> Measurement {
         self.run_manual(|| {
@@ -262,6 +403,14 @@ impl Bench {
             let _ = f();
         }
         let sched_before = self.metrics_source.as_ref().and_then(|e| e.metrics());
+        let hist_before = self.metrics_source.as_ref().and_then(|e| e.hist_snapshot());
+        if self.profile {
+            // Drop warmup events so the profile covers exactly the
+            // measured iterations.
+            if let Some(e) = &self.metrics_source {
+                let _ = e.take_trace();
+            }
+        }
         let mut samples: Vec<f64> = Vec::new();
         let mut accumulated = Duration::ZERO;
         let mut iterations = 0u64;
@@ -291,6 +440,21 @@ impl Bench {
             (Some(e), Some(before)) => e.metrics().map(|after| after.since(&before).into()),
             _ => None,
         };
+        let latency = match (&self.metrics_source, hist_before) {
+            (Some(e), Some(before)) => e
+                .hist_snapshot()
+                .and_then(|after| LatencyDelta::from_hists(&after.since(&before))),
+            _ => None,
+        };
+        let profile = if self.profile {
+            self.metrics_source
+                .as_ref()
+                .and_then(|e| e.take_trace())
+                .filter(|log| log.event_count() > 0)
+                .map(|log| ProfileSummary::from_analysis(&analyze::analyze_log(&log)))
+        } else {
+            None
+        };
         Measurement {
             name: self.name,
             stats: Stats::from_samples(&samples),
@@ -298,6 +462,8 @@ impl Bench {
             bytes_per_iter: self.bytes_per_iter,
             items_per_iter: self.items_per_iter,
             sched,
+            latency,
+            profile,
             retries,
             watchdog_timeouts,
         }
@@ -450,6 +616,8 @@ mod tests {
                 early_exits: 1,
                 wasted_chunks: 6,
             }),
+            latency: None,
+            profile: None,
             retries: 1,
             watchdog_timeouts: 2,
         };
@@ -467,6 +635,111 @@ mod tests {
         assert_eq!(v["sched"]["wasted_chunks"].as_u64(), Some(6));
         assert_eq!(v["retries"].as_u64(), Some(1));
         assert_eq!(v["watchdog_timeouts"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn latency_and_profile_follow_trace_feature() {
+        use pstl_executor::{build_pool, Discipline};
+
+        let pool = build_pool(Discipline::WorkStealing, 2);
+        let exec = Arc::clone(&pool);
+        let m = Bench::new("lat")
+            .config(BenchConfig {
+                min_time: Duration::ZERO,
+                warmup_iterations: 1,
+                min_iterations: 4,
+                max_iterations: 4,
+            })
+            .metrics_source(Arc::clone(&pool))
+            .profile()
+            .run(|| {
+                exec.run(4096, &|i| {
+                    std::hint::black_box(i);
+                })
+            });
+        if pstl_trace::enabled() {
+            let lat = m.latency.expect("trace build collects histogram samples");
+            let td = lat
+                .task_duration_ns
+                .expect("task durations recorded by every pool");
+            assert!(td.count > 0);
+            assert!(td.p50 <= td.p99 && td.p99 <= td.p999 && td.p999 <= td.max.max(td.p999));
+            let prof = m.profile.expect("trace build yields a profile");
+            assert!(prof.span_ns > 0);
+            assert!(prof.tasks > 0);
+            assert!(prof.utilization >= 0.0 && prof.utilization <= 1.0 + 1e-9);
+            assert!(!prof.bottleneck.is_empty());
+        } else {
+            assert!(m.latency.is_none(), "histograms never move without trace");
+            assert!(m.profile.is_none(), "no events to analyze without trace");
+        }
+    }
+
+    #[test]
+    fn no_profile_without_request() {
+        use pstl_executor::{build_pool, Discipline};
+
+        let pool = build_pool(Discipline::WorkStealing, 2);
+        let exec = Arc::clone(&pool);
+        let m = Bench::new("noprof")
+            .config(BenchConfig::quick())
+            .metrics_source(Arc::clone(&pool))
+            .run(|| exec.run(64, &|_| {}));
+        assert!(m.profile.is_none(), "profile is opt-in");
+    }
+
+    #[test]
+    fn latency_and_profile_serialize_into_measurement_json() {
+        let m = Measurement {
+            name: "lj".into(),
+            stats: Stats::from_samples(&[0.1]),
+            iterations: 1,
+            bytes_per_iter: None,
+            items_per_iter: None,
+            sched: None,
+            latency: Some(LatencyDelta {
+                task_duration_ns: Some(HistogramSummary {
+                    count: 10,
+                    mean: 1500.0,
+                    p50: 1024,
+                    p99: 4095,
+                    p999: 4095,
+                    max: 4000,
+                }),
+                steal_latency_ns: None,
+                claim_size: None,
+            }),
+            profile: Some(ProfileSummary {
+                span_ns: 1_000_000,
+                tasks: 128,
+                utilization: 0.8,
+                util_min: 0.6,
+                util_max: 0.95,
+                critical_path_ns: 250_000,
+                critical_path_tasks: 4,
+                critical_path_fraction: 0.25,
+                serial_fraction: 0.1,
+                sched_events_per_task: 2.5,
+                bottleneck: "balanced".into(),
+            }),
+            retries: 0,
+            watchdog_timeouts: 0,
+        };
+        let json = report::to_json(&m);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let td = &v["latency"]["task_duration_ns"];
+        assert_eq!(td["count"].as_u64(), Some(10));
+        assert_eq!(td["p50"].as_u64(), Some(1024));
+        assert_eq!(td["p99"].as_u64(), Some(4095));
+        assert_eq!(td["p999"].as_u64(), Some(4095));
+        assert!(matches!(
+            v["latency"]["steal_latency_ns"],
+            serde_json::Value::Null
+        ));
+        assert_eq!(v["profile"]["bottleneck"].as_str(), Some("balanced"));
+        assert_eq!(v["profile"]["critical_path_ns"].as_u64(), Some(250_000));
+        assert!((v["profile"]["utilization"].as_f64().unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(v["profile"]["serial_fraction"].as_f64(), Some(0.1));
     }
 
     #[test]

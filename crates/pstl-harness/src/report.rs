@@ -122,6 +122,8 @@ mod tests {
             bytes_per_iter: Some(1 << 30),
             items_per_iter: None,
             sched: None,
+            latency: None,
+            profile: None,
             retries: 0,
             watchdog_timeouts: 0,
         }

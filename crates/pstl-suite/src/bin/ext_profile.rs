@@ -1,0 +1,67 @@
+//! Extension experiment: execution profiles of balanced and skewed
+//! `for_each` workloads on the real pools (see `experiments::profile`).
+//! Prints the measurement table plus each point's latency percentiles
+//! and trace-derived profile, and writes the `BENCH_profile.json`
+//! baseline consumed by the `bench-diff` perf gate.
+
+use pstl_suite::experiments::profile;
+use pstl_suite::output::results_dir;
+
+fn main() {
+    if !pstl_trace::enabled() {
+        eprintln!(
+            "warning: built without the `trace` feature — latency histograms and \
+             profiles will be empty; rebuild with `--features trace`"
+        );
+    }
+    let report = profile::build();
+    print!("{}", pstl_harness::print_table(&report.benchmarks));
+
+    println!("\nlatency percentiles and trace profiles:");
+    for m in &report.benchmarks {
+        println!("  {}", m.name);
+        if let Some(lat) = &m.latency {
+            if let Some(td) = &lat.task_duration_ns {
+                println!(
+                    "    task duration: p50 {:>8} ns, p99 {:>8} ns, p999 {:>8} ns ({} tasks)",
+                    td.p50, td.p99, td.p999, td.count
+                );
+            }
+            if let Some(sl) = &lat.steal_latency_ns {
+                println!(
+                    "    steal latency: p50 {:>8} ns, p99 {:>8} ns ({} steals)",
+                    sl.p50, sl.p99, sl.count
+                );
+            }
+            if let Some(cs) = &lat.claim_size {
+                println!(
+                    "    claim size:    p50 {:>8}, p99 {:>8} ({} claims)",
+                    cs.p50, cs.p99, cs.count
+                );
+            }
+        }
+        if let Some(p) = &m.profile {
+            println!(
+                "    profile: util {:.2} [{:.2}..{:.2}], critical path {:.3} ms \
+                 ({:.0}% of span, {} tasks), serial {:.0}%, bottleneck: {}",
+                p.utilization,
+                p.util_min,
+                p.util_max,
+                p.critical_path_ns as f64 / 1e6,
+                p.critical_path_fraction * 100.0,
+                p.critical_path_tasks,
+                p.serial_fraction * 100.0,
+                p.bottleneck
+            );
+        }
+        if m.latency.is_none() && m.profile.is_none() {
+            println!("    (no trace data — build with `--features trace`)");
+        }
+    }
+
+    let path = results_dir().join("BENCH_profile.json");
+    match report.write_json(&path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

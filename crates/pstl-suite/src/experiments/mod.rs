@@ -19,6 +19,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod find_position;
 pub mod numa_real;
+pub mod profile;
 pub mod roofline;
 pub mod skew;
 pub mod skew_real;

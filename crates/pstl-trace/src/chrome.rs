@@ -7,6 +7,12 @@
 //! and park intervals, and `i` instants for spawns and steals. The JSON
 //! is written by hand — the format is flat and this crate stays
 //! dependency-free.
+//!
+//! The export is deterministic for a given log: metadata records come
+//! first (process, then tracks in tid order), followed by every other
+//! event sorted by `(timestamp, worker, per-track order)` — one global
+//! timeline rather than per-worker runs, so identical captures produce
+//! byte-identical files and diffs between exports are meaningful.
 
 use crate::{EventKind, TraceLog, WorkerTrace};
 
@@ -14,32 +20,39 @@ use crate::{EventKind, TraceLog, WorkerTrace};
 pub fn trace_json(log: &TraceLog) -> String {
     let mut out = String::from("[");
     let mut first = true;
-    let mut push = |event: String, out: &mut String| {
+    let mut push = |event: &str, out: &mut String| {
         if !std::mem::take(&mut first) {
             out.push(',');
         }
         out.push_str("\n  ");
-        out.push_str(&event);
+        out.push_str(event);
     };
 
     push(
-        format!(
+        &format!(
             r#"{{"name":"process_name","ph":"M","pid":1,"args":{{"name":"pstl {} pool (threads={})"}}}}"#,
             log.discipline, log.threads
         ),
         &mut out,
     );
+    // (t_ns, tid, per-track seq) totally orders the stream: global time
+    // first, tid then seq breaking ties deterministically.
+    let mut events: Vec<(u64, usize, usize, String)> = Vec::new();
     for (tid, worker) in log.workers.iter().enumerate() {
         push(
-            format!(
+            &format!(
                 r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{tid},"args":{{"name":"{}"}}}}"#,
                 worker.label
             ),
             &mut out,
         );
-        for event in track_events(worker, tid) {
-            push(event, &mut out);
+        for (seq, (t_ns, event)) in track_events(worker, tid).into_iter().enumerate() {
+            events.push((t_ns, tid, seq, event));
         }
+    }
+    events.sort_by_key(|e| (e.0, e.1, e.2));
+    for (_, _, _, event) in &events {
+        push(event, &mut out);
     }
     out.push_str("\n]\n");
     out
@@ -49,7 +62,7 @@ fn us(t_ns: u64) -> String {
     format!("{:.3}", t_ns as f64 / 1000.0)
 }
 
-fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<String> {
+fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<(u64, String)> {
     let mut out = Vec::with_capacity(worker.events.len());
     // Pending-start stacks for X (complete) events. Streams are
     // well-nested per worker by construction; unmatched starts (e.g. a
@@ -59,78 +72,81 @@ fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<String> {
     let mut parks: Vec<u64> = Vec::new();
     for e in &worker.events {
         match e.kind {
-            EventKind::RegionBegin { tasks: n } => out.push(format!(
+            EventKind::RegionBegin { tasks: n } => out.push((e.t_ns, format!(
                 r#"{{"name":"region","cat":"region","ph":"B","pid":1,"tid":{tid},"ts":{},"args":{{"tasks":{n}}}}}"#,
                 us(e.t_ns)
-            )),
-            EventKind::RegionEnd => out.push(format!(
+            ))),
+            EventKind::RegionEnd => out.push((e.t_ns, format!(
                 r#"{{"name":"region","cat":"region","ph":"E","pid":1,"tid":{tid},"ts":{}}}"#,
                 us(e.t_ns)
-            )),
+            ))),
             EventKind::TaskStart { size } => tasks.push((e.t_ns, size)),
             EventKind::TaskFinish => {
                 if let Some((start, size)) = tasks.pop() {
-                    out.push(format!(
+                    out.push((start, format!(
                         r#"{{"name":"task","cat":"task","ph":"X","pid":1,"tid":{tid},"ts":{},"dur":{},"args":{{"size":{size}}}}}"#,
                         us(start),
                         us(e.t_ns.saturating_sub(start))
-                    ));
+                    )));
                 }
             }
-            EventKind::TaskSpawn { size } => out.push(format!(
+            EventKind::TaskSpawn { size } => out.push((e.t_ns, format!(
                 r#"{{"name":"spawn","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"size":{size}}}}}"#,
                 us(e.t_ns)
-            )),
-            EventKind::StealAttempt { victim } => out.push(format!(
+            ))),
+            EventKind::StealAttempt { victim } => out.push((e.t_ns, format!(
                 r#"{{"name":"steal_attempt","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
                 us(e.t_ns)
-            )),
-            EventKind::StealSuccess { victim } => out.push(format!(
+            ))),
+            EventKind::StealSuccess { victim } => out.push((e.t_ns, format!(
                 r#"{{"name":"steal","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
                 us(e.t_ns)
-            )),
-            EventKind::LocalSteal { victim } => out.push(format!(
+            ))),
+            EventKind::LocalSteal { victim } => out.push((e.t_ns, format!(
                 r#"{{"name":"steal_local","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
                 us(e.t_ns)
-            )),
-            EventKind::RemoteSteal { victim } => out.push(format!(
+            ))),
+            EventKind::RemoteSteal { victim } => out.push((e.t_ns, format!(
                 r#"{{"name":"steal_remote","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"victim":{victim}}}}}"#,
                 us(e.t_ns)
-            )),
-            EventKind::RangeSplit { size } => out.push(format!(
+            ))),
+            EventKind::RangeSplit { size } => out.push((e.t_ns, format!(
                 r#"{{"name":"split","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"size":{size}}}}}"#,
                 us(e.t_ns)
-            )),
-            EventKind::Cancel { tasks } => out.push(format!(
+            ))),
+            EventKind::Cancel { tasks } => out.push((e.t_ns, format!(
                 r#"{{"name":"cancel","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"tasks":{tasks}}}}}"#,
                 us(e.t_ns)
-            )),
-            EventKind::EarlyExit { wasted } => out.push(format!(
+            ))),
+            EventKind::EarlyExit { wasted } => out.push((e.t_ns, format!(
                 r#"{{"name":"early_exit","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"wasted":{wasted}}}}}"#,
                 us(e.t_ns)
-            )),
+            ))),
             EventKind::Park => parks.push(e.t_ns),
             EventKind::Unpark => {
                 if let Some(start) = parks.pop() {
-                    out.push(format!(
+                    out.push((start, format!(
                         r#"{{"name":"park","cat":"idle","ph":"X","pid":1,"tid":{tid},"ts":{},"dur":{}}}"#,
                         us(start),
                         us(e.t_ns.saturating_sub(start))
-                    ));
+                    )));
                 }
             }
         }
     }
     for (start, size) in tasks {
-        out.push(format!(
+        out.push((start, format!(
             r#"{{"name":"task","cat":"task","ph":"B","pid":1,"tid":{tid},"ts":{},"args":{{"size":{size}}}}}"#,
             us(start)
-        ));
+        )));
     }
     for start in parks {
-        out.push(format!(
-            r#"{{"name":"park","cat":"idle","ph":"B","pid":1,"tid":{tid},"ts":{}}}"#,
-            us(start)
+        out.push((
+            start,
+            format!(
+                r#"{{"name":"park","cat":"idle","ph":"B","pid":1,"tid":{tid},"ts":{}}}"#,
+                us(start)
+            ),
         ));
     }
     out
@@ -189,6 +205,38 @@ mod tests {
         assert!(json.contains(r#""name":"park""#));
         // Task X event carries microsecond dur: 800 ns → 0.800 us.
         assert!(json.contains(r#""dur":0.800"#));
+    }
+
+    #[test]
+    fn export_is_deterministic_and_globally_time_ordered() {
+        let json = trace_json(&sample_log());
+        assert_eq!(
+            json,
+            trace_json(&sample_log()),
+            "same log must export byte-identically"
+        );
+        // Metadata first, then one global timeline: the ts values of
+        // the non-metadata events must be non-decreasing even though
+        // the two workers' streams interleave in time.
+        let ts: Vec<f64> = json
+            .lines()
+            .filter(|l| !l.contains(r#""ph":"M""#))
+            .filter_map(|l| {
+                let rest = &l[l.find(r#""ts":"#)? + 5..];
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                rest[..end].parse().ok()
+            })
+            .collect();
+        assert!(ts.len() >= 6, "sample log exports several events");
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps out of order: {ts:?}"
+        );
+        // Cross-track interleave actually happened: worker-1's steal
+        // attempt (150 ns) must precede worker-0's park (1000 ns).
+        let attempt = json.find(r#""name":"steal_attempt""#).unwrap();
+        let park = json.find(r#""name":"park""#).unwrap();
+        assert!(attempt < park, "global ordering interleaves the tracks");
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Streaming log-bucketed latency/size histograms.
+//!
+//! The paper attributes backend gaps to *distributions* (task-size
+//! skew, steal latency tails), not means; this module gives every pool
+//! a constant-memory way to record them. Values land in log-linear
+//! buckets: 4 linear minor buckets per power of two ([`SUB_BITS`] = 2),
+//! so any recorded value is reconstructed to within 25% relative error
+//! while the whole table stays at [`NUM_BUCKETS`] words regardless of
+//! sample count.
+//!
+//! Two types:
+//!
+//! * [`HistSnapshot`] — a plain, always-compiled bucket table. Built by
+//!   draining a live histogram (or directly via
+//!   [`HistSnapshot::record`] in tests), it supports `merge`, interval
+//!   deltas (`since`), and quantile queries that return *bucket
+//!   bounds*, making the accuracy contract explicit.
+//! * [`Histogram`] — the live, lock-free recording side. With the
+//!   `record` cargo feature it is a striped atomic bucket table
+//!   (relaxed `fetch_add`s, one stripe per recording thread modulo
+//!   [`STRIPES`] to keep workers off each other's cache lines); without
+//!   the feature it is a zero-sized no-op twin, so instrumentation call
+//!   sites cost nothing in normal builds.
+
+use std::fmt;
+
+/// Linear subdivision bits per octave: each power of two is split into
+/// `2^SUB_BITS` equal minor buckets.
+pub const SUB_BITS: u32 = 2;
+
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count: values `0..4` get exact unit buckets, then 4
+/// minors for each exponent `2..=63`.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index for a value. Monotone: `v <= w` implies
+/// `bucket_of(v) <= bucket_of(w)`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let minor = ((v >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        SUB + (exp - SUB_BITS) as usize * SUB + minor
+    }
+}
+
+/// Inclusive `(lo, hi)` value range covered by bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    assert!(b < NUM_BUCKETS, "bucket {b} out of range");
+    if b < SUB {
+        (b as u64, b as u64)
+    } else {
+        let exp = SUB_BITS + ((b - SUB) / SUB) as u32;
+        let minor = ((b - SUB) % SUB) as u64;
+        let width = 1u64 << (exp - SUB_BITS);
+        let lo = (1u64 << exp) + minor * width;
+        (lo, lo + (width - 1))
+    }
+}
+
+/// A drained (or hand-built) histogram: plain counters, no atomics.
+/// Always compiled, so reports and tests need no feature `cfg`s.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (`NUM_BUCKETS` entries).
+    pub buckets: Vec<u64>,
+    /// Exact sum of all recorded values (saturating).
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for HistSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HistSnapshot")
+            .field("count", &self.count())
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("p50<=", &self.quantile(0.50))
+            .field("p99<=", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl HistSnapshot {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        HistSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&c| c == 0)
+    }
+
+    /// Record one value (test/offline builder; the live recording path
+    /// is [`Histogram::record`]).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another snapshot in. Merging is exact at bucket
+    /// granularity: the merged quantile bounds are valid bounds for the
+    /// concatenation of the two underlying sample sets.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket-wise interval delta: samples recorded after `before` was
+    /// taken. `max` stays the lifetime max (a valid upper bound for the
+    /// interval; the per-interval max is not recoverable from buckets).
+    pub fn since(&self, before: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&before.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(before.sum),
+            max: self.max,
+        }
+    }
+
+    /// Mean of the recorded values (exact: tracked sum over count).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Inclusive value bounds `(lo, hi)` of the bucket holding the
+    /// `q`-quantile sample, using rank `ceil(q * count)` (clamped to at
+    /// least 1). The true quantile of the recorded samples lies within
+    /// the returned range; `hi/lo <= 1.25` for bucketed values ≥ 4.
+    ///
+    /// Returns `(0, 0)` for an empty histogram.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        let count = self.count();
+        if count == 0 {
+            return (0, 0);
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(b);
+            }
+        }
+        bucket_bounds(NUM_BUCKETS - 1)
+    }
+
+    /// Upper bound of the `q`-quantile bucket (the conservative "at
+    /// most" read used in reports).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+}
+
+/// Stripe count for the live histogram: recording threads spread over
+/// this many independent bucket tables, folded together at snapshot.
+pub const STRIPES: usize = 8;
+
+#[cfg(feature = "record")]
+mod imp {
+    use super::{bucket_of, HistSnapshot, NUM_BUCKETS, STRIPES};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    /// Monotone thread stripe assignment: each thread that ever records
+    /// gets a stable stripe index, round-robin over [`STRIPES`].
+    fn stripe_index() -> usize {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+        }
+        STRIPE.with(|s| *s)
+    }
+
+    struct Stripe {
+        buckets: Box<[AtomicU64]>,
+        sum: AtomicU64,
+        max: AtomicU64,
+    }
+
+    impl Stripe {
+        fn new() -> Self {
+            Stripe {
+                buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }
+        }
+    }
+
+    /// Live lock-free histogram: striped relaxed atomics, drained into
+    /// a [`HistSnapshot`] by summing stripes.
+    pub struct Histogram {
+        stripes: Vec<Stripe>,
+    }
+
+    impl Default for Histogram {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Histogram {
+        pub fn new() -> Self {
+            Histogram {
+                stripes: (0..STRIPES).map(|_| Stripe::new()).collect(),
+            }
+        }
+
+        /// Record one value: two relaxed `fetch_add`s plus a
+        /// `fetch_max`, on the calling thread's own stripe.
+        #[inline]
+        pub fn record(&self, v: u64) {
+            let s = &self.stripes[stripe_index()];
+            s.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            s.sum.fetch_add(v, Ordering::Relaxed);
+            s.max.fetch_max(v, Ordering::Relaxed);
+        }
+
+        /// Fold all stripes into a plain snapshot. Safe to call while
+        /// recording continues; concurrent samples may or may not be
+        /// included (the harness snapshots between measured runs, when
+        /// the pool is quiescent).
+        pub fn snapshot(&self) -> HistSnapshot {
+            let mut out = HistSnapshot::new();
+            for s in &self.stripes {
+                for (o, b) in out.buckets.iter_mut().zip(s.buckets.iter()) {
+                    *o += b.load(Ordering::Relaxed);
+                }
+                out.sum = out.sum.saturating_add(s.sum.load(Ordering::Relaxed));
+                out.max = out.max.max(s.max.load(Ordering::Relaxed));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(not(feature = "record"))]
+mod imp {
+    use super::HistSnapshot;
+
+    /// No-op twin of the live histogram (`record` feature off): a ZST
+    /// whose `record` compiles to nothing.
+    #[derive(Default)]
+    pub struct Histogram;
+
+    impl Histogram {
+        #[inline(always)]
+        pub fn new() -> Self {
+            Histogram
+        }
+
+        #[inline(always)]
+        pub fn record(&self, _v: u64) {}
+
+        /// Disabled builds always report an empty snapshot.
+        #[inline(always)]
+        pub fn snapshot(&self) -> HistSnapshot {
+            HistSnapshot::new()
+        }
+    }
+}
+
+pub use imp::Histogram;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Every bucket's hi + 1 is the next bucket's lo.
+        for b in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(b);
+            let (next_lo, _) = bucket_bounds(b + 1);
+            assert_eq!(hi + 1, next_lo, "gap/overlap between buckets {b} and next");
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_of_lands_inside_its_bounds() {
+        for v in [0, 1, 2, 3, 4, 5, 7, 8, 100, 1_000, 123_456_789, u64::MAX] {
+            let b = bucket_of(v);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v <= hi, "v={v} b={b} bounds=({lo},{hi})");
+        }
+        // Exhaustive over the first few octaves.
+        for v in 0..4096u64 {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert!(lo <= v && v <= hi, "v={v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // For v >= SUB, bucket width is lo/4, so hi <= 1.25 * lo.
+        for b in SUB..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert!(hi as f64 <= lo as f64 * 1.25, "bucket {b}: ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_exact_values() {
+        let mut h = HistSnapshot::new();
+        let samples: Vec<u64> = (1..=1000).map(|i| i * 17).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 1000);
+        for q in [0.0f64, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * 1000.0).ceil() as usize).clamp(1, 1000);
+            let exact = samples[rank - 1];
+            let (lo, hi) = h.quantile_bounds(q);
+            assert!(
+                lo <= exact && exact <= hi,
+                "q={q} exact={exact} ({lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_tracks_extrema() {
+        let mut a = HistSnapshot::new();
+        let mut b = HistSnapshot::new();
+        a.record(10);
+        a.record(20);
+        b.record(5_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum, 5_030);
+        assert_eq!(a.max, 5_000);
+    }
+
+    #[test]
+    fn since_subtracts_bucketwise() {
+        let mut before = HistSnapshot::new();
+        before.record(8);
+        let mut after = before.clone();
+        after.record(8);
+        after.record(100);
+        let delta = after.since(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum, 108);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = HistSnapshot::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_bounds(0.99), (0, 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn live_histogram_collects_across_threads() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..250 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.max, 3 * 1000 + 249);
+    }
+
+    #[cfg(not(feature = "record"))]
+    #[test]
+    fn disabled_histogram_is_a_zst_noop() {
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        let h = Histogram::new();
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert!(h.snapshot().is_empty());
+    }
+}

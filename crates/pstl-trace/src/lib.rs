@@ -20,7 +20,9 @@
 //! types, exporters, and [`TraceLog`] remain available either way so
 //! downstream code needs no `cfg` at call sites.
 
+pub mod analyze;
 pub mod chrome;
+pub mod hist;
 mod recorder;
 pub mod stats;
 

@@ -93,7 +93,9 @@ pub(crate) fn run_guided(
         if start >= n {
             return;
         }
-        body(start..(start + size).min(n));
+        let claimed = start..(start + size).min(n);
+        exec.record_claim(claimed.len() as u64);
+        body(claimed);
     });
 }
 
@@ -177,7 +179,10 @@ impl AdaptiveShared<'_> {
                 range.start = stride_end;
             }
             match self.find_work() {
-                Some(r) => range = r,
+                Some(r) => {
+                    exec.record_claim(r.len() as u64);
+                    range = r;
+                }
                 None => return,
             }
         }

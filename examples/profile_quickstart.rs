@@ -1,0 +1,97 @@
+//! Minimal profiling walkthrough: run a balanced and a deliberately
+//! skewed `for_each` on a work-stealing pool and print what the trace
+//! analytics engine sees — latency percentiles from the streaming
+//! histograms, then utilization, critical path, and the bottleneck
+//! classification from the drained event trace.
+//!
+//! ```text
+//! cargo run --release --features trace --example profile_quickstart
+//! ```
+//!
+//! The skewed run ramps per-element work linearly over the index space,
+//! so a static partition hands the last chunks ~32× the work of the
+//! first — visible as a lower min-track utilization and a longer
+//! critical path than the balanced run on the same pool.
+
+use std::sync::Arc;
+
+use pstl::{for_each, ExecutionPolicy, ParConfig};
+use pstl_executor::{build_pool, Discipline, HistKind};
+use pstl_trace::analyze;
+
+const N: usize = 1 << 20;
+const SKEW: u32 = 32;
+
+fn spin(w: u32) {
+    let mut acc = w;
+    for _ in 0..w * 64 {
+        acc = acc.wrapping_mul(1664525).wrapping_add(1013904223);
+    }
+    std::hint::black_box(acc);
+}
+
+fn main() {
+    if !pstl_trace::enabled() {
+        eprintln!(
+            "note: event recording is compiled out; rerun with \
+             `--features trace` to capture histograms and a profile"
+        );
+    }
+    let threads = std::env::var("PSTL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let pool = build_pool(Discipline::WorkStealing, threads);
+    let policy = ExecutionPolicy::par_with(Arc::clone(&pool), ParConfig::with_grain(4 * 1024));
+
+    for (label, skewed) in [("balanced", false), ("skewed", true)] {
+        // Same total work in both runs (mean weight SKEW/2); only the
+        // distribution over the index space differs.
+        let weights: Vec<u32> = (0..N)
+            .map(|i| {
+                if skewed {
+                    1 + (i as u64 * (SKEW as u64 - 1) / (N as u64 - 1)) as u32
+                } else {
+                    SKEW / 2
+                }
+            })
+            .collect();
+
+        // Warm up (spawns workers, faults pages), then drop those
+        // events and samples so the profile covers one measured call.
+        for_each(&policy, &weights, |&w| spin(w));
+        let _ = pool.take_trace();
+        let before = pool.hist_snapshot().expect("real pools expose histograms");
+
+        for_each(&policy, &weights, |&w| spin(w));
+
+        println!("== {label} ==");
+        let delta = pool
+            .hist_snapshot()
+            .expect("real pools expose histograms")
+            .since(&before);
+        for kind in HistKind::ALL {
+            let h = delta.get(kind);
+            if h.is_empty() {
+                continue;
+            }
+            println!(
+                "  {:<16} n={:<5} mean={:<10.0} p50={:<8} p99={:<8} p999={:<8} max={}",
+                kind.name(),
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                h.max
+            );
+        }
+        let log = pool.take_trace().expect("every pool supports tracing");
+        if log.event_count() == 0 {
+            println!("  (no events recorded — build with `--features trace`)");
+            continue;
+        }
+        let a = analyze::analyze_log(&log);
+        println!("{a}");
+    }
+}

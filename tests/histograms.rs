@@ -1,0 +1,157 @@
+//! Correctness properties of the streaming latency histograms
+//! (`pstl_trace::hist`): merged histograms bound the exact quantiles of
+//! the concatenated sample sets, the delta/merge algebra is consistent,
+//! and the disabled recording path is a true zero-sized no-op.
+//!
+//! The tests run in both feature states: the `HistSnapshot` math is
+//! always compiled; the live `Histogram` twin flips between the striped
+//! atomic implementation (`--features trace`) and the ZST stub.
+
+use proptest::prelude::*;
+use pstl_trace::hist::{bucket_bounds, bucket_of, HistSnapshot, Histogram};
+
+/// The rank convention the histogram uses: the q-quantile of `n`
+/// samples is the `ceil(q*n)`-th smallest (1-based), clamped to [1, n].
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    assert!(n > 0);
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+fn snapshot_of(samples: &[u64]) -> HistSnapshot {
+    let mut h = HistSnapshot::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Spread a uniform seed log-uniformly over the magnitudes: the low 6
+/// bits pick a right-shift, so one distribution mixes tiny exact
+/// values, mid-size latencies, and huge outliers.
+fn spread(seed: u64) -> u64 {
+    seed >> (seed & 63)
+}
+
+/// Uniform seed vectors; tests map them through [`spread`].
+fn seed_vec() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..=u64::MAX, 1..400)
+}
+
+fn spread_all(seeds: &[u64]) -> Vec<u64> {
+    seeds.iter().copied().map(spread).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(h1, h2) quantile bounds bracket the exact quantiles of the
+    /// concatenated sample sets, at every probed q.
+    #[test]
+    fn merged_quantiles_bound_concatenated_samples(
+        a_seed in seed_vec(),
+        b_seed in seed_vec(),
+    ) {
+        let (a, b) = (spread_all(&a_seed), spread_all(&b_seed));
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(merged.count(), all.len() as u64);
+        prop_assert_eq!(merged.max, *all.last().unwrap());
+
+        for q in [0.0f64, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&all, q);
+            let (lo, hi) = merged.quantile_bounds(q);
+            prop_assert!(
+                lo <= exact && exact <= hi,
+                "q={}: exact {} outside bucket [{}, {}]", q, exact, lo, hi
+            );
+        }
+    }
+
+    /// Merging is equivalent to recording everything into one histogram.
+    #[test]
+    fn merge_equals_single_recording(a_seed in seed_vec(), b_seed in seed_vec()) {
+        let (a, b) = (spread_all(&a_seed), spread_all(&b_seed));
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = snapshot_of(&combined);
+        prop_assert_eq!(merged.buckets, direct.buckets);
+        prop_assert_eq!(merged.sum, direct.sum);
+        prop_assert_eq!(merged.max, direct.max);
+    }
+
+    /// since() inverts merge on bucket counts: (a ∪ b) since a == b.
+    #[test]
+    fn since_recovers_the_increment(a_seed in seed_vec(), b_seed in seed_vec()) {
+        let (a, b) = (spread_all(&a_seed), spread_all(&b_seed));
+        let before = snapshot_of(&a);
+        let mut after = before.clone();
+        after.merge(&snapshot_of(&b));
+        let delta = after.since(&before);
+        prop_assert_eq!(delta.buckets, snapshot_of(&b).buckets);
+        prop_assert_eq!(delta.count(), b.len() as u64);
+    }
+
+    /// Every sample lands in a bucket whose bounds contain it, and the
+    /// bucket's relative width is the documented ≤25% for values ≥ 4.
+    #[test]
+    fn buckets_contain_their_samples(seed in 0u64..=u64::MAX) {
+        let v = spread(seed);
+        let b = bucket_of(v);
+        let (lo, hi) = bucket_bounds(b);
+        prop_assert!(lo <= v && v <= hi);
+        if v >= 4 {
+            prop_assert!(hi - lo < lo / 4 + 1, "bucket [{}, {}] too wide", lo, hi);
+        }
+    }
+}
+
+#[test]
+fn disabled_histogram_is_a_zst_noop_and_enabled_one_records() {
+    let h = Histogram::new();
+    for v in [0u64, 1, 100, 1 << 20, u64::MAX] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    if pstl_trace::enabled() {
+        assert_eq!(snap.count(), 5, "trace build records every sample");
+        assert_eq!(snap.max, u64::MAX);
+    } else {
+        assert_eq!(
+            std::mem::size_of::<Histogram>(),
+            0,
+            "disabled histogram must be zero-sized"
+        );
+        assert!(snap.is_empty(), "disabled histogram records nothing");
+    }
+}
+
+#[test]
+fn live_histogram_merges_across_threads_consistently() {
+    if !pstl_trace::enabled() {
+        return; // nothing to record without the trace feature
+    }
+    let h = std::sync::Arc::new(Histogram::new());
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record(t * 1_000_000 + i * 17);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), 4000, "no sample lost across stripes");
+    let (lo, hi) = snap.quantile_bounds(1.0);
+    assert!(lo <= snap.max && snap.max <= hi);
+}
