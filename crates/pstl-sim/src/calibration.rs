@@ -1,0 +1,112 @@
+//! Measured kernel-throughput calibration for [`crate::exec::CpuSim`].
+//!
+//! The backend models fit their *vectorization* effect to the paper's
+//! compiler analysis (`vectorizes_reduce`, a theoretical 256-bit lane
+//! count). This repository also has a real kernel layer
+//! (`pstl::kernel`) whose scalar and wide paths can be *measured* on
+//! the host — the `kernel_calibrate` bin does exactly that and writes
+//! `results/BENCH_kernels.json`. A [`KernelCalibration`] carries those
+//! measured per-element times into the simulator, replacing the
+//! theoretical lane speedup with the observed one so model and reality
+//! stay linked (ISSUE 7's calibration loop).
+//!
+//! The calibration is deliberately *optional*: every existing model
+//! path is untouched when none is attached, so the paper-band tests
+//! keep their fitted constants.
+
+use serde::Serialize;
+
+/// Measured scalar vs. wide per-element kernel times, in nanoseconds
+/// per element, on the machine the calibration ran on.
+///
+/// `*_speedup()` accessors return the wide path's measured speedup
+/// (scalar / wide, ≥ values below 1.0 mean the wide path lost) and are
+/// what [`crate::exec::CpuSim`] consumes.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelCalibration {
+    /// Scalar reduce (sum of f64), ns per element.
+    pub reduce_scalar_ns: f64,
+    /// Wide (tree-fold) reduce, ns per element.
+    pub reduce_wide_ns: f64,
+    /// Scalar short-circuit find (matchless scan), ns per element.
+    pub find_scalar_ns: f64,
+    /// Wide masked-block find, ns per element.
+    pub find_wide_ns: f64,
+    /// Scalar scan phase-1 fold, ns per element.
+    pub scan_scalar_ns: f64,
+    /// Wide scan phase-1 fold, ns per element.
+    pub scan_wide_ns: f64,
+    /// Comparison mergesort leaf on u32 keys, ns per element.
+    pub sort_merge_ns: f64,
+    /// Radix-sort leaf on u32 keys, ns per element.
+    pub sort_radix_ns: f64,
+}
+
+impl KernelCalibration {
+    /// Measured wide-over-scalar speedup of the reduce kernel.
+    pub fn reduce_speedup(&self) -> f64 {
+        ratio(self.reduce_scalar_ns, self.reduce_wide_ns)
+    }
+
+    /// Measured wide-over-scalar speedup of the find kernel.
+    pub fn find_speedup(&self) -> f64 {
+        ratio(self.find_scalar_ns, self.find_wide_ns)
+    }
+
+    /// Measured wide-over-scalar speedup of the scan fold pass.
+    pub fn scan_speedup(&self) -> f64 {
+        ratio(self.scan_scalar_ns, self.scan_wide_ns)
+    }
+
+    /// Measured radix-over-mergesort speedup on integer keys.
+    pub fn sort_speedup(&self) -> f64 {
+        ratio(self.sort_merge_ns, self.sort_radix_ns)
+    }
+}
+
+/// `a / b` guarded against a degenerate (zero/negative/NaN) measurement:
+/// a calibration that did not measure cleanly must not distort the
+/// model, so the neutral speedup is 1.
+fn ratio(a: f64, b: f64) -> f64 {
+    if a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0 {
+        a / b
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> KernelCalibration {
+        KernelCalibration {
+            reduce_scalar_ns: 1.0,
+            reduce_wide_ns: 0.4,
+            find_scalar_ns: 0.8,
+            find_wide_ns: 0.5,
+            scan_scalar_ns: 1.0,
+            scan_wide_ns: 0.5,
+            sort_merge_ns: 20.0,
+            sort_radix_ns: 10.0,
+        }
+    }
+
+    #[test]
+    fn speedups_are_scalar_over_wide() {
+        let c = cal();
+        assert!((c.reduce_speedup() - 2.5).abs() < 1e-12);
+        assert!((c.find_speedup() - 1.6).abs() < 1e-12);
+        assert!((c.scan_speedup() - 2.0).abs() < 1e-12);
+        assert!((c.sort_speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_measurements_are_neutral() {
+        let mut c = cal();
+        c.reduce_wide_ns = 0.0;
+        assert_eq!(c.reduce_speedup(), 1.0);
+        c.find_scalar_ns = f64::NAN;
+        assert_eq!(c.find_speedup(), 1.0);
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod backend_model;
 pub mod binsize;
+pub mod calibration;
 pub mod counters;
 pub mod exec;
 pub mod gpu;
@@ -36,6 +37,7 @@ pub mod memory;
 pub mod sched_sim;
 
 pub use backend_model::{Backend, BackendModel, SortFlavor};
+pub use calibration::KernelCalibration;
 pub use exec::{CpuSim, RunParams};
 pub use gpu::{GpuRun, GpuSim};
 pub use kernels::{DType, Kernel};

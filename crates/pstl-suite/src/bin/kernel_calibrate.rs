@@ -1,0 +1,284 @@
+//! Measure the kernel layer's scalar vs. wide paths on this host and
+//! write the `results/BENCH_kernels.json` baseline.
+//!
+//! Both dispatch paths of every `pstl::kernel` entry point are always
+//! compiled (the `simd` feature only flips the *default* dispatch), so
+//! a single build can time them head-to-head:
+//!
+//! * `reduce` — tree-fold vs. left-fold of an f64 sum,
+//! * `find` — masked 32-lane block scan vs. per-element short-circuit
+//!   on a matchless predicate (the worst case: every index evaluated),
+//! * `scan` — the phase-1 range fold both scan engines share,
+//! * `sort` — the radix leaf vs. the comparison introsort leaf on
+//!   scrambled u32 keys.
+//!
+//! The emitted JSON carries three things: raw ns-per-element numbers
+//! (machine-dependent, ignored by the perf gate), `speedup` ratios
+//! (machine-independent, diffed by `bench-diff --ratios-only`), and a
+//! [`pstl_sim::KernelCalibration`] block that `CpuSim::with_calibration`
+//! consumes to replace the backend models' theoretical lane speedups
+//! with these measured ones.
+//!
+//! With `--check`, exits non-zero unless the ISSUE 7 acceptance gates
+//! hold: wide reduce/find ≤ 0.7× scalar time (speedup ≥ 1/0.7) and the
+//! radix leaf ≥ 1.3× over the comparison leaf.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pstl::kernel;
+use pstl_sim::{Backend, CpuSim, Kernel, KernelCalibration, RunParams};
+use pstl_suite::results_dir;
+use serde::Serialize;
+
+/// Wide reduce/find must be at least this much faster than scalar
+/// (time ratio ≤ 0.7 ⇒ speedup ≥ 1/0.7).
+const GATE_WIDE_SPEEDUP: f64 = 1.0 / 0.7;
+/// Radix leaf must beat the comparison leaf by at least this factor.
+const GATE_SORT_SPEEDUP: f64 = 1.3;
+
+#[derive(Serialize)]
+struct KernelRow {
+    /// Labels the row in `bench-diff`'s flattened paths.
+    name: &'static str,
+    /// What the two timed paths are.
+    scalar_path: &'static str,
+    wide_path: &'static str,
+    scalar_ns_per_elem: f64,
+    wide_ns_per_elem: f64,
+    /// scalar / wide — the machine-independent number the perf gate
+    /// diffs (`speedup` is both a ratio key and higher-is-better).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    context: Vec<(String, String)>,
+    kernels: Vec<KernelRow>,
+    /// Sim-consumable block, shaped for `CpuSim::with_calibration`.
+    calibration: KernelCalibration,
+}
+
+/// Best-of-`reps` wall time of `f`, in ns per element.
+fn time_ns_per_elem(n: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm up: faults pages, primes caches and branch predictors
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / n as f64);
+    }
+    best
+}
+
+fn scrambled_u32(n: usize) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect()
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let n: usize = std::env::var("PSTL_CAL_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 20);
+    let reps: usize = std::env::var("PSTL_CAL_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+
+    // --- reduce: f64 sum -------------------------------------------------
+    let f64s: Vec<f64> = (0..n).map(|i| (i % 1021) as f64 * 0.5).collect();
+    let reduce_scalar = time_ns_per_elem(n, reps, || {
+        black_box(kernel::reduce::fold_map_scalar(
+            black_box(&f64s),
+            &|x: &f64| *x,
+            &|a, b| a + b,
+        ));
+    });
+    let reduce_wide = time_ns_per_elem(n, reps, || {
+        black_box(kernel::reduce::fold_map_wide(
+            black_box(&f64s),
+            &|x: &f64| *x,
+            &|a, b| a + b,
+        ));
+    });
+
+    // --- find: matchless scan (every index evaluated on both paths) ------
+    let u32s = scrambled_u32(n);
+    let absent = &|i: usize| u32s[i] == u32::MAX; // never true: scramble is even
+    let find_scalar = time_ns_per_elem(n, reps, || {
+        black_box(kernel::compare::find_first_in_scalar(0..n, absent));
+    });
+    let find_wide = time_ns_per_elem(n, reps, || {
+        black_box(kernel::compare::find_first_in_wide(0..n, absent));
+    });
+
+    // --- scan: the phase-1 fold both scan engines run per chunk. f64
+    // like the paper's k1: integer folds autovectorize even unreassociated,
+    // so floats are where the tree fold actually matters. ------------------
+    let scan_scalar = time_ns_per_elem(n, reps, || {
+        black_box(kernel::scan::fold_range_scalar(
+            0..n,
+            &|i| f64s[i],
+            &|a: &f64, b: &f64| a + b,
+        ));
+    });
+    let scan_wide = time_ns_per_elem(n, reps, || {
+        black_box(kernel::scan::fold_range_wide(
+            0..n,
+            &|i| f64s[i],
+            &|a: &f64, b: &f64| a + b,
+        ));
+    });
+
+    // --- sort: comparison introsort leaf vs. radix leaf on u32 keys ------
+    // Both sides pay the same clone-from-master cost.
+    let keys = scrambled_u32(n);
+    let mut buf = keys.clone();
+    let sort_merge = time_ns_per_elem(n, reps, || {
+        buf.copy_from_slice(&keys);
+        pstl::seq::introsort(black_box(&mut buf), &|a: &u32, b: &u32| a.cmp(b));
+    });
+    let sort_radix = time_ns_per_elem(n, reps, || {
+        buf.copy_from_slice(&keys);
+        kernel::sort::radix_sort(black_box(&mut buf[..]));
+    });
+
+    let calibration = KernelCalibration {
+        reduce_scalar_ns: reduce_scalar,
+        reduce_wide_ns: reduce_wide,
+        find_scalar_ns: find_scalar,
+        find_wide_ns: find_wide,
+        scan_scalar_ns: scan_scalar,
+        scan_wide_ns: scan_wide,
+        sort_merge_ns: sort_merge,
+        sort_radix_ns: sort_radix,
+    };
+
+    let rows = vec![
+        KernelRow {
+            name: "reduce_f64_sum",
+            scalar_path: "fold_map_scalar",
+            wide_path: "fold_map_wide",
+            scalar_ns_per_elem: reduce_scalar,
+            wide_ns_per_elem: reduce_wide,
+            speedup: calibration.reduce_speedup(),
+        },
+        KernelRow {
+            name: "find_u32_absent",
+            scalar_path: "find_first_in_scalar",
+            wide_path: "find_first_in_wide",
+            scalar_ns_per_elem: find_scalar,
+            wide_ns_per_elem: find_wide,
+            speedup: calibration.find_speedup(),
+        },
+        KernelRow {
+            name: "scan_fold_f64",
+            scalar_path: "fold_range_scalar",
+            wide_path: "fold_range_wide",
+            scalar_ns_per_elem: scan_scalar,
+            wide_ns_per_elem: scan_wide,
+            speedup: calibration.scan_speedup(),
+        },
+        KernelRow {
+            name: "sort_u32_keys",
+            scalar_path: "seq::introsort",
+            wide_path: "kernel::sort::radix_sort",
+            scalar_ns_per_elem: sort_merge,
+            wide_ns_per_elem: sort_radix,
+            speedup: calibration.sort_speedup(),
+        },
+    ];
+
+    println!(
+        "kernel calibration (n = {n}, best of {reps}, simd default dispatch: {})",
+        if kernel::WIDE_DEFAULT {
+            "wide"
+        } else {
+            "scalar"
+        }
+    );
+    println!(
+        "  {:<16} {:>12} {:>12} {:>9}",
+        "kernel", "scalar ns/el", "wide ns/el", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "  {:<16} {:>12.4} {:>12.4} {:>8.2}x",
+            r.name, r.scalar_ns_per_elem, r.wide_ns_per_elem, r.speedup
+        );
+    }
+
+    // Show what the calibration does to the model: measured speedups
+    // replace the theoretical 256-bit lane count for vectorizing
+    // backends (reduce) and give Find a compute-path speedup.
+    let machine = pstl_sim::machine::mach_a();
+    let plain = CpuSim::new(machine.clone(), Backend::GccTbb);
+    let cal = CpuSim::new(machine, Backend::GccTbb).with_calibration(calibration.clone());
+    for kind in [Kernel::Reduce, Kernel::Find] {
+        let p = RunParams::new(kind, 1 << 24, 4);
+        println!(
+            "  sim {:?} (n=2^24, t=4): {:.3} ms theoretical -> {:.3} ms calibrated",
+            kind,
+            plain.time(&p) * 1e3,
+            cal.time(&p) * 1e3
+        );
+    }
+
+    let report = Report {
+        experiment: "kernel_calibrate",
+        context: vec![
+            ("n".into(), n.to_string()),
+            ("reps".into(), reps.to_string()),
+            ("simd_default_wide".into(), kernel::WIDE_DEFAULT.to_string()),
+        ],
+        kernels: rows,
+        calibration,
+    };
+
+    let path = results_dir().join("BENCH_kernels.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => match std::fs::write(&path, json + "\n") {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize report: {e}"),
+    }
+
+    if check {
+        let mut failed = false;
+        let mut gate = |label: &str, got: f64, want: f64| {
+            let ok = got >= want;
+            println!(
+                "  gate {label}: {got:.2}x (need >= {want:.2}x) {}",
+                if ok { "ok" } else { "FAIL" }
+            );
+            failed |= !ok;
+        };
+        println!("acceptance gates (--check):");
+        gate(
+            "reduce wide<=0.7x scalar",
+            report.calibration.reduce_speedup(),
+            GATE_WIDE_SPEEDUP,
+        );
+        gate(
+            "find   wide<=0.7x scalar",
+            report.calibration.find_speedup(),
+            GATE_WIDE_SPEEDUP,
+        );
+        gate(
+            "sort   radix>=1.3x merge",
+            report.calibration.sort_speedup(),
+            GATE_SORT_SPEEDUP,
+        );
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! `copy` / `fill` / `generate` family.
 
 use crate::algorithms::{map_ranges, run_chunks, run_over_ranges, scratch_filled};
+use crate::kernel::partition::{compact_each, count_matches};
 use crate::policy::ExecutionPolicy;
 use crate::ptr::SliceView;
 
@@ -50,7 +51,7 @@ where
     let n = src.len();
     // Phase 1: matches per chunk, with the chunk geometry recorded so
     // phase 3 replays the same ranges under any partitioner.
-    let parts = map_ranges(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
+    let parts = map_ranges(policy, n, &|r| count_matches(&src[r], &pred));
     // Phase 2: exclusive prefix of chunk offsets (tiny, sequential).
     let mut ranges = Vec::with_capacity(parts.len());
     let mut offsets = scratch_filled(policy, parts.len() + 1, 0usize);
@@ -68,14 +69,13 @@ where
     let view = &view;
     let offsets_ref = &offsets;
     run_over_ranges(policy, &ranges, &|i, r| {
-        let mut at = offsets_ref[i];
-        for x in src[r].iter().filter(|x| pred(x)) {
-            // SAFETY: chunks write disjoint output windows
-            // [offsets[i], offsets[i+1]).
-            unsafe { view.write(at, x.clone()) };
-            at += 1;
-        }
-        debug_assert_eq!(at, offsets_ref[i + 1]);
+        let base = offsets_ref[i];
+        // SAFETY: chunks write disjoint output windows
+        // [offsets[i], offsets[i+1]).
+        compact_each(&src[r], &pred, &mut |rank, x: &T| unsafe {
+            debug_assert!(base + rank < offsets_ref[i + 1]);
+            view.write(base + rank, x.clone());
+        });
     });
     total
 }

@@ -120,9 +120,10 @@ where
     }
     let starts = haystack.len() - needle.len() + 1;
     // Max-fold over matches; no early exit (the last match can be
-    // anywhere), so this is a plain chunked reduction.
+    // anywhere), so this is a plain chunked reduction over reverse
+    // block scans.
     let partials = crate::algorithms::map_chunks(policy, starts, &|r: Range<usize>| {
-        r.rev().find(|&i| haystack[i..i + needle.len()] == *needle)
+        crate::kernel::compare::find_last_in(r, &|i| haystack[i..i + needle.len()] == *needle)
     });
     partials.into_iter().flatten().max()
 }

@@ -7,6 +7,7 @@
 use std::cmp::Ordering;
 
 use crate::algorithms::map_chunks;
+use crate::kernel;
 use crate::policy::ExecutionPolicy;
 
 /// Index of the first minimum element, by `Ord`.
@@ -24,14 +25,9 @@ where
     C: Fn(&T, &T) -> Ordering + Sync,
 {
     let partials = map_chunks(policy, data.len(), &|r| {
-        let mut best: Option<usize> = None;
-        for i in r {
-            // Strict less keeps the first occurrence.
-            if best.is_none_or(|b| cmp(&data[i], &data[b]) == Ordering::Less) {
-                best = Some(i);
-            }
-        }
-        best
+        // The kernel's strict-less tournament keeps the first occurrence;
+        // shift its chunk-local winner back to a global index.
+        kernel::reduce::min_index(&data[r.clone()], &cmp).map(|i| r.start + i)
     });
     // Chunk order = index order, so strict less again keeps the first.
     partials
@@ -79,17 +75,9 @@ where
     T: Ord + Sync,
 {
     let partials = map_chunks(policy, data.len(), &|r| {
-        let mut mm: Option<(usize, usize)> = None;
-        for i in r {
-            mm = Some(match mm {
-                None => (i, i),
-                Some((lo, hi)) => (
-                    if data[i] < data[lo] { i } else { lo },
-                    if data[i] >= data[hi] { i } else { hi },
-                ),
-            });
-        }
-        mm
+        // Kernel tie rules match std::minmax_element: first min, last max.
+        kernel::reduce::minmax_index(&data[r.clone()], &|a: &T, b: &T| a.cmp(b))
+            .map(|(lo, hi)| (r.start + lo, r.start + hi))
     });
     partials.into_iter().flatten().fold(None, |acc, (lo, hi)| {
         Some(match acc {

@@ -7,6 +7,7 @@
 
 use crate::algorithms::find_search::find_first_index;
 use crate::algorithms::{map_ranges, run_chunks, run_over_ranges, scratch_clone, scratch_filled};
+use crate::kernel::partition::{count_matches, split_each};
 use crate::policy::ExecutionPolicy;
 use crate::ptr::SliceView;
 
@@ -34,7 +35,7 @@ where
     }
     // Phase 1: per-chunk true-counts, with the geometry recorded for the
     // scatter phase.
-    let parts = map_ranges(policy, n, &|r| data[r].iter().filter(|x| pred(x)).count());
+    let parts = map_ranges(policy, n, &|r| count_matches(&data[r], &pred));
     // Phase 2: offsets. True elements pack to the front, false to the back
     // half starting at total_true.
     let total_true: usize = parts.iter().map(|(_, c)| c).sum();
@@ -59,19 +60,14 @@ where
         let true_off = &true_off;
         let false_off = &false_off;
         run_over_ranges(policy, &ranges, &|i, r| {
-            let mut t = true_off[i];
-            let mut f = false_off[i];
-            for x in &data_ref[r] {
-                // SAFETY: each chunk writes the disjoint windows
-                // [true_off[i], true_off[i]+c) and [false_off[i], …).
-                if pred(x) {
-                    unsafe { view.write(t, x.clone()) };
-                    t += 1;
-                } else {
-                    unsafe { view.write(f, x.clone()) };
-                    f += 1;
-                }
-            }
+            // SAFETY: each chunk writes the disjoint windows
+            // [true_off[i], true_off[i]+c) and [false_off[i], …).
+            split_each(
+                &data_ref[r],
+                &pred,
+                &mut |t, x: &T| unsafe { view.write(true_off[i] + t, x.clone()) },
+                &mut |f, x: &T| unsafe { view.write(false_off[i] + f, x.clone()) },
+            );
         });
     }
     let scratch_ref: &[T] = &scratch;
@@ -111,7 +107,7 @@ where
     F: Fn(&T) -> bool + Sync,
 {
     let n = src.len();
-    let parts = map_ranges(policy, n, &|r| src[r].iter().filter(|x| pred(x)).count());
+    let parts = map_ranges(policy, n, &|r| count_matches(&src[r], &pred));
     let total_true: usize = parts.iter().map(|(_, c)| c).sum();
     let total_false = n - total_true;
     assert!(
@@ -141,18 +137,13 @@ where
     let true_off = &true_off;
     let false_off = &false_off;
     run_over_ranges(policy, &ranges, &|i, r| {
-        let mut t = true_off[i];
-        let mut f = false_off[i];
-        for x in &src[r] {
-            // SAFETY: disjoint per-chunk output windows in both outputs.
-            if pred(x) {
-                unsafe { vt.write(t, x.clone()) };
-                t += 1;
-            } else {
-                unsafe { vf.write(f, x.clone()) };
-                f += 1;
-            }
-        }
+        // SAFETY: disjoint per-chunk output windows in both outputs.
+        split_each(
+            &src[r],
+            &pred,
+            &mut |t, x: &T| unsafe { vt.write(true_off[i] + t, x.clone()) },
+            &mut |f, x: &T| unsafe { vf.write(false_off[i] + f, x.clone()) },
+        );
     });
     (total_true, total_false)
 }

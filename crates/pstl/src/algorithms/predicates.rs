@@ -59,7 +59,7 @@ where
     F: Fn(&T) -> bool + Sync,
 {
     map_chunks(policy, data.len(), &|r| {
-        data[r].iter().filter(|x| pred(x)).count()
+        crate::kernel::partition::count_matches(&data[r], &pred)
     })
     .into_iter()
     .sum()

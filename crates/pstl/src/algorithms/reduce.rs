@@ -7,6 +7,7 @@
 //! differ from the strict left fold by rounding, exactly as in C++.
 
 use crate::algorithms::map_chunks;
+use crate::kernel;
 use crate::policy::ExecutionPolicy;
 
 /// Fold all elements with `op`, starting from `init`
@@ -38,12 +39,7 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let partials = map_chunks(policy, data.len(), &|r| {
-        let mut iter = data[r].iter();
-        let first = match iter.next() {
-            Some(x) => f(x),
-            None => return None,
-        };
-        Some(iter.fold(first, |acc, x| op(acc, f(x))))
+        kernel::reduce::fold_map(&data[r], &f, &op)
     });
     partials.into_iter().flatten().fold(init, op)
 }
@@ -70,15 +66,7 @@ where
 {
     assert_eq!(a.len(), b.len(), "transform_reduce_binary: length mismatch");
     let partials = map_chunks(policy, a.len(), &|r| {
-        let mut acc: Option<V> = None;
-        for i in r {
-            let v = combine(&a[i], &b[i]);
-            acc = Some(match acc {
-                Some(acc) => op(acc, v),
-                None => v,
-            });
-        }
-        acc
+        kernel::reduce::fold_zip(&a[r.clone()], &b[r], &combine, &op)
     });
     partials.into_iter().flatten().fold(init, op)
 }

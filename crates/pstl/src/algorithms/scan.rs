@@ -7,6 +7,7 @@
 //! speedup capped near `bandwidth_ratio / 2` on all machines.
 
 use crate::algorithms::{map_ranges, run_over_ranges, scratch_filled};
+use crate::kernel::scan::{fold_range, fold_slice, scan_in_place, scan_range_into};
 use crate::policy::{ExecutionPolicy, Plan};
 use crate::ptr::SliceView;
 
@@ -141,9 +142,7 @@ where
     let n = data.len();
     match policy.plan(n) {
         Plan::Sequential => {
-            for i in 1..n {
-                data[i] = op(&data[i - 1], &data[i]);
-            }
+            scan_in_place(data, None, &op);
         }
         Plan::Parallel { .. } => {
             let view = SliceView::new(data);
@@ -152,14 +151,7 @@ where
             let parts = map_ranges(policy, n, &|r| {
                 // SAFETY: each body call reads only its own chunk.
                 let chunk = unsafe { view.range(r) };
-                let mut total: Option<T> = None;
-                for x in chunk {
-                    total = Some(match total {
-                        Some(a) => op(&a, x),
-                        None => x.clone(),
-                    });
-                }
-                total
+                fold_slice(chunk, &op)
             });
             let (ranges, sums): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
             // Phase 2: offsets.
@@ -170,15 +162,7 @@ where
                 // SAFETY: recorded ranges are disjoint; each body call
                 // mutates only its own chunk.
                 let chunk = unsafe { view.range_mut(r) };
-                let mut running = offsets[t].clone();
-                for x in chunk.iter_mut() {
-                    let v = match &running {
-                        Some(acc) => op(acc, x),
-                        None => x.clone(),
-                    };
-                    *x = v.clone();
-                    running = Some(v);
-                }
+                scan_in_place(chunk, offsets[t].clone(), &op);
             });
         }
     }
@@ -238,17 +222,7 @@ fn scan_engine<U, G, F>(
         Plan::Parallel { .. } => {
             // Phase 1: chunk totals of the *inputs* (init excluded), with
             // the chunk geometry recorded for phase 3.
-            let parts = map_ranges(policy, n, &|r| {
-                let mut acc: Option<U> = None;
-                for i in r {
-                    let x = get(i);
-                    acc = Some(match acc {
-                        Some(a) => op(&a, &x),
-                        None => x,
-                    });
-                }
-                acc
-            });
+            let parts = map_ranges(policy, n, &|r| fold_range(r, get, op));
             let (ranges, sums): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
             // Phase 2: offsets (sequential, one element per chunk).
             let offsets = exclusive_offsets(policy, &sums, init, op);
@@ -262,38 +236,6 @@ fn scan_engine<U, G, F>(
                 let dst = unsafe { view.range_mut(r.clone()) };
                 scan_range_into(dst, r, get, op, offsets[t].clone(), exclusive);
             });
-        }
-    }
-}
-
-/// Sequentially scan `range` of the input into `dst` (`dst.len() ==
-/// range.len()`), seeded with `running`.
-fn scan_range_into<U, G, F>(
-    dst: &mut [U],
-    range: std::ops::Range<usize>,
-    get: &G,
-    op: &F,
-    mut running: Option<U>,
-    exclusive: bool,
-) where
-    U: Clone,
-    G: Fn(usize) -> U,
-    F: Fn(&U, &U) -> U,
-{
-    debug_assert_eq!(dst.len(), range.len());
-    for (slot, i) in dst.iter_mut().zip(range) {
-        let x = get(i);
-        if exclusive {
-            let r = running.clone().expect("exclusive scan without seed");
-            *slot = r.clone();
-            running = Some(op(&r, &x));
-        } else {
-            let v = match &running {
-                Some(acc) => op(acc, &x),
-                None => x,
-            };
-            *slot = v.clone();
-            running = Some(v);
         }
     }
 }

@@ -1,0 +1,205 @@
+//! Sort kernels: cache-aware leaf sorting for integer keys.
+//!
+//! The merge-sort driver in `algorithms/sort.rs` bottoms out in
+//! `seq::seq_sort_by` leaves. For plain integer keys a comparison leaf
+//! wastes the structure of the key: an LSD radix sort touches each
+//! element `BYTES` times with sequential passes, no comparisons, and no
+//! branch mispredictions — on u32 keys it beats the comparison leaf
+//! well past the 1.3× ROADMAP criterion. This module provides:
+//!
+//! * [`RadixKey`] — fixed-width byte-extractable keys: all unsigned
+//!   ints, plus signed ints via the usual sign-bit flip (the flipped
+//!   bytes order exactly like the native `Ord`).
+//! * [`radix_sort`] — LSD byte radix with a 256-bucket histogram per
+//!   pass, trivial-pass skipping (all elements in one bucket), an
+//!   insertion-sort path below [`RADIX_MIN`], and ping-pong scratch.
+//!
+//! Everything here is safe code; the scratch buffer is a plain `Vec`.
+//! The dispatching entry point in the algorithm layer
+//! (`sort_keys`) picks radix vs. comparison leaves; this module is the
+//! leaf itself and is always compiled.
+
+/// Fixed-width keys a byte-wise LSD radix sort can handle. `radix_at`
+/// must order keys byte-by-byte from least (level 0) to most
+/// significant, consistent with `Ord` — signed types flip the sign bit
+/// so negative keys order below positive ones.
+pub trait RadixKey: Copy + Ord {
+    /// Number of radix levels (bytes) in the key.
+    const BYTES: usize;
+    /// The `level`-th least-significant byte of the order-preserving
+    /// encoding of `self`.
+    fn radix_at(self, level: usize) -> u8;
+}
+
+macro_rules! unsigned_radix {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            #[inline(always)]
+            fn radix_at(self, level: usize) -> u8 {
+                (self >> (level * 8)) as u8
+            }
+        }
+    )*};
+}
+unsigned_radix!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_radix {
+    ($($t:ty => $u:ty),*) => {$(
+        impl RadixKey for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            #[inline(always)]
+            fn radix_at(self, level: usize) -> u8 {
+                // Flipping the sign bit maps the signed range onto the
+                // unsigned range monotonically: i::MIN → 0, -1 → MAX/2,
+                // i::MAX → MAX.
+                let flipped = (self as $u) ^ (1 << (<$t>::BITS - 1));
+                (flipped >> (level * 8)) as u8
+            }
+        }
+    )*};
+}
+signed_radix!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Below this length a binary-insertion sort beats the histogram setup
+/// cost of a radix pass.
+pub const RADIX_MIN: usize = 64;
+
+/// Sort `data` ascending with an LSD byte radix. Stable (radix sorts
+/// are), allocation is one scratch `Vec` of `data.len()`.
+pub fn radix_sort<K: RadixKey>(data: &mut [K]) {
+    if data.len() < RADIX_MIN {
+        insertion_sort(data);
+        return;
+    }
+    let mut scratch: Vec<K> = data.to_vec();
+    // Ping-pong between `data` and `scratch`; track where the current
+    // ordering lives so we can copy back at most once.
+    let mut src_is_data = true;
+    for level in 0..K::BYTES {
+        let (src, dst): (&mut [K], &mut [K]) = if src_is_data {
+            (&mut *data, &mut scratch[..])
+        } else {
+            (&mut scratch[..], &mut *data)
+        };
+        let mut hist = [0usize; 256];
+        for &k in src.iter() {
+            hist[k.radix_at(level) as usize] += 1;
+        }
+        // Trivial pass: every key has the same byte at this level, the
+        // permutation is the identity — skip the scatter entirely.
+        if hist.contains(&src.len()) {
+            continue;
+        }
+        let mut offsets = [0usize; 256];
+        let mut run = 0usize;
+        for (o, &c) in offsets.iter_mut().zip(hist.iter()) {
+            *o = run;
+            run += c;
+        }
+        for &k in src.iter() {
+            let b = k.radix_at(level) as usize;
+            dst[offsets[b]] = k;
+            offsets[b] += 1;
+        }
+        src_is_data = !src_is_data;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&scratch);
+    }
+}
+
+/// Plain insertion sort — the small-run path of [`radix_sort`] and the
+/// cache-resident base case generally.
+pub fn insertion_sort<K: Ord + Copy>(data: &mut [K]) {
+    for i in 1..data.len() {
+        let x = data[i];
+        let mut j = i;
+        while j > 0 && data[j - 1] > x {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrambled_u32(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect()
+    }
+
+    #[test]
+    fn matches_std_sort_on_unsigned() {
+        for n in [0usize, 1, 2, 63, 64, 65, 1000, 4096] {
+            let mut a = scrambled_u32(n);
+            let mut b = a.clone();
+            radix_sort(&mut a);
+            b.sort_unstable();
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_std_sort_on_signed() {
+        let mut a: Vec<i64> = (0..2000)
+            .map(|i: i64| ((i - 1000).wrapping_mul(7919)) % 100_000)
+            .collect();
+        let mut b = a.clone();
+        radix_sort(&mut a);
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(a.first().unwrap() < &0 && a.last().unwrap() >= &0);
+    }
+
+    #[test]
+    fn handles_narrow_and_wide_types() {
+        let mut bytes: Vec<u8> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(97) % 251) as u8)
+            .collect();
+        let mut expect = bytes.clone();
+        radix_sort(&mut bytes);
+        expect.sort_unstable();
+        assert_eq!(bytes, expect);
+
+        let mut wide: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut expect = wide.clone();
+        radix_sort(&mut wide);
+        expect.sort_unstable();
+        assert_eq!(wide, expect);
+    }
+
+    #[test]
+    fn trivial_level_skip_still_sorts() {
+        // All keys share the upper three bytes; only level 0 does work.
+        let mut a: Vec<u32> = (0..500u32)
+            .map(|i| 0xABCD_EF00 | (i.wrapping_mul(37) % 256))
+            .collect();
+        let mut b = a.clone();
+        radix_sort(&mut a);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let mut a: Vec<u32> = (0..1000).collect();
+        let expect = a.clone();
+        radix_sort(&mut a);
+        assert_eq!(a, expect);
+        let mut r: Vec<u32> = (0..1000).rev().collect();
+        radix_sort(&mut r);
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn insertion_sort_small_path() {
+        let mut a = [5u32, 3, 9, 1, 1, 0, 7];
+        insertion_sort(&mut a);
+        assert_eq!(a, [0, 1, 1, 3, 5, 7, 9]);
+    }
+}

@@ -39,6 +39,7 @@
 pub mod algorithms;
 pub mod chunk;
 mod guard;
+pub mod kernel;
 pub mod policy;
 pub mod ptr;
 pub mod search;
@@ -82,11 +83,12 @@ pub use algorithms::set_ops::{
     includes, set_difference, set_intersection, set_symmetric_difference, set_union,
 };
 pub use algorithms::sort::{
-    nth_element, partial_sort, partial_sort_copy, sort, sort_by, sort_by_key, sort_multiway,
-    sort_multiway_by, stable_sort, stable_sort_by, stable_sort_by_key,
+    nth_element, partial_sort, partial_sort_copy, sort, sort_by, sort_by_key, sort_keys,
+    sort_multiway, sort_multiway_by, stable_sort, stable_sort_by, stable_sort_by_key,
 };
 pub use algorithms::transform::{transform, transform_binary};
 pub use algorithms::unique_remove::{remove_if, replace, replace_if, unique, unique_copy};
+pub use kernel::sort::RadixKey;
 
 /// One-line import of the policy types and all algorithms.
 pub mod prelude {

@@ -40,6 +40,7 @@ use pstl_executor::{CancelToken, Executor};
 
 use crate::chunk::chunk_range;
 use crate::guard::{CancelCtx, CancelReport};
+use crate::kernel::compare::find_first_in;
 use crate::policy::{ExecutionPolicy, Partitioner, Plan};
 use crate::splitter::participants;
 
@@ -122,7 +123,7 @@ where
     F: Fn(usize) -> bool + Sync,
 {
     match policy.plan(n) {
-        Plan::Sequential => (0..n).find(|&i| pred_at(i)),
+        Plan::Sequential => find_first_in(0..n, &pred_at),
         Plan::Parallel {
             exec,
             tasks,
@@ -169,11 +170,9 @@ where
             return;
         }
         let block_end = (i + POLL_BLOCK).min(r.end);
-        for j in i..block_end {
-            if pred_at(j) {
-                state.publish(j);
-                return;
-            }
+        if let Some(j) = find_first_in(i..block_end, pred_at) {
+            state.publish(j);
+            return;
         }
         i = block_end;
     }
@@ -310,13 +309,13 @@ where
                 let block = range.start..stride_end;
                 let len = block.len();
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    for j in block {
-                        if (self.pred_at)(j) {
+                    match find_first_in(block, self.pred_at) {
+                        Some(j) => {
                             self.state.publish(j);
-                            return true;
+                            true
                         }
+                        None => false,
                     }
-                    false
                 }));
                 self.remaining.fetch_sub(len, Ordering::AcqRel);
                 match result {

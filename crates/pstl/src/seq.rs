@@ -257,14 +257,13 @@ pub fn upper_bound<T>(data: &[T], value: &T, cmp: Cmp<T>) -> usize {
 /// *shorter* length — unequal lengths are a prefix question, never an
 /// out-of-bounds read.
 pub fn seq_mismatch<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
-    let n = a.len().min(b.len());
-    (0..n).find(|&i| a[i] != b[i])
+    crate::kernel::compare::mismatch(a, b)
 }
 
 /// Sequential `std::equal` on slices: equal lengths and element-wise
 /// equality. The fallback/oracle of the parallel [`crate::equal`].
 pub fn seq_equal<T: PartialEq>(a: &[T], b: &[T]) -> bool {
-    a.len() == b.len() && seq_mismatch(a, b).is_none()
+    crate::kernel::compare::equal(a, b)
 }
 
 /// In-place quickselect: after the call, `data[k]` holds the element that
