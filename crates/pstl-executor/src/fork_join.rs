@@ -2,94 +2,101 @@
 //!
 //! On each [`run`](crate::Executor::run) the task index space is split
 //! into one contiguous partition per thread (OpenMP `schedule(static)`),
-//! the partitions are executed, and a barrier (a [`CountLatch`]) joins the
-//! team. The calling thread acts as team master and executes partition 0,
-//! matching OpenMP semantics where the encountering thread participates.
+//! the partitions are executed, and the caller joins the team on the
+//! job's completion latch. The calling thread acts as team master and
+//! executes partition 0, matching OpenMP semantics where the
+//! encountering thread participates.
 //!
 //! Scheduling cost profile: one lock + one wakeup broadcast per run, no
 //! per-chunk traffic — the cheapest parallel dispatch of the three
 //! disciplines, which is how the paper explains NVC-OMP winning the
 //! low-intensity `for_each` benchmark.
+//!
+//! The strategy here is nothing but the *partitioning decision*: an
+//! epoch-stamped job slot plus the node-contiguous rank map. Lifecycle,
+//! parking, panic containment and accounting are the
+//! [`runtime`](crate::runtime)'s.
 
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
-use pstl_trace::{EventKind, PoolTracer};
+use pstl_trace::EventKind;
 
-use crate::fault::{self, FaultHook, FaultInjector, FaultPlan};
-use crate::job::BodyPtr;
-use crate::latch::CountLatch;
-use crate::metrics::MetricsSink;
-use crate::sync::{ShutdownFlag, WorkSignal};
+use crate::fault::FaultPlan;
+use crate::job::Job;
+use crate::runtime::{Runtime, RuntimeCore, WorkerCtx, WorkerStrategy};
 use crate::topology::Topology;
 use crate::{Discipline, Executor};
 
+/// One dispatched region: the job (body + per-index latch + panic
+/// slot) stamped with a strictly increasing epoch so a worker never
+/// re-executes a region it has already finished.
 #[derive(Clone)]
-struct FjJob {
-    body: BodyPtr,
+struct FjRegion {
+    job: Arc<Job>,
     tasks: usize,
-    /// Counts one unit per *worker* (not per task); the master waits for
-    /// `threads - 1` arrivals.
-    latch: Arc<CountLatch>,
-    /// First panic from any team member, re-thrown by the master after
-    /// the barrier (rayon-style propagation; without this a panicking
-    /// worker would leave the latch hanging).
-    panic: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
-    /// Strictly increasing run identifier so a worker never re-executes a
-    /// job it has already finished.
     epoch: usize,
-    /// Fault-injection handle, consulted per index (no-op unless the
-    /// `fault` feature is on and a plan is installed).
-    faults: FaultHook,
 }
 
-/// Run `range` of the job's partition, capturing a panic into the job's
-/// slot (first one wins).
-fn run_partition(job: &FjJob, range: std::ops::Range<usize>) {
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        for i in range {
-            job.faults.on_task();
-            // SAFETY: the master blocks on `latch` until every worker
-            // counts down, so the body borrow is live.
-            unsafe { job.body.call(i) };
-        }
-    }));
-    if let Err(payload) = result {
-        let mut slot = job.panic.lock();
-        if slot.is_none() {
-            *slot = Some(payload);
-        }
-    }
-}
-
-struct FjShared {
+/// The fork-join scheduling decision: a single epoch-stamped job slot
+/// every team member derives its static partition from.
+struct FjStrategy {
     threads: usize,
-    /// Worker → node map the partition ranks are derived from.
-    topology: Topology,
     /// Node-sorted rank of each worker ([`Topology::partition_rank`]):
     /// worker `w` executes partition `rank[w]`, which makes the chunks
     /// owned by one node's workers contiguous in the index space.
     rank: Vec<usize>,
-    job: Mutex<Option<FjJob>>,
-    signal: WorkSignal,
-    shutdown: ShutdownFlag,
-    metrics: MetricsSink,
-    /// Workers currently parked between runs (the idle hint).
-    idle: std::sync::atomic::AtomicUsize,
-    /// One track per team member; the master (caller) is track 0.
-    tracer: PoolTracer,
-    /// Installed fault-injection plan (zero-sized when the feature is
-    /// off).
-    faults: FaultInjector,
+    region: Mutex<Option<FjRegion>>,
+}
+
+impl FjStrategy {
+    fn new(topology: &Topology) -> Self {
+        FjStrategy {
+            threads: topology.threads(),
+            rank: topology.partition_rank(),
+            region: Mutex::new(None),
+        }
+    }
+
+    /// Execute `worker`'s static partition of `region` inside the
+    /// runtime envelope (one task fragment per partition).
+    fn execute_partition(&self, ctx: &WorkerCtx<'_>, region: &FjRegion) {
+        let range = static_partition(region.tasks, self.threads, self.rank[ctx.worker]);
+        let len = range.len() as u64;
+        // SAFETY: the master blocks on the job latch until every index
+        // has executed, so the body borrow is live; rank is a
+        // permutation, so each partition reaches exactly one member.
+        ctx.task_scope(len, || unsafe { region.job.execute_range(range) });
+    }
+}
+
+impl WorkerStrategy for FjStrategy {
+    /// The last epoch this participant executed.
+    type Local = usize;
+
+    fn make_local(&self, _worker: usize) -> usize {
+        0
+    }
+
+    fn try_work(&self, ctx: &WorkerCtx<'_>, last_epoch: &mut usize) -> bool {
+        let region = self.region.lock().clone();
+        match region {
+            Some(region) if region.epoch != *last_epoch => {
+                *last_epoch = region.epoch;
+                self.execute_partition(ctx, &region);
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Fork-join pool with static contiguous partitioning.
 pub struct ForkJoinPool {
-    shared: Arc<FjShared>,
-    /// Serializes `run` calls from different user threads (one "team").
-    run_lock: Mutex<usize>,
-    handles: Vec<JoinHandle<()>>,
+    rt: Runtime<FjStrategy>,
+    /// Epoch counter for dispatched regions; locking it serializes
+    /// `run` callers (one "team", like OpenMP parallel regions).
+    next_epoch: Mutex<usize>,
 }
 
 /// The contiguous partition of `tasks` indices assigned to `worker` out of
@@ -117,256 +124,61 @@ impl ForkJoinPool {
     }
 
     /// As [`with_topology`](Self::with_topology), with a fault plan
-    /// active from construction onwards (spawn faults fire here).
-    ///
-    /// Worker threads that fail to spawn — really or by injection — do
-    /// not abort construction: the partial team is torn down and the
-    /// pool is rebuilt with the surviving prefix of the topology, so
-    /// the caller always gets a working (possibly smaller) pool. Each
-    /// failure is logged and counted in the `spawn_failures` metric.
+    /// active from construction onwards (spawn faults fire here; see
+    /// [`Runtime::build`] for the fewer-workers fallback).
     pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
-        let mut topology = topology;
-        let mut failures = 0u64;
-        loop {
-            match Self::try_build(topology.clone(), &plan) {
-                Ok(pool) => {
-                    pool.shared.metrics.record_spawn_failures(failures);
-                    pool.shared.faults.install(plan);
-                    return pool;
-                }
-                Err((reached, err)) => {
-                    failures += 1;
-                    eprintln!(
-                        "pstl-executor: failed to spawn fork-join worker {reached} ({err}); \
-                         falling back to {reached} threads"
-                    );
-                    topology = topology.truncated(reached);
-                }
-            }
-        }
-    }
-
-    /// Spawn the team; on the first spawn failure tear the partial team
-    /// down and report how many threads (caller included) are viable.
-    fn try_build(topology: Topology, plan: &FaultPlan) -> Result<Self, (usize, String)> {
-        let threads = topology.threads();
-        let rank = topology.partition_rank();
-        let shared = Arc::new(FjShared {
-            threads,
-            topology,
-            rank,
-            job: Mutex::new(None),
-            signal: WorkSignal::new(),
-            shutdown: ShutdownFlag::new(),
-            metrics: MetricsSink::new(),
-            idle: std::sync::atomic::AtomicUsize::new(0),
-            tracer: PoolTracer::new(threads, false),
-            faults: FaultInjector::new(),
-        });
-        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
-        for w in 1..threads {
-            let spawned = if fault::spawn_should_fail(plan, w) {
-                Err(std::io::Error::other(fault::INJECTED_PANIC))
-            } else {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pstl-fj-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
-            };
-            match spawned {
-                Ok(handle) => handles.push(handle),
-                Err(err) => {
-                    shared.shutdown.trigger();
-                    shared.signal.notify_all();
-                    for handle in handles {
-                        let _ = handle.join();
-                    }
-                    return Err((w, err.to_string()));
-                }
-            }
-        }
-        Ok(ForkJoinPool {
-            shared,
-            run_lock: Mutex::new(0),
-            handles,
-        })
-    }
-}
-
-fn worker_loop(shared: &FjShared, worker: usize) {
-    let rec = shared.tracer.recorder(worker);
-    let mut last_epoch = 0usize;
-    loop {
-        let seen = shared.signal.epoch();
-        if shared.shutdown.is_triggered() {
-            return;
-        }
-        let job = shared.job.lock().clone();
-        match job {
-            Some(job) if job.epoch != last_epoch => {
-                last_epoch = job.epoch;
-                let range = static_partition(job.tasks, shared.threads, shared.rank[worker]);
-                let timer = shared.metrics.task_timer(range.len() as u64);
-                rec.record(EventKind::TaskStart {
-                    size: range.len() as u64,
-                });
-                run_partition(&job, range);
-                rec.record(EventKind::TaskFinish);
-                timer.finish();
-                job.latch.count_down(1);
-            }
-            _ => {
-                use std::sync::atomic::Ordering;
-                shared.metrics.record_park();
-                rec.record(EventKind::Park);
-                shared.idle.fetch_add(1, Ordering::Relaxed);
-                shared.signal.sleep_unless_changed(seen);
-                shared.idle.fetch_sub(1, Ordering::Relaxed);
-                rec.record(EventKind::Unpark);
-            }
+        ForkJoinPool {
+            rt: Runtime::build("fj", topology, plan, FjStrategy::new),
+            next_epoch: Mutex::new(0),
         }
     }
 }
 
 impl Executor for ForkJoinPool {
     fn num_threads(&self) -> usize {
-        self.shared.threads
+        self.rt.core().threads()
     }
 
     fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
         if tasks == 0 {
             return;
         }
-        let mut epoch_guard = self.run_lock.lock();
-        if self.shared.threads == 1 {
-            let faults = self.shared.faults.hook();
-            for i in 0..tasks {
-                faults.on_task();
-                body(i);
-            }
+        let mut epoch = self.next_epoch.lock();
+        let core = self.rt.core();
+        if core.threads() == 1 {
+            core.run_inline(tasks, body);
             return;
         }
-        *epoch_guard += 1;
-        self.shared.metrics.record_run();
-        // Track 0 belongs to the master; `run_lock` serializes callers, so
-        // the single-producer ring contract holds.
-        let rec = self.shared.tracer.recorder(0);
-        rec.record(EventKind::RegionBegin {
+        *epoch += 1;
+        core.metrics().record_run();
+        // Track 0 belongs to the master; the epoch lock serializes
+        // callers, so the single-producer ring contract holds.
+        let ctx = self.rt.caller_ctx();
+        ctx.rec.record(EventKind::RegionBegin {
             tasks: tasks as u64,
         });
-        let latch = Arc::new(CountLatch::new(self.shared.threads - 1));
-        let panic = Arc::new(Mutex::new(None));
-        let master_job = FjJob {
-            body: BodyPtr::new(body),
+        let job = Job::with_faults(body, tasks, core.faults().hook());
+        let region = FjRegion {
+            job: Arc::clone(&job),
             tasks,
-            latch: Arc::clone(&latch),
-            panic: Arc::clone(&panic),
-            epoch: *epoch_guard,
-            faults: self.shared.faults.hook(),
+            epoch: *epoch,
         };
-        {
-            let mut slot = self.shared.job.lock();
-            *slot = Some(master_job.clone());
-        }
-        self.shared.signal.notify_all();
-        // Master executes its ranked partition while the team works.
-        let partition = static_partition(tasks, self.shared.threads, self.shared.rank[0]);
-        let timer = self.shared.metrics.task_timer(partition.len() as u64);
-        rec.record(EventKind::TaskStart {
-            size: partition.len() as u64,
-        });
-        run_partition(&master_job, partition);
-        rec.record(EventKind::TaskFinish);
-        timer.finish();
-        latch.wait();
-        rec.record(EventKind::RegionEnd);
-        let payload = panic.lock().take();
-        if let Some(payload) = payload {
-            // Re-throwing during an unwind already in flight on this
-            // thread would abort the process (double panic); dropping
-            // the payload is the only safe choice then.
-            if !std::thread::panicking() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    }
-
-    fn idle_workers(&self) -> usize {
-        self.shared.idle.load(std::sync::atomic::Ordering::Relaxed)
-    }
-
-    fn record_split(&self, _size: u64) {
-        self.shared.metrics.record_split();
-    }
-
-    fn record_cancel(&self, checks: u64, cancelled: u64) {
-        self.shared.metrics.record_cancel(checks, cancelled);
-        if cancelled > 0 {
-            // Track 0 is the master's; holding `run_lock` serializes us
-            // with `run` callers, preserving the single-producer ring.
-            let _guard = self.run_lock.lock();
-            self.shared
-                .tracer
-                .recorder(0)
-                .record(EventKind::Cancel { tasks: cancelled });
-        }
-    }
-
-    fn record_search(&self, early_exits: u64, wasted: u64) {
-        self.shared.metrics.record_search(early_exits, wasted);
-        if early_exits > 0 {
-            // Track 0 is the master's; holding `run_lock` serializes us
-            // with `run` callers, preserving the single-producer ring.
-            let _guard = self.run_lock.lock();
-            self.shared
-                .tracer
-                .recorder(0)
-                .record(EventKind::EarlyExit { wasted });
-        }
-    }
-
-    fn install_fault_plan(&self, plan: FaultPlan) {
-        self.shared.faults.install(plan);
+        *self.rt.strategy().region.lock() = Some(region.clone());
+        core.notify();
+        // Master executes its ranked partition while the team works,
+        // then joins on the per-index latch.
+        self.rt.strategy().execute_partition(&ctx, &region);
+        job.latch().wait();
+        ctx.rec.record(EventKind::RegionEnd);
+        job.resume_if_panicked();
     }
 
     fn discipline(&self) -> Discipline {
         Discipline::ForkJoin
     }
 
-    fn topology(&self) -> Topology {
-        self.shared.topology.clone()
-    }
-
-    fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
-        Some(self.shared.metrics.snapshot())
-    }
-
-    fn hist_snapshot(&self) -> Option<crate::metrics::HistSet> {
-        Some(self.shared.metrics.hist_snapshot())
-    }
-
-    fn record_claim(&self, size: u64) {
-        self.shared
-            .metrics
-            .observe(crate::metrics::HistKind::ClaimSize, size);
-    }
-
-    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
-        Some(
-            self.shared
-                .tracer
-                .take(Discipline::ForkJoin.name(), self.shared.threads),
-        )
-    }
-}
-
-impl Drop for ForkJoinPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.trigger();
-        self.shared.signal.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+    fn runtime_core(&self) -> Option<&RuntimeCore> {
+        Some(self.rt.core())
     }
 }
 

@@ -21,6 +21,7 @@ use pstl_trace::EventKind;
 
 use crate::fault::FaultPlan;
 use crate::job::BodyPtr;
+use crate::runtime::{contain, RuntimeCore};
 use crate::task_pool::TaskPool;
 use crate::topology::Topology;
 use crate::{Discipline, Executor};
@@ -164,9 +165,6 @@ impl<T> Future<T> {
 /// [`metrics`](Executor::metrics) return `Some` for this backend.
 pub struct FuturesPool {
     inner: TaskPool,
-    /// Serializes `run` callers (one region at a time, like the other
-    /// pools) and guards the caller trace track.
-    run_lock: Mutex<()>,
 }
 
 /// Blocks per `run`: enough per thread that early-finishing workers can
@@ -193,7 +191,6 @@ impl FuturesPool {
     pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
         FuturesPool {
             inner: TaskPool::with_topology_faulted(topology, plan),
-            run_lock: Mutex::new(()),
         }
     }
 }
@@ -207,18 +204,18 @@ impl Executor for FuturesPool {
         if tasks == 0 {
             return;
         }
-        let _guard = self.run_lock.lock();
-        let threads = self.inner.num_threads();
+        // The inner pool's caller lock serializes this run path with
+        // every other user of track 0 (including direct `run` calls on
+        // the inner pool, which cannot exist — the pool is private).
+        let (_guard, ctx) = self.inner.lock_run();
+        let core = self.inner.core();
+        let threads = core.threads();
         if threads == 1 {
-            let faults = self.inner.fault_injector().hook();
-            for i in 0..tasks {
-                faults.on_task();
-                body(i);
-            }
+            core.run_inline(tasks, body);
             return;
         }
-        self.inner.metrics_handle().record_run();
-        let rec = self.inner.caller_trace_recorder();
+        core.metrics().record_run();
+        let rec = &ctx.rec;
         rec.record(EventKind::RegionBegin {
             tasks: tasks as u64,
         });
@@ -231,11 +228,12 @@ impl Executor for FuturesPool {
                 rec.record(EventKind::TaskSpawn {
                     size: (hi - lo) as u64,
                 });
-                let faults = self.inner.fault_injector().hook();
-                // The panic is caught inside the block future (a worker
-                // must never unwind) and re-thrown on this thread below.
+                let faults = core.faults().hook();
+                // The panic is contained inside the block future (a
+                // worker must never unwind) and re-thrown on this thread
+                // below.
                 self.inner.spawn_sized((hi - lo) as u64, move || {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    contain(|| {
                         for i in lo..hi {
                             faults.on_task();
                             // SAFETY: this `run` call blocks until every
@@ -243,14 +241,14 @@ impl Executor for FuturesPool {
                             // borrow live.
                             unsafe { ptr.call(i) };
                         }
-                    }))
+                    })
                 })
             })
             .collect();
 
         // Await all blocks, helping execute queued ones meanwhile.
         while !futures.iter().all(Future::is_ready) {
-            if !self.inner.try_run_one(Some(&rec)) {
+            if !self.inner.try_run_one(Some(rec)) {
                 std::thread::yield_now();
             }
         }
@@ -279,68 +277,12 @@ impl Executor for FuturesPool {
         }
     }
 
-    fn idle_workers(&self) -> usize {
-        self.inner.idle_workers()
-    }
-
-    fn record_split(&self, _size: u64) {
-        self.inner.metrics_handle().record_split();
-    }
-
-    fn record_cancel(&self, checks: u64, cancelled: u64) {
-        self.inner.metrics_handle().record_cancel(checks, cancelled);
-        if cancelled > 0 {
-            // `run_lock` serializes us with `run` callers, preserving
-            // the caller track's single-producer contract.
-            let _guard = self.run_lock.lock();
-            self.inner
-                .caller_trace_recorder()
-                .record(EventKind::Cancel { tasks: cancelled });
-        }
-    }
-
-    fn record_search(&self, early_exits: u64, wasted: u64) {
-        self.inner
-            .metrics_handle()
-            .record_search(early_exits, wasted);
-        if early_exits > 0 {
-            // `run_lock` serializes us with `run` callers, preserving
-            // the caller track's single-producer contract.
-            let _guard = self.run_lock.lock();
-            self.inner
-                .caller_trace_recorder()
-                .record(EventKind::EarlyExit { wasted });
-        }
-    }
-
-    fn install_fault_plan(&self, plan: FaultPlan) {
-        self.inner.fault_injector().install(plan);
-    }
-
     fn discipline(&self) -> Discipline {
         Discipline::Futures
     }
 
-    fn topology(&self) -> Topology {
-        self.inner.topology()
-    }
-
-    fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
-        Some(self.inner.metrics_handle().snapshot())
-    }
-
-    fn hist_snapshot(&self) -> Option<crate::metrics::HistSet> {
-        Some(self.inner.metrics_handle().hist_snapshot())
-    }
-
-    fn record_claim(&self, size: u64) {
-        self.inner
-            .metrics_handle()
-            .observe(crate::metrics::HistKind::ClaimSize, size);
-    }
-
-    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
-        Some(self.inner.take_trace_as(Discipline::Futures.name()))
+    fn runtime_core(&self) -> Option<&RuntimeCore> {
+        Some(self.inner.core())
     }
 }
 

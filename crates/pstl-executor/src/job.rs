@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::fault::FaultHook;
 use crate::latch::CountLatch;
+use crate::runtime::PanicSlot;
 
 /// A lifetime-erased `&(dyn Fn(usize) + Sync)`.
 ///
@@ -54,7 +55,7 @@ impl BodyPtr {
 pub struct Job {
     body: BodyPtr,
     latch: Arc<CountLatch>,
-    panic: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    panic: PanicSlot,
     faults: FaultHook,
 }
 
@@ -78,7 +79,7 @@ impl Job {
         Arc::new(Job {
             body: BodyPtr::new(body),
             latch: Arc::new(CountLatch::new(tasks)),
-            panic: parking_lot::Mutex::new(None),
+            panic: PanicSlot::new(),
             faults,
         })
     }
@@ -95,17 +96,32 @@ impl Job {
     /// See [`BodyPtr::call`]; additionally each index must be executed at
     /// most once across all threads.
     pub unsafe fn execute_index(&self, i: usize) {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        self.panic.run_contained(|| {
             self.faults.on_task();
             self.body.call(i)
-        }));
-        if let Err(payload) = result {
-            let mut slot = self.panic.lock();
-            if slot.is_none() {
-                *slot = Some(payload);
-            }
-        }
+        });
         self.latch.count_down(1);
+    }
+
+    /// Run a whole contiguous `range` of task indices under *one*
+    /// panic envelope and count them all down at once — the
+    /// fork-join-shaped execute path, one atomic per partition instead
+    /// of one per index. A panic abandons the rest of the range but
+    /// still counts every index (the partition is this fragment's unit
+    /// of completion), so the run's join cannot deadlock.
+    ///
+    /// # Safety
+    /// See [`BodyPtr::call`]; additionally each index must be executed
+    /// at most once across all threads.
+    pub unsafe fn execute_range(&self, range: std::ops::Range<usize>) {
+        let len = range.len();
+        self.panic.run_contained(|| {
+            for i in range {
+                self.faults.on_task();
+                self.body.call(i);
+            }
+        });
+        self.latch.count_down(len);
     }
 
     /// Re-throw a stored worker panic on the calling thread. Call after
@@ -115,12 +131,7 @@ impl Job {
     /// payload is dropped instead of re-thrown: a second `resume_unwind`
     /// during an unwind would abort the process (double panic).
     pub fn resume_if_panicked(&self) {
-        if let Some(payload) = self.panic.lock().take() {
-            if std::thread::panicking() {
-                return;
-            }
-            std::panic::resume_unwind(payload);
-        }
+        self.panic.resume_if_panicked();
     }
 }
 

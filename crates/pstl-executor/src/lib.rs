@@ -29,7 +29,9 @@ pub mod injector;
 pub mod job;
 pub mod latch;
 pub mod metrics;
+pub mod runtime;
 pub mod seq;
+pub mod service_pool;
 pub mod sync;
 pub mod task_pool;
 pub mod topology;
@@ -43,7 +45,9 @@ pub use fork_join::ForkJoinPool;
 pub use futures::{future_promise, BrokenPromise, Future, FuturesPool, Promise};
 pub use latch::CountLatch;
 pub use metrics::{HistKind, HistSet, MetricsSink, MetricsSnapshot, PoolMetrics};
+pub use runtime::{Runtime, RuntimeCore, WorkerCtx, WorkerStrategy};
 pub use seq::SequentialExecutor;
+pub use service_pool::ServicePool;
 pub use task_pool::{Scope, TaskPool};
 pub use topology::Topology;
 pub use work_stealing::WorkStealingPool;
@@ -63,6 +67,21 @@ pub use work_stealing::WorkStealingPool;
 pub trait Executor: Send + Sync {
     /// Number of threads that participate in a `run`, including the caller.
     fn num_threads(&self) -> usize;
+
+    /// The shared [`runtime::RuntimeCore`] this executor is built on, if
+    /// any. Every pool in this crate returns `Some`; only executors with
+    /// nothing to schedule (the sequential one) return `None`.
+    ///
+    /// This is the crate's answer to the hook-surface footgun: the
+    /// recording hooks below (`record_split`, `record_claim`,
+    /// `record_cancel`, `record_search`, `idle_workers`, snapshots,
+    /// traces) are *defaulted through this method*, so a backend that
+    /// plugs a [`WorkerStrategy`](runtime::WorkerStrategy) into the
+    /// runtime gets all of them for free and cannot silently drop data
+    /// by forgetting to forward one.
+    fn runtime_core(&self) -> Option<&runtime::RuntimeCore> {
+        None
+    }
 
     /// Execute `body(i)` for all `i in 0..tasks`; blocks until done.
     fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync));
@@ -85,87 +104,104 @@ pub trait Executor: Send + Sync {
     /// Best-effort count of pool workers currently parked with nothing to
     /// do — the pool-side steal-pressure hint adaptive partitioners may
     /// consult in addition to their own participant-level demand signal.
-    /// Racy by nature; `0` (the default) means "no pressure visible".
+    /// Racy by nature; `0` (an executor without a runtime) means "no
+    /// pressure visible".
     fn idle_workers(&self) -> usize {
-        0
+        self.runtime_core()
+            .map_or(0, runtime::RuntimeCore::idle_workers)
     }
 
     /// Record that a caller-level range of `size` elements was split off
-    /// and made available to other participants. Pools with metrics fold
-    /// this into their `splits` counter (and the work-stealing pool also
-    /// emits a [`pstl_trace::EventKind::RangeSplit`] trace event); the
-    /// default is a no-op.
+    /// and made available to other participants. Folded into the runtime
+    /// core's `splits` counter plus a
+    /// [`pstl_trace::EventKind::RangeSplit`] event on the shared control
+    /// track; a no-op only for executors without a runtime.
     fn record_split(&self, size: u64) {
-        let _ = size;
+        if let Some(core) = self.runtime_core() {
+            core.record_split(size);
+        }
     }
 
     /// Short human-readable name of the scheduling discipline.
     fn discipline(&self) -> Discipline;
 
-    /// The worker → NUMA-node map this executor schedules against. The
-    /// default is the single-node topology; pools built through
-    /// [`build_pool_on`] report the topology they were given.
+    /// The worker → NUMA-node map this executor schedules against.
+    /// Pools report the topology their runtime was built on; executors
+    /// without a runtime default to the single-node topology.
     fn topology(&self) -> Topology {
-        Topology::flat(self.num_threads())
+        self.runtime_core().map_or_else(
+            || Topology::flat(self.num_threads()),
+            |c| c.topology().clone(),
+        )
     }
 
-    /// Scheduling counters accumulated since pool creation, if the
-    /// implementation tracks them (the real pools do; the sequential
-    /// executor has nothing to schedule).
+    /// Scheduling counters accumulated since pool creation. `Some` for
+    /// every runtime-backed pool; `None` only for executors with
+    /// nothing to schedule (the sequential one).
     fn metrics(&self) -> Option<metrics::MetricsSnapshot> {
-        None
+        self.runtime_core().map(runtime::RuntimeCore::snapshot)
     }
 
     /// Streaming distribution metrics (task durations, steal latencies,
     /// claim sizes — see [`metrics::HistKind`]) accumulated since pool
-    /// creation. The real pools return `Some`; the histograms only carry
-    /// samples when this crate is built with the `trace` feature
-    /// (otherwise the set is structurally valid but empty). `None` means
-    /// the executor records no metrics at all (the sequential executor).
+    /// creation. `Some` for every runtime-backed pool; the histograms
+    /// only carry samples when this crate is built with the `trace`
+    /// feature (otherwise the set is structurally valid but empty).
+    /// `None` means the executor records no metrics at all (the
+    /// sequential executor).
     fn hist_snapshot(&self) -> Option<metrics::HistSet> {
-        None
+        self.runtime_core().map(runtime::RuntimeCore::hist_snapshot)
     }
 
     /// Record that a self-scheduling participant claimed a chunk of
     /// `size` indices from a shared source (the guided partitioner's
-    /// cursor, the adaptive partitioner's split queue). Pools with
-    /// metrics feed their [`metrics::HistKind::ClaimSize`] histogram;
-    /// the default is a no-op.
+    /// cursor, the adaptive partitioner's split queue). Feeds the
+    /// runtime core's [`metrics::HistKind::ClaimSize`] histogram; a
+    /// no-op only for executors without a runtime.
     fn record_claim(&self, size: u64) {
-        let _ = size;
+        if let Some(core) = self.runtime_core() {
+            core.record_claim(size);
+        }
     }
 
     /// Drain and return the per-worker event trace recorded since the
-    /// previous drain. The pools always return `Some`; the log only
-    /// carries events when this crate is built with the `trace` feature
-    /// (otherwise it is structurally valid but empty). `None` means the
-    /// executor does not trace at all (the sequential executor).
+    /// previous drain, labelled with this executor's discipline. `Some`
+    /// for every runtime-backed pool; the log only carries events when
+    /// this crate is built with the `trace` feature (otherwise it is
+    /// structurally valid but empty). `None` means the executor does not
+    /// trace at all (the sequential executor).
     fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
-        None
+        self.runtime_core()
+            .map(|c| c.take_trace(self.discipline().name()))
     }
 
     /// Record the outcome of a cancellable region: `checks`
     /// cancellation polls, of which `cancelled` found the token tripped
-    /// and skipped their work. Pools fold this into their
-    /// `cancel_checks`/`cancelled_tasks` counters and emit a
-    /// [`pstl_trace::EventKind::Cancel`] event when `cancelled > 0`;
-    /// the default is a no-op. Called between runs (never while this
-    /// executor is inside `run`), like [`take_trace`](Self::take_trace).
+    /// and skipped their work. Folded into the runtime core's
+    /// `cancel_checks`/`cancelled_tasks` counters plus a
+    /// [`pstl_trace::EventKind::Cancel`] event when `cancelled > 0`; a
+    /// no-op only for executors without a runtime. Called between runs
+    /// (never while this executor is inside `run`), like
+    /// [`take_trace`](Self::take_trace).
     fn record_cancel(&self, checks: u64, cancelled: u64) {
-        let _ = (checks, cancelled);
+        if let Some(core) = self.runtime_core() {
+            core.record_cancel(checks, cancelled);
+        }
     }
 
     /// Record the outcome of an early-exit search region: `early_exits`
     /// is 1 when the region returned before draining its range because a
     /// match was published, and `wasted` counts the dispatched
-    /// chunks/claims that were skipped or aborted past the match. Pools
-    /// fold this into their `early_exits`/`wasted_chunks` counters and
-    /// emit a [`pstl_trace::EventKind::EarlyExit`] event when
-    /// `early_exits > 0`; the default is a no-op. Called between runs
-    /// (never while this executor is inside `run`), like
-    /// [`take_trace`](Self::take_trace).
+    /// chunks/claims that were skipped or aborted past the match. Folded
+    /// into the runtime core's `early_exits`/`wasted_chunks` counters
+    /// plus a [`pstl_trace::EventKind::EarlyExit`] event when
+    /// `early_exits > 0`; a no-op only for executors without a runtime.
+    /// Called between runs (never while this executor is inside `run`),
+    /// like [`take_trace`](Self::take_trace).
     fn record_search(&self, early_exits: u64, wasted: u64) {
-        let _ = (early_exits, wasted);
+        if let Some(core) = self.runtime_core() {
+            core.record_search(early_exits, wasted);
+        }
     }
 
     /// Execute `body(i)` for `i in 0..tasks` unless `token` trips
@@ -220,11 +256,14 @@ pub trait Executor: Send + Sync {
     }
 
     /// Install a fault-injection plan for subsequent runs (see
-    /// [`fault`]). No-op by default and in builds without the `fault`
-    /// feature; spawn faults cannot be installed here — they happen at
+    /// [`fault`]). Routed to the runtime core's injector; a no-op for
+    /// executors without a runtime and in builds without the `fault`
+    /// feature. Spawn faults cannot be installed here — they happen at
     /// construction time.
     fn install_fault_plan(&self, plan: FaultPlan) {
-        let _ = plan;
+        if let Some(core) = self.runtime_core() {
+            core.install_fault_plan(plan);
+        }
     }
 }
 
@@ -243,6 +282,9 @@ pub enum Discipline {
     /// Contiguous blocks submitted as futures that the caller awaits
     /// (HPX's `async`/`when_all` idiom over the same central queue).
     Futures,
+    /// Core-pinned workers draining contiguous blocks from a shared
+    /// FIFO (the multi-tenant service substrate).
+    ServicePool,
 }
 
 impl Discipline {
@@ -254,6 +296,7 @@ impl Discipline {
             Discipline::WorkStealing => "work_stealing",
             Discipline::TaskPool => "task_pool",
             Discipline::Futures => "futures",
+            Discipline::ServicePool => "service_pool",
         }
     }
 }
@@ -293,6 +336,7 @@ pub fn build_pool_faulted(
         }
         Discipline::TaskPool => Arc::new(TaskPool::with_topology_faulted(topology, plan)),
         Discipline::Futures => Arc::new(FuturesPool::with_topology_faulted(topology, plan)),
+        Discipline::ServicePool => Arc::new(ServicePool::with_topology_faulted(topology, plan)),
     }
 }
 
@@ -327,6 +371,7 @@ mod tests {
             Discipline::WorkStealing,
             Discipline::TaskPool,
             Discipline::Futures,
+            Discipline::ServicePool,
         ] {
             for threads in [1usize, 2, 4] {
                 let pool = build_pool(d, threads);
@@ -342,6 +387,7 @@ mod tests {
         assert_eq!(Discipline::WorkStealing.name(), "work_stealing");
         assert_eq!(Discipline::TaskPool.name(), "task_pool");
         assert_eq!(Discipline::Futures.name(), "futures");
+        assert_eq!(Discipline::ServicePool.name(), "service_pool");
     }
 
     #[test]
@@ -350,6 +396,7 @@ mod tests {
         assert_eq!(build_pool(Discipline::WorkStealing, 2).num_threads(), 2);
         assert_eq!(build_pool(Discipline::TaskPool, 2).num_threads(), 2);
         assert_eq!(build_pool(Discipline::Futures, 2).num_threads(), 2);
+        assert_eq!(build_pool(Discipline::ServicePool, 2).num_threads(), 2);
         assert_eq!(build_pool(Discipline::Sequential, 8).num_threads(), 1);
     }
 
@@ -401,6 +448,11 @@ mod panic_tests {
     #[test]
     fn futures_propagates_panics_and_survives() {
         panics_propagate(&*build_pool(Discipline::Futures, 3));
+    }
+
+    #[test]
+    fn service_pool_propagates_panics_and_survives() {
+        panics_propagate(&*build_pool(Discipline::ServicePool, 3));
     }
 
     #[test]

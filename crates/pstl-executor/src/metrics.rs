@@ -36,7 +36,11 @@ pub struct PoolMetrics {
 }
 
 /// A point-in-time copy of a pool's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Serialized wholesale into the harness's per-benchmark `SchedDelta`
+/// JSON — a counter added here (and recorded in `runtime.rs`) appears
+/// in every pool's scheduling output with no further wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct MetricsSnapshot {
     /// Parallel regions executed (`run` calls that dispatched).
     pub runs: u64,

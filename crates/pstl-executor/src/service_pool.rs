@@ -1,0 +1,231 @@
+//! Core-pinned service pool — the fifth backend, and the proof that a
+//! backend is now a *strategy*, not a fifth copy of the machinery.
+//!
+//! Workers are pinned to distinct CPUs at startup (`sched_setaffinity`
+//! on Linux, best-effort, no-op elsewhere), the substrate the
+//! multi-tenant-executor roadmap item needs: a tenant can be handed a
+//! pool whose threads never migrate off their cores. Scheduling is the
+//! simplest possible discipline over the shared
+//! [`runtime`](crate::runtime): each run enqueues one contiguous block
+//! per thread on a shared FIFO and every participant (caller included)
+//! drains whole blocks. No stealing, no per-index tasks — dispatch cost
+//! sits between fork-join and the central-queue pool.
+//!
+//! Everything else — lifecycle, parking, panic containment, metrics,
+//! traces, faults, cancellation — comes from the runtime for free; this
+//! file is scheduling decisions only.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use pstl_trace::EventKind;
+
+use crate::fault::FaultPlan;
+use crate::injector::Injector;
+use crate::job::Job;
+use crate::runtime::{Runtime, RuntimeCore, WorkerCtx, WorkerStrategy};
+use crate::topology::Topology;
+use crate::{Discipline, Executor};
+
+type Block = (Arc<Job>, Range<usize>);
+
+/// The service discipline: a shared FIFO of contiguous blocks, drained
+/// whole by core-pinned workers.
+struct ServiceStrategy {
+    queue: Injector<Block>,
+}
+
+impl WorkerStrategy for ServiceStrategy {
+    type Local = ();
+
+    fn make_local(&self, _worker: usize) {}
+
+    fn try_work(&self, ctx: &WorkerCtx<'_>, _local: &mut ()) -> bool {
+        match self.queue.pop() {
+            Some((job, range)) => {
+                // SAFETY: the run's caller blocks on the job latch until
+                // every index has executed, keeping the body borrow
+                // live; blocks partition the index space exactly.
+                ctx.task_scope(range.len() as u64, || unsafe { job.execute_range(range) });
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn on_worker_start(&self, ctx: &WorkerCtx<'_>) {
+        affinity::pin_current_thread(ctx.worker);
+    }
+}
+
+/// Pool of core-pinned service workers draining contiguous blocks.
+pub struct ServicePool {
+    rt: Runtime<ServiceStrategy>,
+}
+
+impl ServicePool {
+    /// A pool where `threads` threads (including the caller) execute
+    /// each run; spawned workers are pinned to distinct CPUs.
+    pub fn new(threads: usize) -> Self {
+        ServicePool::with_topology(Topology::flat(threads))
+    }
+
+    /// A pool carrying an explicit worker → node [`Topology`]
+    /// (reported; pinning uses the worker index, not the node map).
+    pub fn with_topology(topology: Topology) -> Self {
+        Self::with_topology_faulted(topology, FaultPlan::none())
+    }
+
+    /// As [`with_topology`](Self::with_topology), with a fault plan
+    /// active from construction onwards (spawn faults fire here; see
+    /// [`Runtime::build`] for the fewer-workers fallback).
+    pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
+        ServicePool {
+            rt: Runtime::build("svc", topology, plan, |_| ServiceStrategy {
+                queue: Injector::new(),
+            }),
+        }
+    }
+}
+
+impl Executor for ServicePool {
+    fn num_threads(&self) -> usize {
+        self.rt.core().threads()
+    }
+
+    fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        let mut guard = self.rt.lock_caller();
+        let core = self.rt.core();
+        if core.threads() == 1 {
+            core.run_inline(tasks, body);
+            return;
+        }
+        core.metrics().record_run();
+        // Track 0 belongs to the run caller; the caller lock serializes.
+        let ctx = self.rt.caller_ctx();
+        ctx.rec.record(EventKind::RegionBegin {
+            tasks: tasks as u64,
+        });
+        let job = Job::with_faults(body, tasks, core.faults().hook());
+        let blocks = core.threads().min(tasks);
+        self.rt.strategy().queue.push_batch((0..blocks).map(|b| {
+            let lo = tasks * b / blocks;
+            let hi = tasks * (b + 1) / blocks;
+            (Arc::clone(&job), lo..hi)
+        }));
+        core.notify();
+
+        job.latch()
+            .wait_while_helping(|| self.rt.strategy().try_work(&ctx, &mut *guard));
+        ctx.rec.record(EventKind::RegionEnd);
+        job.resume_if_panicked();
+    }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::ServicePool
+    }
+
+    fn runtime_core(&self) -> Option<&RuntimeCore> {
+        Some(self.rt.core())
+    }
+}
+
+/// Best-effort CPU pinning, raw syscall on Linux so no new dependency
+/// is pulled in; a silent no-op everywhere else.
+mod affinity {
+    /// Pin the calling thread to CPU `cpu % ncpus`. Failure (e.g. a
+    /// restrictive cgroup mask) is ignored: the pool works unpinned.
+    #[cfg(target_os = "linux")]
+    pub fn pin_current_thread(cpu: usize) {
+        // Glibc's cpu_set_t: 1024 bits laid out as machine words.
+        const SETSIZE_BITS: usize = 1024;
+        const WORD_BITS: usize = usize::BITS as usize;
+        extern "C" {
+            fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const usize) -> i32;
+        }
+        let ncpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cpu = cpu % ncpus.min(SETSIZE_BITS);
+        let mut mask = [0usize; SETSIZE_BITS / WORD_BITS];
+        mask[cpu / WORD_BITS] |= 1usize << (cpu % WORD_BITS);
+        // SAFETY: pid 0 means the calling thread; the mask buffer is a
+        // valid, initialized cpu_set_t-sized allocation for the whole
+        // call.
+        unsafe {
+            sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub fn pin_current_thread(_cpu: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_every_index_exactly_once() {
+        let pool = ServicePool::new(4);
+        let n = 10_000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, &|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_one_per_thread() {
+        let pool = ServicePool::new(3);
+        pool.run(3000, &|_| {});
+        let m = pool.metrics().unwrap();
+        assert_eq!(m.runs, 1);
+        assert_eq!(m.tasks_executed, 3, "one block per thread");
+    }
+
+    #[test]
+    fn small_runs_cap_blocks_at_tasks() {
+        let pool = ServicePool::new(4);
+        pool.run(2, &|_| {});
+        assert_eq!(pool.metrics().unwrap().tasks_executed, 2);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ServicePool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.run(100, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn concurrent_callers_are_serialized_safely() {
+        let pool = Arc::new(ServicePool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let callers: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        pool.run(256, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for c in callers {
+            c.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 3 * 10 * 256);
+    }
+}

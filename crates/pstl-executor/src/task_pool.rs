@@ -10,20 +10,20 @@
 //!
 //! The pool additionally exposes [`TaskPool::spawn`], returning a blocking
 //! [`Future`], mirroring HPX's future-based async API surface.
+//!
+//! The strategy here is only the central queue; lifecycle, parking,
+//! panic containment and accounting are the [`runtime`](crate::runtime)'s.
 
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
-use pstl_trace::{EventKind, PoolTracer, WorkerRecorder};
+use pstl_trace::{EventKind, WorkerRecorder};
 
-use crate::fault::{self, FaultInjector, FaultPlan};
+use crate::fault::FaultPlan;
 use crate::futures::{future_promise, Future};
 use crate::injector::Injector;
 use crate::job::Job;
 use crate::latch::WaitGroup;
-use crate::metrics::MetricsSink;
-use crate::sync::{ShutdownFlag, WorkSignal};
+use crate::runtime::{contain, PanicSlot, Runtime, RuntimeCore, WorkerCtx, WorkerStrategy};
 use crate::topology::Topology;
 use crate::{Discipline, Executor};
 
@@ -37,31 +37,50 @@ struct QueuedTask {
     run: BoxTask,
 }
 
-struct TpShared {
-    threads: usize,
-    /// Worker → node map, reported through [`Executor::topology`]. The
-    /// central queue itself is locality-blind (that *is* the HPX-style
-    /// cost this pool models), so the topology only affects accounting.
-    topology: Topology,
+/// The central-queue discipline: every participant drains one shared
+/// FIFO. Locality-blind by design — that *is* the HPX-style cost this
+/// pool models.
+struct QueueStrategy {
     queue: Injector<QueuedTask>,
-    signal: WorkSignal,
-    shutdown: ShutdownFlag,
-    metrics: MetricsSink,
-    /// Workers currently parked on an empty queue (the idle hint).
-    idle: std::sync::atomic::AtomicUsize,
-    /// One track per thread; the `run`-calling thread is track 0
-    /// (serialized by `run_lock`).
-    tracer: PoolTracer,
-    /// Installed fault-injection plan (zero-sized when the feature is
-    /// off).
-    faults: FaultInjector,
+}
+
+impl QueueStrategy {
+    /// Pop and execute one queued task inside the metrics envelope,
+    /// tracing it on `rec` when given (`None` for unserialized callers
+    /// like scopes, whose events have no single-producer track to go
+    /// to). Returns whether a task ran.
+    fn run_one(&self, core: &RuntimeCore, rec: Option<&WorkerRecorder>) -> bool {
+        match self.queue.pop() {
+            Some(task) => {
+                let timer = core.metrics().task_timer(task.size);
+                if let Some(rec) = rec {
+                    rec.record(EventKind::TaskStart { size: task.size });
+                    run_queued(task);
+                    rec.record(EventKind::TaskFinish);
+                } else {
+                    run_queued(task);
+                }
+                timer.finish();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl WorkerStrategy for QueueStrategy {
+    type Local = ();
+
+    fn make_local(&self, _worker: usize) {}
+
+    fn try_work(&self, ctx: &WorkerCtx<'_>, _local: &mut ()) -> bool {
+        self.run_one(ctx.core, Some(&ctx.rec))
+    }
 }
 
 /// Central-queue task pool with one boxed task per index.
 pub struct TaskPool {
-    shared: Arc<TpShared>,
-    run_lock: Mutex<()>,
-    handles: Vec<JoinHandle<()>>,
+    rt: Runtime<QueueStrategy>,
 }
 
 impl TaskPool {
@@ -72,79 +91,20 @@ impl TaskPool {
     }
 
     /// A pool carrying an explicit worker → node [`Topology`] (reported,
-    /// not scheduled on — see [`TpShared::topology`]).
+    /// not scheduled on — the central queue is locality-blind).
     pub fn with_topology(topology: Topology) -> Self {
         Self::with_topology_faulted(topology, FaultPlan::none())
     }
 
     /// As [`with_topology`](Self::with_topology), with a fault plan
-    /// active from construction onwards (spawn faults fire here). A
-    /// worker thread that fails to spawn does not abort construction:
-    /// the partial team is torn down and the pool rebuilt on the
-    /// surviving prefix of the topology (logged, and counted in the
-    /// `spawn_failures` metric).
+    /// active from construction onwards (spawn faults fire here; see
+    /// [`Runtime::build`] for the fewer-workers fallback).
     pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
-        let mut topology = topology;
-        let mut failures = 0u64;
-        loop {
-            match Self::try_build(topology.clone(), &plan) {
-                Ok(pool) => {
-                    pool.shared.metrics.record_spawn_failures(failures);
-                    pool.shared.faults.install(plan);
-                    return pool;
-                }
-                Err((reached, err)) => {
-                    failures += 1;
-                    eprintln!(
-                        "pstl-executor: failed to spawn task-pool worker {reached} ({err}); \
-                         falling back to {reached} threads"
-                    );
-                    topology = topology.truncated(reached);
-                }
-            }
+        TaskPool {
+            rt: Runtime::build("tp", topology, plan, |_| QueueStrategy {
+                queue: Injector::new(),
+            }),
         }
-    }
-
-    fn try_build(topology: Topology, plan: &FaultPlan) -> Result<Self, (usize, String)> {
-        let threads = topology.threads();
-        let shared = Arc::new(TpShared {
-            threads,
-            topology,
-            queue: Injector::new(),
-            signal: WorkSignal::new(),
-            shutdown: ShutdownFlag::new(),
-            metrics: MetricsSink::new(),
-            idle: std::sync::atomic::AtomicUsize::new(0),
-            tracer: PoolTracer::new(threads, false),
-            faults: FaultInjector::new(),
-        });
-        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
-        for w in 1..threads {
-            let spawned = if fault::spawn_should_fail(plan, w) {
-                Err(std::io::Error::other(fault::INJECTED_PANIC))
-            } else {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pstl-tp-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
-            };
-            match spawned {
-                Ok(handle) => handles.push(handle),
-                Err(err) => {
-                    shared.shutdown.trigger();
-                    shared.signal.notify_all();
-                    for handle in handles {
-                        let _ = handle.join();
-                    }
-                    return Err((w, err.to_string()));
-                }
-            }
-        }
-        Ok(TaskPool {
-            shared,
-            run_lock: Mutex::new(()),
-            handles,
-        })
     }
 
     /// Submit an arbitrary closure; returns a future for its result.
@@ -168,16 +128,17 @@ impl TaskPool {
         F: FnOnce() -> T + Send + 'static,
     {
         let (future, promise) = future_promise();
-        if self.shared.threads == 1 {
-            self.shared.metrics.record_tasks(1);
+        let core = self.rt.core();
+        if core.threads() == 1 {
+            core.metrics().record_tasks(1);
             promise.set(f());
             return future;
         }
-        self.shared.queue.push(QueuedTask {
+        self.rt.strategy().queue.push(QueuedTask {
             size,
             run: Box::new(move || promise.set(f())),
         });
-        self.shared.signal.notify_all();
+        core.notify();
         future
     }
 
@@ -185,44 +146,21 @@ impl TaskPool {
     /// Returns whether a task was run. Shared by the caller help-loops
     /// (`run`, `scope`, and the futures pool's await loop).
     pub(crate) fn try_run_one(&self, rec: Option<&WorkerRecorder>) -> bool {
-        match self.shared.queue.pop() {
-            Some(task) => {
-                let timer = self.shared.metrics.task_timer(task.size);
-                if let Some(rec) = rec {
-                    rec.record(EventKind::TaskStart { size: task.size });
-                    run_queued(task);
-                    rec.record(EventKind::TaskFinish);
-                } else {
-                    run_queued(task);
-                }
-                timer.finish();
-                true
-            }
-            None => false,
-        }
+        self.rt.strategy().run_one(self.rt.core(), rec)
     }
 
-    /// Fault-injection state shared with fronting executors (the
-    /// futures pool injects into its block bodies through this).
-    pub(crate) fn fault_injector(&self) -> &FaultInjector {
-        &self.shared.faults
+    /// The shared runtime core (metrics, tracer, topology, faults) —
+    /// for the futures pool, which fronts this pool but reports its own
+    /// parallel regions.
+    pub(crate) fn core(&self) -> &RuntimeCore {
+        self.rt.core()
     }
 
-    /// The pool's metrics sink (for the futures pool, which fronts
-    /// this pool but reports its own parallel regions).
-    pub(crate) fn metrics_handle(&self) -> &MetricsSink {
-        &self.shared.metrics
-    }
-
-    /// Recorder of the caller track (track 0). The caller must hold
-    /// whatever serializes its run path before recording.
-    pub(crate) fn caller_trace_recorder(&self) -> WorkerRecorder {
-        self.shared.tracer.recorder(0)
-    }
-
-    /// Drain the trace under a fronting executor's discipline label.
-    pub(crate) fn take_trace_as(&self, discipline: &'static str) -> pstl_trace::TraceLog {
-        self.shared.tracer.take(discipline, self.shared.threads)
+    /// Lock the run-serialization lock and return the caller context
+    /// (track 0). The futures pool's run path serializes through this,
+    /// like `run` itself.
+    pub(crate) fn lock_run(&self) -> (parking_lot::MutexGuard<'_, ()>, WorkerCtx<'_>) {
+        (self.rt.lock_caller(), self.rt.caller_ctx())
     }
 
     /// Structured-concurrency scope (rayon-style): closures spawned
@@ -250,31 +188,24 @@ impl TaskPool {
         let scope = Scope {
             pool: self,
             wg: Arc::new(WaitGroup::new()),
-            panic: Mutex::new(None),
+            panic: PanicSlot::new(),
         };
-        // Catch a panicking `op`: tasks it already spawned hold pointers
-        // into this stack frame, so the scope MUST drain before the
-        // unwind continues past it — letting the panic through here
+        // Contain a panicking `op`: tasks it already spawned hold
+        // pointers into this stack frame, so the scope MUST drain before
+        // the unwind continues past it — letting the panic through here
         // would free the frame under still-running tasks.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&scope)));
+        let result = contain(|| op(&scope));
         // Help-drain the queue until every spawned task (including ones
         // spawned by tasks) has finished. No trace recorder here: scopes
         // are not serialized against each other, so the caller track's
         // single-producer contract would not hold.
         scope.wg.wait_while_helping(|| self.try_run_one(None));
-        let task_payload = scope.panic.lock().take();
         match result {
             // `op`'s own panic wins; a concurrent task panic is dropped
             // (re-throwing both is impossible).
             Err(op_payload) => std::panic::resume_unwind(op_payload),
             Ok(value) => {
-                if let Some(payload) = task_payload {
-                    // Never re-throw while this thread is already
-                    // unwinding — that aborts the process.
-                    if !std::thread::panicking() {
-                        std::panic::resume_unwind(payload);
-                    }
-                }
+                scope.panic.resume_if_panicked();
                 value
             }
         }
@@ -290,7 +221,7 @@ pub struct Scope<'scope> {
     /// stack frame after the owner may have observed zero and returned
     /// (the classic completion-latch use-after-free).
     wg: Arc<WaitGroup>,
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    panic: PanicSlot,
 }
 
 /// A lifetime-erased pointer to the scope, valid because `scope` blocks
@@ -327,16 +258,10 @@ impl<'scope> Scope<'scope> {
             // SAFETY: see ScopePtr — the scope stack frame is alive for
             // every access before `done()` (the count is still nonzero).
             let scope = unsafe { ptr.get() };
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(scope)));
-            if let Err(payload) = result {
-                let mut slot = scope.panic.lock();
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
-            }
+            scope.panic.run_contained(|| f(scope));
             wg.done();
         };
-        if self.pool.shared.threads == 1 {
+        if self.pool.rt.core().threads() == 1 {
             task();
             return;
         }
@@ -344,82 +269,53 @@ impl<'scope> Scope<'scope> {
         // SAFETY: only erases the 'scope lifetime; the scope's wait-group
         // drain guarantees execution completes before 'scope ends.
         let boxed: BoxTask = unsafe { std::mem::transmute(boxed) };
-        self.pool.shared.queue.push(QueuedTask {
+        self.pool.rt.strategy().queue.push(QueuedTask {
             size: 1,
             run: boxed,
         });
-        self.pool.shared.signal.notify_all();
+        self.pool.rt.core().notify();
     }
 }
 
 /// Execute a queued closure, containing any panic it lets escape.
 ///
-/// `run`/`scope` tasks catch panics internally (first-panic-wins), so
-/// this outer catch only fires for raw [`TaskPool::spawn`] closures —
-/// without it, one panicking spawn would unwind and permanently kill a
-/// worker thread. The payload is dropped: the task's promise is dropped
-/// unfulfilled, which its waiter observes as a broken promise.
+/// `run`/`scope` tasks capture panics into their own slot
+/// (first-panic-wins), so this outer envelope only fires for raw
+/// [`TaskPool::spawn`] closures — without it, one panicking spawn would
+/// unwind into the runtime. The payload is dropped: the task's promise
+/// is dropped unfulfilled, which its waiter observes as a broken
+/// promise.
 fn run_queued(task: QueuedTask) {
-    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.run));
-}
-
-fn worker_loop(shared: &TpShared, index: usize) {
-    let rec = shared.tracer.recorder(index);
-    loop {
-        let seen = shared.signal.epoch();
-        if let Some(task) = shared.queue.pop() {
-            let timer = shared.metrics.task_timer(task.size);
-            rec.record(EventKind::TaskStart { size: task.size });
-            run_queued(task);
-            rec.record(EventKind::TaskFinish);
-            timer.finish();
-            continue;
-        }
-        if shared.shutdown.is_triggered() {
-            return;
-        }
-        shared.metrics.record_park();
-        rec.record(EventKind::Park);
-        shared
-            .idle
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        shared.signal.sleep_unless_changed(seen);
-        shared
-            .idle
-            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
-        rec.record(EventKind::Unpark);
-    }
+    let _ = contain(task.run);
 }
 
 impl Executor for TaskPool {
     fn num_threads(&self) -> usize {
-        self.shared.threads
+        self.rt.core().threads()
     }
 
     fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
         if tasks == 0 {
             return;
         }
-        let _guard = self.run_lock.lock();
-        if self.shared.threads == 1 {
-            let faults = self.shared.faults.hook();
-            for i in 0..tasks {
-                faults.on_task();
-                body(i);
-            }
+        let _guard = self.rt.lock_caller();
+        let core = self.rt.core();
+        if core.threads() == 1 {
+            core.run_inline(tasks, body);
             return;
         }
-        self.shared.metrics.record_run();
-        // Track 0 belongs to the `run` caller; `run_lock` serializes them.
-        let rec = self.shared.tracer.recorder(0);
-        rec.record(EventKind::RegionBegin {
+        core.metrics().record_run();
+        // Track 0 belongs to the `run` caller; the caller lock
+        // serializes them.
+        let ctx = self.rt.caller_ctx();
+        ctx.rec.record(EventKind::RegionBegin {
             tasks: tasks as u64,
         });
-        let job = Job::with_faults(body, tasks, self.shared.faults.hook());
+        let job = Job::with_faults(body, tasks, core.faults().hook());
         // One boxed task per index: HPX-grade scheduling overhead, by
         // design. The batch push takes the queue lock once, but each task
         // still pays its own allocation and pop.
-        self.shared.queue.push_batch((0..tasks).map(|i| {
+        self.rt.strategy().queue.push_batch((0..tasks).map(|i| {
             let job = Arc::clone(&job);
             QueuedTask {
                 size: 1,
@@ -428,86 +324,20 @@ impl Executor for TaskPool {
                 run: Box::new(move || unsafe { job.execute_index(i) }),
             }
         }));
-        self.shared.signal.notify_all();
+        core.notify();
 
         job.latch()
-            .wait_while_helping(|| self.try_run_one(Some(&rec)));
-        rec.record(EventKind::RegionEnd);
+            .wait_while_helping(|| self.try_run_one(Some(&ctx.rec)));
+        ctx.rec.record(EventKind::RegionEnd);
         job.resume_if_panicked();
-    }
-
-    fn idle_workers(&self) -> usize {
-        self.shared.idle.load(std::sync::atomic::Ordering::Relaxed)
-    }
-
-    fn record_split(&self, _size: u64) {
-        self.shared.metrics.record_split();
-    }
-
-    fn record_cancel(&self, checks: u64, cancelled: u64) {
-        self.shared.metrics.record_cancel(checks, cancelled);
-        if cancelled > 0 {
-            // Track 0 is the run-caller track; `run_lock` serializes us
-            // with `run` callers, preserving the single-producer ring.
-            let _guard = self.run_lock.lock();
-            self.shared
-                .tracer
-                .recorder(0)
-                .record(EventKind::Cancel { tasks: cancelled });
-        }
-    }
-
-    fn record_search(&self, early_exits: u64, wasted: u64) {
-        self.shared.metrics.record_search(early_exits, wasted);
-        if early_exits > 0 {
-            // Track 0 is the run-caller track; `run_lock` serializes us
-            // with `run` callers, preserving the single-producer ring.
-            let _guard = self.run_lock.lock();
-            self.shared
-                .tracer
-                .recorder(0)
-                .record(EventKind::EarlyExit { wasted });
-        }
-    }
-
-    fn install_fault_plan(&self, plan: FaultPlan) {
-        self.shared.faults.install(plan);
     }
 
     fn discipline(&self) -> Discipline {
         Discipline::TaskPool
     }
 
-    fn topology(&self) -> Topology {
-        self.shared.topology.clone()
-    }
-
-    fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
-        Some(self.shared.metrics.snapshot())
-    }
-
-    fn hist_snapshot(&self) -> Option<crate::metrics::HistSet> {
-        Some(self.shared.metrics.hist_snapshot())
-    }
-
-    fn record_claim(&self, size: u64) {
-        self.shared
-            .metrics
-            .observe(crate::metrics::HistKind::ClaimSize, size);
-    }
-
-    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
-        Some(self.take_trace_as(Discipline::TaskPool.name()))
-    }
-}
-
-impl Drop for TaskPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.trigger();
-        self.shared.signal.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+    fn runtime_core(&self) -> Option<&RuntimeCore> {
+        Some(self.rt.core())
     }
 }
 

@@ -16,30 +16,39 @@
 //! Scheduling cost profile: one atomic splitting push/pop per ~`log2`
 //! chunk plus steal traffic — slightly more expensive than static
 //! fork-join at low intensity, but dynamically load-balanced.
+//!
+//! The strategy here is the deques, the injector and the two-tier victim
+//! order; lifecycle, parking, panic containment and accounting are the
+//! [`runtime`](crate::runtime)'s.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
-use pstl_trace::{EventKind, PoolTracer, WorkerRecorder};
+use pstl_trace::EventKind;
 
 use crate::deque::{deque, Steal, Stealer, Worker};
-use crate::fault::{self, FaultInjector, FaultPlan};
+use crate::fault::FaultPlan;
 use crate::injector::Injector;
 use crate::job::Job;
-use crate::metrics::MetricsSink;
-use crate::sync::{ShutdownFlag, WorkSignal, XorShift64};
+use crate::runtime::{Runtime, RuntimeCore, WorkerCtx, WorkerStrategy};
+use crate::sync::XorShift64;
 use crate::topology::Topology;
 use crate::{Discipline, Executor};
 
 type Task = (Arc<Job>, Range<usize>);
 
-struct WsShared {
-    threads: usize,
-    /// Worker → node map the victim tiers are derived from.
-    topology: Topology,
+/// Per-participant scheduling state: the owned end of the Chase–Lev
+/// deque and the victim-selection RNG.
+pub struct WsLocal {
+    deque: Worker<Task>,
+    rng: XorShift64,
+}
+
+/// The stealing discipline: per-participant deques with binary range
+/// splitting, a shared injector for run seeds, and two-tier
+/// (local-node-first) randomized victim selection.
+struct WsStrategy {
     /// Per-participant same-node victims (excluding the participant).
     local_victims: Vec<Vec<usize>>,
     /// Per-participant victims on other nodes.
@@ -47,31 +56,153 @@ struct WsShared {
     injector: Injector<Task>,
     /// Stealer handles, index 0 is the caller's deque.
     stealers: Vec<Stealer<Task>>,
-    signal: WorkSignal,
-    shutdown: ShutdownFlag,
-    metrics: MetricsSink,
-    /// Workers currently parked with nothing to do (the steal-pressure
-    /// hint surfaced through [`Executor::idle_workers`]).
-    idle: AtomicUsize,
-    /// One track per participant; the caller is track 0 (serialized by
-    /// the caller-deque lock), plus a shared `splitter` track for
-    /// adaptive-partitioner split events.
-    tracer: PoolTracer,
-    /// Serialized handle to the splitter track: splits originate from
-    /// arbitrary participants, but the ring is single-producer.
-    split_rec: Mutex<WorkerRecorder>,
-    /// Installed fault-injection plan (zero-sized when the feature is
-    /// off).
-    faults: FaultInjector,
+    /// Owned deque ends waiting to be claimed by [`make_local`]
+    /// (`Worker` is single-owner; the strategy itself must stay `Sync`).
+    seats: Mutex<Vec<Option<Worker<Task>>>>,
+}
+
+impl WsStrategy {
+    fn new(topology: &Topology) -> Self {
+        let threads = topology.threads();
+        let mut seats = Vec::with_capacity(threads);
+        let mut stealers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (w, s) = deque();
+            seats.push(Some(w));
+            stealers.push(s);
+        }
+        WsStrategy {
+            local_victims: (0..threads).map(|w| topology.local_peers(w)).collect(),
+            remote_victims: (0..threads).map(|w| topology.remote_peers(w)).collect(),
+            injector: Injector::new(),
+            stealers,
+            seats: Mutex::new(seats),
+        }
+    }
+
+    /// Split `range` down to a single index, pushing back halves onto the
+    /// local deque, then execute that index.
+    fn execute_task(
+        &self,
+        ctx: &WorkerCtx<'_>,
+        local: &mut WsLocal,
+        job: Arc<Job>,
+        range: Range<usize>,
+    ) {
+        let mut range = range;
+        ctx.task_scope(range.len() as u64, || {
+            while range.len() > 1 {
+                let mid = range.start + range.len() / 2;
+                ctx.core.metrics().record_split();
+                ctx.rec.record(EventKind::TaskSpawn {
+                    size: (range.end - mid) as u64,
+                });
+                local.deque.push((Arc::clone(&job), mid..range.end));
+                range.end = mid;
+            }
+            // SAFETY: the run's caller blocks on the job latch, keeping
+            // the body borrow live; each index reaches exactly one leaf.
+            unsafe { job.execute_index(range.start) };
+        });
+    }
+
+    /// Find work for this participant: own deque, then injector, then two
+    /// rounds of randomized stealing per victim tier — same-node victims
+    /// first, remote nodes only after the local rounds fail.
+    fn find_task(&self, ctx: &WorkerCtx<'_>, local: &mut WsLocal) -> Option<Task> {
+        if let Some(task) = local.deque.pop() {
+            return Some(task);
+        }
+        if let Some(task) = self.injector.pop() {
+            return Some(task);
+        }
+        if self.stealers.len() <= 1 {
+            return None;
+        }
+        let me = ctx.worker;
+        // Fault hook: a planned steal-round delay makes `me` yield here,
+        // modelling a slow or preempted worker entering its steal phase.
+        ctx.core.faults().on_steal_round(me);
+        let steal_timer = ctx.core.metrics().steal_timer();
+        for (victims, is_local_tier) in [
+            (&self.local_victims[me], true),
+            (&self.remote_victims[me], false),
+        ] {
+            let n = victims.len();
+            if n == 0 {
+                continue;
+            }
+            for _round in 0..2 {
+                let start = local.rng.next_below(n);
+                for k in 0..n {
+                    let victim = victims[(start + k) % n];
+                    loop {
+                        ctx.core.metrics().record_steal_attempt();
+                        ctx.rec.record(EventKind::StealAttempt {
+                            victim: victim as u64,
+                        });
+                        match self.stealers[victim].steal() {
+                            Steal::Success(task) => {
+                                steal_timer.success(is_local_tier);
+                                ctx.rec.record(EventKind::StealSuccess {
+                                    victim: victim as u64,
+                                });
+                                ctx.rec.record(if is_local_tier {
+                                    EventKind::LocalSteal {
+                                        victim: victim as u64,
+                                    }
+                                } else {
+                                    EventKind::RemoteSteal {
+                                        victim: victim as u64,
+                                    }
+                                });
+                                return Some(task);
+                            }
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl WorkerStrategy for WsStrategy {
+    type Local = WsLocal;
+
+    fn make_local(&self, worker: usize) -> WsLocal {
+        let deque = self.seats.lock()[worker]
+            .take()
+            .expect("deque seat claimed twice");
+        // Distinct odd seeds per participant; worker 0 keeps the seed the
+        // caller has always used.
+        let seed = if worker == 0 {
+            0x9E37_79B9
+        } else {
+            0x5851_F42D ^ (worker as u64) << 17 | 1
+        };
+        WsLocal {
+            deque,
+            rng: XorShift64::new(seed),
+        }
+    }
+
+    fn try_work(&self, ctx: &WorkerCtx<'_>, local: &mut WsLocal) -> bool {
+        match self.find_task(ctx, local) {
+            Some((job, range)) => {
+                self.execute_task(ctx, local, job, range);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Work-stealing pool with binary range splitting.
 pub struct WorkStealingPool {
-    shared: Arc<WsShared>,
-    /// The caller-side deque. Locking it doubles as the run serialization
-    /// lock: only one user thread can act as "worker 0" at a time.
-    caller_deque: Mutex<Worker<Task>>,
-    handles: Vec<JoinHandle<()>>,
+    rt: Runtime<WsStrategy>,
 }
 
 impl WorkStealingPool {
@@ -88,381 +219,92 @@ impl WorkStealingPool {
     }
 
     /// As [`with_topology`](Self::with_topology), with a fault plan
-    /// active from construction onwards (spawn faults fire here). A
-    /// worker thread that fails to spawn does not abort construction:
-    /// the partial team is torn down and the pool is rebuilt on the
-    /// surviving prefix of the topology (logged, and counted in the
-    /// `spawn_failures` metric).
+    /// active from construction onwards (spawn faults fire here; see
+    /// [`Runtime::build`] for the fewer-workers fallback).
     pub fn with_topology_faulted(topology: Topology, plan: FaultPlan) -> Self {
-        let mut topology = topology;
-        let mut failures = 0u64;
-        loop {
-            match Self::try_build(topology.clone(), &plan) {
-                Ok(pool) => {
-                    pool.shared.metrics.record_spawn_failures(failures);
-                    pool.shared.faults.install(plan);
-                    return pool;
-                }
-                Err((reached, err)) => {
-                    failures += 1;
-                    eprintln!(
-                        "pstl-executor: failed to spawn work-stealing worker {reached} ({err}); \
-                         falling back to {reached} threads"
-                    );
-                    topology = topology.truncated(reached);
-                }
-            }
+        WorkStealingPool {
+            rt: Runtime::build("ws", topology, plan, WsStrategy::new),
         }
     }
 
-    fn try_build(topology: Topology, plan: &FaultPlan) -> Result<Self, (usize, String)> {
-        let threads = topology.threads();
-        let local_victims: Vec<Vec<usize>> =
-            (0..threads).map(|w| topology.local_peers(w)).collect();
-        let remote_victims: Vec<Vec<usize>> =
-            (0..threads).map(|w| topology.remote_peers(w)).collect();
-        let mut workers: Vec<Worker<Task>> = Vec::with_capacity(threads);
-        let mut stealers = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let (w, s) = deque();
-            workers.push(w);
-            stealers.push(s);
-        }
-        let tracer = PoolTracer::with_splitter_track(threads, false);
-        let split_rec = Mutex::new(tracer.splitter_recorder());
-        let shared = Arc::new(WsShared {
-            threads,
-            topology,
-            local_victims,
-            remote_victims,
-            injector: Injector::new(),
-            stealers,
-            signal: WorkSignal::new(),
-            shutdown: ShutdownFlag::new(),
-            metrics: MetricsSink::new(),
-            idle: AtomicUsize::new(0),
-            tracer,
-            split_rec,
-            faults: FaultInjector::new(),
-        });
-        let caller_deque = Mutex::new(workers.remove(0));
-        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
-        for (i, worker) in workers.into_iter().enumerate() {
-            let index = i + 1;
-            let spawned = if fault::spawn_should_fail(plan, index) {
-                Err(std::io::Error::other(fault::INJECTED_PANIC))
-            } else {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pstl-ws-{index}"))
-                    .spawn(move || worker_loop(&shared, worker, index))
-            };
-            match spawned {
-                Ok(handle) => handles.push(handle),
-                Err(err) => {
-                    shared.shutdown.trigger();
-                    shared.signal.notify_all();
-                    for handle in handles {
-                        let _ = handle.join();
-                    }
-                    return Err((index, err.to_string()));
-                }
-            }
-        }
-        Ok(WorkStealingPool {
-            shared,
-            caller_deque,
-            handles,
-        })
-    }
-}
-
-/// Split `range` down to a single index, pushing back halves onto `local`,
-/// then execute that index.
-fn execute_task(
-    shared: &WsShared,
-    local: &Worker<Task>,
-    rec: &WorkerRecorder,
-    job: Arc<Job>,
-    mut range: Range<usize>,
-) {
-    let timer = shared.metrics.task_timer(range.len() as u64);
-    rec.record(EventKind::TaskStart {
-        size: range.len() as u64,
-    });
-    while range.len() > 1 {
-        let mid = range.start + range.len() / 2;
-        shared.metrics.record_split();
-        rec.record(EventKind::TaskSpawn {
-            size: (range.end - mid) as u64,
-        });
-        local.push((Arc::clone(&job), mid..range.end));
-        range.end = mid;
-    }
-    // SAFETY: the run's caller blocks on the job latch, keeping the body
-    // borrow live; each index reaches exactly one execute_task leaf.
-    unsafe { job.execute_index(range.start) };
-    rec.record(EventKind::TaskFinish);
-    timer.finish();
-}
-
-/// Find work for participant `me`: own deque, then injector, then two
-/// rounds of randomized stealing per victim tier — same-node victims
-/// first, remote nodes only after the local rounds fail.
-fn find_task(
-    shared: &WsShared,
-    local: &Worker<Task>,
-    rec: &WorkerRecorder,
-    me: usize,
-    rng: &mut XorShift64,
-) -> Option<Task> {
-    if let Some(task) = local.pop() {
-        return Some(task);
-    }
-    if let Some(task) = shared.injector.pop() {
-        return Some(task);
-    }
-    if shared.stealers.len() <= 1 {
-        return None;
-    }
-    // Fault hook: a planned steal-round delay makes `me` yield here,
-    // modelling a slow or preempted worker entering its steal phase.
-    shared.faults.on_steal_round(me);
-    let steal_timer = shared.metrics.steal_timer();
-    for (victims, is_local_tier) in [
-        (&shared.local_victims[me], true),
-        (&shared.remote_victims[me], false),
-    ] {
-        let n = victims.len();
-        if n == 0 {
-            continue;
-        }
-        for _round in 0..2 {
-            let start = rng.next_below(n);
-            for k in 0..n {
-                let victim = victims[(start + k) % n];
-                loop {
-                    shared.metrics.record_steal_attempt();
-                    rec.record(EventKind::StealAttempt {
-                        victim: victim as u64,
-                    });
-                    match shared.stealers[victim].steal() {
-                        Steal::Success(task) => {
-                            steal_timer.success(is_local_tier);
-                            rec.record(EventKind::StealSuccess {
-                                victim: victim as u64,
-                            });
-                            rec.record(if is_local_tier {
-                                EventKind::LocalSteal {
-                                    victim: victim as u64,
-                                }
-                            } else {
-                                EventKind::RemoteSteal {
-                                    victim: victim as u64,
-                                }
-                            });
-                            return Some(task);
-                        }
-                        Steal::Retry => continue,
-                        Steal::Empty => break,
-                    }
-                }
-            }
-        }
-    }
-    None
-}
-
-fn worker_loop(shared: &WsShared, local: Worker<Task>, index: usize) {
-    let rec = shared.tracer.recorder(index);
-    let mut rng = XorShift64::new(0x5851_F42D ^ (index as u64) << 17 | 1);
-    loop {
-        let seen = shared.signal.epoch();
-        if let Some((job, range)) = find_task(shared, &local, &rec, index, &mut rng) {
-            execute_task(shared, &local, &rec, job, range);
-            continue;
-        }
-        if shared.shutdown.is_triggered() {
+    /// Shared run body: seed the injector from `seed_tasks`, wake the
+    /// team, and participate until every index of `job` has executed.
+    fn run_seeded(
+        &self,
+        tasks: usize,
+        body: &(dyn Fn(usize) + Sync),
+        seed: impl FnOnce(&WsStrategy, &Arc<Job>),
+    ) {
+        let mut guard = self.rt.lock_caller();
+        let local = &mut *guard;
+        let core = self.rt.core();
+        if core.threads() == 1 {
+            core.run_inline(tasks, body);
             return;
         }
-        shared.metrics.record_park();
-        rec.record(EventKind::Park);
-        shared.idle.fetch_add(1, Ordering::Relaxed);
-        shared.signal.sleep_unless_changed(seen);
-        shared.idle.fetch_sub(1, Ordering::Relaxed);
-        rec.record(EventKind::Unpark);
+        core.metrics().record_run();
+        // Track 0 belongs to whichever thread holds the caller lock;
+        // serialization preserves the single-producer ring contract.
+        let ctx = self.rt.caller_ctx();
+        ctx.rec.record(EventKind::RegionBegin {
+            tasks: tasks as u64,
+        });
+        let job = Job::with_faults(body, tasks, core.faults().hook());
+        seed(self.rt.strategy(), &job);
+        core.notify();
+
+        job.latch()
+            .wait_while_helping(|| self.rt.strategy().try_work(&ctx, local));
+        debug_assert!(
+            local.deque.is_empty(),
+            "run finished with caller-deque residue"
+        );
+        ctx.rec.record(EventKind::RegionEnd);
+        job.resume_if_panicked();
     }
 }
 
 impl Executor for WorkStealingPool {
     fn num_threads(&self) -> usize {
-        self.shared.threads
+        self.rt.core().threads()
     }
 
     fn run(&self, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
         if tasks == 0 {
             return;
         }
-        let local = self.caller_deque.lock();
-        if self.shared.threads == 1 {
-            let faults = self.shared.faults.hook();
-            for i in 0..tasks {
-                faults.on_task();
-                body(i);
-            }
-            return;
-        }
-        self.shared.metrics.record_run();
-        // Track 0 belongs to whichever thread holds the caller deque;
-        // the lock above serializes them, preserving single-producer.
-        let rec = self.shared.tracer.recorder(0);
-        rec.record(EventKind::RegionBegin {
-            tasks: tasks as u64,
+        let threads = self.rt.core().threads();
+        self.run_seeded(tasks, body, |strategy, job| {
+            // Seed the injector with one contiguous root range per thread.
+            let roots = threads.min(tasks);
+            strategy.injector.push_batch((0..roots).map(|w| {
+                let lo = tasks * w / roots;
+                let hi = tasks * (w + 1) / roots;
+                (Arc::clone(job), lo..hi)
+            }));
         });
-        let job = Job::with_faults(body, tasks, self.shared.faults.hook());
-        // Seed the injector with one contiguous root range per thread.
-        let roots = self.shared.threads.min(tasks);
-        self.shared.injector.push_batch((0..roots).map(|w| {
-            let lo = tasks * w / roots;
-            let hi = tasks * (w + 1) / roots;
-            (Arc::clone(&job), lo..hi)
-        }));
-        self.shared.signal.notify_all();
-
-        // Participate until every index has executed.
-        let mut rng = XorShift64::new(0x9E37_79B9);
-        job.latch().wait_while_helping(|| {
-            if let Some((job, range)) = find_task(&self.shared, &local, &rec, 0, &mut rng) {
-                execute_task(&self.shared, &local, &rec, job, range);
-                true
-            } else {
-                false
-            }
-        });
-        debug_assert!(local.is_empty(), "run finished with caller-deque residue");
-        rec.record(EventKind::RegionEnd);
-        job.resume_if_panicked();
     }
 
     fn run_dynamic(&self, initial: usize, body: &(dyn Fn(usize) + Sync)) {
         if initial == 0 {
             return;
         }
-        let local = self.caller_deque.lock();
-        if self.shared.threads == 1 {
-            let faults = self.shared.faults.hook();
-            for i in 0..initial {
-                faults.on_task();
-                body(i);
-            }
-            return;
-        }
-        self.shared.metrics.record_run();
-        let rec = self.shared.tracer.recorder(0);
-        rec.record(EventKind::RegionBegin {
-            tasks: initial as u64,
+        self.run_seeded(initial, body, |strategy, job| {
+            // One indivisible unit task per seed index: during a dynamic
+            // region the partitioner owns granularity, so the pool must
+            // not re-split the (already per-worker) seed ranges.
+            strategy
+                .injector
+                .push_batch((0..initial).map(|i| (Arc::clone(job), i..i + 1)));
         });
-        let job = Job::with_faults(body, initial, self.shared.faults.hook());
-        // One indivisible unit task per seed index: during a dynamic
-        // region the partitioner owns granularity, so the pool must not
-        // re-split the (already per-worker) seed ranges.
-        self.shared
-            .injector
-            .push_batch((0..initial).map(|i| (Arc::clone(&job), i..i + 1)));
-        self.shared.signal.notify_all();
-
-        let mut rng = XorShift64::new(0x9E37_79B9);
-        job.latch().wait_while_helping(|| {
-            if let Some((job, range)) = find_task(&self.shared, &local, &rec, 0, &mut rng) {
-                execute_task(&self.shared, &local, &rec, job, range);
-                true
-            } else {
-                false
-            }
-        });
-        debug_assert!(local.is_empty(), "run finished with caller-deque residue");
-        rec.record(EventKind::RegionEnd);
-        job.resume_if_panicked();
-    }
-
-    fn idle_workers(&self) -> usize {
-        self.shared.idle.load(Ordering::Relaxed)
-    }
-
-    fn record_split(&self, size: u64) {
-        self.shared.metrics.record_split();
-        self.shared
-            .split_rec
-            .lock()
-            .record(EventKind::RangeSplit { size });
-    }
-
-    fn record_cancel(&self, checks: u64, cancelled: u64) {
-        self.shared.metrics.record_cancel(checks, cancelled);
-        if cancelled > 0 {
-            // The splitter track is the pool's shared serialized track;
-            // cancel events originate from arbitrary callers like
-            // splits do.
-            self.shared
-                .split_rec
-                .lock()
-                .record(EventKind::Cancel { tasks: cancelled });
-        }
-    }
-
-    fn record_search(&self, early_exits: u64, wasted: u64) {
-        self.shared.metrics.record_search(early_exits, wasted);
-        if early_exits > 0 {
-            // Same shared serialized track as splits and cancels.
-            self.shared
-                .split_rec
-                .lock()
-                .record(EventKind::EarlyExit { wasted });
-        }
-    }
-
-    fn install_fault_plan(&self, plan: FaultPlan) {
-        self.shared.faults.install(plan);
     }
 
     fn discipline(&self) -> Discipline {
         Discipline::WorkStealing
     }
 
-    fn topology(&self) -> Topology {
-        self.shared.topology.clone()
-    }
-
-    fn metrics(&self) -> Option<crate::metrics::MetricsSnapshot> {
-        Some(self.shared.metrics.snapshot())
-    }
-
-    fn hist_snapshot(&self) -> Option<crate::metrics::HistSet> {
-        Some(self.shared.metrics.hist_snapshot())
-    }
-
-    fn record_claim(&self, size: u64) {
-        self.shared
-            .metrics
-            .observe(crate::metrics::HistKind::ClaimSize, size);
-    }
-
-    fn take_trace(&self) -> Option<pstl_trace::TraceLog> {
-        Some(
-            self.shared
-                .tracer
-                .take(Discipline::WorkStealing.name(), self.shared.threads),
-        )
-    }
-}
-
-impl Drop for WorkStealingPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.trigger();
-        self.shared.signal.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+    fn runtime_core(&self) -> Option<&RuntimeCore> {
+        Some(self.rt.core())
     }
 }
 

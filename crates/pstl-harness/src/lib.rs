@@ -81,60 +81,12 @@ impl BenchConfig {
 /// executor's counters moved across the measured iterations (warmup
 /// excluded). The software-counter sibling of the paper's perf-stat
 /// columns in Tables 3–4.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
-pub struct SchedDelta {
-    /// Parallel regions dispatched.
-    pub runs: u64,
-    /// Task fragments executed.
-    pub tasks_executed: u64,
-    /// Successful steals.
-    pub steals: u64,
-    /// Steals whose victim shared the thief's NUMA node (partitions
-    /// `steals` together with `remote_steals`).
-    pub local_steals: u64,
-    /// Steals that crossed NUMA nodes.
-    pub remote_steals: u64,
-    /// Steal attempts (successful or not).
-    pub steal_attempts: u64,
-    /// Worker parks.
-    pub parks: u64,
-    /// Range splits (work-stealing binary splits and the adaptive
-    /// partitioner's lazy splits).
-    pub splits: u64,
-    /// Cooperative cancellation polls observed by the executor.
-    pub cancel_checks: u64,
-    /// Tasks skipped or bailed out because a cancellation token tripped.
-    pub cancelled_tasks: u64,
-    /// Worker threads that failed to spawn (the pool fell back to fewer
-    /// workers).
-    pub spawn_failures: u64,
-    /// Search regions that returned before draining their range (a match
-    /// was published and later chunks were skipped).
-    pub early_exits: u64,
-    /// Chunks a search region dispatched but skipped or aborted because
-    /// they lay past an already-published match.
-    pub wasted_chunks: u64,
-}
-
-impl From<MetricsSnapshot> for SchedDelta {
-    fn from(s: MetricsSnapshot) -> Self {
-        SchedDelta {
-            runs: s.runs,
-            tasks_executed: s.tasks_executed,
-            steals: s.steals,
-            local_steals: s.local_steals,
-            remote_steals: s.remote_steals,
-            steal_attempts: s.steal_attempts,
-            parks: s.parks,
-            splits: s.splits,
-            cancel_checks: s.cancel_checks,
-            cancelled_tasks: s.cancelled_tasks,
-            spawn_failures: s.spawn_failures,
-            early_exits: s.early_exits,
-            wasted_chunks: s.wasted_chunks,
-        }
-    }
-}
+///
+/// This is the executor's [`MetricsSnapshot`] serialized wholesale
+/// (snapshots are closed under `since`, so a delta has the same shape):
+/// a counter added to the executor runtime automatically appears in
+/// every benchmark's JSON without touching the harness.
+pub type SchedDelta = MetricsSnapshot;
 
 /// Percentile summary of one streaming histogram, in the histogram's
 /// native unit (nanoseconds for durations and latencies, indices for
@@ -437,7 +389,7 @@ impl Bench {
             iterations += 1;
         }
         let sched = match (&self.metrics_source, sched_before) {
-            (Some(e), Some(before)) => e.metrics().map(|after| after.since(&before).into()),
+            (Some(e), Some(before)) => e.metrics().map(|after| after.since(&before)),
             _ => None,
         };
         let latency = match (&self.metrics_source, hist_before) {
@@ -608,13 +560,15 @@ mod tests {
                 local_steals: 2,
                 remote_steals: 1,
                 steal_attempts: 7,
-                parks: 2,
                 splits: 5,
                 cancel_checks: 11,
                 cancelled_tasks: 4,
                 spawn_failures: 1,
                 early_exits: 1,
                 wasted_chunks: 6,
+                // New runtime counters default to zero here: the test
+                // locks the serialization path, not the counter set.
+                ..Default::default()
             }),
             latency: None,
             profile: None,

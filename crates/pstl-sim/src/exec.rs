@@ -276,10 +276,11 @@ impl CpuSim {
         };
         let kernel_cycles = match p.kernel {
             Kernel::Reduce if m.vectorizes_reduce => {
-                // Measured wide-path speedup when a calibration is
-                // attached; the theoretical 256-bit lane count otherwise.
+                // Measured wide-path speedup (the row matching this
+                // run's dtype) when a calibration is attached; the
+                // theoretical 256-bit lane count otherwise.
                 let lanes = match &self.calibration {
-                    Some(cal) => cal.reduce_speedup(),
+                    Some(cal) => cal.reduce_speedup_for(p.dtype),
                     None => 32.0 / p.dtype.bytes() as f64, // 256-bit SIMD
                 };
                 prof.cycles / lanes.max(1.0)
@@ -288,7 +289,7 @@ impl CpuSim {
                 // The masked-block find's measured gain over the
                 // short-circuit scan (compute side only; find is usually
                 // bandwidth-bound at scale, where this cancels out).
-                Some(cal) => prof.cycles / cal.find_speedup().max(1.0),
+                Some(cal) => prof.cycles / cal.find_speedup_for(p.dtype).max(1.0),
                 None => prof.cycles,
             },
             _ => prof.cycles,
@@ -395,8 +396,12 @@ mod tests {
         crate::calibration::KernelCalibration {
             reduce_scalar_ns: 1.0,
             reduce_wide_ns: 0.5, // measured 2× — below the theoretical 4×/f64
+            reduce_scalar_ns_u32: 1.0,
+            reduce_wide_ns_u32: 0.25, // 4× on 8-lane u32 — still below 8×
             find_scalar_ns: 0.9,
             find_wide_ns: 0.6,
+            find_scalar_ns_f64: 0.9,
+            find_wide_ns_f64: 0.75,
             scan_scalar_ns: 1.0,
             scan_wide_ns: 0.6,
             sort_merge_ns: 20.0,
@@ -440,6 +445,31 @@ mod tests {
         let a = CpuSim::new(m2.clone(), Backend::GccTbb);
         let b = CpuSim::with_model(m2, Backend::GccTbb.model());
         assert_eq!(a.time(&p).to_bits(), b.time(&p).to_bits());
+    }
+
+    #[test]
+    fn calibration_row_follows_run_dtype() {
+        // Two calibrations that differ only in the u32 reduce row: every
+        // f64 run must be byte-identical between them (the f64 path may
+        // not consult the u32 row), and an i32 run must slow down when
+        // its own row loses its lanes.
+        use crate::kernels::DType;
+        let a = test_calibration();
+        let mut b = test_calibration();
+        b.reduce_wide_ns_u32 = b.reduce_scalar_ns_u32; // 1× — wide path wins nothing
+        let m = mach_a();
+        let sim_a = CpuSim::new(m.clone(), Backend::IccTbb).with_calibration(a);
+        let sim_b = CpuSim::new(m, Backend::IccTbb).with_calibration(b);
+        let pf = run(Kernel::Reduce, 1 << 22, 8);
+        assert_eq!(sim_a.time(&pf).to_bits(), sim_b.time(&pf).to_bits());
+        let mut pi = pf;
+        pi.dtype = DType::I32;
+        assert!(
+            sim_b.time(&pi) > sim_a.time(&pi),
+            "losing the u32 lanes must slow the i32 reduce: {} !> {}",
+            sim_b.time(&pi),
+            sim_a.time(&pi)
+        );
     }
 
     #[test]

@@ -106,14 +106,41 @@ fn main() {
         ));
     });
 
-    // --- find: matchless scan (every index evaluated on both paths) ------
+    // --- reduce, u32 row: 8 lanes per 256-bit vector instead of 4. The
+    // simulator picks this row for 4-byte dtypes. Wrapping add: the sum
+    // of a scrambled u32 ramp overflows by design. -------------------------
     let u32s = scrambled_u32(n);
+    let reduce_scalar_u32 = time_ns_per_elem(n, reps, || {
+        black_box(kernel::reduce::fold_map_scalar(
+            black_box(&u32s),
+            &|x: &u32| *x,
+            &|a: u32, b: u32| a.wrapping_add(b),
+        ));
+    });
+    let reduce_wide_u32 = time_ns_per_elem(n, reps, || {
+        black_box(kernel::reduce::fold_map_wide(
+            black_box(&u32s),
+            &|x: &u32| *x,
+            &|a: u32, b: u32| a.wrapping_add(b),
+        ));
+    });
+
+    // --- find: matchless scan (every index evaluated on both paths) ------
     let absent = &|i: usize| u32s[i] == u32::MAX; // never true: scramble is even
     let find_scalar = time_ns_per_elem(n, reps, || {
         black_box(kernel::compare::find_first_in_scalar(0..n, absent));
     });
     let find_wide = time_ns_per_elem(n, reps, || {
         black_box(kernel::compare::find_first_in_wide(0..n, absent));
+    });
+
+    // --- find, f64 row: the dtype the paper's CPU experiments scan. ------
+    let absent_f64 = &|i: usize| f64s[i] < 0.0; // never true: ramp is >= 0
+    let find_scalar_f64 = time_ns_per_elem(n, reps, || {
+        black_box(kernel::compare::find_first_in_scalar(0..n, absent_f64));
+    });
+    let find_wide_f64 = time_ns_per_elem(n, reps, || {
+        black_box(kernel::compare::find_first_in_wide(0..n, absent_f64));
     });
 
     // --- scan: the phase-1 fold both scan engines run per chunk. f64
@@ -150,8 +177,12 @@ fn main() {
     let calibration = KernelCalibration {
         reduce_scalar_ns: reduce_scalar,
         reduce_wide_ns: reduce_wide,
+        reduce_scalar_ns_u32: reduce_scalar_u32,
+        reduce_wide_ns_u32: reduce_wide_u32,
         find_scalar_ns: find_scalar,
         find_wide_ns: find_wide,
+        find_scalar_ns_f64: find_scalar_f64,
+        find_wide_ns_f64: find_wide_f64,
         scan_scalar_ns: scan_scalar,
         scan_wide_ns: scan_wide,
         sort_merge_ns: sort_merge,
@@ -168,12 +199,28 @@ fn main() {
             speedup: calibration.reduce_speedup(),
         },
         KernelRow {
+            name: "reduce_u32_sum",
+            scalar_path: "fold_map_scalar",
+            wide_path: "fold_map_wide",
+            scalar_ns_per_elem: reduce_scalar_u32,
+            wide_ns_per_elem: reduce_wide_u32,
+            speedup: calibration.reduce_speedup_for(pstl_sim::DType::I32),
+        },
+        KernelRow {
             name: "find_u32_absent",
             scalar_path: "find_first_in_scalar",
             wide_path: "find_first_in_wide",
             scalar_ns_per_elem: find_scalar,
             wide_ns_per_elem: find_wide,
             speedup: calibration.find_speedup(),
+        },
+        KernelRow {
+            name: "find_f64_absent",
+            scalar_path: "find_first_in_scalar",
+            wide_path: "find_first_in_wide",
+            scalar_ns_per_elem: find_scalar_f64,
+            wide_ns_per_elem: find_wide_f64,
+            speedup: calibration.find_speedup_for(pstl_sim::DType::F64),
         },
         KernelRow {
             name: "scan_fold_f64",

@@ -11,11 +11,12 @@ use std::time::{Duration, Instant};
 use pstl::{ExecutionPolicy, ParConfig, Partitioner};
 use pstl_executor::{build_pool, CancelToken, Cancelled, Discipline, Executor};
 
-const REAL_POOLS: [Discipline; 4] = [
+const REAL_POOLS: [Discipline; 5] = [
     Discipline::ForkJoin,
     Discipline::WorkStealing,
     Discipline::TaskPool,
     Discipline::Futures,
+    Discipline::ServicePool,
 ];
 
 fn assert_reusable(pool: &Arc<dyn Executor>) {

@@ -111,6 +111,7 @@ fn policies() -> Vec<(String, ExecutionPolicy)> {
         Discipline::WorkStealing,
         Discipline::TaskPool,
         Discipline::Futures,
+        Discipline::ServicePool,
     ] {
         let pool = build_pool(d, 3);
         for p in [
@@ -254,6 +255,7 @@ fn pools_rerun_cleanly_after_chaos() {
         Discipline::WorkStealing,
         Discipline::TaskPool,
         Discipline::Futures,
+        Discipline::ServicePool,
     ] {
         let pool = build_pool(d, 3);
         let policy = ExecutionPolicy::par(Arc::clone(&pool));

@@ -17,6 +17,7 @@ fn thousand_small_runs_per_discipline() {
         Discipline::WorkStealing,
         Discipline::TaskPool,
         Discipline::Futures,
+        Discipline::ServicePool,
     ] {
         let pool = build_pool(discipline, 4);
         let total = AtomicUsize::new(0);
@@ -167,6 +168,46 @@ fn flat_topology_never_steals_remotely() {
 }
 
 #[test]
+fn counter_invariants_hold_on_every_backend() {
+    // The strategy matrix: one shared runtime core means one counter
+    // contract. Every backend — stealing or not — must satisfy the same
+    // partition invariants, and the cancellation bookkeeping must agree
+    // exactly with the task count when the token is tripped up front.
+    use pstl_executor::CancelToken;
+    for discipline in [
+        Discipline::ForkJoin,
+        Discipline::WorkStealing,
+        Discipline::TaskPool,
+        Discipline::Futures,
+        Discipline::ServicePool,
+    ] {
+        let pool = build_pool_on(discipline, Topology::grouped(4, 2));
+        provoke_steals(pool.as_ref());
+        let token = CancelToken::new();
+        token.cancel();
+        let out = pool.run_cancellable(64, &|_| unreachable!("token is tripped"), &token);
+        assert!(out.is_err(), "{discipline:?}: tripped token must cancel");
+        let m = pool.metrics().expect("runtime-backed pools expose metrics");
+        assert_eq!(
+            m.steals,
+            m.local_steals + m.remote_steals,
+            "{discipline:?}: local/remote must partition steals"
+        );
+        assert!(
+            m.steal_attempts >= m.steals,
+            "{discipline:?}: {} attempts < {} successful steals",
+            m.steal_attempts,
+            m.steals
+        );
+        assert_eq!(m.cancel_checks, 64, "{discipline:?}");
+        assert_eq!(m.cancelled_tasks, 64, "{discipline:?}");
+        assert_eq!(m.runs, 9, "{discipline:?}: 8 provoke runs + 1 cancelled");
+        assert!(m.tasks_executed > 0, "{discipline:?}");
+        assert_eq!(m.spawn_failures, 0, "{discipline:?}: no faults were armed");
+    }
+}
+
+#[test]
 fn pools_survive_panicking_free_spawns() {
     // A panic inside a spawned task must not wedge the pool for later
     // runs. (Algorithm closures are expected not to panic; `spawn` is the
@@ -192,6 +233,7 @@ fn panic_storm_keeps_every_pool_alive() {
         Discipline::WorkStealing,
         Discipline::TaskPool,
         Discipline::Futures,
+        Discipline::ServicePool,
     ] {
         let pool = build_pool(discipline, 4);
         for round in 0..60usize {

@@ -28,6 +28,10 @@ fn pools() -> &'static [(Discipline, Arc<dyn Executor>)] {
             ),
             (Discipline::TaskPool, build_pool(Discipline::TaskPool, 2)),
             (Discipline::Futures, build_pool(Discipline::Futures, 2)),
+            (
+                Discipline::ServicePool,
+                build_pool(Discipline::ServicePool, 2),
+            ),
         ]
     })
 }

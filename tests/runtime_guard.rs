@@ -1,0 +1,94 @@
+//! Guard lint for the worker-runtime refactor: panic containment lives
+//! in exactly one place (`pstl-executor/src/runtime.rs`, via `contain`
+//! and `PanicSlot`). If a pool file grows its own `catch_unwind` the
+//! single-envelope invariant — one containment site, one first-panic
+//! slot, one rethrow point — silently forks, so this test fails the
+//! build instead. Test modules are exempt: tests may *provoke* panics
+//! across the API boundary all they like.
+
+use std::path::Path;
+
+/// Pool strategy files: anything here reaching for `catch_unwind`
+/// means a discipline is re-growing its own panic envelope.
+const POOL_FILES: &[&str] = &[
+    "crates/pstl-executor/src/fork_join.rs",
+    "crates/pstl-executor/src/work_stealing.rs",
+    "crates/pstl-executor/src/task_pool.rs",
+    "crates/pstl-executor/src/futures.rs",
+    "crates/pstl-executor/src/service_pool.rs",
+    "crates/pstl-executor/src/job.rs",
+    "crates/pstl-executor/src/lib.rs",
+];
+
+/// Strip `#[cfg(test)] mod … { … }` blocks so in-test `catch_unwind`
+/// (legitimately used to assert panics propagate) doesn't trip the
+/// guard. Brace-counting is crude but the files are rustfmt-formatted,
+/// so the attribute and the module header are always adjacent lines.
+fn strip_test_modules(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut depth = 0usize;
+    let mut pending_cfg_test = false;
+    for line in src.lines() {
+        if depth > 0 {
+            depth += line.matches('{').count();
+            depth -= line.matches('}').count().min(depth);
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed == "#[cfg(test)]" {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            pending_cfg_test = false;
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                depth = line.matches('{').count();
+                continue;
+            }
+            out.push_str("#[cfg(test)]\n");
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn pool_files_do_not_reimplement_panic_containment() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offenders = Vec::new();
+    for rel in POOL_FILES {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("guard lint cannot read {rel}: {e}"));
+        let code = strip_test_modules(&src);
+        for (lineno, line) in code.lines().enumerate() {
+            if line.contains("catch_unwind") {
+                offenders.push(format!("{rel}:{}: {}", lineno + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "panic containment belongs to runtime::contain / runtime::PanicSlot only;\n\
+         found catch_unwind outside runtime.rs (and outside test modules):\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn runtime_owns_the_containment_primitives() {
+    // The inverse direction: the primitives must actually exist where
+    // the guard claims they do, or the lint above guards nothing.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(root.join("crates/pstl-executor/src/runtime.rs"))
+        .expect("runtime.rs exists");
+    assert!(
+        src.contains("pub fn contain") && src.contains("catch_unwind"),
+        "runtime.rs must define the shared `contain` envelope over catch_unwind"
+    );
+    assert!(
+        src.contains("pub struct PanicSlot"),
+        "runtime.rs must own the first-panic-wins slot"
+    );
+}
