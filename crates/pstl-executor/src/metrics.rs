@@ -27,6 +27,7 @@ pub struct PoolMetrics {
     remote_steals: AtomicU64,
     steal_attempts: AtomicU64,
     parks: AtomicU64,
+    parked_wakeups: AtomicU64,
     splits: AtomicU64,
     cancel_checks: AtomicU64,
     cancelled_tasks: AtomicU64,
@@ -60,6 +61,11 @@ pub struct MetricsSnapshot {
     pub steal_attempts: u64,
     /// Times a worker gave up finding work and went to sleep.
     pub parks: u64,
+    /// Times a parked worker woke back up (epoch moved or timeout).
+    /// `parks - parked_wakeups` is the number of workers asleep right
+    /// now; a wakeup count far above `runs` means the pool is churning
+    /// through spurious timeouts instead of sleeping.
+    pub parked_wakeups: u64,
     /// Range splits: a running task handed off part of its work in
     /// response to demand (work-stealing binary splits and the adaptive
     /// partitioner's lazy splits both count here).
@@ -102,6 +108,7 @@ impl MetricsSnapshot {
             remote_steals: self.remote_steals - earlier.remote_steals,
             steal_attempts: self.steal_attempts - earlier.steal_attempts,
             parks: self.parks - earlier.parks,
+            parked_wakeups: self.parked_wakeups - earlier.parked_wakeups,
             splits: self.splits - earlier.splits,
             cancel_checks: self.cancel_checks - earlier.cancel_checks,
             cancelled_tasks: self.cancelled_tasks - earlier.cancelled_tasks,
@@ -149,6 +156,11 @@ impl PoolMetrics {
         self.parks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a parked worker waking back up.
+    pub fn record_parked_wakeup(&self) {
+        self.parked_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record a range split (demand-driven work handoff).
     pub fn record_split(&self) {
         self.splits.fetch_add(1, Ordering::Relaxed);
@@ -183,6 +195,7 @@ impl PoolMetrics {
             remote_steals: self.remote_steals.load(Ordering::Relaxed),
             steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            parked_wakeups: self.parked_wakeups.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
             cancel_checks: self.cancel_checks.load(Ordering::Relaxed),
             cancelled_tasks: self.cancelled_tasks.load(Ordering::Relaxed),
@@ -406,6 +419,11 @@ impl MetricsSink {
         self.counters.record_park();
     }
 
+    /// See [`PoolMetrics::record_parked_wakeup`].
+    pub fn record_parked_wakeup(&self) {
+        self.counters.record_parked_wakeup();
+    }
+
     /// See [`PoolMetrics::record_split`].
     pub fn record_split(&self) {
         self.counters.record_split();
@@ -447,6 +465,7 @@ mod tests {
         m.record_steal_attempt();
         m.record_steal_attempt();
         m.record_park();
+        m.record_parked_wakeup();
         m.record_split();
         m.record_split();
         m.record_cancel(5, 2);
@@ -462,6 +481,7 @@ mod tests {
         assert_eq!(s.steals, s.local_steals + s.remote_steals);
         assert_eq!(s.steal_attempts, 2);
         assert_eq!(s.parks, 1);
+        assert_eq!(s.parked_wakeups, 1);
         assert_eq!(s.splits, 2);
         assert_eq!(s.cancel_checks, 5);
         assert_eq!(s.cancelled_tasks, 2);

@@ -245,6 +245,7 @@ impl RuntimeCore {
         self.idle.fetch_add(1, Ordering::Relaxed);
         self.signal.sleep_unless_changed(seen);
         self.idle.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.record_parked_wakeup();
         rec.record(EventKind::Unpark);
     }
 
