@@ -149,9 +149,12 @@ pub struct DiffLine {
     pub regressed: bool,
 }
 
-/// Compare every whitelisted performance key present in both files.
-/// `noise` is the allowed multiplicative band (0.25 = 25%); keys whose
-/// baseline value is zero or non-finite are skipped (no ratio exists).
+/// Compare every whitelisted performance key of the baseline. `noise`
+/// is the allowed multiplicative band (0.25 = 25%). Keys whose baseline
+/// value is zero or non-finite are skipped (no ratio exists); a
+/// whitelisted baseline key *absent from the candidate* is reported as
+/// regressed with a NaN candidate value. Keys only the candidate has
+/// are new measurements and are not compared.
 pub fn diff(old: &Value, new: &Value, noise: f64, ratios_only: bool) -> Vec<DiffLine> {
     let mut old_leaves = Vec::new();
     let mut new_leaves = Vec::new();
@@ -165,10 +168,24 @@ pub fn diff(old: &Value, new: &Value, noise: f64, ratios_only: bool) -> Vec<Diff
         if ratios_only && !is_ratio_key(path) {
             continue;
         }
+        if !old_v.is_finite() || *old_v <= 0.0 {
+            continue;
+        }
         let Some((_, new_v)) = new_leaves.iter().find(|(p, _)| p == path) else {
+            // A whitelisted key the baseline has but the candidate lost
+            // is a hard failure, not a silent skip: a renamed benchmark
+            // or a dropped measurement would otherwise un-gate itself.
+            lines.push(DiffLine {
+                path: path.clone(),
+                direction,
+                old: *old_v,
+                new: f64::NAN,
+                ratio: f64::NAN,
+                regressed: true,
+            });
             continue;
         };
-        if !old_v.is_finite() || !new_v.is_finite() || *old_v <= 0.0 {
+        if !new_v.is_finite() {
             continue;
         }
         let ratio = new_v / old_v;
@@ -206,7 +223,9 @@ pub fn render(lines: &[DiffLine], noise: f64) -> String {
         noise * 100.0
     ));
     for l in lines {
-        let verdict = if l.regressed {
+        let verdict = if l.new.is_nan() {
+            "MISSING"
+        } else if l.regressed {
             "REGRESSED"
         } else {
             match l.direction {
@@ -321,11 +340,27 @@ mod tests {
     }
 
     #[test]
-    fn missing_and_zero_baseline_keys_are_skipped() {
+    fn zero_baseline_keys_are_skipped_but_missing_keys_fail() {
         let old = v(r#"{"a": {"mean": 0.0}, "b": {"mean": 1.0}}"#);
         let new = v(r#"{"a": {"mean": 5.0}, "c": {"mean": 9.0}}"#);
         let lines = diff(&old, &new, 0.25, false);
-        assert!(lines.is_empty(), "zero baseline and missing keys skipped");
+        assert_eq!(lines.len(), 1, "zero baseline skipped, missing kept");
+        assert_eq!(lines[0].path, "b.mean");
+        assert!(lines[0].new.is_nan(), "no candidate value exists");
+        assert!(lines[0].regressed, "a lost baseline key is a regression");
+        assert!(has_regression(&lines));
+        let text = render(&lines, 0.25);
+        assert!(text.contains("MISSING"));
+    }
+
+    #[test]
+    fn missing_keys_respect_the_ratios_only_filter() {
+        let old = v(r#"{"time_ms": 10.0, "serial_fraction": 0.2}"#);
+        let new = v(r#"{"other": 1.0}"#);
+        let lines = diff(&old, &new, 0.25, true);
+        assert_eq!(lines.len(), 1, "absolute time_ms is filtered out");
+        assert_eq!(lines[0].path, "serial_fraction");
+        assert!(lines[0].regressed);
     }
 
     #[test]

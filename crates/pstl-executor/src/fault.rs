@@ -56,6 +56,13 @@ pub struct FaultPlan {
     /// like pool worker indices; the caller is worker 0 and is never
     /// spawned).
     pub fail_spawn: Option<usize>,
+    /// Panic inside every `m`-th task body (a sustained transient-fault
+    /// rate, as opposed to `panic_at_task`'s single shot). `Some(1)`
+    /// panics in every body.
+    pub panic_every: Option<u64>,
+    /// Reject the `index`-th admission attempt observed by the service
+    /// layer (counted across submissions since the plan was installed).
+    pub reject_admission: Option<u64>,
 }
 
 impl FaultPlan {
@@ -82,9 +89,25 @@ impl FaultPlan {
         self
     }
 
+    /// Panic inside every `m`-th task body (`m >= 1`).
+    pub fn with_panic_every(mut self, m: u64) -> Self {
+        self.panic_every = Some(m.max(1));
+        self
+    }
+
+    /// Reject the `index`-th admission attempt seen by the service.
+    pub fn with_reject_admission(mut self, index: u64) -> Self {
+        self.reject_admission = Some(index);
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
-        self.panic_at_task.is_none() && self.steal_delay.is_none() && self.fail_spawn.is_none()
+        self.panic_at_task.is_none()
+            && self.steal_delay.is_none()
+            && self.fail_spawn.is_none()
+            && self.panic_every.is_none()
+            && self.reject_admission.is_none()
     }
 
     /// Derive a small reproducible plan from a seed: one task panic in
@@ -133,6 +156,7 @@ mod imp {
         plan: FaultPlan,
         tasks_started: AtomicU64,
         delays_left: AtomicU64,
+        admissions_seen: AtomicU64,
     }
 
     /// Pool-side owner of the installed plan (`fault` feature on).
@@ -164,6 +188,7 @@ mod imp {
                     plan,
                     tasks_started: AtomicU64::new(0),
                     delays_left: AtomicU64::new(delays),
+                    admissions_seen: AtomicU64::new(0),
                 }))
             };
         }
@@ -173,6 +198,22 @@ mod imp {
             FaultHook {
                 state: self.state.lock().clone(),
             }
+        }
+
+        /// Admission injection point: returns `true` when the plan says
+        /// this admission attempt must be rejected. Counts every call,
+        /// so the `index`-th submission is refused deterministically no
+        /// matter which tenant or priority it carries.
+        #[inline]
+        pub fn on_admission(&self) -> bool {
+            let state = self.state.lock().clone();
+            if let Some(s) = state {
+                if let Some(idx) = s.plan.reject_admission {
+                    let k = s.admissions_seen.fetch_add(1, Ordering::Relaxed);
+                    return k == idx;
+                }
+            }
+            false
         }
 
         /// Steal-round injection point: if the plan targets `worker`
@@ -217,6 +258,9 @@ mod imp {
                 if s.plan.panic_at_task == Some(k) {
                     panic!("{}: panic at task #{k}", super::INJECTED_PANIC);
                 }
+                if s.plan.panic_every.is_some_and(|m| (k + 1) % m == 0) {
+                    panic!("{}: periodic panic at task #{k}", super::INJECTED_PANIC);
+                }
             }
         }
     }
@@ -250,6 +294,12 @@ mod imp {
 
         #[inline(always)]
         pub fn on_steal_round(&self, _worker: usize) {}
+
+        /// Always admits: the check disappears at build time.
+        #[inline(always)]
+        pub fn on_admission(&self) -> bool {
+            false
+        }
     }
 
     impl FaultHook {
@@ -285,6 +335,47 @@ mod tests {
         assert!(FaultPlan::none().is_empty());
         assert!(!FaultPlan::none().with_panic_at_task(3).is_empty());
         assert!(!FaultPlan::none().with_spawn_failure(1).is_empty());
+        assert!(!FaultPlan::none().with_reject_admission(0).is_empty());
+        assert!(!FaultPlan::none().with_panic_every(5).is_empty());
+    }
+
+    #[test]
+    fn panic_every_clamps_to_one() {
+        assert_eq!(FaultPlan::none().with_panic_every(0).panic_every, Some(1));
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn admission_rejection_fires_exactly_once_at_index() {
+        let inj = FaultInjector::new();
+        inj.install(FaultPlan::none().with_reject_admission(1));
+        assert!(!inj.on_admission(), "admission #0 passes");
+        assert!(inj.on_admission(), "admission #1 is rejected");
+        assert!(!inj.on_admission(), "admission #2 passes again");
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn panic_every_fires_periodically() {
+        let inj = FaultInjector::new();
+        inj.install(FaultPlan::none().with_panic_every(3));
+        let hook = inj.hook();
+        let mut panics = 0;
+        for _ in 0..9 {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook.on_task())).is_err() {
+                panics += 1;
+            }
+        }
+        assert_eq!(panics, 3, "every third body panics");
+    }
+
+    #[cfg(not(feature = "fault"))]
+    #[test]
+    fn disabled_admission_hook_always_admits() {
+        let inj = FaultInjector::new();
+        inj.install(FaultPlan::none().with_reject_admission(0));
+        assert!(!inj.on_admission());
+        assert!(!inj.on_admission());
     }
 
     #[cfg(feature = "fault")]

@@ -31,6 +31,7 @@ pub mod latch;
 pub mod metrics;
 pub mod runtime;
 pub mod seq;
+pub mod service;
 pub mod service_pool;
 pub mod sync;
 pub mod task_pool;
@@ -47,6 +48,10 @@ pub use latch::CountLatch;
 pub use metrics::{HistKind, HistSet, MetricsSink, MetricsSnapshot, PoolMetrics};
 pub use runtime::{Runtime, RuntimeCore, WorkerCtx, WorkerStrategy};
 pub use seq::SequentialExecutor;
+pub use service::{
+    BatchPolicy, JobHandle, JobOutcome, JobService, JobSpec, Priority, Rejected, RetryPolicy,
+    ServiceConfig, ServiceStatsSnapshot, ShedReason,
+};
 pub use service_pool::ServicePool;
 pub use task_pool::{Scope, TaskPool};
 pub use topology::Topology;

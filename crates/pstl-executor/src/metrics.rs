@@ -34,6 +34,11 @@ pub struct PoolMetrics {
     spawn_failures: AtomicU64,
     early_exits: AtomicU64,
     wasted_chunks: AtomicU64,
+    jobs_admitted: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_shed: AtomicU64,
+    jobs_retried: AtomicU64,
+    jobs_deadline_expired: AtomicU64,
 }
 
 /// A point-in-time copy of a pool's counters.
@@ -85,6 +90,22 @@ pub struct MetricsSnapshot {
     /// Chunks/claims a search region dispatched but skipped or aborted
     /// because they lay past an already-published match.
     pub wasted_chunks: u64,
+    /// Jobs accepted past admission control by the service layer.
+    pub jobs_admitted: u64,
+    /// Jobs refused at admission (queue full, tenant quota, shedding
+    /// mode, or an injected admission fault). Rejected jobs were never
+    /// admitted, so they do not appear in any other job counter.
+    pub jobs_rejected: u64,
+    /// Admitted jobs dropped before execution: overload shedding or a
+    /// deadline that expired while the job sat in queue.
+    pub jobs_shed: u64,
+    /// Re-queues after a transient execution failure (one per attempt
+    /// beyond the first, bounded by the service retry policy).
+    pub jobs_retried: u64,
+    /// Subset of `jobs_shed` whose deadline expired in queue — distinct
+    /// from `cancelled_tasks`, which counts work cancelled *during*
+    /// execution.
+    pub jobs_deadline_expired: u64,
 }
 
 impl MetricsSnapshot {
@@ -115,6 +136,11 @@ impl MetricsSnapshot {
             spawn_failures: self.spawn_failures - earlier.spawn_failures,
             early_exits: self.early_exits - earlier.early_exits,
             wasted_chunks: self.wasted_chunks - earlier.wasted_chunks,
+            jobs_admitted: self.jobs_admitted - earlier.jobs_admitted,
+            jobs_rejected: self.jobs_rejected - earlier.jobs_rejected,
+            jobs_shed: self.jobs_shed - earlier.jobs_shed,
+            jobs_retried: self.jobs_retried - earlier.jobs_retried,
+            jobs_deadline_expired: self.jobs_deadline_expired - earlier.jobs_deadline_expired,
         }
     }
 }
@@ -185,6 +211,30 @@ impl PoolMetrics {
         self.wasted_chunks.fetch_add(wasted, Ordering::Relaxed);
     }
 
+    /// Record a job accepted past admission control.
+    pub fn record_job_admitted(&self) {
+        self.jobs_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a job refused at admission.
+    pub fn record_job_rejected(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an admitted job dropped before execution;
+    /// `deadline_expired` marks the expired-in-queue subset.
+    pub fn record_job_shed(&self, deadline_expired: bool) {
+        self.jobs_shed.fetch_add(1, Ordering::Relaxed);
+        if deadline_expired {
+            self.jobs_deadline_expired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a retry re-queue after a transient failure.
+    pub fn record_job_retried(&self) {
+        self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the current values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -202,6 +252,11 @@ impl PoolMetrics {
             spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
             early_exits: self.early_exits.load(Ordering::Relaxed),
             wasted_chunks: self.wasted_chunks.load(Ordering::Relaxed),
+            jobs_admitted: self.jobs_admitted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            jobs_deadline_expired: self.jobs_deadline_expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -217,14 +272,18 @@ pub enum HistKind {
     StealLatency,
     /// Number of indices in an executed task/claimed chunk.
     ClaimSize,
+    /// Wall time a service job spent queued between admission and
+    /// dispatch onto a worker, in nanoseconds.
+    QueueWait,
 }
 
 impl HistKind {
     /// Every kind, in stable report order.
-    pub const ALL: [HistKind; 3] = [
+    pub const ALL: [HistKind; 4] = [
         HistKind::TaskDuration,
         HistKind::StealLatency,
         HistKind::ClaimSize,
+        HistKind::QueueWait,
     ];
 
     /// Stable snake_case name used as the JSON report key.
@@ -233,6 +292,7 @@ impl HistKind {
             HistKind::TaskDuration => "task_duration_ns",
             HistKind::StealLatency => "steal_latency_ns",
             HistKind::ClaimSize => "claim_size",
+            HistKind::QueueWait => "queue_wait_ns",
         }
     }
 
@@ -444,6 +504,26 @@ impl MetricsSink {
         self.counters.record_search(early_exits, wasted);
     }
 
+    /// See [`PoolMetrics::record_job_admitted`].
+    pub fn record_job_admitted(&self) {
+        self.counters.record_job_admitted();
+    }
+
+    /// See [`PoolMetrics::record_job_rejected`].
+    pub fn record_job_rejected(&self) {
+        self.counters.record_job_rejected();
+    }
+
+    /// See [`PoolMetrics::record_job_shed`].
+    pub fn record_job_shed(&self, deadline_expired: bool) {
+        self.counters.record_job_shed(deadline_expired);
+    }
+
+    /// See [`PoolMetrics::record_job_retried`].
+    pub fn record_job_retried(&self) {
+        self.counters.record_job_retried();
+    }
+
     /// See [`PoolMetrics::snapshot`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.counters.snapshot()
@@ -472,6 +552,12 @@ mod tests {
         m.record_spawn_failures(1);
         m.record_search(1, 3);
         m.record_search(1, 4);
+        m.record_job_admitted();
+        m.record_job_admitted();
+        m.record_job_rejected();
+        m.record_job_shed(false);
+        m.record_job_shed(true);
+        m.record_job_retried();
         let s = m.snapshot();
         assert_eq!(s.runs, 1);
         assert_eq!(s.tasks_executed, 15);
@@ -488,6 +574,11 @@ mod tests {
         assert_eq!(s.spawn_failures, 1);
         assert_eq!(s.early_exits, 2);
         assert_eq!(s.wasted_chunks, 7);
+        assert_eq!(s.jobs_admitted, 2);
+        assert_eq!(s.jobs_rejected, 1);
+        assert_eq!(s.jobs_shed, 2);
+        assert_eq!(s.jobs_retried, 1);
+        assert_eq!(s.jobs_deadline_expired, 1);
     }
 
     #[test]

@@ -327,7 +327,11 @@ pub trait WorkerStrategy: Send + Sync + 'static {
 }
 
 struct RtShared<S: WorkerStrategy> {
-    core: RuntimeCore,
+    /// Arc'd so layers above the pool (the job service) can hold the
+    /// core — metrics, faults, signal — without owning the pool itself:
+    /// a worker-held reference to the core must never be able to become
+    /// the last owner of the thread handles it would then self-join.
+    core: Arc<RuntimeCore>,
     strategy: S,
 }
 
@@ -393,7 +397,7 @@ impl<S: WorkerStrategy> Runtime<S> {
         // a spawn fails.
         let strategy = make(&topology);
         let shared = Arc::new(RtShared {
-            core: RuntimeCore::new(topology),
+            core: Arc::new(RuntimeCore::new(topology)),
             strategy,
         });
         let mut handles = Vec::with_capacity(threads.saturating_sub(1));
@@ -430,6 +434,14 @@ impl<S: WorkerStrategy> Runtime<S> {
     /// The shared core (metrics, tracer, topology, signal, faults).
     pub fn core(&self) -> &RuntimeCore {
         &self.shared.core
+    }
+
+    /// An owning handle on the core, for layers that outlive individual
+    /// borrows (e.g. the job service's dispatcher and workers). Holding
+    /// it does NOT keep the pool's threads alive — dropping it joins
+    /// nothing.
+    pub fn core_arc(&self) -> Arc<RuntimeCore> {
+        Arc::clone(&self.shared.core)
     }
 
     /// The installed strategy.

@@ -1,0 +1,1686 @@
+//! Multi-tenant job service over the shared runtime.
+//!
+//! The pools below this layer answer "how do we run one parallel region
+//! fast"; [`JobService`] answers "what happens when thousands of small
+//! jobs from many tenants arrive faster than they can run". It is the
+//! serving-traffic front end the roadmap's north star asks for, built
+//! directly on [`TaskPool`]'s spawn/future surface and engineered for
+//! *graceful* behavior at and past saturation:
+//!
+//! * **admission control** — a bounded queue plus per-tenant in-flight
+//!   quotas; refusals are typed ([`Rejected`]) and counted, never
+//!   silent;
+//! * **deadline propagation** — every job carries a [`CancelToken`]
+//!   (optionally armed with a deadline). Jobs whose deadline expires
+//!   while still queued are *shed before execution* and counted apart
+//!   from jobs cancelled mid-flight;
+//! * **retry with exponential backoff** — transient failures (body
+//!   panics that are not cancellation bail-outs) are re-queued with
+//!   deterministically jittered backoff, bounded by
+//!   [`RetryPolicy::max_retries`];
+//! * **prioritized load shedding** — three [`Priority`] classes; under
+//!   overload the lowest class is shed first and the highest class is
+//!   never displaced by lower traffic;
+//! * **tiny-job batching** — the paper's grain-size crossover applied
+//!   to request traffic: consecutive same-class jobs whose cost hint is
+//!   below [`BatchPolicy::tiny_cost`] are dispatched as one pool task,
+//!   so per-task scheduling overhead cannot dominate at high offered
+//!   load.
+//!
+//! Every admission decision feeds the runtime core's counters
+//! (`jobs_admitted` / `jobs_rejected` / `jobs_shed` / `jobs_retried` /
+//! `jobs_deadline_expired`, surfacing in `SchedDelta` JSON like every
+//! other scheduling counter) and dispatch latency feeds the
+//! [`HistKind::QueueWait`] histogram. The service keeps the exact
+//! conservation law `admitted == completed + shed + cancelled + failed`
+//! once drained — the overload chaos suite asserts it after every
+//! scenario.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cancel::{CancelToken, Cancelled};
+use crate::futures::{future_promise, Future, Promise};
+use crate::metrics::HistKind;
+use crate::runtime::contain;
+use crate::task_pool::TaskPool;
+
+/// Job priority class. Under overload the service sheds [`Low`] first,
+/// then [`Normal`]; [`High`] is only ever shed by its own deadline or
+/// an explicit shutdown.
+///
+/// [`Low`]: Priority::Low
+/// [`Normal`]: Priority::Normal
+/// [`High`]: Priority::High
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort traffic: first to be shed.
+    Low = 0,
+    /// Default class.
+    Normal = 1,
+    /// Latency-critical traffic: never displaced by lower classes.
+    High = 2,
+}
+
+impl Priority {
+    /// Every class, lowest first (shedding order).
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+
+    /// Stable lowercase name, used in stats and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Index into per-class arrays, in [`Priority::ALL`] order (also
+    /// the layout of [`ServiceStatsSnapshot::per_class`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Why a submission was refused at admission. Rejected jobs were never
+/// admitted: they appear in `jobs_rejected` and in no other counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded queue is at capacity and no lower-priority job could
+    /// be displaced.
+    QueueFull,
+    /// The tenant already has its quota of jobs admitted and not yet
+    /// resolved.
+    Quota,
+    /// The service is in shedding mode (queue past the watermark, or
+    /// shutting down, or an injected admission fault) and refuses this
+    /// class.
+    Shedding,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull => f.write_str("admission refused: queue full"),
+            Rejected::Quota => f.write_str("admission refused: tenant quota exhausted"),
+            Rejected::Shedding => f.write_str("admission refused: shedding load"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why an *admitted* job was dropped without executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Displaced by higher-priority traffic under overload.
+    Overload,
+    /// Its deadline expired while it was still queued.
+    DeadlineExpired,
+    /// The service shut down before the job was dispatched.
+    Shutdown,
+}
+
+/// Terminal state of an admitted job, reported through its
+/// [`JobHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// The body ran to completion.
+    Completed(T),
+    /// Dropped before execution (see [`ShedReason`]).
+    Shed(ShedReason),
+    /// The body observed its tripped [`CancelToken`] and bailed, or the
+    /// token tripped between dispatch and execution.
+    Cancelled,
+    /// Every attempt panicked on a transient fault; `attempts` is the
+    /// total number of body executions (1 + retries).
+    Failed {
+        /// Body executions consumed, including the first.
+        attempts: u32,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Retry policy for transient execution failures.
+///
+/// Backoff for retry *n* (1-based) is `base * 2^(n-1)`, capped at
+/// `cap`, then stretched by a deterministic jitter factor in `[1, 1.5)`
+/// derived from `jitter_seed`, the job id, and the attempt number — two
+/// runs of the same workload back off identically, but co-failing jobs
+/// do not thunder back in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum re-executions after the first attempt (0 disables
+    /// retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on the un-jittered backoff.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(10),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry `attempt` (1-based) of `job`.
+    pub fn backoff(&self, job_id: u64, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << (attempt - 1).min(20));
+        let capped = exp.min(self.cap);
+        // xorshift64 over (seed ^ id ^ attempt): cheap, deterministic,
+        // and distinct per (job, attempt) pair.
+        let mut x = self.jitter_seed ^ job_id.rotate_left(17) ^ u64::from(attempt);
+        x |= 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let jitter = 1.0 + (x >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        capped.mul_f64(jitter)
+    }
+}
+
+/// Tiny-job batching policy: consecutive same-class jobs whose cost
+/// hint is at or below `tiny_cost` are dispatched as one pool task of
+/// up to `max_batch` jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Cost-hint threshold below which a job counts as tiny.
+    pub tiny_cost: Duration,
+    /// Maximum jobs folded into one dispatch.
+    pub max_batch: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            tiny_cost: Duration::from_micros(50),
+            max_batch: 8,
+        }
+    }
+}
+
+/// Configuration of a [`JobService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs (at least 1; the dispatcher thread
+    /// is separate and never executes bodies).
+    pub threads: usize,
+    /// Maximum jobs queued (all classes plus pending retries). Beyond
+    /// this, admission displaces lower-priority jobs or refuses.
+    pub queue_cap: usize,
+    /// Maximum jobs per tenant admitted and not yet resolved.
+    pub tenant_quota: usize,
+    /// Maximum jobs dispatched onto workers at once.
+    pub dispatch_window: usize,
+    /// Queue depth at which the service enters shedding mode and
+    /// refuses new [`Priority::Low`] work.
+    pub shed_watermark: usize,
+    /// Deadline applied to jobs whose spec carries none (`None` means
+    /// no implicit deadline).
+    pub default_deadline: Option<Duration>,
+    /// Transient-failure retry policy.
+    pub retry: RetryPolicy,
+    /// Tiny-job batching policy.
+    pub batch: BatchPolicy,
+}
+
+impl ServiceConfig {
+    /// Defaults sized for `threads` workers: queue of 1024, watermark
+    /// at 3/4 of it, a 2-per-worker dispatch window, and a generous
+    /// per-tenant quota.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ServiceConfig {
+            threads,
+            queue_cap: 1024,
+            tenant_quota: 256,
+            dispatch_window: threads * 2,
+            shed_watermark: 768,
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            batch: BatchPolicy::default(),
+        }
+    }
+
+    /// Set the queue capacity and its shedding watermark (3/4 of cap).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self.shed_watermark = (cap.max(1) * 3 / 4).max(1);
+        self
+    }
+
+    /// Set the per-tenant in-flight quota.
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = quota.max(1);
+        self
+    }
+
+    /// Set the dispatch window (max jobs on workers at once).
+    pub fn with_dispatch_window(mut self, window: usize) -> Self {
+        self.dispatch_window = window.max(1);
+        self
+    }
+
+    /// Set the shedding watermark explicitly.
+    pub fn with_shed_watermark(mut self, watermark: usize) -> Self {
+        self.shed_watermark = watermark.max(1);
+        self
+    }
+
+    /// Apply `deadline` to jobs that don't carry their own.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Set the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Set the batching policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
+/// Per-job submission parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// Tenant the job counts against for quota purposes.
+    pub tenant: u64,
+    /// Priority class.
+    pub priority: Priority,
+    /// Expected execution cost, consulted by the batching policy
+    /// (jobs at or below [`BatchPolicy::tiny_cost`] may share a
+    /// dispatch).
+    pub cost_hint: Duration,
+    /// Deadline from submission; `None` falls back to the service
+    /// default.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            tenant: 0,
+            priority: Priority::Normal,
+            cost_hint: Duration::from_micros(100),
+            deadline: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// A spec for `tenant` at [`Priority::Normal`].
+    pub fn tenant(tenant: u64) -> Self {
+        JobSpec {
+            tenant,
+            ..Default::default()
+        }
+    }
+
+    /// Set the priority class.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the cost hint.
+    pub fn cost(mut self, cost: Duration) -> Self {
+        self.cost_hint = cost;
+        self
+    }
+
+    /// Set an explicit deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// The caller's handle on an admitted job.
+pub struct JobHandle<T> {
+    id: u64,
+    token: CancelToken,
+    future: Future<(JobOutcome<T>, Instant)>,
+}
+
+impl<T> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("resolved", &self.future.is_ready())
+            .finish()
+    }
+}
+
+impl<T> JobHandle<T> {
+    /// Service-assigned job id (unique per service instance).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The job's cancellation token; tripping it cancels the job
+    /// cooperatively (shed if still queued, bailed if running and the
+    /// body polls).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_resolved(&self) -> bool {
+        self.future.is_ready()
+    }
+
+    /// Block until the job resolves.
+    pub fn wait(self) -> JobOutcome<T> {
+        self.wait_timed().0
+    }
+
+    /// Block until the job resolves, also returning the instant the
+    /// terminal state was reached (for latency accounting in load
+    /// generators: `resolved - submitted` is the client-visible
+    /// latency even when the caller harvests handles late).
+    pub fn wait_timed(self) -> (JobOutcome<T>, Instant) {
+        match self.future.try_wait() {
+            Ok(v) => v,
+            // Unreachable by construction — the service resolves every
+            // admitted job exactly once — but a lost promise must
+            // surface as a failure, not a panic in the caller.
+            Err(_) => (JobOutcome::Failed { attempts: 0 }, Instant::now()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ClassCounters {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Service-level counters (richer than the pool's scheduling counters:
+/// rejection reasons and per-class terminal outcomes).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    admitted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_shedding: AtomicU64,
+    completed: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_shutdown: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    class: [ClassCounters; 3],
+}
+
+/// Point-in-time copy of [`ServiceStats`], serialized into experiment
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ServiceStatsSnapshot {
+    /// Jobs accepted past admission.
+    pub admitted: u64,
+    /// Refusals: bounded queue at capacity.
+    pub rejected_queue_full: u64,
+    /// Refusals: tenant quota exhausted.
+    pub rejected_quota: u64,
+    /// Refusals: shedding mode, shutdown, or injected admission fault.
+    pub rejected_shedding: u64,
+    /// Jobs whose body ran to completion.
+    pub completed: u64,
+    /// Admitted jobs displaced by higher-priority traffic.
+    pub shed_overload: u64,
+    /// Admitted jobs whose deadline expired in queue.
+    pub shed_deadline: u64,
+    /// Admitted jobs dropped by shutdown.
+    pub shed_shutdown: u64,
+    /// Jobs cancelled at or during execution.
+    pub cancelled: u64,
+    /// Jobs that exhausted their retry budget.
+    pub failed: u64,
+    /// Retry re-queues (bounded by `admitted * max_retries`).
+    pub retries: u64,
+    /// Terminal outcomes by class, in [`Priority::ALL`] order.
+    pub per_class: [ClassStatsSnapshot; 3],
+}
+
+/// Per-class slice of [`ServiceStatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ClassStatsSnapshot {
+    /// Class name (`low` / `normal` / `high`).
+    pub class: &'static str,
+    /// Jobs of this class accepted past admission.
+    pub admitted: u64,
+    /// Completed bodies.
+    pub completed: u64,
+    /// Shed before execution (any [`ShedReason`]).
+    pub shed: u64,
+    /// Cancelled at or during execution.
+    pub cancelled: u64,
+    /// Retry budget exhausted.
+    pub failed: u64,
+}
+
+impl ServiceStatsSnapshot {
+    /// Total admitted jobs shed before execution.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_overload + self.shed_deadline + self.shed_shutdown
+    }
+
+    /// Total refusals at admission.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_quota + self.rejected_shedding
+    }
+
+    /// The conservation law every drained service satisfies:
+    /// `admitted == completed + shed + cancelled + failed`.
+    pub fn accounting_balanced(&self) -> bool {
+        self.admitted == self.completed + self.shed_total() + self.cancelled + self.failed
+    }
+}
+
+impl ServiceStats {
+    fn snapshot(&self) -> ServiceStatsSnapshot {
+        let o = Ordering::Relaxed;
+        let class = |i: usize| {
+            let c: &ClassCounters = &self.class[i];
+            ClassStatsSnapshot {
+                class: Priority::ALL[i].name(),
+                admitted: c.admitted.load(o),
+                completed: c.completed.load(o),
+                shed: c.shed.load(o),
+                cancelled: c.cancelled.load(o),
+                failed: c.failed.load(o),
+            }
+        };
+        ServiceStatsSnapshot {
+            admitted: self.admitted.load(o),
+            rejected_queue_full: self.rejected_queue_full.load(o),
+            rejected_quota: self.rejected_quota.load(o),
+            rejected_shedding: self.rejected_shedding.load(o),
+            completed: self.completed.load(o),
+            shed_overload: self.shed_overload.load(o),
+            shed_deadline: self.shed_deadline.load(o),
+            shed_shutdown: self.shed_shutdown.load(o),
+            cancelled: self.cancelled.load(o),
+            failed: self.failed.load(o),
+            retries: self.retries.load(o),
+            per_class: [class(0), class(1), class(2)],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal job plumbing
+// ---------------------------------------------------------------------
+
+/// Outcome of one body execution attempt.
+enum Attempt {
+    /// Promise resolved with `Completed`.
+    Completed,
+    /// Promise resolved with `Cancelled` (the body bailed).
+    Cancelled,
+    /// Transient panic; the promise is still pending for retry or
+    /// `Failed` resolution.
+    Panicked,
+}
+
+type RunFn = Box<dyn FnMut(&CancelToken) -> Attempt + Send>;
+type FinishFn = Box<dyn FnOnce(Terminal) + Send>;
+
+/// Terminal states resolved outside the body (the body itself resolves
+/// `Completed`/`Cancelled` inline, where the typed value is visible).
+enum Terminal {
+    Shed(ShedReason),
+    Cancelled,
+    Failed { attempts: u32 },
+}
+
+struct QueuedJob {
+    id: u64,
+    tenant: u64,
+    priority: Priority,
+    tiny: bool,
+    token: CancelToken,
+    enqueued: Instant,
+    /// Body executions consumed so far.
+    attempts: u32,
+    run: RunFn,
+    finish: FinishFn,
+}
+
+struct RetryEntry {
+    due: Instant,
+    job: QueuedJob,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// One FIFO per class, indexed by `Priority::index()`.
+    classes: [VecDeque<QueuedJob>; 3],
+    /// Jobs awaiting their backoff, unordered (scanned for due ones).
+    retries: Vec<RetryEntry>,
+    /// Jobs dispatched onto workers and not yet resolved/re-queued.
+    in_flight: usize,
+    /// Admitted-unresolved jobs per tenant.
+    tenants: HashMap<u64, usize>,
+    shutdown: bool,
+}
+
+impl Inner {
+    fn queued(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum::<usize>() + self.retries.len()
+    }
+
+    fn is_drained(&self) -> bool {
+        self.queued() == 0 && self.in_flight == 0
+    }
+
+    fn tenant_release(&mut self, tenant: u64) {
+        if let Some(n) = self.tenants.get_mut(&tenant) {
+            *n -= 1;
+            if *n == 0 {
+                self.tenants.remove(&tenant);
+            }
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    /// The pool's core (metrics, faults) — deliberately NOT the pool
+    /// itself. Worker task closures hold `Arc<Shared>`; if `Shared`
+    /// owned the pool, a worker dropping the last reference would drop
+    /// the pool from a worker thread and self-join. The pool is owned
+    /// by [`JobService`] (and, while it runs, the dispatcher thread).
+    core: Arc<crate::runtime::RuntimeCore>,
+    inner: Mutex<Inner>,
+    /// Signaled on submission, completion, retry re-queue, shutdown —
+    /// anything the dispatcher or a `join` waiter cares about.
+    cond: Condvar,
+    /// Arc'd so the typed run closures can bump terminal counters
+    /// *before* resolving their promise (the accounting law must
+    /// already hold when a waiter observes the outcome).
+    stats: Arc<ServiceStats>,
+}
+
+impl Shared {
+    /// Resolve a job as terminal and update every counter. Caller must
+    /// have already removed the job from all queues; `inner` must NOT
+    /// be locked (finish closures take the promise lock).
+    fn resolve_terminal(&self, job: QueuedJob, terminal: Terminal) {
+        let o = Ordering::Relaxed;
+        let class = &self.stats.class[job.priority.index()];
+        match &terminal {
+            Terminal::Shed(reason) => {
+                let deadline = matches!(reason, ShedReason::DeadlineExpired);
+                match reason {
+                    ShedReason::Overload => self.stats.shed_overload.fetch_add(1, o),
+                    ShedReason::DeadlineExpired => self.stats.shed_deadline.fetch_add(1, o),
+                    ShedReason::Shutdown => self.stats.shed_shutdown.fetch_add(1, o),
+                };
+                class.shed.fetch_add(1, o);
+                self.core.metrics().record_job_shed(deadline);
+            }
+            Terminal::Cancelled => {
+                self.stats.cancelled.fetch_add(1, o);
+                class.cancelled.fetch_add(1, o);
+                self.core.metrics().record_cancel(1, 1);
+            }
+            Terminal::Failed { .. } => {
+                self.stats.failed.fetch_add(1, o);
+                class.failed.fetch_add(1, o);
+            }
+        }
+        (job.finish)(terminal);
+        let mut inner = self.inner.lock();
+        inner.tenant_release(job.tenant);
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Book a job whose body just resolved its own promise. The run
+    /// closure already bumped the completed/cancelled stats *before*
+    /// resolving (so the accounting law holds the instant a waiter
+    /// sees the outcome); this only releases scheduling bookkeeping.
+    /// Tenant quota therefore frees a beat *after* resolution — a
+    /// client that resubmits the instant its wait returns can still
+    /// briefly count as over quota.
+    fn settle_executed(&self, job: QueuedJob, attempt: Attempt) {
+        match attempt {
+            Attempt::Completed => {}
+            Attempt::Cancelled => self.core.metrics().record_cancel(1, 1),
+            Attempt::Panicked => unreachable!("retry path handles panics"),
+        }
+        let mut inner = self.inner.lock();
+        inner.in_flight -= 1;
+        inner.tenant_release(job.tenant);
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Execute one dispatched job on a worker: run the body (panic
+    /// containment inside), then either settle it or re-queue a retry.
+    fn execute_one(self: &Arc<Self>, mut job: QueuedJob) {
+        if job.token.is_cancelled() {
+            // Tripped between dispatch and execution: the job *was*
+            // dispatched, so this counts as a cancellation, not a shed.
+            let mut inner = self.inner.lock();
+            inner.in_flight -= 1;
+            inner.tenant_release(job.tenant);
+            drop(inner);
+            let o = Ordering::Relaxed;
+            self.stats.cancelled.fetch_add(1, o);
+            self.stats.class[job.priority.index()]
+                .cancelled
+                .fetch_add(1, o);
+            self.core.metrics().record_cancel(1, 1);
+            (job.finish)(Terminal::Cancelled);
+            self.cond.notify_all();
+            return;
+        }
+        job.attempts += 1;
+        match (job.run)(&job.token) {
+            Attempt::Panicked => {
+                if job.attempts <= self.cfg.retry.max_retries {
+                    let retry_no = job.attempts;
+                    let due = Instant::now() + self.cfg.retry.backoff(job.id, retry_no);
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.core.metrics().record_job_retried();
+                    job.enqueued = Instant::now();
+                    let mut inner = self.inner.lock();
+                    inner.in_flight -= 1;
+                    inner.retries.push(RetryEntry { due, job });
+                    drop(inner);
+                    self.cond.notify_all();
+                } else {
+                    let attempts = job.attempts;
+                    let mut inner = self.inner.lock();
+                    inner.in_flight -= 1;
+                    drop(inner);
+                    // resolve_terminal re-locks to release the tenant.
+                    self.resolve_terminal(job, Terminal::Failed { attempts });
+                }
+            }
+            done => self.settle_executed(job, done),
+        }
+    }
+
+    /// Pop the next dispatchable batch under `inner`: highest class
+    /// first, consecutive tiny same-class jobs coalesced, window
+    /// respected (checked before the batch starts, so a tiny batch may
+    /// overshoot it by at most `max_batch - 1` jobs — batching one pool
+    /// task per batch is the point, a per-job window check would defeat
+    /// it under tight windows). Cancelled-in-queue jobs encountered on
+    /// the way are returned separately — they are sheds, not
+    /// dispatches.
+    fn pop_batch(&self, inner: &mut Inner) -> (Vec<QueuedJob>, Vec<QueuedJob>) {
+        let mut batch = Vec::new();
+        let mut sheds = Vec::new();
+        while batch.is_empty() && inner.in_flight < self.cfg.dispatch_window {
+            let Some(class_idx) = (0..3).rev().find(|&c| !inner.classes[c].is_empty()) else {
+                break;
+            };
+            let first = inner.classes[class_idx].pop_front().expect("non-empty");
+            if first.token.is_cancelled() {
+                // Expired between sweeps: still in queue, so this is a
+                // shed, not an executed-then-cancelled job.
+                sheds.push(first);
+                continue;
+            }
+            let batch_tiny = first.tiny;
+            batch.push(first);
+            if batch_tiny {
+                while batch.len() < self.cfg.batch.max_batch
+                    && inner.classes[class_idx]
+                        .front()
+                        .is_some_and(|j| j.tiny && !j.token.is_cancelled())
+                {
+                    batch.push(inner.classes[class_idx].pop_front().expect("checked"));
+                }
+            }
+            inner.in_flight += batch.len();
+        }
+        (batch, sheds)
+    }
+
+    /// Record the admission→dispatch wait of every job in a batch.
+    fn observe_queue_wait(&self, batch: &[QueuedJob]) {
+        let now = Instant::now();
+        for job in batch {
+            self.core.metrics().observe(
+                HistKind::QueueWait,
+                now.duration_since(job.enqueued).as_nanos() as u64,
+            );
+        }
+    }
+
+    /// Run a dispatched batch, then keep pulling work while the window
+    /// has room — direct handoff. The worker that just freed a slot
+    /// takes the next highest-priority job itself, so under overload
+    /// the top class's latency is bounded by one residual service time
+    /// rather than by dispatcher wakeups, which on a saturated machine
+    /// cost scheduler latency per hop.
+    fn run_batch(self: &Arc<Self>, batch: Vec<QueuedJob>) {
+        for job in batch {
+            self.execute_one(job);
+        }
+        loop {
+            let (batch, sheds) = {
+                let mut inner = self.inner.lock();
+                if inner.shutdown {
+                    // The dispatcher owns shutdown draining: queued
+                    // jobs are shed there, not executed here.
+                    return;
+                }
+                self.pop_batch(&mut inner)
+            };
+            for job in sheds {
+                self.resolve_terminal(job, Terminal::Shed(ShedReason::DeadlineExpired));
+            }
+            if batch.is_empty() {
+                return;
+            }
+            self.observe_queue_wait(&batch);
+            for job in batch {
+                self.execute_one(job);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------
+
+/// A multi-tenant job-submission service over a shared [`TaskPool`].
+///
+/// Construct with [`JobService::new`], submit with
+/// [`submit`](Self::submit), drain with [`join`](Self::join). Dropping
+/// the service sheds whatever is still queued (counted as
+/// [`ShedReason::Shutdown`]), waits for in-flight jobs, and joins its
+/// dispatcher and workers.
+pub struct JobService {
+    shared: Arc<Shared>,
+    /// Owned here (not in `Shared`) so the workers are always joined
+    /// from the caller's thread — see the note on [`Shared::core`].
+    pool: Arc<TaskPool>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl JobService {
+    /// Build a service with `cfg.threads` workers plus one dispatcher
+    /// thread.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        // `TaskPool` follows master-participates semantics: a pool of
+        // `t` threads has `t - 1` workers and expects the caller to
+        // help during `run`. Nobody calls `run` here — jobs arrive via
+        // `spawn` — so size the pool one above the configured worker
+        // count to get exactly `cfg.threads` executing workers.
+        let pool = Arc::new(TaskPool::new(cfg.threads.max(1) + 1));
+        let shared = Arc::new(Shared {
+            cfg,
+            core: pool.core_arc(),
+            inner: Mutex::new(Inner::default()),
+            cond: Condvar::new(),
+            stats: Arc::new(ServiceStats::default()),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("pstl-svc-dispatch".into())
+                .spawn(move || dispatch_loop(&shared, &pool))
+                .expect("spawn service dispatcher")
+        };
+        JobService {
+            shared,
+            pool,
+            dispatcher: Some(dispatcher),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Service with default config for `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        JobService::new(ServiceConfig::new(threads))
+    }
+
+    /// Submit a job. `f` runs on a pool worker with the job's
+    /// [`CancelToken`]; long bodies should poll it (or
+    /// [`bail`](CancelToken::bail)) at natural boundaries. `f` may run
+    /// more than once under the retry policy, so it must be `Fn`, and
+    /// it must be idempotent under retry or tolerate re-execution.
+    ///
+    /// Returns the handle on admission, or a typed [`Rejected`] error.
+    pub fn submit<T, F>(&self, spec: JobSpec, f: F) -> Result<JobHandle<T>, Rejected>
+    where
+        T: Send + 'static,
+        F: Fn(&CancelToken) -> T + Send + 'static,
+    {
+        let shared = &self.shared;
+        let metrics_reject = |stat: &AtomicU64, err: Rejected| {
+            stat.fetch_add(1, Ordering::Relaxed);
+            shared.core.metrics().record_job_rejected();
+            Err(err)
+        };
+
+        // Injected admission fault (chaos testing): deterministic
+        // rejection of the k-th submission, reported as shedding.
+        if shared.core.faults().on_admission() {
+            return metrics_reject(&shared.stats.rejected_shedding, Rejected::Shedding);
+        }
+
+        let mut inner = shared.inner.lock();
+        if inner.shutdown {
+            drop(inner);
+            return metrics_reject(&shared.stats.rejected_shedding, Rejected::Shedding);
+        }
+        if inner.tenants.get(&spec.tenant).copied().unwrap_or(0) >= shared.cfg.tenant_quota {
+            drop(inner);
+            return metrics_reject(&shared.stats.rejected_quota, Rejected::Quota);
+        }
+        let queued = inner.queued();
+        if queued >= shared.cfg.shed_watermark && spec.priority == Priority::Low {
+            drop(inner);
+            return metrics_reject(&shared.stats.rejected_shedding, Rejected::Shedding);
+        }
+        let mut displaced = None;
+        if queued >= shared.cfg.queue_cap {
+            // Shed-to-admit: displace the newest job of a strictly
+            // lower class, lowest class first. If none exists the
+            // queue really is full for this caller.
+            let victim_class = (0..spec.priority.index()).find(|&c| !inner.classes[c].is_empty());
+            match victim_class {
+                Some(c) => displaced = inner.classes[c].pop_back(),
+                None => {
+                    drop(inner);
+                    return metrics_reject(&shared.stats.rejected_queue_full, Rejected::QueueFull);
+                }
+            }
+        }
+
+        // Admitted.
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = spec.deadline.or(shared.cfg.default_deadline);
+        let token = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let (future, promise) = future_promise::<(JobOutcome<T>, Instant)>();
+        let slot = Arc::new(Mutex::new(Some(promise)));
+        let run = make_run(
+            Arc::clone(&slot),
+            f,
+            Arc::clone(&shared.stats),
+            spec.priority.index(),
+            shared.core.faults().hook(),
+        );
+        let finish = make_finish(slot);
+        let job = QueuedJob {
+            id,
+            tenant: spec.tenant,
+            priority: spec.priority,
+            tiny: spec.cost_hint <= shared.cfg.batch.tiny_cost,
+            token: token.clone(),
+            enqueued: Instant::now(),
+            attempts: 0,
+            run,
+            finish,
+        };
+        inner.classes[spec.priority.index()].push_back(job);
+        *inner.tenants.entry(spec.tenant).or_insert(0) += 1;
+        drop(inner);
+
+        let o = Ordering::Relaxed;
+        shared.stats.admitted.fetch_add(1, o);
+        shared.stats.class[spec.priority.index()]
+            .admitted
+            .fetch_add(1, o);
+        shared.core.metrics().record_job_admitted();
+        if let Some(victim) = displaced {
+            shared.resolve_terminal(victim, Terminal::Shed(ShedReason::Overload));
+        }
+        shared.cond.notify_all();
+        Ok(JobHandle { id, token, future })
+    }
+
+    /// Block until every admitted job has resolved (queue, retries and
+    /// in-flight all empty). Racy against concurrent submitters by
+    /// nature: it waits for a moment of quiescence, not a permanent
+    /// one.
+    pub fn join(&self) {
+        let mut inner = self.shared.inner.lock();
+        while !inner.is_drained() {
+            // Timed wait: retry due-times and queued deadlines advance
+            // without notifications.
+            self.shared
+                .cond
+                .wait_for(&mut inner, Duration::from_millis(1));
+        }
+    }
+
+    /// Service-level counters.
+    pub fn stats(&self) -> ServiceStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Scheduling counters of the underlying pool (includes the
+    /// `jobs_*` service counters).
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.shared.core.snapshot()
+    }
+
+    /// Distribution metrics of the underlying pool (includes
+    /// [`HistKind::QueueWait`]; carries samples only with the `trace`
+    /// feature).
+    pub fn hist_snapshot(&self) -> crate::metrics::HistSet {
+        self.shared.core.hist_snapshot()
+    }
+
+    /// Install a fault plan on the underlying pool (panics at task
+    /// bodies, admission rejections; see [`crate::fault`]).
+    pub fn install_fault_plan(&self, plan: crate::fault::FaultPlan) {
+        self.shared.core.install_fault_plan(plan);
+    }
+
+    /// Jobs currently queued (all classes plus pending retries).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.inner.lock().queued()
+    }
+
+    /// The underlying pool, for running parallel regions on the same
+    /// workers after (or between) service traffic.
+    pub fn pool(&self) -> &TaskPool {
+        &self.pool
+    }
+
+    /// Worker threads executing jobs.
+    pub fn threads(&self) -> usize {
+        self.cfg().threads
+    }
+
+    /// The service configuration.
+    pub fn cfg(&self) -> &ServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// Stop admitting, shed everything still queued (counted as
+    /// [`ShedReason::Shutdown`]), wait for in-flight jobs to resolve,
+    /// and join the dispatcher. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock();
+            inner.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        // The dispatcher shed the queues on its way out; in-flight
+        // bodies still resolve on workers.
+        let mut inner = self.shared.inner.lock();
+        while inner.in_flight > 0 || inner.queued() > 0 {
+            self.shared
+                .cond
+                .wait_for(&mut inner, Duration::from_millis(1));
+        }
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One-shot promise slot shared between the attempt closure and the
+/// terminal resolver: whichever side fires first takes the promise.
+type PromiseSlot<T> = Arc<Mutex<Option<Promise<(JobOutcome<T>, Instant)>>>>;
+
+/// Build the type-erased single-attempt closure: runs the body under
+/// the runtime's shared panic envelope, resolves the promise for
+/// completed and cancelled outcomes, and reports transient panics for
+/// the retry machinery. Stats are bumped *before* the promise resolves
+/// so the accounting law holds the instant a waiter observes the
+/// outcome.
+fn make_run<T, F>(
+    slot: PromiseSlot<T>,
+    f: F,
+    stats: Arc<ServiceStats>,
+    class: usize,
+    faults: crate::fault::FaultHook,
+) -> RunFn
+where
+    T: Send + 'static,
+    F: Fn(&CancelToken) -> T + Send + 'static,
+{
+    Box::new(move |token: &CancelToken| {
+        let o = Ordering::Relaxed;
+        // The fault hook fires inside the containment envelope (like the
+        // pools do in their task bodies), so an injected panic takes the
+        // same retry route as a real transient one.
+        match contain(|| {
+            faults.on_task();
+            f(token)
+        }) {
+            Ok(v) => {
+                if let Some(p) = slot.lock().take() {
+                    stats.completed.fetch_add(1, o);
+                    stats.class[class].completed.fetch_add(1, o);
+                    p.set((JobOutcome::Completed(v), Instant::now()));
+                }
+                Attempt::Completed
+            }
+            Err(payload) => {
+                if Cancelled::is_payload(&*payload) {
+                    if let Some(p) = slot.lock().take() {
+                        stats.cancelled.fetch_add(1, o);
+                        stats.class[class].cancelled.fetch_add(1, o);
+                        p.set((JobOutcome::Cancelled, Instant::now()));
+                    }
+                    Attempt::Cancelled
+                } else {
+                    // Transient fault: keep the promise pending; the
+                    // service retries or resolves `Failed`.
+                    Attempt::Panicked
+                }
+            }
+        }
+    })
+}
+
+/// Build the type-erased terminal resolver for outcomes decided outside
+/// the body (shed, dispatch-time cancellation, retries exhausted).
+fn make_finish<T>(slot: PromiseSlot<T>) -> FinishFn
+where
+    T: Send + 'static,
+{
+    Box::new(move |terminal: Terminal| {
+        if let Some(p) = slot.lock().take() {
+            let outcome = match terminal {
+                Terminal::Shed(reason) => JobOutcome::Shed(reason),
+                Terminal::Cancelled => JobOutcome::Cancelled,
+                Terminal::Failed { attempts } => JobOutcome::Failed { attempts },
+            };
+            p.set((outcome, Instant::now()));
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------
+
+/// The dispatcher thread: moves due retries back to their class queues,
+/// sheds expired-in-queue jobs, and dispatches High → Normal → Low onto
+/// the pool while the in-flight window has room, batching consecutive
+/// tiny same-class jobs into one pool task.
+fn dispatch_loop(shared: &Arc<Shared>, pool: &Arc<TaskPool>) {
+    // Expired-in-queue jobs surface two ways: a cheap token check as
+    // each job is popped for dispatch, and a periodic full sweep for
+    // jobs parked deep in a backlogged queue. The full sweep is
+    // O(queue) under the lock, so it runs on a timer rather than on
+    // every wake — under overload the queues sit at the watermark and
+    // the dispatcher's reaction time is the high class's latency floor.
+    const SWEEP_PERIOD: Duration = Duration::from_millis(5);
+    let mut next_sweep = Instant::now();
+    loop {
+        let mut sheds: Vec<QueuedJob> = Vec::new();
+        let mut batches: Vec<Vec<QueuedJob>> = Vec::new();
+        let shutting_down;
+        {
+            let mut inner = shared.inner.lock();
+            shutting_down = inner.shutdown;
+
+            // Due retries rejoin their class queue (at the back: a
+            // retried job does not preempt fresher traffic of its own
+            // class).
+            let now = Instant::now();
+            let mut i = 0;
+            while i < inner.retries.len() {
+                if shutting_down || inner.retries[i].due <= now {
+                    let entry = inner.retries.swap_remove(i);
+                    inner.classes[entry.job.priority.index()].push_back(entry.job);
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Shed expired-in-queue (or handle-cancelled) jobs before
+            // they cost a dispatch slot; on shutdown, shed everything
+            // still queued.
+            if shutting_down || now >= next_sweep {
+                next_sweep = now + SWEEP_PERIOD;
+                for class in &mut inner.classes {
+                    if shutting_down {
+                        sheds.extend(class.drain(..));
+                        continue;
+                    }
+                    let mut kept = VecDeque::with_capacity(class.len());
+                    while let Some(job) = class.pop_front() {
+                        if job.token.is_cancelled() {
+                            sheds.push(job);
+                        } else {
+                            kept.push_back(job);
+                        }
+                    }
+                    *class = kept;
+                }
+            }
+
+            // Dispatch while the window has room, highest class first
+            // (see `pop_batch` for the batching/window rules).
+            loop {
+                let (batch, popped_sheds) = shared.pop_batch(&mut inner);
+                sheds.extend(popped_sheds);
+                if batch.is_empty() {
+                    break;
+                }
+                batches.push(batch);
+            }
+        }
+
+        // Outside the lock: resolve sheds and hand batches to the pool.
+        let shed_reason = if shutting_down {
+            ShedReason::Shutdown
+        } else {
+            ShedReason::DeadlineExpired
+        };
+        for job in sheds {
+            shared.resolve_terminal(job, Terminal::Shed(shed_reason));
+        }
+        for batch in batches {
+            let shared = Arc::clone(shared);
+            let size = batch.len() as u64;
+            shared.observe_queue_wait(&batch);
+            // The batch future is intentionally dropped: each job
+            // resolves through its own promise. The worker keeps
+            // pulling further work after the batch (direct handoff).
+            drop(Arc::clone(pool).spawn_sized(size, move || shared.run_batch(batch)));
+        }
+
+        let mut inner = shared.inner.lock();
+        if inner.shutdown && inner.queued() == 0 {
+            return;
+        }
+        if inner.queued() == 0 || inner.in_flight >= shared.cfg.dispatch_window {
+            // Nothing dispatchable right now. Timed wait so retry
+            // due-times and queued deadlines make progress without a
+            // notification.
+            let timeout = if inner.queued() == 0 && inner.in_flight == 0 {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(1)
+            };
+            shared.cond.wait_for(&mut inner, timeout);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> JobSpec {
+        JobSpec::default().cost(Duration::from_micros(1))
+    }
+
+    #[test]
+    fn submit_and_complete() {
+        let svc = JobService::with_threads(2);
+        let h = svc.submit(JobSpec::default(), |_| 6 * 7).unwrap();
+        assert_eq!(h.wait().completed(), Some(42));
+        svc.join();
+        let s = svc.stats();
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.completed, 1);
+        assert!(s.accounting_balanced());
+    }
+
+    #[test]
+    fn many_jobs_from_many_tenants_complete() {
+        let svc = JobService::with_threads(4);
+        let handles: Vec<_> = (0..200u64)
+            .map(|i| {
+                svc.submit(
+                    JobSpec::tenant(i % 7).cost(Duration::from_micros(1)),
+                    move |_| i,
+                )
+                .unwrap()
+            })
+            .collect();
+        let sum: u64 = handles
+            .into_iter()
+            .map(|h| h.wait().completed().unwrap())
+            .sum();
+        assert_eq!(sum, (0..200u64).sum());
+        svc.join();
+        let s = svc.stats();
+        assert_eq!(s.admitted, 200);
+        assert_eq!(s.completed, 200);
+        assert!(s.accounting_balanced());
+        assert_eq!(svc.metrics().jobs_admitted, 200);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_typed() {
+        let cfg = ServiceConfig::new(1).with_tenant_quota(2);
+        let svc = JobService::new(cfg);
+        // Park the single worker so submissions stay queued.
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(JobSpec::tenant(1), move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        let _queued = svc.submit(JobSpec::tenant(1), |_| ()).unwrap();
+        let refused = svc.submit::<(), _>(JobSpec::tenant(1), |_| ());
+        assert_eq!(refused.unwrap_err(), Rejected::Quota);
+        // A different tenant is unaffected.
+        let other = svc.submit(JobSpec::tenant(2), |_| ()).unwrap();
+        gate.store(true, Ordering::Release);
+        blocker.wait();
+        other.wait();
+        svc.join();
+        let s = svc.stats();
+        assert_eq!(s.rejected_quota, 1);
+        assert!(s.accounting_balanced());
+    }
+
+    #[test]
+    fn queue_full_displaces_lower_class_first() {
+        let cfg = ServiceConfig::new(1)
+            .with_queue_cap(2)
+            .with_shed_watermark(100) // keep shedding mode out of the way
+            .with_dispatch_window(1);
+        let svc = JobService::new(cfg);
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(JobSpec::default().priority(Priority::High), move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        // Give the dispatcher a moment to move the blocker in-flight.
+        while svc.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let low = svc
+            .submit(JobSpec::default().priority(Priority::Low), |_| ())
+            .unwrap();
+        let _norm = svc
+            .submit(JobSpec::default().priority(Priority::Normal), |_| ())
+            .unwrap();
+        // Queue now at cap (2). A High submission displaces the Low job…
+        let high = svc
+            .submit(JobSpec::default().priority(Priority::High), |_| ())
+            .unwrap();
+        assert_eq!(low.wait(), JobOutcome::Shed(ShedReason::Overload));
+        // …but a Low submission cannot displace anyone.
+        let refused = svc.submit::<(), _>(JobSpec::default().priority(Priority::Low), |_| ());
+        assert_eq!(refused.unwrap_err(), Rejected::QueueFull);
+        gate.store(true, Ordering::Release);
+        blocker.wait();
+        assert!(high.wait().completed().is_some());
+        svc.join();
+        let s = svc.stats();
+        assert_eq!(s.shed_overload, 1);
+        assert_eq!(s.rejected_queue_full, 1);
+        assert!(s.accounting_balanced());
+        assert_eq!(s.per_class[Priority::High.index()].shed, 0);
+    }
+
+    #[test]
+    fn shedding_mode_refuses_low_only() {
+        let cfg = ServiceConfig::new(1)
+            .with_queue_cap(100)
+            .with_shed_watermark(1)
+            .with_dispatch_window(1);
+        let svc = JobService::new(cfg);
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(JobSpec::default(), move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        while svc.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let _queued = svc.submit(JobSpec::default(), |_| ()).unwrap();
+        // Past the watermark: Low refused, Normal/High still admitted.
+        let low = svc.submit::<(), _>(JobSpec::default().priority(Priority::Low), |_| ());
+        assert_eq!(low.unwrap_err(), Rejected::Shedding);
+        let high = svc
+            .submit(JobSpec::default().priority(Priority::High), |_| 1)
+            .unwrap();
+        gate.store(true, Ordering::Release);
+        blocker.wait();
+        assert_eq!(high.wait().completed(), Some(1));
+        svc.join();
+        assert!(svc.stats().accounting_balanced());
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_is_shed_not_cancelled() {
+        let cfg = ServiceConfig::new(1).with_dispatch_window(1);
+        let svc = JobService::new(cfg);
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(JobSpec::default(), move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        while svc.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        // 1ms deadline, stuck behind the blocker for ~30ms: must be
+        // shed before execution.
+        let doomed = svc
+            .submit(
+                JobSpec::default().deadline(Duration::from_millis(1)),
+                |_| "ran",
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        gate.store(true, Ordering::Release);
+        blocker.wait();
+        assert_eq!(doomed.wait(), JobOutcome::Shed(ShedReason::DeadlineExpired));
+        svc.join();
+        let s = svc.stats();
+        assert_eq!(s.shed_deadline, 1);
+        assert_eq!(s.cancelled, 0);
+        assert!(s.accounting_balanced());
+        let m = svc.metrics();
+        assert_eq!(m.jobs_shed, 1);
+        assert_eq!(m.jobs_deadline_expired, 1);
+    }
+
+    #[test]
+    fn body_bail_counts_as_cancelled() {
+        let svc = JobService::with_threads(2);
+        let h = svc
+            .submit(JobSpec::default(), |token: &CancelToken| {
+                token.cancel();
+                token.bail();
+            })
+            .unwrap();
+        assert_eq!(h.wait(), JobOutcome::Cancelled);
+        svc.join();
+        let s = svc.stats();
+        assert_eq!(s.cancelled, 1);
+        assert!(s.accounting_balanced());
+    }
+
+    #[test]
+    fn transient_panics_retry_then_fail() {
+        let cfg = ServiceConfig::new(2).with_retry(RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(100),
+            jitter_seed: 7,
+        });
+        let svc = JobService::new(cfg);
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let h = svc
+            .submit(JobSpec::default(), move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+                panic!("transient");
+            })
+            .unwrap();
+        assert_eq!(h.wait(), JobOutcome::Failed { attempts: 3 });
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "1 try + 2 retries");
+        svc.join();
+        let s = svc.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.failed, 1);
+        assert!(s.accounting_balanced());
+        assert_eq!(svc.metrics().jobs_retried, 2);
+    }
+
+    #[test]
+    fn transient_panic_then_success_completes() {
+        let cfg = ServiceConfig::new(2).with_retry(RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(100),
+            jitter_seed: 7,
+        });
+        let svc = JobService::new(cfg);
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let h = svc
+            .submit(JobSpec::default(), move |_| {
+                if c.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                "recovered"
+            })
+            .unwrap();
+        assert_eq!(h.wait().completed(), Some("recovered"));
+        svc.join();
+        let s = svc.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.failed, 0);
+        assert!(s.accounting_balanced());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+            jitter_seed: 42,
+        };
+        assert_eq!(p.backoff(9, 1), p.backoff(9, 1), "deterministic");
+        assert_ne!(p.backoff(9, 1), p.backoff(10, 1), "varies by job");
+        assert_ne!(p.backoff(9, 1), p.backoff(9, 2), "varies by attempt");
+        for a in 1..=5 {
+            let b = p.backoff(3, a);
+            assert!(b >= p.base, "at least base");
+            assert!(b <= p.cap.mul_f64(1.5), "cap plus max jitter");
+        }
+        // Un-jittered growth: attempt 2 backs off at least as long as
+        // attempt 1's un-jittered base.
+        assert!(p.backoff(3, 3) >= p.base.mul_f64(1.0));
+    }
+
+    #[test]
+    fn tiny_jobs_batch_into_fewer_pool_tasks() {
+        let cfg = ServiceConfig::new(1)
+            .with_dispatch_window(2)
+            .with_batch(BatchPolicy {
+                tiny_cost: Duration::from_micros(50),
+                max_batch: 8,
+            });
+        let svc = JobService::new(cfg);
+        // Two blockers (cost above tiny) fill the dispatch window, so
+        // the 32 tiny jobs all accumulate in queue and batch formation
+        // is deterministic once the gate opens.
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let blockers: Vec<_> = (0..2)
+            .map(|_| {
+                let g = Arc::clone(&gate);
+                svc.submit(
+                    JobSpec::default().cost(Duration::from_millis(1)),
+                    move |_| {
+                        while !g.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        while svc.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let handles: Vec<_> = (0..32)
+            .map(|_| svc.submit(tiny_spec(), |_| ()).unwrap())
+            .collect();
+        gate.store(true, Ordering::Release);
+        for b in blockers {
+            b.wait();
+        }
+        for h in handles {
+            assert!(h.wait().completed().is_some());
+        }
+        svc.join();
+        // 32 tiny jobs in batches of up to 8 plus 2 blockers: at most
+        // 2 + 32/8 = 6 pool tasks, far fewer than 34 unbatched ones.
+        let tasks = svc.metrics().tasks_executed;
+        assert!(
+            tasks <= 6,
+            "expected batched dispatch, got {tasks} pool tasks for 34 jobs"
+        );
+        assert!(svc.stats().accounting_balanced());
+    }
+
+    #[test]
+    fn drop_sheds_queued_jobs_as_shutdown() {
+        let cfg = ServiceConfig::new(1).with_dispatch_window(1);
+        let svc = JobService::new(cfg);
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(JobSpec::default(), move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        while svc.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let queued = svc.submit(JobSpec::default(), |_| "never runs").unwrap();
+        gate.store(true, Ordering::Release);
+        let stats;
+        {
+            let mut svc = svc;
+            // shutdown() sheds the queued job and waits for the blocker.
+            svc.shutdown();
+            stats = svc.stats();
+        }
+        blocker.wait();
+        assert_eq!(queued.wait(), JobOutcome::Shed(ShedReason::Shutdown));
+        assert_eq!(stats.shed_shutdown, 1);
+        assert!(stats.accounting_balanced());
+    }
+
+    #[test]
+    fn pool_stays_usable_for_parallel_regions() {
+        let svc = JobService::with_threads(2);
+        let handles: Vec<_> = (0..50)
+            .map(|i| svc.submit(tiny_spec(), move |_| i).unwrap())
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+        svc.join();
+        // The same workers still run plain parallel regions.
+        let hits = AtomicU64::new(0);
+        use crate::Executor;
+        svc.pool().run(100, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn handle_cancel_before_dispatch_sheds() {
+        let cfg = ServiceConfig::new(1).with_dispatch_window(1);
+        let svc = JobService::new(cfg);
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(JobSpec::default(), move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        while svc.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let h = svc.submit(JobSpec::default(), |_| "never").unwrap();
+        h.token().cancel();
+        // Dispatcher sheds it on its next sweep even while the worker
+        // is blocked.
+        std::thread::sleep(Duration::from_millis(10));
+        gate.store(true, Ordering::Release);
+        blocker.wait();
+        assert_eq!(h.wait(), JobOutcome::Shed(ShedReason::DeadlineExpired));
+        svc.join();
+        assert!(svc.stats().accounting_balanced());
+    }
+
+    #[test]
+    fn queue_wait_histogram_records_with_trace() {
+        let svc = JobService::with_threads(2);
+        let handles: Vec<_> = (0..20)
+            .map(|_| svc.submit(tiny_spec(), |_| ()).unwrap())
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+        svc.join();
+        let hists = svc.hist_snapshot();
+        let qw = hists.get(HistKind::QueueWait);
+        if pstl_trace::enabled() {
+            assert_eq!(qw.count(), 20, "one queue-wait sample per dispatched job");
+        } else {
+            assert!(qw.is_empty());
+        }
+    }
+}

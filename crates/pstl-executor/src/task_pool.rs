@@ -156,6 +156,11 @@ impl TaskPool {
         self.rt.core()
     }
 
+    /// Owning handle on the core; see [`Runtime::core_arc`].
+    pub(crate) fn core_arc(&self) -> std::sync::Arc<RuntimeCore> {
+        self.rt.core_arc()
+    }
+
     /// Lock the run-serialization lock and return the caller context
     /// (track 0). The futures pool's run path serializes through this,
     /// like `run` itself.

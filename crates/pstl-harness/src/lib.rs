@@ -16,6 +16,7 @@
 //! * [`Measurement`] — named result with optional bytes/items throughput;
 //! * [`report`] — aligned text tables and JSON encoding.
 
+pub mod load;
 pub mod report;
 pub mod stats;
 
@@ -138,6 +139,9 @@ pub struct LatencyDelta {
     /// Chunk sizes claimed from shared sources (guided cursor,
     /// adaptive split queue), in indices.
     pub claim_size: Option<HistogramSummary>,
+    /// Admission-to-dispatch wait of service jobs, nanoseconds (only
+    /// recorded by the job-service layer).
+    pub queue_wait_ns: Option<HistogramSummary>,
 }
 
 impl LatencyDelta {
@@ -146,8 +150,13 @@ impl LatencyDelta {
             task_duration_ns: HistogramSummary::from_snapshot(delta.get(HistKind::TaskDuration)),
             steal_latency_ns: HistogramSummary::from_snapshot(delta.get(HistKind::StealLatency)),
             claim_size: HistogramSummary::from_snapshot(delta.get(HistKind::ClaimSize)),
+            queue_wait_ns: HistogramSummary::from_snapshot(delta.get(HistKind::QueueWait)),
         };
-        if d.task_duration_ns.is_none() && d.steal_latency_ns.is_none() && d.claim_size.is_none() {
+        if d.task_duration_ns.is_none()
+            && d.steal_latency_ns.is_none()
+            && d.claim_size.is_none()
+            && d.queue_wait_ns.is_none()
+        {
             None
         } else {
             Some(d)
@@ -662,6 +671,7 @@ mod tests {
                 }),
                 steal_latency_ns: None,
                 claim_size: None,
+                queue_wait_ns: None,
             }),
             profile: Some(ProfileSummary {
                 span_ns: 1_000_000,

@@ -21,6 +21,7 @@ pub mod find_position;
 pub mod numa_real;
 pub mod profile;
 pub mod roofline;
+pub mod service;
 pub mod skew;
 pub mod skew_real;
 pub mod table1;

@@ -258,6 +258,72 @@ fn deadline_mid_search_cancels_and_pool_stays_reusable() {
     assert_eq!(pstl::find(&clean, &v, &1), Some(31_337));
 }
 
+mod deadline_monotonicity {
+    //! Property: a deadline token trips *monotonically* — once
+    //! `is_cancelled` returns true it never returns false again, for
+    //! any deadline, observation schedule, or number of observers, and
+    //! a zero deadline is tripped from the first observation.
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn deadline_tokens_trip_once_and_stay_tripped(
+            deadline_us in 0u64..3_000,
+            polls in 2usize..40,
+            gap_us in prop::collection::vec(0u64..300, 2..40),
+        ) {
+            let token = CancelToken::with_deadline(Duration::from_micros(deadline_us));
+            let mut seen_tripped = false;
+            for i in 0..polls {
+                let now = token.is_cancelled();
+                prop_assert!(
+                    !seen_tripped || now,
+                    "token untripped at poll {i}: deadline={deadline_us}us"
+                );
+                seen_tripped |= now;
+                std::thread::sleep(Duration::from_micros(
+                    gap_us[i % gap_us.len()],
+                ));
+            }
+            // Any deadline is eventually tripped (bounded wait).
+            let patience = Instant::now() + Duration::from_secs(2);
+            while !token.is_cancelled() {
+                prop_assert!(Instant::now() < patience, "deadline never fired");
+                std::thread::yield_now();
+            }
+        }
+
+        #[test]
+        fn tripped_deadline_is_monotonic_across_threads(
+            deadline_us in 0u64..1_500,
+            observers in 2usize..6,
+        ) {
+            let token = CancelToken::with_deadline(Duration::from_micros(deadline_us));
+            // Wait until one thread observes the trip, then every other
+            // observer must agree, concurrently and forever after.
+            while !token.is_cancelled() {
+                std::thread::yield_now();
+            }
+            let violations = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..observers {
+                    s.spawn(|| {
+                        for _ in 0..200 {
+                            if !token.is_cancelled() {
+                                violations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(violations.load(Ordering::Relaxed), 0);
+        }
+    }
+}
+
 #[test]
 fn seq_policy_ignores_cancellation_builder() {
     // `with_cancel` documents itself as a no-op on sequential policies.

@@ -99,6 +99,39 @@ fn steal_delay_slows_but_never_wedges() {
 }
 
 #[test]
+fn futures_resolve_via_try_wait_under_spawn_truncation() {
+    use pstl_executor::{Executor, FuturesPool, TaskPool};
+
+    // Worker 1's spawn fails, truncating the team; every spawned future
+    // must still resolve through `try_wait` (no `BrokenPromise`) — the
+    // promise side is owned by queued jobs, and a smaller team must not
+    // leak or drop them.
+    let pool =
+        TaskPool::with_topology_faulted(Topology::flat(4), FaultPlan::none().with_spawn_failure(1));
+    assert!(pool.num_threads() < 4, "truncation did not shrink the team");
+    let futures: Vec<_> = (0..64).map(|i| pool.spawn(move || i * 2)).collect();
+    for (i, f) in futures.into_iter().enumerate() {
+        assert_eq!(
+            f.try_wait().expect("truncated pool must keep its promises"),
+            i * 2
+        );
+    }
+
+    // The block-futures backend rides the same machinery: a truncated
+    // FuturesPool still covers the whole index space through its
+    // internally awaited futures.
+    let fp = FuturesPool::with_topology_faulted(
+        Topology::flat(4),
+        FaultPlan::none().with_spawn_failure(1),
+    );
+    let hits = AtomicUsize::new(0);
+    fp.run(1_000, &|_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 1_000);
+}
+
+#[test]
 fn injected_panic_composes_with_algorithm_layer() {
     // An injected executor-level fault must propagate through a pstl
     // algorithm like any body panic, leaving the pool reusable.
