@@ -120,6 +120,15 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
+    /// The absolute deadline this token was armed with, if any.
+    ///
+    /// Lets observers that see a tripped token tell a genuine expiry
+    /// (deadline set and passed) from an explicit [`cancel`]
+    /// (Self::cancel) — the flag itself latches identically for both.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
     /// Whether the token has tripped (by [`cancel`](Self::cancel) or by
     /// its deadline passing).
     pub fn is_cancelled(&self) -> bool {

@@ -13,7 +13,9 @@
 //! * **deadline propagation** — every job carries a [`CancelToken`]
 //!   (optionally armed with a deadline). Jobs whose deadline expires
 //!   while still queued are *shed before execution* and counted apart
-//!   from jobs cancelled mid-flight;
+//!   from jobs cancelled mid-flight; a token tripped explicitly while
+//!   queued sheds too, but as [`ShedReason::Cancelled`], so the
+//!   deadline counters only count genuine expiries;
 //! * **retry with exponential backoff** — transient failures (body
 //!   panics that are not cancellation bail-outs) are re-queued with
 //!   deterministically jittered backoff, bounded by
@@ -122,6 +124,13 @@ pub enum ShedReason {
     Overload,
     /// Its deadline expired while it was still queued.
     DeadlineExpired,
+    /// Its [`CancelToken`] was tripped explicitly (via
+    /// [`JobHandle::token`]) while it was still queued. Kept apart from
+    /// [`DeadlineExpired`](Self::DeadlineExpired) so the deadline
+    /// counters only count genuine expiries; a job whose deadline has
+    /// *also* passed by the time the shed is classified counts as
+    /// expired.
+    Cancelled,
     /// The service shut down before the job was dispatched.
     Shutdown,
 }
@@ -443,6 +452,7 @@ pub struct ServiceStats {
     completed: AtomicU64,
     shed_overload: AtomicU64,
     shed_deadline: AtomicU64,
+    shed_cancelled: AtomicU64,
     shed_shutdown: AtomicU64,
     cancelled: AtomicU64,
     failed: AtomicU64,
@@ -468,6 +478,9 @@ pub struct ServiceStatsSnapshot {
     pub shed_overload: u64,
     /// Admitted jobs whose deadline expired in queue.
     pub shed_deadline: u64,
+    /// Admitted jobs explicitly cancelled while still queued (token
+    /// tripped with no expired deadline).
+    pub shed_cancelled: u64,
     /// Admitted jobs dropped by shutdown.
     pub shed_shutdown: u64,
     /// Jobs cancelled at or during execution.
@@ -500,7 +513,7 @@ pub struct ClassStatsSnapshot {
 impl ServiceStatsSnapshot {
     /// Total admitted jobs shed before execution.
     pub fn shed_total(&self) -> u64 {
-        self.shed_overload + self.shed_deadline + self.shed_shutdown
+        self.shed_overload + self.shed_deadline + self.shed_cancelled + self.shed_shutdown
     }
 
     /// Total refusals at admission.
@@ -537,6 +550,7 @@ impl ServiceStats {
             completed: self.completed.load(o),
             shed_overload: self.shed_overload.load(o),
             shed_deadline: self.shed_deadline.load(o),
+            shed_cancelled: self.shed_cancelled.load(o),
             shed_shutdown: self.shed_shutdown.load(o),
             cancelled: self.cancelled.load(o),
             failed: self.failed.load(o),
@@ -583,6 +597,21 @@ struct QueuedJob {
     attempts: u32,
     run: RunFn,
     finish: FinishFn,
+}
+
+impl QueuedJob {
+    /// Why a job whose token tripped *in queue* is being shed: a
+    /// genuine expiry only when the token was armed with a deadline
+    /// that has passed, an explicit client cancel otherwise. Classified
+    /// at shed time, so a job cancelled explicitly whose deadline has
+    /// since also passed counts as expired — the deadline counters stay
+    /// an upper bound on real expiries either way.
+    fn cancel_shed_reason(&self) -> ShedReason {
+        match self.token.deadline() {
+            Some(d) if Instant::now() >= d => ShedReason::DeadlineExpired,
+            _ => ShedReason::Cancelled,
+        }
+    }
 }
 
 struct RetryEntry {
@@ -653,6 +682,7 @@ impl Shared {
                 match reason {
                     ShedReason::Overload => self.stats.shed_overload.fetch_add(1, o),
                     ShedReason::DeadlineExpired => self.stats.shed_deadline.fetch_add(1, o),
+                    ShedReason::Cancelled => self.stats.shed_cancelled.fetch_add(1, o),
                     ShedReason::Shutdown => self.stats.shed_shutdown.fetch_add(1, o),
                 };
                 class.shed.fetch_add(1, o);
@@ -721,11 +751,24 @@ impl Shared {
                 if job.attempts <= self.cfg.retry.max_retries {
                     let retry_no = job.attempts;
                     let due = Instant::now() + self.cfg.retry.backoff(job.id, retry_no);
-                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
-                    self.core.metrics().record_job_retried();
                     job.enqueued = Instant::now();
                     let mut inner = self.inner.lock();
                     inner.in_flight -= 1;
+                    if inner.shutdown {
+                        // The dispatcher may already have passed (or
+                        // finished) its shutdown drain; a retry pushed
+                        // now would sit in `retries` with no thread left
+                        // to dispatch or shed it, hanging `shutdown()`'s
+                        // drain wait forever. Resolve terminally instead:
+                        // every attempt so far panicked and shutdown
+                        // denies the remaining budget.
+                        let attempts = job.attempts;
+                        drop(inner);
+                        self.resolve_terminal(job, Terminal::Failed { attempts });
+                        return;
+                    }
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.core.metrics().record_job_retried();
                     inner.retries.push(RetryEntry { due, job });
                     drop(inner);
                     self.cond.notify_all();
@@ -812,7 +855,8 @@ impl Shared {
                 self.pop_batch(&mut inner)
             };
             for job in sheds {
-                self.resolve_terminal(job, Terminal::Shed(ShedReason::DeadlineExpired));
+                let reason = job.cancel_shed_reason();
+                self.resolve_terminal(job, Terminal::Shed(reason));
             }
             if batch.is_empty() {
                 return;
@@ -1219,13 +1263,13 @@ fn dispatch_loop(shared: &Arc<Shared>, pool: &Arc<TaskPool>) {
         }
 
         // Outside the lock: resolve sheds and hand batches to the pool.
-        let shed_reason = if shutting_down {
-            ShedReason::Shutdown
-        } else {
-            ShedReason::DeadlineExpired
-        };
         for job in sheds {
-            shared.resolve_terminal(job, Terminal::Shed(shed_reason));
+            let reason = if shutting_down {
+                ShedReason::Shutdown
+            } else {
+                job.cancel_shed_reason()
+            };
+            shared.resolve_terminal(job, Terminal::Shed(reason));
         }
         for batch in batches {
             let shared = Arc::clone(shared);
@@ -1241,15 +1285,27 @@ fn dispatch_loop(shared: &Arc<Shared>, pool: &Arc<TaskPool>) {
         if inner.shutdown && inner.queued() == 0 {
             return;
         }
-        if inner.queued() == 0 || inner.in_flight >= shared.cfg.dispatch_window {
-            // Nothing dispatchable right now. Timed wait so retry
-            // due-times and queued deadlines make progress without a
-            // notification.
-            let timeout = if inner.queued() == 0 && inner.in_flight == 0 {
+        let dispatchable = inner.in_flight < shared.cfg.dispatch_window
+            && inner.classes.iter().any(|c| !c.is_empty());
+        if !dispatchable {
+            // Nothing dispatchable right now: the class queues are
+            // empty (possibly with retries still backing off), or the
+            // window is full. Timed wait so retry due-times and queued
+            // deadlines make progress without a notification, bounded
+            // by the earliest retry so backoffs fire on time instead of
+            // the loop rescanning at full speed until one comes due.
+            let now = Instant::now();
+            let base = if inner.is_drained() {
                 Duration::from_millis(20)
             } else {
                 Duration::from_millis(1)
             };
+            let timeout = inner
+                .retries
+                .iter()
+                .map(|r| r.due.saturating_duration_since(now))
+                .min()
+                .map_or(base, |due_in| due_in.min(base));
             shared.cond.wait_for(&mut inner, timeout);
         }
     }
@@ -1656,13 +1712,64 @@ mod tests {
         let h = svc.submit(JobSpec::default(), |_| "never").unwrap();
         h.token().cancel();
         // Dispatcher sheds it on its next sweep even while the worker
-        // is blocked.
+        // is blocked — as an explicit cancellation, not a deadline
+        // expiry (the job has no deadline).
         std::thread::sleep(Duration::from_millis(10));
         gate.store(true, Ordering::Release);
         blocker.wait();
-        assert_eq!(h.wait(), JobOutcome::Shed(ShedReason::DeadlineExpired));
+        assert_eq!(h.wait(), JobOutcome::Shed(ShedReason::Cancelled));
         svc.join();
-        assert!(svc.stats().accounting_balanced());
+        let s = svc.stats();
+        assert_eq!(s.shed_cancelled, 1);
+        assert_eq!(s.shed_deadline, 0, "no deadline ever armed");
+        assert!(s.accounting_balanced());
+        let m = svc.metrics();
+        assert_eq!(m.jobs_shed, 1);
+        assert_eq!(
+            m.jobs_deadline_expired, 0,
+            "explicit cancel must not count as expiry"
+        );
+    }
+
+    #[test]
+    fn shutdown_with_retryable_panic_in_flight_does_not_hang() {
+        // Regression: a job that panics *after* shutdown is flagged
+        // still has retry budget. Re-queuing it would strand the entry
+        // in `retries` — the dispatcher exits once the queues drain,
+        // so nothing would ever dispatch or shed it and shutdown()'s
+        // drain wait (queued() > 0) would never return.
+        let cfg = ServiceConfig::new(1).with_retry(RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(5),
+            jitter_seed: 1,
+        });
+        let mut svc = JobService::new(cfg);
+        let shared = Arc::clone(&svc.shared);
+        let started = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let s = Arc::clone(&started);
+        let h = svc
+            .submit(JobSpec::default(), move |_: &CancelToken| {
+                s.store(true, Ordering::Release);
+                // Hold the body until shutdown() has set the flag, so
+                // the panic is deterministically processed post-flag.
+                while !shared.inner.lock().shutdown {
+                    std::thread::yield_now();
+                }
+                panic!("transient during shutdown");
+            })
+            .unwrap();
+        // The body must be in flight before shutdown, or the dispatcher
+        // sheds it from the queue and the retry path never runs.
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        svc.shutdown(); // must terminate, not wait on the orphan retry
+        assert_eq!(h.wait(), JobOutcome::Failed { attempts: 1 });
+        let s = svc.stats();
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.retries, 0, "shutdown denies the retry budget");
+        assert!(s.accounting_balanced());
     }
 
     #[test]
