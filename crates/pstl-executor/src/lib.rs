@@ -209,6 +209,32 @@ pub trait Executor: Send + Sync {
         }
     }
 
+    /// Record the outcome of a streaming pipeline region: `push_waits`
+    /// backpressure stalls (a stage found its downstream channel full
+    /// and had to hold the item) and `dropped` in-flight items
+    /// discarded during teardown after cancellation or a stage panic.
+    /// Folded into the runtime core's `stage_push_waits`/`items_dropped`
+    /// counters; a no-op only for executors without a runtime. Called
+    /// between runs (never while this executor is inside `run`), like
+    /// [`take_trace`](Self::take_trace).
+    fn record_stream(&self, push_waits: u64, dropped: u64) {
+        if let Some(core) = self.runtime_core() {
+            core.record_stream(push_waits, dropped);
+        }
+    }
+
+    /// Record one streaming-stage scheduling burst: stage `stage`
+    /// processed `items` items back-to-back on some participant. Feeds
+    /// a [`pstl_trace::EventKind::StageBurst`] event on the shared
+    /// control track (per-stage timelines in the trace export); a no-op
+    /// in builds without the `trace` feature and for executors without
+    /// a runtime.
+    fn record_stage_burst(&self, stage: u64, items: u64) {
+        if let Some(core) = self.runtime_core() {
+            core.record_stage_burst(stage, items);
+        }
+    }
+
     /// Execute `body(i)` for `i in 0..tasks` unless `token` trips
     /// first. Cancellation is cooperative with *skip* semantics: the
     /// token is polled immediately before each task body, and once it

@@ -39,6 +39,8 @@ pub struct PoolMetrics {
     jobs_shed: AtomicU64,
     jobs_retried: AtomicU64,
     jobs_deadline_expired: AtomicU64,
+    stage_push_waits: AtomicU64,
+    items_dropped: AtomicU64,
 }
 
 /// A point-in-time copy of a pool's counters.
@@ -106,6 +108,16 @@ pub struct MetricsSnapshot {
     /// from `cancelled_tasks`, which counts work cancelled *during*
     /// execution.
     pub jobs_deadline_expired: u64,
+    /// Times a streaming stage failed to push into a full inter-stage
+    /// channel and had to stall the item (backpressure events). A high
+    /// count relative to items flowed marks the bottleneck stage's
+    /// downstream channel as undersized.
+    pub stage_push_waits: u64,
+    /// In-flight streaming items discarded during pipeline teardown
+    /// (cancellation or a stage panic). The stream layer guarantees
+    /// every produced item is either consumed by the sink or counted
+    /// here exactly once.
+    pub items_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -141,6 +153,8 @@ impl MetricsSnapshot {
             jobs_shed: self.jobs_shed - earlier.jobs_shed,
             jobs_retried: self.jobs_retried - earlier.jobs_retried,
             jobs_deadline_expired: self.jobs_deadline_expired - earlier.jobs_deadline_expired,
+            stage_push_waits: self.stage_push_waits - earlier.stage_push_waits,
+            items_dropped: self.items_dropped - earlier.items_dropped,
         }
     }
 }
@@ -235,6 +249,14 @@ impl PoolMetrics {
         self.jobs_retried.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `push_waits` backpressure stalls and `dropped` in-flight
+    /// items discarded by a streaming pipeline region.
+    pub fn record_stream(&self, push_waits: u64, dropped: u64) {
+        self.stage_push_waits
+            .fetch_add(push_waits, Ordering::Relaxed);
+        self.items_dropped.fetch_add(dropped, Ordering::Relaxed);
+    }
+
     /// Copy the current values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -257,6 +279,8 @@ impl PoolMetrics {
             jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
             jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
             jobs_deadline_expired: self.jobs_deadline_expired.load(Ordering::Relaxed),
+            stage_push_waits: self.stage_push_waits.load(Ordering::Relaxed),
+            items_dropped: self.items_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -524,6 +548,11 @@ impl MetricsSink {
         self.counters.record_job_retried();
     }
 
+    /// See [`PoolMetrics::record_stream`].
+    pub fn record_stream(&self, push_waits: u64, dropped: u64) {
+        self.counters.record_stream(push_waits, dropped);
+    }
+
     /// See [`PoolMetrics::snapshot`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.counters.snapshot()
@@ -558,6 +587,8 @@ mod tests {
         m.record_job_shed(false);
         m.record_job_shed(true);
         m.record_job_retried();
+        m.record_stream(4, 2);
+        m.record_stream(1, 0);
         let s = m.snapshot();
         assert_eq!(s.runs, 1);
         assert_eq!(s.tasks_executed, 15);
@@ -579,6 +610,8 @@ mod tests {
         assert_eq!(s.jobs_shed, 2);
         assert_eq!(s.jobs_retried, 1);
         assert_eq!(s.jobs_deadline_expired, 1);
+        assert_eq!(s.stage_push_waits, 5);
+        assert_eq!(s.items_dropped, 2);
     }
 
     #[test]

@@ -213,6 +213,24 @@ impl RuntimeCore {
         }
     }
 
+    /// The `Executor::record_stream` hook: fold a streaming region's
+    /// backpressure stalls and teardown drops into the counters.
+    pub fn record_stream(&self, push_waits: u64, dropped: u64) {
+        self.metrics.record_stream(push_waits, dropped);
+    }
+
+    /// The `Executor::record_stage_burst` hook: put a `StageBurst`
+    /// event on the shared control track — stage `stage` processed
+    /// `items` items in one scheduling burst. Gated on the trace build
+    /// so the per-burst lock costs nothing in normal builds.
+    pub fn record_stage_burst(&self, stage: u64, items: u64) {
+        if pstl_trace::enabled() {
+            self.ctl
+                .lock()
+                .record(EventKind::StageBurst { stage, items });
+        }
+    }
+
     /// The `Executor::install_fault_plan` hook.
     pub fn install_fault_plan(&self, plan: FaultPlan) {
         self.faults.install(plan);
@@ -618,12 +636,15 @@ mod tests {
         core.record_claim(8);
         core.record_cancel(10, 3);
         core.record_search(1, 4);
+        core.record_stream(6, 2);
         let s = core.snapshot();
         assert_eq!(s.splits, 1);
         assert_eq!(s.cancel_checks, 10);
         assert_eq!(s.cancelled_tasks, 3);
         assert_eq!(s.early_exits, 1);
         assert_eq!(s.wasted_chunks, 4);
+        assert_eq!(s.stage_push_waits, 6);
+        assert_eq!(s.items_dropped, 2);
     }
 
     #[test]

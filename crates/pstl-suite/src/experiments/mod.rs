@@ -24,6 +24,7 @@ pub mod roofline;
 pub mod service;
 pub mod skew;
 pub mod skew_real;
+pub mod stream;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -122,6 +122,10 @@ fn track_events(worker: &WorkerTrace, tid: usize) -> Vec<(u64, String)> {
                 r#"{{"name":"early_exit","cat":"sched","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"wasted":{wasted}}}}}"#,
                 us(e.t_ns)
             ))),
+            EventKind::StageBurst { stage, items } => out.push((e.t_ns, format!(
+                r#"{{"name":"stage_burst","cat":"stream","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{},"args":{{"stage":{stage},"items":{items}}}}}"#,
+                us(e.t_ns)
+            ))),
             EventKind::Park => parks.push(e.t_ns),
             EventKind::Unpark => {
                 if let Some(start) = parks.pop() {

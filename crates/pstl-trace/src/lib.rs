@@ -73,6 +73,11 @@ pub enum EventKind {
     /// match was published; `wasted` is the number of chunks/claims that
     /// were dispatched but skipped or aborted past the match.
     EarlyExit { wasted: u64 },
+    /// A streaming pipeline stage processed a burst of `items` items on
+    /// this worker; `stage` is the stage index within the pipeline.
+    /// Stage indices saturate at 16 bits and burst sizes at 40 bits in
+    /// the ring encoding (both far beyond observed values).
+    StageBurst { stage: u64, items: u64 },
 }
 
 // The packed encoding is exercised only by the ring recorder, which the
@@ -95,9 +100,16 @@ mod encoding {
     const TAG_REMOTE_STEAL: u64 = 11;
     const TAG_CANCEL: u64 = 12;
     const TAG_EARLY_EXIT: u64 = 13;
+    const TAG_STAGE_BURST: u64 = 14;
 
     const PAYLOAD_BITS: u32 = 56;
     const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
+
+    // StageBurst packs two fields into the 56-bit payload: the stage
+    // index in the top 16 bits, the burst size in the low 40.
+    const STAGE_ITEM_BITS: u32 = 40;
+    const STAGE_ITEM_MASK: u64 = (1 << STAGE_ITEM_BITS) - 1;
+    const STAGE_MAX: u64 = (1 << (PAYLOAD_BITS - STAGE_ITEM_BITS)) - 1;
 
     impl EventKind {
         /// Pack into one ring word: `tag << 56 | payload`.
@@ -117,6 +129,10 @@ mod encoding {
                 EventKind::RemoteSteal { victim } => (TAG_REMOTE_STEAL, victim),
                 EventKind::Cancel { tasks } => (TAG_CANCEL, tasks),
                 EventKind::EarlyExit { wasted } => (TAG_EARLY_EXIT, wasted),
+                EventKind::StageBurst { stage, items } => (
+                    TAG_STAGE_BURST,
+                    (stage.min(STAGE_MAX) << STAGE_ITEM_BITS) | items.min(STAGE_ITEM_MASK),
+                ),
             };
             (tag << PAYLOAD_BITS) | (payload & PAYLOAD_MASK)
         }
@@ -137,6 +153,10 @@ mod encoding {
                 TAG_REMOTE_STEAL => EventKind::RemoteSteal { victim: payload },
                 TAG_CANCEL => EventKind::Cancel { tasks: payload },
                 TAG_EARLY_EXIT => EventKind::EarlyExit { wasted: payload },
+                TAG_STAGE_BURST => EventKind::StageBurst {
+                    stage: payload >> STAGE_ITEM_BITS,
+                    items: payload & STAGE_ITEM_MASK,
+                },
                 _ => EventKind::Unpark,
             }
         }
@@ -211,8 +231,27 @@ mod tests {
             EventKind::RemoteSteal { victim: 63 },
             EventKind::Cancel { tasks: 12 },
             EventKind::EarlyExit { wasted: 17 },
+            EventKind::StageBurst {
+                stage: 3,
+                items: 1 << 20,
+            },
         ] {
             assert_eq!(EventKind::decode(kind.encode()), kind);
+        }
+    }
+
+    #[test]
+    fn stage_burst_fields_saturate_independently() {
+        let kind = EventKind::StageBurst {
+            stage: u64::MAX,
+            items: u64::MAX,
+        };
+        match EventKind::decode(kind.encode()) {
+            EventKind::StageBurst { stage, items } => {
+                assert_eq!(stage, (1 << 16) - 1);
+                assert_eq!(items, (1 << 40) - 1);
+            }
+            other => panic!("wrong kind {other:?}"),
         }
     }
 

@@ -104,30 +104,32 @@ fn pre_tripped_token_skips_every_body() {
 fn cancelled_tasks_reach_sched_delta_json() {
     use pstl_harness::{to_json, Bench, BenchConfig};
 
-    let pool = build_pool(Discipline::WorkStealing, 2);
-    let exec = Arc::clone(&pool);
-    let m = Bench::new("cancelled_region")
-        .config(BenchConfig {
-            min_time: Duration::ZERO,
-            warmup_iterations: 0,
-            min_iterations: 2,
-            max_iterations: 2,
-        })
-        .metrics_source(Arc::clone(&pool))
-        .run(|| {
-            let token = CancelToken::new();
-            token.cancel();
-            let _ = exec.run_cancellable(64, &|_| {}, &token);
-        });
-    let sched = m.sched.expect("work-stealing pool reports metrics");
-    assert!(sched.cancel_checks > 0);
-    assert!(sched.cancelled_tasks > 0);
-    let v: serde_json::Value = serde_json::from_str(&to_json(&m)).unwrap();
-    assert!(
-        v["sched"]["cancelled_tasks"].as_u64().unwrap() > 0,
-        "cancelled_tasks must surface in the measurement JSON"
-    );
-    assert!(v["sched"]["cancel_checks"].as_u64().unwrap() > 0);
+    for d in REAL_POOLS {
+        let pool = build_pool(d, 2);
+        let exec = Arc::clone(&pool);
+        let m = Bench::new("cancelled_region")
+            .config(BenchConfig {
+                min_time: Duration::ZERO,
+                warmup_iterations: 0,
+                min_iterations: 2,
+                max_iterations: 2,
+            })
+            .metrics_source(Arc::clone(&pool))
+            .run(|| {
+                let token = CancelToken::new();
+                token.cancel();
+                let _ = exec.run_cancellable(64, &|_| {}, &token);
+            });
+        let sched = m.sched.expect("real pools report metrics");
+        assert!(sched.cancel_checks > 0, "{d:?}");
+        assert!(sched.cancelled_tasks > 0, "{d:?}");
+        let v: serde_json::Value = serde_json::from_str(&to_json(&m)).unwrap();
+        assert!(
+            v["sched"]["cancelled_tasks"].as_u64().unwrap() > 0,
+            "{d:?}: cancelled_tasks must surface in the measurement JSON"
+        );
+        assert!(v["sched"]["cancel_checks"].as_u64().unwrap() > 0, "{d:?}");
+    }
 }
 
 fn cancellable_policies(pool: &Arc<dyn Executor>, token: &CancelToken) -> Vec<ExecutionPolicy> {
@@ -170,46 +172,50 @@ fn algorithms_bail_with_typed_error_under_every_partitioner() {
 fn mid_run_cancellation_stops_a_long_region() {
     // The region itself trips the token part-way through: later chunks
     // must bail instead of processing the rest of the index space.
-    let pool = build_pool(Discipline::WorkStealing, 4);
-    let token = CancelToken::new();
-    let policy = ExecutionPolicy::par_with(Arc::clone(&pool), ParConfig::with_grain(32))
-        .with_cancel(token.clone());
-    let data: Vec<u64> = (0..200_000).collect();
-    let visited = AtomicUsize::new(0);
-    let result = Cancelled::catch(|| {
-        pstl::for_each(&policy, &data, |_| {
-            if visited.fetch_add(1, Ordering::Relaxed) == 1_000 {
-                token.cancel();
-            }
-        })
-    });
-    assert_eq!(result, Err(Cancelled));
-    assert!(
-        visited.load(Ordering::Relaxed) < data.len(),
-        "cancellation must cut the region short"
-    );
-    assert_reusable(&pool);
+    for d in REAL_POOLS {
+        let pool = build_pool(d, 4);
+        let token = CancelToken::new();
+        let policy = ExecutionPolicy::par_with(Arc::clone(&pool), ParConfig::with_grain(32))
+            .with_cancel(token.clone());
+        let data: Vec<u64> = (0..200_000).collect();
+        let visited = AtomicUsize::new(0);
+        let result = Cancelled::catch(|| {
+            pstl::for_each(&policy, &data, |_| {
+                if visited.fetch_add(1, Ordering::Relaxed) == 1_000 {
+                    token.cancel();
+                }
+            })
+        });
+        assert_eq!(result, Err(Cancelled), "{d:?}");
+        assert!(
+            visited.load(Ordering::Relaxed) < data.len(),
+            "{d:?}: cancellation must cut the region short"
+        );
+        assert_reusable(&pool);
 
-    // The same policy without the tripped token still works: tokens are
-    // per-policy state, not pool state.
-    let clean = ExecutionPolicy::par(Arc::clone(&pool));
-    let sum = pstl::reduce(&clean, &data[..1000], 0u64, |a, b| a + b);
-    assert_eq!(sum, 999 * 1000 / 2);
+        // The same pool without the tripped token still works: tokens
+        // are per-policy state, not pool state.
+        let clean = ExecutionPolicy::par(Arc::clone(&pool));
+        let sum = pstl::reduce(&clean, &data[..1000], 0u64, |a, b| a + b);
+        assert_eq!(sum, 999 * 1000 / 2, "{d:?}");
+    }
 }
 
 #[test]
 fn deadline_token_cancels_algorithm_level_region() {
-    let pool = build_pool(Discipline::TaskPool, 3);
-    let policy = ExecutionPolicy::par_with(Arc::clone(&pool), ParConfig::with_grain(8))
-        .with_cancel(CancelToken::with_deadline(Duration::from_millis(5)));
-    let data: Vec<u64> = (0..100_000).collect();
-    let result = Cancelled::catch(|| {
-        pstl::for_each(&policy, &data, |_| {
-            std::thread::sleep(Duration::from_micros(50));
-        })
-    });
-    assert_eq!(result, Err(Cancelled));
-    assert_reusable(&pool);
+    for d in REAL_POOLS {
+        let pool = build_pool(d, 3);
+        let policy = ExecutionPolicy::par_with(Arc::clone(&pool), ParConfig::with_grain(8))
+            .with_cancel(CancelToken::with_deadline(Duration::from_millis(5)));
+        let data: Vec<u64> = (0..100_000).collect();
+        let result = Cancelled::catch(|| {
+            pstl::for_each(&policy, &data, |_| {
+                std::thread::sleep(Duration::from_micros(50));
+            })
+        });
+        assert_eq!(result, Err(Cancelled), "{d:?}");
+        assert_reusable(&pool);
+    }
 }
 
 #[test]
@@ -238,24 +244,26 @@ fn search_regions_bail_under_every_pool_and_partitioner() {
 fn deadline_mid_search_cancels_and_pool_stays_reusable() {
     // The deadline trips while the search is scanning; in-flight poll
     // blocks finish and every later chunk bails at its entry check.
-    let pool = build_pool(Discipline::WorkStealing, 4);
-    let policy = ExecutionPolicy::par_with(Arc::clone(&pool), ParConfig::with_grain(64))
-        .with_cancel(CancelToken::with_deadline(Duration::from_millis(5)));
-    let data: Vec<u64> = vec![0; 100_000];
-    let result = Cancelled::catch(|| {
-        pstl::find_if(&policy, &data, |_| {
-            std::thread::sleep(Duration::from_micros(20));
-            false
-        })
-    });
-    assert_eq!(result, Err(Cancelled));
-    assert_reusable(&pool);
+    for d in REAL_POOLS {
+        let pool = build_pool(d, 4);
+        let policy = ExecutionPolicy::par_with(Arc::clone(&pool), ParConfig::with_grain(64))
+            .with_cancel(CancelToken::with_deadline(Duration::from_millis(5)));
+        let data: Vec<u64> = vec![0; 100_000];
+        let result = Cancelled::catch(|| {
+            pstl::find_if(&policy, &data, |_| {
+                std::thread::sleep(Duration::from_micros(20));
+                false
+            })
+        });
+        assert_eq!(result, Err(Cancelled), "{d:?}");
+        assert_reusable(&pool);
 
-    // The same pool still searches correctly afterwards.
-    let clean = ExecutionPolicy::par(Arc::clone(&pool));
-    let mut v = vec![0u64; 50_000];
-    v[31_337] = 1;
-    assert_eq!(pstl::find(&clean, &v, &1), Some(31_337));
+        // The same pool still searches correctly afterwards.
+        let clean = ExecutionPolicy::par(Arc::clone(&pool));
+        let mut v = vec![0u64; 50_000];
+        v[31_337] = 1;
+        assert_eq!(pstl::find(&clean, &v, &1), Some(31_337), "{d:?}");
+    }
 }
 
 mod deadline_monotonicity {

@@ -9,11 +9,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use pstl_executor::fault::INJECTED_PANIC;
 use pstl_executor::{build_pool, build_pool_faulted, Discipline, FaultPlan, Topology};
 
-const REAL_POOLS: [Discipline; 4] = [
+const REAL_POOLS: [Discipline; 5] = [
     Discipline::ForkJoin,
     Discipline::WorkStealing,
     Discipline::TaskPool,
     Discipline::Futures,
+    Discipline::ServicePool,
 ];
 
 fn injected_message(payload: &(dyn std::any::Any + Send)) -> &str {

@@ -19,6 +19,11 @@ const POOL_FILES: &[&str] = &[
     "crates/pstl-executor/src/service.rs",
     "crates/pstl-executor/src/job.rs",
     "crates/pstl-executor/src/lib.rs",
+    // The streaming layer drives user closures on pool workers; its
+    // panic containment must also route through `runtime::contain`.
+    "crates/pstl/src/stream/mod.rs",
+    "crates/pstl/src/stream/engine.rs",
+    "crates/pstl/src/stream/channel.rs",
 ];
 
 /// Strip `#[cfg(test)] mod … { … }` blocks so in-test `catch_unwind`

@@ -1,0 +1,233 @@
+//! Differential conformance suite for the streaming layer: every
+//! pipeline/farm topology over every real pool discipline × both
+//! channel backends must agree with the sequential `Iterator` oracle —
+//! exact sequence for order-preserving topologies (plain stages,
+//! stateful stages, ordered farms), multiset for unordered farms. Edge
+//! cases ride the same matrix: empty streams, single items, and
+//! capacity-1 channels (full backpressure on every edge).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use pstl::stream::{ChannelKind, Pipeline};
+use pstl_executor::{build_pool, Discipline, Executor};
+
+/// All five real scheduling disciplines.
+const REAL_POOLS: [Discipline; 5] = [
+    Discipline::ForkJoin,
+    Discipline::WorkStealing,
+    Discipline::TaskPool,
+    Discipline::Futures,
+    Discipline::ServicePool,
+];
+
+/// One pool per discipline, shared by all proptest cases.
+fn pools() -> &'static [(Discipline, Arc<dyn Executor>)] {
+    use std::sync::OnceLock;
+    static POOLS: OnceLock<Vec<(Discipline, Arc<dyn Executor>)>> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        REAL_POOLS
+            .into_iter()
+            .map(|d| (d, build_pool(d, 3)))
+            .collect()
+    })
+}
+
+/// The full execution matrix: every pool × both channel backends.
+fn matrix() -> impl Iterator<Item = (Discipline, &'static Arc<dyn Executor>, ChannelKind)> {
+    pools()
+        .iter()
+        .flat_map(|(d, pool)| ChannelKind::ALL.map(move |kind| (*d, pool, kind)))
+}
+
+fn items() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1000, 0..400)
+}
+
+/// Channel capacities worth stressing: 1 forces backpressure on every
+/// push, 2 exercises the ring's smallest real lap, 64 is the default.
+/// (The vendored proptest shim has no `prop_oneof`, so tests draw an
+/// index into this table.)
+const CAPS: [usize; 3] = [1, 2, 64];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Plain stage chain: exact sequence equality with `map`.
+    #[test]
+    fn stage_chain_equals_map_oracle(data in items(), cap_idx in 0usize..3) {
+        let oracle: Vec<u64> = data.iter().map(|&x| (x + 3) * 2).collect();
+        let cap = CAPS[cap_idx];
+        for (d, pool, kind) in matrix() {
+            let got = Pipeline::source(data.clone())
+                .channel(kind)
+                .capacity(cap)
+                .stage(|x: u64| x + 3)
+                .stage(|x: u64| x * 2)
+                .collect(&**pool)
+                .unwrap();
+            prop_assert_eq!(&got, &oracle, "{:?}/{}/cap{}", d, kind.name(), cap);
+        }
+    }
+
+    /// Ordered farm: parallel replicas, exact source order restored.
+    #[test]
+    fn ordered_farm_equals_map_oracle(
+        data in items(),
+        cap_idx in 0usize..3,
+        replicas in 1usize..5,
+    ) {
+        let oracle: Vec<u64> = data.iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect();
+        let cap = CAPS[cap_idx];
+        for (d, pool, kind) in matrix() {
+            let got = Pipeline::source(data.clone())
+                .channel(kind)
+                .capacity(cap)
+                .ordered_farm(replicas, |x: u64| x.wrapping_mul(2654435761) >> 7)
+                .collect(&**pool)
+                .unwrap();
+            prop_assert_eq!(&got, &oracle, "{:?}/{}/cap{}/r{}", d, kind.name(), cap, replicas);
+        }
+    }
+
+    /// Unordered farm: multiset equality (sort both sides).
+    #[test]
+    fn unordered_farm_equals_multiset_oracle(
+        data in items(),
+        cap_idx in 0usize..3,
+        replicas in 1usize..5,
+    ) {
+        let mut oracle: Vec<u64> = data.iter().map(|&x| x ^ 0xABCD).collect();
+        oracle.sort_unstable();
+        let cap = CAPS[cap_idx];
+        for (d, pool, kind) in matrix() {
+            let mut got = Pipeline::source(data.clone())
+                .channel(kind)
+                .capacity(cap)
+                .farm(replicas, |x: u64| x ^ 0xABCD)
+                .collect(&**pool)
+                .unwrap();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &oracle, "{:?}/{}/cap{}/r{}", d, kind.name(), cap, replicas);
+        }
+    }
+
+    /// Stateful stage: a running (prefix) sum must see items in source
+    /// order — exact sequence equality with the scan oracle.
+    #[test]
+    fn stateful_stage_equals_scan_oracle(data in items(), cap_idx in 0usize..3) {
+        let oracle: Vec<u64> = data
+            .iter()
+            .scan(0u64, |acc, &x| {
+                *acc = acc.wrapping_add(x);
+                Some(*acc)
+            })
+            .collect();
+        let cap = CAPS[cap_idx];
+        for (d, pool, kind) in matrix() {
+            let got = Pipeline::source(data.clone())
+                .channel(kind)
+                .capacity(cap)
+                .stage_stateful(0u64, |acc: &mut u64, x: u64| {
+                    *acc = acc.wrapping_add(x);
+                    *acc
+                })
+                .collect(&**pool)
+                .unwrap();
+            prop_assert_eq!(&got, &oracle, "{:?}/{}/cap{}", d, kind.name(), cap);
+        }
+    }
+
+    /// The composite topology of the module quickstart: stage →
+    /// ordered farm → stateful stage, over a non-`Copy` item type.
+    /// Exact sequence equality end to end.
+    #[test]
+    fn composite_pipeline_equals_chained_oracle(data in items(), cap_idx in 0usize..3) {
+        let oracle: Vec<String> = data
+            .iter()
+            .map(|&x| x / 3)
+            .map(|x| format!("{x:x}"))
+            .scan(String::new(), |acc, s| {
+                acc.push_str(&s);
+                Some(format!("{}:{}", acc.len(), s))
+            })
+            .collect();
+        let cap = CAPS[cap_idx];
+        for (d, pool, kind) in matrix() {
+            let got = Pipeline::source(data.clone())
+                .channel(kind)
+                .capacity(cap)
+                .stage(|x: u64| x / 3)
+                .ordered_farm(3, |x: u64| format!("{x:x}"))
+                .stage_stateful(String::new(), |acc: &mut String, s: String| {
+                    acc.push_str(&s);
+                    format!("{}:{}", acc.len(), s)
+                })
+                .collect(&**pool)
+                .unwrap();
+            prop_assert_eq!(&got, &oracle, "{:?}/{}/cap{}", d, kind.name(), cap);
+        }
+    }
+}
+
+/// Deterministic edge cases across the whole matrix: empty stream and
+/// a single item, through every topology shape.
+#[test]
+fn empty_and_single_item_streams() {
+    for (d, pool, kind) in matrix() {
+        for cap in [1usize, 64] {
+            let empty = Pipeline::source(Vec::<u64>::new())
+                .channel(kind)
+                .capacity(cap)
+                .stage(|x: u64| x + 1)
+                .ordered_farm(2, |x: u64| x)
+                .collect(&**pool)
+                .unwrap();
+            assert!(empty.is_empty(), "{d:?}/{}/cap{cap}", kind.name());
+
+            let single = Pipeline::source(vec![41u64])
+                .channel(kind)
+                .capacity(cap)
+                .farm(3, |x: u64| x + 1)
+                .collect(&**pool)
+                .unwrap();
+            assert_eq!(single, vec![42], "{d:?}/{}/cap{cap}", kind.name());
+        }
+    }
+}
+
+/// The flow accounting must balance on clean completion: everything
+/// produced is consumed, nothing dropped, on every matrix point.
+#[test]
+fn clean_runs_balance_flow_accounting() {
+    for (d, pool, kind) in matrix() {
+        let stats = Pipeline::source(0..5000u64)
+            .channel(kind)
+            .capacity(8)
+            .ordered_farm(2, |x| x + 1)
+            .sink(|_| {})
+            .run(&**pool)
+            .unwrap();
+        assert_eq!(stats.produced, 5000, "{d:?}/{}", kind.name());
+        assert_eq!(stats.consumed, 5000, "{d:?}/{}", kind.name());
+        assert_eq!(stats.dropped, 0, "{d:?}/{}", kind.name());
+    }
+}
+
+/// The sequential executor is a valid backend too: one driver steps
+/// every stage cooperatively inline.
+#[test]
+fn sequential_backend_matches_oracle() {
+    let pool = build_pool(Discipline::Sequential, 1);
+    for kind in ChannelKind::ALL {
+        let got = Pipeline::source(0..300u64)
+            .channel(kind)
+            .capacity(4)
+            .stage(|x| x * 3)
+            .ordered_farm(2, |x| x + 1)
+            .collect(&*pool)
+            .unwrap();
+        let oracle: Vec<u64> = (0..300u64).map(|x| x * 3 + 1).collect();
+        assert_eq!(got, oracle, "{}", kind.name());
+    }
+}
